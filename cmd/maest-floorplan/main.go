@@ -1,0 +1,161 @@
+// Command maest-floorplan floor-plans an estimate database produced
+// by maest (or a generated random chip), and runs the §7
+// iteration-reduction experiment comparing estimator-driven and
+// naive-guess floor planning.
+//
+// Usage:
+//
+//	maest-floorplan estimates.db            # plan a database
+//	maest-floorplan -generate -modules 6    # generate, estimate, plan
+//	maest-floorplan -experiment -modules 6  # iteration experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maest/internal/core"
+	"maest/internal/db"
+	"maest/internal/floorplan"
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func main() {
+	var (
+		procFlag   = flag.String("proc", "nmos25", "builtin process name")
+		generate   = flag.Bool("generate", false, "generate a random chip instead of reading a database")
+		experiment = flag.Bool("experiment", false, "run the floorplan-iteration experiment (E10)")
+		modules    = flag.Int("modules", 6, "module count for generated chips")
+		seed       = flag.Int64("seed", 1, "generation and layout seed")
+		svgOut     = flag.String("svg", "", "render the floor plan as SVG to this file")
+	)
+	flag.Parse()
+	if err := run(*procFlag, *generate, *experiment, *modules, *seed, *svgOut, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "maest-floorplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(procName string, generate, experiment bool, modules int, seed int64, svgOut string, args []string) error {
+	p, err := tech.Lookup(procName)
+	if err != nil {
+		return err
+	}
+	if experiment {
+		return runExperiment(p, modules, seed)
+	}
+	var d *db.Database
+	if generate {
+		d, err = generateDB(p, modules, seed)
+	} else {
+		d, err = readDB(args)
+	}
+	if err != nil {
+		return err
+	}
+	plan, err := floorplan.PlanChip(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chip %s: %.0f × %.0f λ = %.0f λ²  (utilization %.1f%%, wire length %.0f λ)\n",
+		plan.Chip, plan.Width, plan.Height, plan.Area(), plan.Utilization()*100, plan.WireLength)
+	for _, b := range plan.Blocks {
+		fmt.Printf("  %-16s at (%6.0f,%6.0f)  %6.0f × %-6.0f shape #%d\n",
+			b.Name, b.X, b.Y, b.W, b.H, b.ShapeIndex)
+	}
+	if len(d.Nets) > 0 {
+		gr, err := floorplan.GlobalRoute(d, plan, p, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("global routing: %.0f λ of wire, %.0f λ² wiring area, worst bin congestion %.2f\n",
+			gr.WireLength, gr.WiringArea, gr.MaxCongestion)
+	}
+	if svgOut != "" {
+		f, err := os.Create(svgOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := floorplan.WriteSVG(f, plan, 1); err != nil {
+			return err
+		}
+		fmt.Printf("rendered floor plan SVG to %s\n", svgOut)
+	}
+	return nil
+}
+
+func readDB(args []string) (*db.Database, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected one database file (or -generate)")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return db.Read(f)
+}
+
+func generateDB(p *tech.Process, modules int, seed int64) (*db.Database, error) {
+	chip, err := gen.RandomChip(gen.ChipConfig{
+		Name: "random", Modules: modules, MinGates: 20, MaxGates: 80, Seed: seed,
+	}, p)
+	if err != nil {
+		return nil, err
+	}
+	d := &db.Database{Chip: chip.Name}
+	for _, c := range chip.Modules {
+		res, err := core.Estimate(c, p, core.SCOptions{TrackSharing: true})
+		if err != nil {
+			return nil, err
+		}
+		d.Modules = append(d.Modules, db.FromResult(res))
+	}
+	for _, gn := range chip.GlobalNets {
+		rec := db.GlobalNet{Name: gn.Name}
+		for _, pin := range gn.Pins {
+			rec.Pins = append(rec.Pins, db.GlobalPin{Module: pin.Module, Port: pin.Port})
+		}
+		d.Nets = append(d.Nets, rec)
+	}
+	return d, nil
+}
+
+func runExperiment(p *tech.Process, modules int, seed int64) error {
+	chip, err := gen.RandomChip(gen.ChipConfig{
+		Name: "exp", Modules: modules, MinGates: 20, MaxGates: 60, Seed: seed,
+	}, p)
+	if err != nil {
+		return err
+	}
+	// Sanity: the modules must be estimable.
+	for _, c := range chip.Modules {
+		if _, err := netlist.Gather(c, p); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("floorplan iteration experiment: %d modules, seed %d (tolerance 25%%)\n", modules, seed)
+	for _, src := range []struct {
+		name string
+		fn   floorplan.ShapeSource
+	}{
+		{"estimator (this paper)", floorplan.EstimatorShapes},
+		{"naive active-area guess", floorplan.NaiveShapes(1.0)},
+	} {
+		res, err := floorplan.IterationExperiment(chip, p, src.fn, floorplan.ExperimentOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		status := "converged"
+		if !res.Converged {
+			status = "did NOT converge"
+		}
+		fmt.Printf("  %-24s %d iteration(s), misfit history %v, %s; final chip %.0f λ²\n",
+			src.name, res.Iterations, res.Misfits, status, res.FinalPlan.Area())
+	}
+	return nil
+}

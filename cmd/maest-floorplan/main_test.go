@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maest/internal/db"
+	"maest/internal/tech"
+)
+
+func TestRunGenerate(t *testing.T) {
+	if err := run("nmos25", true, false, 3, 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromDatabaseFile(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := generateDB(p, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "est.db")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Write(f, d); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("nmos25", false, false, 0, 1, "", []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	if err := run("nmos25", false, true, 3, 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", true, false, 3, 1, "", nil); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if err := run("nmos25", false, false, 3, 1, "", nil); err == nil {
+		t.Error("missing database file accepted")
+	}
+	if err := run("nmos25", false, false, 3, 1, "", []string{"/nope.db"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run("nmos25", true, false, 1, 1, "", nil); err == nil {
+		t.Error("1-module chip accepted")
+	}
+}

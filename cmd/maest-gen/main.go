@@ -1,0 +1,165 @@
+// Command maest-gen emits benchmark workloads in the estimator's
+// input formats: random mapped logic, inverter chains, the paper's
+// benchmark-suite modules, and PLA netlists, as .mnet or .bench text
+// on stdout.
+//
+// Usage:
+//
+//	maest-gen -kind rand -gates 120 -seed 7            # random logic (.mnet)
+//	maest-gen -kind rand -format bench                 # same as .bench
+//	maest-gen -kind chain -gates 32                    # inverter chain
+//	maest-gen -kind pla -inputs 6 -outputs 4 -terms 12 # nMOS PLA (.mnet)
+//	maest-gen -kind suite-fc                           # Table 1 suite, one module per file prefix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maest"
+	"maest/internal/tech"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "rand", "workload: rand, chain, pla, suite-fc, suite-sc")
+		procFlag = flag.String("proc", "nmos25", "builtin process name")
+		gates    = flag.Int("gates", 60, "gate count for rand/chain")
+		inputs   = flag.Int("inputs", 6, "input count (rand, pla)")
+		outputs  = flag.Int("outputs", 4, "output count (rand, pla)")
+		terms    = flag.Int("terms", 12, "product terms (pla)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		format   = flag.String("format", "mnet", "output format: mnet or bench")
+	)
+	flag.Parse()
+	if err := run(*kind, *procFlag, *gates, *inputs, *outputs, *terms, *seed, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "maest-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, procName string, gates, inputs, outputs, terms int, seed int64, format string) error {
+	p, err := tech.Lookup(procName)
+	if err != nil {
+		return err
+	}
+	if format != "mnet" && format != "bench" {
+		return fmt.Errorf("unknown format %q (want mnet or bench)", format)
+	}
+	emit := func(c *maest.Circuit) error {
+		if format == "bench" {
+			return maest.WriteBench(os.Stdout, c)
+		}
+		return maest.WriteMnet(os.Stdout, c)
+	}
+	switch kind {
+	case "rand":
+		// The mapper can introduce reserved "$" names when it
+		// decomposes wide gates; regenerate through .bench text when
+		// .mnet output is requested so names are clean.
+		c, err := maest.RandomCircuit(maest.RandomConfig{
+			Name: "rand", Gates: gates, Inputs: inputs, Outputs: outputs, Seed: seed,
+		}, p)
+		if err != nil {
+			return err
+		}
+		if format == "mnet" {
+			c, err = renameClean(c, p)
+			if err != nil {
+				return err
+			}
+		}
+		return emit(c)
+	case "chain":
+		c, err := maest.Chain("chain", gates, p)
+		if err != nil {
+			return err
+		}
+		return emit(c)
+	case "pla":
+		if format == "bench" {
+			return fmt.Errorf("PLA netlists are transistor-level; .bench cannot express them")
+		}
+		q, err := maest.RandomPLA(inputs, outputs, terms, 0.45, seed)
+		if err != nil {
+			return err
+		}
+		c, err := q.Circuit("pla", p)
+		if err != nil {
+			return err
+		}
+		return emit(c)
+	case "suite-fc":
+		if format == "bench" {
+			return fmt.Errorf("the Full-Custom suite is transistor-level; .bench cannot express it")
+		}
+		suite, err := maest.FullCustomSuite(p)
+		if err != nil {
+			return err
+		}
+		for _, c := range suite {
+			clean, err := renameClean(c, p)
+			if err != nil {
+				return err
+			}
+			if err := emit(clean); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "suite-sc":
+		suite, err := maest.StandardCellSuite(p)
+		if err != nil {
+			return err
+		}
+		for _, c := range suite {
+			out := c
+			if format == "mnet" {
+				if out, err = renameClean(c, p); err != nil {
+					return err
+				}
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+// renameClean rebuilds a circuit with sequentially numbered device
+// and net names, erasing reserved "$" names so the result is valid
+// .mnet source.
+func renameClean(c *maest.Circuit, p *maest.Process) (*maest.Circuit, error) {
+	b := maest.NewCircuitBuilder(c.Name)
+	netName := map[string]string{}
+	nameOf := func(orig string) string {
+		if n, ok := netName[orig]; ok {
+			return n
+		}
+		n := fmt.Sprintf("n%d", len(netName))
+		netName[orig] = n
+		return n
+	}
+	// Ports keep their names (interface stability); their nets adopt
+	// the port name.
+	for _, port := range c.Ports {
+		netName[port.Net.Name] = port.Name
+	}
+	for i, d := range c.Devices {
+		pins := make([]string, len(d.Pins))
+		for j, n := range d.Pins {
+			if n != nil {
+				pins[j] = nameOf(n.Name)
+			}
+		}
+		b.AddDevice(fmt.Sprintf("u%d", i), d.Type, pins...)
+	}
+	for _, port := range c.Ports {
+		b.AddPort(port.Name, port.Dir, nameOf(port.Net.Name))
+	}
+	return b.Build()
+}

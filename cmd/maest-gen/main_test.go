@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunKinds(t *testing.T) {
+	cases := []struct {
+		kind, format string
+	}{
+		{"rand", "mnet"}, {"rand", "bench"},
+		{"chain", "mnet"}, {"chain", "bench"},
+		{"pla", "mnet"},
+		{"suite-fc", "mnet"},
+		{"suite-sc", "mnet"}, {"suite-sc", "bench"},
+	}
+	for _, c := range cases {
+		if err := run(c.kind, "nmos25", 20, 4, 3, 6, 1, c.format); err != nil {
+			t.Errorf("%s/%s: %v", c.kind, c.format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("rand", "nope", 10, 4, 3, 6, 1, "mnet"); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if err := run("rand", "nmos25", 10, 4, 3, 6, 1, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("wombat", "nmos25", 10, 4, 3, 6, 1, "mnet"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("pla", "nmos25", 10, 4, 3, 6, 1, "bench"); err == nil {
+		t.Error("pla as bench accepted")
+	}
+	if err := run("suite-fc", "nmos25", 10, 4, 3, 6, 1, "bench"); err == nil {
+		t.Error("fc suite as bench accepted")
+	}
+	if err := run("rand", "nmos25", 0, 4, 3, 6, 1, "mnet"); err == nil {
+		t.Error("zero gates accepted")
+	}
+}

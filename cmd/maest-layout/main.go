@@ -1,0 +1,143 @@
+// Command maest-layout produces ground-truth module layouts: it
+// places and routes a standard-cell circuit (the TimberWolf stand-in)
+// or synthesizes a full-custom transistor layout (the manual-layout
+// stand-in), and reports the measured geometry next to the
+// estimator's prediction.
+//
+// Usage:
+//
+//	maest-layout [-proc nmos25] [-rows N] [-seed S] circuit.mnet
+//	maest-layout -fc [-proc nmos25] [-seed S] transistor-circuit.mnet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maest"
+)
+
+func main() {
+	var (
+		procFlag = flag.String("proc", "nmos25", "process: builtin name or @file")
+		rows     = flag.Int("rows", 2, "standard-cell row count")
+		seed     = flag.Int64("seed", 1, "layout engine seed")
+		fc       = flag.Bool("fc", false, "synthesize a full-custom layout (transistor-level input)")
+		cifOut   = flag.String("cif", "", "also write the detailed layout geometry as CIF to this file")
+		svgOut   = flag.String("svg", "", "also render the detailed layout geometry as SVG to this file")
+	)
+	flag.Parse()
+	if err := run(*procFlag, *rows, *seed, *fc, *cifOut, *svgOut, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "maest-layout:", err)
+		os.Exit(1)
+	}
+}
+
+func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, args []string) error {
+	proc, err := loadProcess(procFlag)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one input file")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	circ, err := maest.ParseMnet(f)
+	if err != nil {
+		return err
+	}
+
+	if fc {
+		m, err := maest.SynthesizeFullCustom(circ, proc, seed)
+		if err != nil {
+			return err
+		}
+		est, err := maest.EstimateFullCustom(circ, proc, maest.FCExactAreas)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("full-custom layout of %s: %d × %d λ = %d λ² (rows=%d, aspect %.2f)\n",
+			m.Name, m.Width, m.Height, m.Area(), m.Rows, m.AspectRatio())
+		fmt.Printf("estimator (exact areas): %.0f λ²  (error %+.1f%%)\n",
+			est.Area, (est.Area/float64(m.Area())-1)*100)
+		return nil
+	}
+
+	m, err := maest.LayoutStandardCell(circ, proc, rows, seed)
+	if err != nil {
+		return err
+	}
+	s, err := maest.GatherStats(circ, proc)
+	if err != nil {
+		return err
+	}
+	est, err := maest.EstimateStandardCell(s, proc, maest.SCOptions{Rows: rows})
+	if err != nil {
+		return err
+	}
+	tracks := 0
+	for _, t := range m.ChannelTracks {
+		tracks += t
+	}
+	fmt.Printf("standard-cell layout of %s: %d × %d λ = %d λ² (rows=%d, tracks=%d, feed-throughs=%d, aspect %.2f)\n",
+		m.Name, m.Width, m.Height, m.Area(), m.Rows, tracks, m.FeedThroughs, m.AspectRatio())
+	fmt.Printf("estimator: %.0f λ², %d tracks  (overestimate %+.1f%%)\n",
+		est.Area, est.Tracks, (est.Area/float64(m.Area())-1)*100)
+	if cifOut != "" || svgOut != "" {
+		pl, err := maest.PlaceCircuit(circ, proc, maest.PlaceOptions{Rows: rows, Seed: seed})
+		if err != nil {
+			return err
+		}
+		det, err := maest.DetailRoutePlacement(pl)
+		if err != nil {
+			return err
+		}
+		g, err := maest.BuildGeometry(pl, det, proc)
+		if err != nil {
+			return err
+		}
+		if cifOut != "" {
+			if err := writeTo(cifOut, func(w *os.File) error { return maest.WriteCIF(w, g, proc) }); err != nil {
+				return err
+			}
+			fmt.Printf("wrote detailed CIF geometry (%d rects) to %s\n", len(g.Rects), cifOut)
+		}
+		if svgOut != "" {
+			if err := writeTo(svgOut, func(w *os.File) error { return maest.WriteSVG(w, g, 0) }); err != nil {
+				return err
+			}
+			fmt.Printf("rendered layout SVG to %s\n", svgOut)
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadProcess(spec string) (*maest.Process, error) {
+	if file, ok := strings.CutPrefix(spec, "@"); ok {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return maest.ReadProcess(f)
+	}
+	return maest.LookupProcess(spec)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const repoTestdata = "../../testdata"
+
+func TestRunStandardCell(t *testing.T) {
+	if err := run("nmos25", 2, 1, false, "", "",
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCIF(t *testing.T) {
+	dir := t.TempDir()
+	cif := filepath.Join(dir, "out.cif")
+	if err := run("nmos25", 3, 1, false, cif, filepath.Join(dir, "out.svg"),
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "DS 1 250 2;") {
+		t.Fatalf("CIF content unexpected:\n%s", data[:100])
+	}
+}
+
+func TestRunFullCustom(t *testing.T) {
+	if err := run("nmos25", 0, 1, true, "", "",
+		[]string{filepath.Join(repoTestdata, "ladder.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 2, 1, false, "", "", []string{"x"}); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if err := run("nmos25", 2, 1, false, "", "", nil); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("nmos25", 2, 1, false, "", "", []string{"/nope.mnet"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Full-custom on a cell-level circuit must fail.
+	if err := run("nmos25", 2, 1, true, "", "",
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err == nil {
+		t.Error("cell circuit accepted by -fc")
+	}
+}

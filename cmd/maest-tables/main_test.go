@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunAllTables(t *testing.T) {
+	if err := run("all", "nmos25", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleTables(t *testing.T) {
+	for _, tab := range []string{"1", "2", "claims"} {
+		if err := run(tab, "nmos25", 1); err != nil {
+			t.Fatalf("table %s: %v", tab, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("all", "nope", 1); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if err := run("7", "nmos25", 1); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Command maest is the module area estimator CLI — the Fig. 1
+// pipeline: a circuit schematic (.mnet or .bench) plus a fabrication
+// process database in, module area and aspect-ratio estimates out,
+// optionally as a floor-planner database record.
+//
+// Usage:
+//
+//	maest [-proc nmos25|cmos30|@file] [-rows N] [-sharing] [-db] circuit.mnet
+//	maest -bench -name c17 circuit.bench
+//
+// With no positional argument the circuit is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"maest"
+)
+
+func main() {
+	var (
+		procFlag = flag.String("proc", "nmos25", "process: builtin name or @file to load a process database")
+		rows     = flag.Int("rows", 0, "fix the standard-cell row count (0 = automatic §5 selection)")
+		sharing  = flag.Bool("sharing", false, "enable the §7 routing-track-sharing extension")
+		bench    = flag.Bool("bench", false, "input is ISCAS-style .bench instead of .mnet")
+		verilog  = flag.Bool("verilog", false, "input is structural gate-level Verilog instead of .mnet")
+		name     = flag.String("name", "module", "module name for .bench inputs")
+		asDB     = flag.Bool("db", false, "emit a floor-planner database record instead of text")
+		stats    = flag.Bool("stats", false, "also print interconnect-complexity statistics")
+	)
+	flag.Parse()
+	if err := run(*procFlag, *rows, *sharing, *bench, *verilog, *name, *asDB, *stats, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "maest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(procFlag string, rows int, sharing, bench, verilog bool, name string, asDB, stats bool, args []string) error {
+	proc, err := loadProcess(procFlag)
+	if err != nil {
+		return err
+	}
+	in, closer, err := openInput(args)
+	if err != nil {
+		return err
+	}
+	defer closer()
+
+	var circ *maest.Circuit
+	switch {
+	case bench && verilog:
+		return fmt.Errorf("-bench and -verilog are mutually exclusive")
+	case bench:
+		circ, err = maest.ParseBench(in, name, proc)
+	case verilog:
+		circ, err = maest.ParseVerilog(in, proc)
+	default:
+		circ, err = maest.ParseMnet(in)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := maest.Estimate(circ, proc, maest.SCOptions{Rows: rows, TrackSharing: sharing})
+	if err != nil {
+		return err
+	}
+	if asDB {
+		d := &maest.EstimateDB{Chip: res.Module, Modules: []maest.ModuleRecord{maest.ModuleRecordFromResult(res)}}
+		return maest.WriteEstimateDB(os.Stdout, d)
+	}
+	printResult(res, proc)
+	if stats {
+		printStats(circ)
+	}
+	return nil
+}
+
+func printStats(circ *maest.Circuit) {
+	deg := maest.CircuitDegrees(circ)
+	fmt.Printf("interconnect: %d routable nets, mean degree %.2f, max degree %d, %d pins\n",
+		deg.RoutableNets, deg.MeanDegree, deg.MaxDegree, deg.TotalPins)
+	if rent, err := maest.RentExponent(circ); err == nil {
+		fmt.Printf("Rent's rule: P = %.2f·B^%.2f  (log-log R² %.2f)\n",
+			rent.Coefficient, rent.Exponent, rent.R2)
+	}
+}
+
+func loadProcess(spec string) (*maest.Process, error) {
+	if file, ok := strings.CutPrefix(spec, "@"); ok {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return maest.ReadProcess(f)
+	}
+	return maest.LookupProcess(spec)
+}
+
+func openInput(args []string) (io.Reader, func(), error) {
+	switch len(args) {
+	case 0:
+		return os.Stdin, func() {}, nil
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("expected at most one input file, got %d", len(args))
+	}
+}
+
+func printResult(res *maest.Result, proc *maest.Process) {
+	fmt.Printf("module %s  (process %s, λ = %.2f µm)\n",
+		res.Module, proc.Name, float64(proc.LambdaNM)/1000)
+	fmt.Printf("  devices %d   routable nets %d   ports %d\n",
+		res.Stats.N, res.Stats.H, res.Stats.NumPorts)
+	if res.SC != nil {
+		sc := res.SC
+		fmt.Printf("standard-cell (rows=%d, tracks=%d, feed-throughs=%d):\n",
+			sc.Rows, sc.Tracks, sc.FeedThroughs)
+		fmt.Printf("  %.0f × %.0f λ = %.0f λ²   aspect %.2f\n",
+			sc.Width, sc.Height, sc.Area, sc.AspectRatio)
+		if len(res.SCCandidates) > 0 {
+			fmt.Println("  candidate shapes:")
+			for _, c := range res.SCCandidates {
+				fmt.Printf("    rows=%d  %.0f × %.0f λ  (%.0f λ², aspect %.2f)\n",
+					c.Rows, c.Width, c.Height, c.Area, c.AspectRatio)
+			}
+		}
+	}
+	for _, fc := range []*maest.FCEstimate{res.FCExact, res.FCAverage} {
+		if fc == nil {
+			continue
+		}
+		fmt.Printf("full-custom (%s device areas):\n", fc.Mode)
+		fmt.Printf("  device %.0f + wire %.0f = %.0f λ²   %.0f × %.0f λ   aspect %.2f\n",
+			fc.DeviceArea, fc.WireArea, fc.Area, fc.Width, fc.Height, fc.AspectRatio)
+	}
+}

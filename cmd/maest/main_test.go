@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maest"
+)
+
+const repoTestdata = "../../testdata"
+
+func TestRunMnet(t *testing.T) {
+	if err := run("nmos25", 2, false, false, false, "module", false, false,
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBenchWithStatsAndSharing(t *testing.T) {
+	if err := run("cmos30", 0, true, true, false, "c17", false, true,
+		[]string{filepath.Join(repoTestdata, "c17.bench")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDBOutput(t *testing.T) {
+	if err := run("nmos25", 0, false, false, false, "module", true, false,
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProcessFile(t *testing.T) {
+	dir := t.TempDir()
+	procFile := filepath.Join(dir, "p.proc")
+	f, err := os.Create(procFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maest.WriteProcess(f, maest.NMOS25()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("@"+procFile, 2, false, false, false, "module", false, false,
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerilogInput(t *testing.T) {
+	if err := run("nmos25", 2, false, false, true, "module", false, false,
+		[]string{filepath.Join(repoTestdata, "fa.v")}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutually exclusive flags.
+	if err := run("nmos25", 2, false, true, true, "module", false, false,
+		[]string{filepath.Join(repoTestdata, "fa.v")}); err == nil {
+		t.Fatal("-bench -verilog combination accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("unobtainium", 0, false, false, false, "m", false, false, nil); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if err := run("@/does/not/exist", 0, false, false, false, "m", false, false, nil); err == nil {
+		t.Error("missing process file accepted")
+	}
+	if err := run("nmos25", 0, false, false, false, "m", false, false,
+		[]string{"/does/not/exist.mnet"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run("nmos25", 0, false, false, false, "m", false, false,
+		[]string{"a", "b"}); err == nil {
+		t.Error("two inputs accepted")
+	}
+	// Malformed input.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mnet")
+	if err := os.WriteFile(bad, []byte("not a module"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nmos25", 0, false, false, false, "m", false, false, []string{bad}); err == nil {
+		t.Error("malformed input accepted")
+	}
+	if err := run("nmos25", 0, false, true, false, "m", false, false, []string{bad}); err == nil {
+		t.Error("malformed bench accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module maest
+
+go 1.22

@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func stats(t testing.TB, gates int, seed int64) (*netlist.Circuit, *netlist.Stats) {
+	t.Helper()
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "b", Gates: gates, Inputs: 5, Outputs: 4, Seed: seed,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netlist.Gather(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestNaive(t *testing.T) {
+	_, s := stats(t, 30, 1)
+	a, err := Naive(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 2*float64(s.ExactDeviceArea) {
+		t.Fatalf("naive = %g", a)
+	}
+	if _, err := Naive(s, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	var empty netlist.Stats
+	if _, err := Naive(&empty, 2); err == nil {
+		t.Error("empty stats accepted")
+	}
+}
+
+func TestPLESTCalibrationAndEstimate(t *testing.T) {
+	p := tech.NMOS25()
+	train, trainStats := stats(t, 50, 2)
+	_ = trainStats
+	model, err := CalibratePLEST([]*netlist.Circuit{train}, p, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Density <= 0 {
+		t.Fatalf("density = %g", model.Density)
+	}
+	_, s := stats(t, 60, 3)
+	est, err := model.Estimate(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= float64(s.ExactDeviceArea) {
+		t.Fatalf("PLEST estimate %g below active area %d", est, s.ExactDeviceArea)
+	}
+	// Errors.
+	if _, err := CalibratePLEST(nil, p, 3, 1); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := CalibratePLEST([]*netlist.Circuit{train}, p, 0, 1); err == nil {
+		t.Error("rows=0 accepted")
+	}
+	if _, err := model.Estimate(s, 0); err == nil {
+		t.Error("estimate rows=0 accepted")
+	}
+	var empty netlist.Stats
+	if _, err := model.Estimate(&empty, 2); err == nil {
+		t.Error("empty stats accepted")
+	}
+}
+
+func TestPLAModel(t *testing.T) {
+	p := tech.NMOS25()
+	q := PLA{Inputs: 4, Outputs: 3, Terms: 10}
+	a, err := q.Area(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// width = (2*4+3)*7 + 80 = 157; height = 10*7 + 80 = 150.
+	if math.Abs(a-157*150) > 1e-9 {
+		t.Fatalf("area = %g, want %d", a, 157*150)
+	}
+	if q.Functions() != 7 {
+		t.Fatalf("functions = %d", q.Functions())
+	}
+	if q.Devices() <= 0 {
+		t.Fatal("device model empty")
+	}
+	if _, err := (PLA{Inputs: 0, Outputs: 1, Terms: 1}).Area(p); err == nil {
+		t.Error("degenerate PLA accepted")
+	}
+}
+
+func TestGerveshiLinearity(t *testing.T) {
+	// Reproduce the Gerveshi observation: PLA area is (nearly)
+	// linear in (#functions, #devices).  Fit the model on random PLA
+	// shapes and require a high R².
+	p := tech.NMOS25()
+	rng := rand.New(rand.NewSource(4))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 120; i++ {
+		q := PLA{
+			Inputs:  2 + rng.Intn(12),
+			Outputs: 1 + rng.Intn(8),
+			Terms:   4 + rng.Intn(40),
+		}
+		a, err := q.Area(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, []float64{float64(q.Functions()), float64(q.Devices())})
+		ys = append(ys, a)
+	}
+	coeffs, r2, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coeffs) != 3 {
+		t.Fatalf("coeffs = %v", coeffs)
+	}
+	if r2 < 0.85 {
+		t.Fatalf("PLA area not linear enough: R² = %g", r2)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3 + 2x₁ − x₂ recovered exactly.
+	xs := [][]float64{{0, 0}, {1, 0}, {0, 1}, {2, 3}, {5, 1}, {4, 4}}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x[0] - x[1]
+	}
+	coeffs, r2, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(coeffs[i]-want[i]) > 1e-9 {
+			t.Fatalf("coeffs = %v, want %v", coeffs, want)
+		}
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("R² = %g", r2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, _, err := FitLinear(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, _, err := FitLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := FitLinear([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := FitLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	// Collinear regressors -> singular.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	ys := []float64{1, 2, 3, 4}
+	if _, _, err := FitLinear(xs, ys); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestFitLinearConstantTarget(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := []float64{5, 5, 5}
+	coeffs, r2, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coeffs[0]-5) > 1e-9 || math.Abs(coeffs[1]) > 1e-9 {
+		t.Fatalf("coeffs = %v", coeffs)
+	}
+	if r2 != 1 {
+		t.Fatalf("R² = %g for perfect constant fit", r2)
+	}
+}

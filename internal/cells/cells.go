@@ -1,0 +1,127 @@
+// Package cells provides the cell-library layer between logic-level
+// circuit descriptions and the process database: a technology mapper
+// that implements generic gate functions with the cells a process
+// actually offers, and a transistor expander that lowers a gate-level
+// circuit to the transistor level for Full-Custom estimation (§4.2:
+// "individual transistor layouts are used as Standard-Cells instead of
+// typical Standard-Cell devices").
+package cells
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Func is a generic logic function, independent of any library.
+type Func int
+
+// Generic gate functions recognized by the mapper and the .bench
+// front end.
+const (
+	FuncBuf Func = iota
+	FuncNot
+	FuncAnd
+	FuncOr
+	FuncNand
+	FuncNor
+	FuncXor
+	FuncXnor
+	FuncLatch
+	FuncDFF
+	FuncMux
+)
+
+var funcNames = map[Func]string{
+	FuncBuf:   "BUF",
+	FuncNot:   "NOT",
+	FuncAnd:   "AND",
+	FuncOr:    "OR",
+	FuncNand:  "NAND",
+	FuncNor:   "NOR",
+	FuncXor:   "XOR",
+	FuncXnor:  "XNOR",
+	FuncLatch: "LATCH",
+	FuncDFF:   "DFF",
+	FuncMux:   "MUX",
+}
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	if n, ok := funcNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+// ParseFunc recognizes the gate-function spellings used by ISCAS-style
+// bench files (case-insensitive; NOT and BUFF aliases included).
+func ParseFunc(s string) (Func, error) {
+	switch strings.ToUpper(s) {
+	case "BUF", "BUFF":
+		return FuncBuf, nil
+	case "NOT", "INV":
+		return FuncNot, nil
+	case "AND":
+		return FuncAnd, nil
+	case "OR":
+		return FuncOr, nil
+	case "NAND":
+		return FuncNand, nil
+	case "NOR":
+		return FuncNor, nil
+	case "XOR":
+		return FuncXor, nil
+	case "XNOR":
+		return FuncXnor, nil
+	case "LATCH", "DLATCH":
+		return FuncLatch, nil
+	case "DFF":
+		return FuncDFF, nil
+	case "MUX", "MUX2":
+		return FuncMux, nil
+	default:
+		return 0, fmt.Errorf("cells: unknown gate function %q", s)
+	}
+}
+
+// CellFunc inverts the library naming convention: given a cell type
+// name such as "NAND3" it reports the generic function and fan-in.
+// It is how the transistor expander recognizes what each placed cell
+// computes.
+func CellFunc(typeName string) (Func, int, error) {
+	name := strings.ToUpper(typeName)
+	switch name {
+	case "INV":
+		return FuncNot, 1, nil
+	case "BUF":
+		return FuncBuf, 1, nil
+	case "XOR2":
+		return FuncXor, 2, nil
+	case "XNOR2":
+		return FuncXnor, 2, nil
+	case "DLATCH":
+		return FuncLatch, 1, nil
+	case "MUX2":
+		return FuncMux, 3, nil
+	case "DFF":
+		return FuncDFF, 1, nil
+	case "AOI22":
+		// Treated as a 4-input complex gate.
+		return FuncNand, 4, nil
+	}
+	for _, base := range []struct {
+		prefix string
+		f      Func
+	}{{"NAND", FuncNand}, {"NOR", FuncNor}, {"AND", FuncAnd}, {"OR", FuncOr}} {
+		if strings.HasPrefix(name, base.prefix) {
+			rest := name[len(base.prefix):]
+			k, err := strconv.Atoi(rest)
+			if err != nil || k < 2 {
+				return 0, 0, fmt.Errorf("cells: bad fan-in suffix in cell type %q", typeName)
+			}
+			return base.f, k, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("cells: cell type %q has no known logic function", typeName)
+}

@@ -1,0 +1,396 @@
+package cells
+
+import (
+	"strings"
+	"testing"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func TestParseFunc(t *testing.T) {
+	cases := map[string]Func{
+		"NAND": FuncNand, "nand": FuncNand, "NOR": FuncNor,
+		"AND": FuncAnd, "OR": FuncOr, "NOT": FuncNot, "INV": FuncNot,
+		"BUF": FuncBuf, "BUFF": FuncBuf, "XOR": FuncXor, "XNOR": FuncXnor,
+		"DFF": FuncDFF, "LATCH": FuncLatch, "DLATCH": FuncLatch,
+	}
+	for s, want := range cases {
+		got, err := ParseFunc(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFunc(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseFunc("MAJ"); err == nil {
+		t.Fatal("expected error for unknown function")
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if FuncNand.String() != "NAND" || FuncXnor.String() != "XNOR" {
+		t.Fatal("Func.String mismatch")
+	}
+	if !strings.HasPrefix(Func(99).String(), "Func(") {
+		t.Fatal("unknown Func String mismatch")
+	}
+}
+
+func TestCellFunc(t *testing.T) {
+	cases := []struct {
+		typ   string
+		f     Func
+		fanin int
+	}{
+		{"INV", FuncNot, 1},
+		{"BUF", FuncBuf, 1},
+		{"NAND2", FuncNand, 2},
+		{"NAND4", FuncNand, 4},
+		{"NOR3", FuncNor, 3},
+		{"XOR2", FuncXor, 2},
+		{"AOI22", FuncNand, 4},
+		{"DFF", FuncDFF, 1},
+		{"DLATCH", FuncLatch, 1},
+	}
+	for _, c := range cases {
+		f, k, err := CellFunc(c.typ)
+		if err != nil || f != c.f || k != c.fanin {
+			t.Errorf("CellFunc(%q) = %v,%d,%v; want %v,%d", c.typ, f, k, err, c.f, c.fanin)
+		}
+	}
+	for _, bad := range []string{"NAND", "NANDX", "NAND1", "WOMBAT"} {
+		if _, _, err := CellFunc(bad); err == nil {
+			t.Errorf("CellFunc(%q) should fail", bad)
+		}
+	}
+}
+
+// mapOne maps a single gate into a fresh builder and returns the
+// circuit (with a sink inverter so the output net isn't dangling and a
+// driver is present for each input).
+func mapOne(t *testing.T, p *tech.Process, f Func, fanin int) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("t")
+	m := NewMapper(p, b)
+	ins := make([]string, fanin)
+	for i := range ins {
+		ins[i] = string(rune('a' + i))
+		b.AddPort("p"+ins[i], netlist.In, ins[i])
+	}
+	if err := m.Gate("g", f, ins, "y"); err != nil {
+		t.Fatalf("Gate(%v/%d): %v", f, fanin, err)
+	}
+	b.AddPort("py", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build(%v/%d): %v", f, fanin, err)
+	}
+	return c
+}
+
+func TestMapperNativeGates(t *testing.T) {
+	p := tech.NMOS25()
+	cases := []struct {
+		f       Func
+		fanin   int
+		devices int
+	}{
+		{FuncNot, 1, 1},
+		{FuncBuf, 1, 1},
+		{FuncNand, 2, 1},
+		{FuncNand, 3, 1},
+		{FuncNand, 4, 1},
+		{FuncNor, 2, 1},
+		{FuncNor, 3, 1},
+		{FuncXor, 2, 1},
+		{FuncDFF, 1, 1},
+		{FuncLatch, 1, 1},
+		{FuncAnd, 2, 2},  // NAND2 + INV
+		{FuncOr, 3, 2},   // NOR3 + INV
+		{FuncXnor, 2, 2}, // XOR2 + INV
+		{FuncNand, 1, 1}, // degenerate -> INV
+		{FuncAnd, 1, 1},  // degenerate -> BUF
+	}
+	for _, c := range cases {
+		circ := mapOne(t, p, c.f, c.fanin)
+		if got := circ.NumDevices(); got != c.devices {
+			t.Errorf("%v/%d: %d devices, want %d", c.f, c.fanin, got, c.devices)
+		}
+	}
+}
+
+func TestMapperWideGateDecomposition(t *testing.T) {
+	p := tech.NMOS25()
+	// NAND8 must decompose into a tree of native cells; output must
+	// still be the user net and the circuit must validate.
+	c := mapOne(t, p, FuncNand, 8)
+	if c.NumDevices() < 3 {
+		t.Fatalf("NAND8 mapped to only %d devices", c.NumDevices())
+	}
+	y := c.NetByName("y")
+	if y == nil || y.Degree() < 1 {
+		t.Fatal("output net missing after decomposition")
+	}
+	// All 8 inputs must be used.
+	for i := 0; i < 8; i++ {
+		in := c.NetByName(string(rune('a' + i)))
+		if in == nil || in.Degree() == 0 {
+			t.Fatalf("input %c unused", 'a'+i)
+		}
+	}
+	// Wide XOR chains.
+	cx := mapOne(t, p, FuncXor, 5)
+	if cx.NumDevices() != 4 {
+		t.Fatalf("XOR5 chain: %d devices, want 4", cx.NumDevices())
+	}
+}
+
+func TestMapperErrors(t *testing.T) {
+	p := tech.NMOS25()
+	b := netlist.NewBuilder("t")
+	m := NewMapper(p, b)
+	if err := m.Gate("g", FuncNot, []string{"a", "b"}, "y"); err == nil {
+		t.Error("NOT with 2 inputs should fail")
+	}
+	if err := m.Gate("g", FuncNot, []string{"a"}, ""); err == nil {
+		t.Error("gate with empty output should fail")
+	}
+	if err := m.Gate("g", FuncNand, []string{"a", ""}, "y"); err == nil {
+		t.Error("gate with empty input should fail")
+	}
+	if err := m.Gate("g", FuncXor, []string{"a"}, "y"); err == nil {
+		t.Error("XOR with 1 input should fail")
+	}
+	if err := m.Gate("g", FuncDFF, []string{"a", "b", "c"}, "y"); err == nil {
+		t.Error("DFF with 3 inputs should fail")
+	}
+
+	// A process without XOR2 cannot map XOR.
+	crippled := p.Clone()
+	delete(crippled.Devices, "XOR2")
+	m2 := NewMapper(crippled, netlist.NewBuilder("t2"))
+	if err := m2.Gate("g", FuncXor, []string{"a", "b"}, "y"); err == nil {
+		t.Error("XOR without XOR2 cell should fail")
+	}
+	// A process without any NAND cells cannot map AND.
+	noNand := p.Clone()
+	for k := 2; k <= 4; k++ {
+		delete(noNand.Devices, "NAND"+string(rune('0'+k)))
+	}
+	m3 := NewMapper(noNand, netlist.NewBuilder("t3"))
+	if err := m3.Gate("g", FuncNand, []string{"a", "b"}, "y"); err == nil {
+		t.Error("NAND without NAND cells should fail")
+	}
+}
+
+func TestMapperPadsMissingFanin(t *testing.T) {
+	// Library with NOR2 and NOR4 but no NOR3: a 3-input NOR should be
+	// padded onto NOR4.
+	p := tech.NMOS25()
+	p.AddDevice(tech.Device{Name: "NOR4", Class: tech.ClassCell, Width: 30, Height: 40, Pins: 5})
+	delete(p.Devices, "NOR3")
+	c := mapOne(t, p, FuncNor, 3)
+	if c.NumDevices() != 1 {
+		t.Fatalf("padded NOR3: %d devices, want 1", c.NumDevices())
+	}
+	if c.Devices[0].Type != "NOR4" {
+		t.Fatalf("padded onto %q, want NOR4", c.Devices[0].Type)
+	}
+}
+
+func TestExpandTransistorsNMOS(t *testing.T) {
+	p := tech.NMOS25()
+	b := netlist.NewBuilder("c")
+	b.AddDevice("g1", "NAND2", "a", "b", "n1")
+	b.AddDevice("g2", "INV", "n1", "y")
+	b.AddPort("a", netlist.In, "a")
+	b.AddPort("b", netlist.In, "b")
+	b.AddPort("y", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExpandTransistors(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAND2 -> 2 ENH + 1 DEP; INV -> 1 ENH + 1 DEP.
+	if x.NumDevices() != 5 {
+		t.Fatalf("expanded to %d devices, want 5", x.NumDevices())
+	}
+	hist := x.TypeHistogram()
+	if hist["ENH"] != 3 || hist["DEP"] != 2 {
+		t.Fatalf("histogram = %v", hist)
+	}
+	// External nets preserved with ports.
+	if x.NetByName("y") == nil || !x.NetByName("y").External() {
+		t.Fatal("port net lost in expansion")
+	}
+	// n1 connects the NAND output (ENH drain + DEP) to the INV gate.
+	if d := x.NetByName("n1").Degree(); d != 3 {
+		t.Fatalf("n1 degree = %d, want 3", d)
+	}
+}
+
+func TestExpandTransistorsCMOS(t *testing.T) {
+	p := tech.CMOS30()
+	b := netlist.NewBuilder("c")
+	b.AddDevice("g1", "NAND3", "a", "b", "c", "n1")
+	b.AddDevice("g2", "INV", "n1", "y")
+	b.AddPort("y", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExpandTransistors(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAND3 -> 3 NFET + 3 PFET; INV -> 1 + 1.
+	hist := x.TypeHistogram()
+	if hist["NFET"] != 4 || hist["PFET"] != 4 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
+
+func TestExpandAllLibraryCells(t *testing.T) {
+	// Every cell in both builtin libraries must expand cleanly.
+	for _, procName := range []string{"nmos25", "cmos30"} {
+		p, _ := tech.Lookup(procName)
+		for _, typ := range p.DeviceNames() {
+			d := p.Devices[typ]
+			if d.Class != tech.ClassCell {
+				continue
+			}
+			b := netlist.NewBuilder("one")
+			pins := make([]string, d.Pins)
+			for i := 0; i < d.Pins-1; i++ {
+				pins[i] = string(rune('a' + i))
+			}
+			pins[d.Pins-1] = "y"
+			b.AddDevice("u1", typ, pins...)
+			b.AddPort("y", netlist.Out, "y")
+			for i := 0; i < d.Pins-1; i++ {
+				b.AddPort("p"+pins[i], netlist.In, pins[i])
+			}
+			c, err := b.Build()
+			if err != nil {
+				t.Fatalf("%s/%s build: %v", procName, typ, err)
+			}
+			x, err := ExpandTransistors(c, p)
+			if err != nil {
+				t.Fatalf("%s/%s expand: %v", procName, typ, err)
+			}
+			if x.NumDevices() == 0 {
+				t.Fatalf("%s/%s expanded to nothing", procName, typ)
+			}
+			for _, dev := range x.Devices {
+				dt, err := p.Device(dev.Type)
+				if err != nil {
+					t.Fatalf("%s/%s: expanded device type %q unknown", procName, typ, dev.Type)
+				}
+				if dt.Class != tech.ClassTransistor {
+					t.Fatalf("%s/%s: expansion produced non-transistor %q", procName, typ, dev.Type)
+				}
+			}
+		}
+	}
+}
+
+func TestExpandPassesTransistorsThrough(t *testing.T) {
+	p := tech.NMOS25()
+	b := netlist.NewBuilder("c")
+	b.AddDevice("m1", "ENH", "g", "s", "d")
+	b.AddDevice("m2", "DEP", "d", "d", "")
+	b.AddPort("g", netlist.In, "g")
+	b.AddPort("s", netlist.In, "s")
+	b.AddPort("d", netlist.Out, "d")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExpandTransistors(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumDevices() != 2 {
+		t.Fatalf("passthrough changed device count: %d", x.NumDevices())
+	}
+	if x.DeviceByName("m1") == nil {
+		t.Fatal("transistor name not preserved")
+	}
+}
+
+func TestExpandUnknownCell(t *testing.T) {
+	p := tech.NMOS25()
+	p.AddDevice(tech.Device{Name: "MYSTERY", Class: tech.ClassCell, Width: 10, Height: 40, Pins: 3})
+	b := netlist.NewBuilder("c")
+	b.AddDevice("g1", "MYSTERY", "a", "b", "y")
+	b.AddPort("y", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandTransistors(c, p); err == nil {
+		t.Fatal("expected error for cell with unknown function")
+	}
+}
+
+func TestMuxMapping(t *testing.T) {
+	// Native MUX2 path.
+	p := tech.NMOS25()
+	c := mapOne(t, p, FuncMux, 3)
+	if c.NumDevices() != 1 || c.Devices[0].Type != "MUX2" {
+		t.Fatalf("native mux: %d devices, type %s", c.NumDevices(), c.Devices[0].Type)
+	}
+	// Decomposed path (library without MUX2): INV + 3×NAND2.
+	crippled := p.Clone()
+	delete(crippled.Devices, "MUX2")
+	b := netlist.NewBuilder("m")
+	m := NewMapper(crippled, b)
+	b.AddPort("ps", netlist.In, "s")
+	b.AddPort("pa", netlist.In, "a")
+	b.AddPort("pb", netlist.In, "b")
+	if err := m.Gate("g", FuncMux, []string{"s", "a", "b"}, "y"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddPort("py", netlist.Out, "y")
+	c2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDevices() != 4 {
+		t.Fatalf("decomposed mux: %d devices, want 4", c2.NumDevices())
+	}
+	// Wrong fanin.
+	if err := m.Gate("g2", FuncMux, []string{"s", "a"}, "z"); err == nil {
+		t.Fatal("2-input mux accepted")
+	}
+}
+
+func TestMuxExpansion(t *testing.T) {
+	for _, procName := range []string{"nmos25", "cmos30"} {
+		p, _ := tech.Lookup(procName)
+		b := netlist.NewBuilder("mx")
+		b.AddDevice("u1", "MUX2", "s", "a", "c", "y")
+		b.AddPort("ps", netlist.In, "s")
+		b.AddPort("pa", netlist.In, "a")
+		b.AddPort("pc", netlist.In, "c")
+		b.AddPort("py", netlist.Out, "y")
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := ExpandTransistors(c, p)
+		if err != nil {
+			t.Fatalf("%s: %v", procName, err)
+		}
+		// nMOS: inverter (2) + 2 pass = 4; CMOS: inverter (2) + 2 TG (4) = 6.
+		want := 4
+		if procName == "cmos30" {
+			want = 6
+		}
+		if x.NumDevices() != want {
+			t.Fatalf("%s: %d transistors, want %d", procName, x.NumDevices(), want)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package cells
+
+import (
+	"fmt"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// ExpandTransistors lowers a gate-level circuit to the transistor
+// level for Full-Custom estimation (§4.2): each library cell is
+// replaced by its transistor network, preserving the external nets.
+// Supply rails are not modeled as nets — they run inside device rows
+// in both the paper's layout style and ours — so transistor
+// source/drain pins tied to VDD/GND are left unconnected.
+//
+// Two transistor styles are recognized from the process library:
+// nMOS (enhancement pull-downs "ENH" with a depletion load "DEP") and
+// static CMOS (complementary "NFET"/"PFET" networks).  Devices that
+// are already transistors pass through unchanged.
+func ExpandTransistors(c *netlist.Circuit, p *tech.Process) (*netlist.Circuit, error) {
+	e, err := newExpander(p)
+	if err != nil {
+		return nil, err
+	}
+	b := netlist.NewBuilder(c.Name + "_xtor")
+	e.b = b
+	for _, d := range c.Devices {
+		dt, err := p.Device(d.Type)
+		if err != nil {
+			return nil, fmt.Errorf("cells: expand %q: %w", d.Name, err)
+		}
+		if dt.Class == tech.ClassTransistor {
+			b.AddDevice(d.Name, d.Type, pinNames(d)...)
+			continue
+		}
+		if err := e.expandCell(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, port := range c.Ports {
+		b.AddPort(port.Name, port.Dir, port.Net.Name)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cells: expand %q: %w", c.Name, err)
+	}
+	return out, nil
+}
+
+func pinNames(d *netlist.Device) []string {
+	names := make([]string, len(d.Pins))
+	for i, n := range d.Pins {
+		if n != nil {
+			names[i] = n.Name
+		}
+	}
+	return names
+}
+
+// transistorStyle selects the expansion family.
+type transistorStyle int
+
+const (
+	styleNMOS transistorStyle = iota
+	styleCMOS
+)
+
+type expander struct {
+	p     *tech.Process
+	b     *netlist.Builder
+	style transistorStyle
+	seq   int
+	// device type names per role
+	pull, load, pullUp string
+}
+
+func newExpander(p *tech.Process) (*expander, error) {
+	hasT := func(name string) bool {
+		d, ok := p.Devices[name]
+		return ok && d.Class == tech.ClassTransistor
+	}
+	switch {
+	case hasT("ENH") && hasT("DEP"):
+		return &expander{p: p, style: styleNMOS, pull: "ENH", load: "DEP"}, nil
+	case hasT("NFET") && hasT("PFET"):
+		return &expander{p: p, style: styleCMOS, pull: "NFET", pullUp: "PFET"}, nil
+	default:
+		return nil, fmt.Errorf("cells: process %q offers no known transistor family", p.Name)
+	}
+}
+
+func (e *expander) fresh(prefix string) string {
+	e.seq++
+	return fmt.Sprintf("$%s%d", prefix, e.seq)
+}
+
+// tx places one transistor.  Pin order is gate, source, drain; empty
+// names mean a supply connection (unmodelled).
+func (e *expander) tx(base, typ, gate, source, drain string) {
+	e.seq++
+	e.b.AddDevice(fmt.Sprintf("%s$t%d", base, e.seq), typ, gate, source, drain)
+}
+
+// series places a chain of `typ` transistors gated by gates, from the
+// (unmodelled) rail to out.
+func (e *expander) series(base, typ string, gates []string, out string) {
+	prev := "" // rail
+	for i, g := range gates {
+		next := out
+		if i != len(gates)-1 {
+			next = e.fresh("s")
+		}
+		e.tx(base, typ, g, prev, next)
+		prev = next
+	}
+}
+
+// parallel places one `typ` transistor per gate, each from the rail to
+// out.
+func (e *expander) parallel(base, typ string, gates []string, out string) {
+	for _, g := range gates {
+		e.tx(base, typ, g, "", out)
+	}
+}
+
+// inverter emits a NOT stage from `in` to `out`.
+func (e *expander) inverter(base, in, out string) {
+	if e.style == styleNMOS {
+		e.tx(base, e.pull, in, "", out)
+		e.tx(base, e.load, out, out, "")
+		return
+	}
+	e.tx(base, e.pull, in, "", out)
+	e.tx(base, e.pullUp, in, "", out)
+}
+
+// nand emits an inverting AND stage (series pull-down).
+func (e *expander) nand(base string, ins []string, out string) {
+	e.series(base, e.pull, ins, out)
+	if e.style == styleNMOS {
+		e.tx(base, e.load, out, out, "")
+		return
+	}
+	e.parallel(base, e.pullUp, ins, out)
+}
+
+// nor emits an inverting OR stage (parallel pull-down).
+func (e *expander) nor(base string, ins []string, out string) {
+	e.parallel(base, e.pull, ins, out)
+	if e.style == styleNMOS {
+		e.tx(base, e.load, out, out, "")
+		return
+	}
+	e.series(base, e.pullUp, ins, out)
+}
+
+// expandCell replaces one placed standard cell with its transistor
+// network.
+func (e *expander) expandCell(d *netlist.Device) error {
+	f, fanin, err := CellFunc(d.Type)
+	if err != nil {
+		return fmt.Errorf("cells: expand %q: %w", d.Name, err)
+	}
+	pins := pinNames(d)
+	if len(pins) == 0 {
+		return fmt.Errorf("cells: expand %q: cell has no pins", d.Name)
+	}
+	out := pins[len(pins)-1]
+	ins := pins[:len(pins)-1]
+	if out == "" {
+		// An unloaded output still exists physically; give it a name
+		// so the transistor netlist stays well formed.
+		out = e.fresh("o")
+	}
+	named := make([]string, 0, len(ins))
+	for _, in := range ins {
+		if in != "" {
+			named = append(named, in)
+		}
+	}
+	switch f {
+	case FuncNot:
+		if len(named) < 1 {
+			return fmt.Errorf("cells: expand %q: inverter with no input", d.Name)
+		}
+		e.inverter(d.Name, named[0], out)
+	case FuncBuf:
+		if len(named) < 1 {
+			return fmt.Errorf("cells: expand %q: buffer with no input", d.Name)
+		}
+		mid := e.fresh("b")
+		e.inverter(d.Name, named[0], mid)
+		e.inverter(d.Name, mid, out)
+	case FuncNand:
+		if d.Type == "AOI22" {
+			return e.expandAOI22(d.Name, named, out)
+		}
+		if len(named) == 0 {
+			return fmt.Errorf("cells: expand %q: NAND with no inputs", d.Name)
+		}
+		e.nand(d.Name, named, out)
+	case FuncNor:
+		if len(named) == 0 {
+			return fmt.Errorf("cells: expand %q: NOR with no inputs", d.Name)
+		}
+		e.nor(d.Name, named, out)
+	case FuncAnd:
+		mid := e.fresh("a")
+		e.nand(d.Name, named, mid)
+		e.inverter(d.Name, mid, out)
+	case FuncOr:
+		mid := e.fresh("r")
+		e.nor(d.Name, named, mid)
+		e.inverter(d.Name, mid, out)
+	case FuncXor, FuncXnor:
+		return e.expandXor(d.Name, named, out, f == FuncXnor)
+	case FuncMux:
+		return e.expandMux(d.Name, named, out)
+	case FuncLatch:
+		return e.expandLatch(d.Name, named, out, 1)
+	case FuncDFF:
+		return e.expandLatch(d.Name, named, out, 2)
+	default:
+		return fmt.Errorf("cells: expand %q: no transistor network for %v (fanin %d)", d.Name, f, fanin)
+	}
+	return nil
+}
+
+// expandAOI22 builds the and-or-invert network: two series pairs in
+// parallel pulling down, with the complementary structure (or a load)
+// above.
+func (e *expander) expandAOI22(base string, ins []string, out string) error {
+	if len(ins) < 4 {
+		return fmt.Errorf("cells: expand %q: AOI22 needs 4 inputs, has %d", base, len(ins))
+	}
+	e.series(base, e.pull, ins[0:2], out)
+	e.series(base, e.pull, ins[2:4], out)
+	if e.style == styleNMOS {
+		e.tx(base, e.load, out, out, "")
+		return nil
+	}
+	// CMOS dual: (p0||p1) in series with (p2||p3).
+	mid := e.fresh("p")
+	e.tx(base, e.pullUp, ins[0], "", mid)
+	e.tx(base, e.pullUp, ins[1], "", mid)
+	e.tx(base, e.pullUp, ins[2], mid, out)
+	e.tx(base, e.pullUp, ins[3], mid, out)
+	return nil
+}
+
+// expandXor builds xor/xnor from input inverters plus two series
+// branches: (a·b) and (a'·b') pull the XNOR node; an extra inverter
+// yields XOR.
+func (e *expander) expandXor(base string, ins []string, out string, xnor bool) error {
+	if len(ins) < 2 {
+		return fmt.Errorf("cells: expand %q: XOR needs 2 inputs, has %d", base, len(ins))
+	}
+	a, b := ins[0], ins[1]
+	an, bn := e.fresh("x"), e.fresh("x")
+	e.inverter(base, a, an)
+	e.inverter(base, b, bn)
+	xnorNet := out
+	if !xnor {
+		xnorNet = e.fresh("x")
+	}
+	// Pull-down: (a·b) + (a'·b') discharges the XNOR node.
+	e.series(base, e.pull, []string{a, b}, xnorNet)
+	e.series(base, e.pull, []string{an, bn}, xnorNet)
+	if e.style == styleNMOS {
+		e.tx(base, e.load, xnorNet, xnorNet, "")
+	} else {
+		// CMOS dual: (a'+b')·(a+b) charges the node.
+		mid := e.fresh("x")
+		e.tx(base, e.pullUp, an, "", mid)
+		e.tx(base, e.pullUp, bn, "", mid)
+		e.tx(base, e.pullUp, a, mid, xnorNet)
+		e.tx(base, e.pullUp, b, mid, xnorNet)
+	}
+	if !xnor {
+		e.inverter(base, xnorNet, out)
+	}
+	return nil
+}
+
+// expandMux builds the 2:1 multiplexer as pass/transmission gates
+// steered by the select and its local inverse.
+func (e *expander) expandMux(base string, ins []string, out string) error {
+	if len(ins) < 3 {
+		return fmt.Errorf("cells: expand %q: MUX needs 3 inputs, has %d", base, len(ins))
+	}
+	s, a, b := ins[0], ins[1], ins[2]
+	sn := e.fresh("m")
+	e.inverter(base, s, sn)
+	if e.style == styleNMOS {
+		e.tx(base, e.pull, s, a, out)
+		e.tx(base, e.pull, sn, b, out)
+		return nil
+	}
+	// CMOS transmission gates: an N and a P device per branch.
+	e.tx(base, e.pull, s, a, out)
+	e.tx(base, e.pullUp, sn, a, out)
+	e.tx(base, e.pull, sn, b, out)
+	e.tx(base, e.pullUp, s, b, out)
+	return nil
+}
+
+// expandLatch builds `stages` cascaded latch stages (1 = transparent
+// latch, 2 = master-slave flip-flop), each two cross-coupled
+// inverters plus a pass transistor gated by the clock (if connected).
+func (e *expander) expandLatch(base string, ins []string, out string, stages int) error {
+	if len(ins) < 1 {
+		return fmt.Errorf("cells: expand %q: latch with no data input", base)
+	}
+	data := ins[0]
+	clk := ""
+	if len(ins) >= 2 {
+		clk = ins[1]
+	}
+	cur := data
+	for s := 0; s < stages; s++ {
+		stored := out
+		if s != stages-1 {
+			stored = e.fresh("q")
+		}
+		gated := e.fresh("g")
+		// Pass transistor from current data into the storage node.
+		if clk != "" {
+			e.tx(base, e.pull, clk, cur, gated)
+		} else {
+			e.tx(base, e.pull, cur, cur, gated)
+		}
+		// Forward inverter and feedback inverter.
+		e.inverter(base, gated, stored)
+		e.inverter(base, stored, gated)
+		cur = stored
+	}
+	return nil
+}

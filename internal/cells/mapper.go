@@ -1,0 +1,265 @@
+package cells
+
+import (
+	"fmt"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// Mapper implements generic gate functions using the standard cells a
+// process offers, decomposing wide gates into trees and synthesizing
+// missing functions out of available ones (AND = NAND+INV, and so on).
+// It writes devices into a netlist.Builder; intermediate nets and
+// helper devices get fresh "$"-prefixed names, which the HDL syntax
+// reserves so generated names can never collide with user names.
+type Mapper struct {
+	proc *tech.Process
+	b    *netlist.Builder
+	seq  int
+}
+
+// NewMapper returns a mapper emitting into b against process p.
+func NewMapper(p *tech.Process, b *netlist.Builder) *Mapper {
+	return &Mapper{proc: p, b: b}
+}
+
+func (m *Mapper) freshNet() string {
+	m.seq++
+	return fmt.Sprintf("$n%d", m.seq)
+}
+
+func (m *Mapper) freshDev(base string) string {
+	m.seq++
+	return fmt.Sprintf("%s$%d", base, m.seq)
+}
+
+// has reports whether the process library offers the named cell.
+func (m *Mapper) has(cell string) bool {
+	_, ok := m.proc.Devices[cell]
+	return ok
+}
+
+// maxNativeFanin returns the widest native cell of the given prefix
+// ("NAND" or "NOR") the library offers, or 0.
+func (m *Mapper) maxNativeFanin(prefix string) int {
+	best := 0
+	for k := 2; k <= 8; k++ {
+		if m.has(fmt.Sprintf("%s%d", prefix, k)) {
+			best = k
+		}
+	}
+	return best
+}
+
+// emit places one library cell.  Pin order is inputs..., output.
+func (m *Mapper) emit(name, cell string, inputs []string, output string) error {
+	if !m.has(cell) {
+		return fmt.Errorf("cells: process %q lacks cell %q needed to map gate %q",
+			m.proc.Name, cell, name)
+	}
+	pins := append(append([]string{}, inputs...), output)
+	m.b.AddDevice(name, cell, pins...)
+	return nil
+}
+
+// Gate maps one generic gate onto the library.  The name seeds the
+// instance names of the cell(s) implementing it.
+func (m *Mapper) Gate(name string, f Func, inputs []string, output string) error {
+	if output == "" {
+		return fmt.Errorf("cells: gate %q has no output", name)
+	}
+	for _, in := range inputs {
+		if in == "" {
+			return fmt.Errorf("cells: gate %q has an empty input", name)
+		}
+	}
+	switch f {
+	case FuncBuf:
+		if len(inputs) != 1 {
+			return badFanin(name, f, len(inputs))
+		}
+		return m.emit(name, "BUF", inputs, output)
+	case FuncNot:
+		if len(inputs) != 1 {
+			return badFanin(name, f, len(inputs))
+		}
+		return m.emit(name, "INV", inputs, output)
+	case FuncLatch:
+		if len(inputs) < 1 || len(inputs) > 2 {
+			return badFanin(name, f, len(inputs))
+		}
+		return m.emitSeq(name, "DLATCH", inputs, output)
+	case FuncDFF:
+		if len(inputs) < 1 || len(inputs) > 2 {
+			return badFanin(name, f, len(inputs))
+		}
+		return m.emitSeq(name, "DFF", inputs, output)
+	case FuncXor, FuncXnor:
+		return m.mapXorChain(name, f, inputs, output)
+	case FuncMux:
+		return m.mapMux(name, inputs, output)
+	case FuncAnd, FuncNand:
+		return m.mapAndOr(name, f == FuncNand, "NAND", inputs, output)
+	case FuncOr, FuncNor:
+		return m.mapAndOr(name, f == FuncNor, "NOR", inputs, output)
+	default:
+		return fmt.Errorf("cells: gate %q: unmappable function %v", name, f)
+	}
+}
+
+func badFanin(name string, f Func, k int) error {
+	return fmt.Errorf("cells: gate %q: function %v cannot take %d input(s)", name, f, k)
+}
+
+// emitSeq places a sequential cell; a missing clock pin is left
+// unconnected (clock distribution is outside the paper's wiring
+// model).
+func (m *Mapper) emitSeq(name, cell string, inputs []string, output string) error {
+	in := []string{inputs[0], ""}
+	if len(inputs) == 2 {
+		in[1] = inputs[1]
+	}
+	return m.emit(name, cell, in, output)
+}
+
+// mapMux implements a 2:1 multiplexer y = s ? a : b (inputs ordered
+// select, a, b): natively with a MUX2 cell when the library has one,
+// otherwise as INV + three NAND2s.
+func (m *Mapper) mapMux(name string, inputs []string, output string) error {
+	if len(inputs) != 3 {
+		return badFanin(name, FuncMux, len(inputs))
+	}
+	if m.has("MUX2") {
+		return m.emit(name, "MUX2", inputs, output)
+	}
+	s, a, b := inputs[0], inputs[1], inputs[2]
+	sn, t1, t2 := m.freshNet(), m.freshNet(), m.freshNet()
+	if err := m.emit(m.freshDev(name), "INV", []string{s}, sn); err != nil {
+		return err
+	}
+	if err := m.emit(m.freshDev(name), "NAND2", []string{s, a}, t1); err != nil {
+		return err
+	}
+	if err := m.emit(m.freshDev(name), "NAND2", []string{sn, b}, t2); err != nil {
+		return err
+	}
+	return m.emit(name, "NAND2", []string{t1, t2}, output)
+}
+
+// mapXorChain reduces a multi-input (X)NOR-parity gate to a chain of
+// XOR2 cells, inverting the final stage for XNOR.
+func (m *Mapper) mapXorChain(name string, f Func, inputs []string, output string) error {
+	if len(inputs) < 2 {
+		return badFanin(name, f, len(inputs))
+	}
+	acc := inputs[0]
+	for i := 1; i < len(inputs); i++ {
+		last := i == len(inputs)-1
+		out := output
+		if !last || f == FuncXnor {
+			out = m.freshNet()
+		}
+		stage := name
+		if !last {
+			stage = m.freshDev(name)
+		}
+		if f == FuncXnor && last {
+			stage = m.freshDev(name)
+		}
+		if err := m.emit(stage, "XOR2", []string{acc, inputs[i]}, out); err != nil {
+			return err
+		}
+		acc = out
+	}
+	if f == FuncXnor {
+		return m.emit(name, "INV", []string{acc}, output)
+	}
+	return nil
+}
+
+// mapAndOr maps AND/NAND onto NAND trees and OR/NOR onto NOR trees.
+// inverting reports whether the requested function is the inverting
+// one (NAND/NOR); base is "NAND" or "NOR".
+func (m *Mapper) mapAndOr(name string, inverting bool, base string, inputs []string, output string) error {
+	if len(inputs) < 1 {
+		return badFanin(name, FuncAnd, len(inputs))
+	}
+	if len(inputs) == 1 {
+		// Degenerate single-input AND/OR is a buffer; NAND/NOR an
+		// inverter.
+		if inverting {
+			return m.emit(name, "INV", inputs, output)
+		}
+		return m.emit(name, "BUF", inputs, output)
+	}
+	if inverting {
+		return m.invTree(name, base, inputs, output)
+	}
+	// Non-inverting: produce the inverting tree into a fresh net, then
+	// invert.
+	mid := m.freshNet()
+	if err := m.invTree(m.freshDev(name), base, inputs, mid); err != nil {
+		return err
+	}
+	return m.emit(name, "INV", []string{mid}, output)
+}
+
+// invTree emits a NANDk/NORk implementing the inverting reduction of
+// inputs into output.  Wide gates split into a two-level structure:
+// inner groups are reduced with the inverting cell plus an inverter
+// (restoring polarity), then the top cell combines group outputs.
+func (m *Mapper) invTree(name, base string, inputs []string, output string) error {
+	maxK := m.maxNativeFanin(base)
+	if maxK == 0 {
+		return fmt.Errorf("cells: process %q has no %s cells", m.proc.Name, base)
+	}
+	if len(inputs) <= maxK {
+		cell := fmt.Sprintf("%s%d", base, len(inputs))
+		if !m.has(cell) {
+			// e.g. library has NOR2 and NOR4 but not NOR3: pad by
+			// duplicating the last input through the next wider cell.
+			for k := len(inputs) + 1; k <= maxK; k++ {
+				cand := fmt.Sprintf("%s%d", base, k)
+				if m.has(cand) {
+					padded := append(append([]string{}, inputs...), inputs[len(inputs)-1])
+					for len(padded) < k {
+						padded = append(padded, inputs[len(inputs)-1])
+					}
+					return m.emit(name, cand, padded, output)
+				}
+			}
+			return fmt.Errorf("cells: process %q lacks %s", m.proc.Name, cell)
+		}
+		return m.emit(name, cell, inputs, output)
+	}
+	// Too wide: split into ≤maxK groups of nearly equal size, reduce
+	// each group to its non-inverted value, then combine.
+	groups := (len(inputs) + maxK - 1) / maxK
+	if groups > maxK {
+		groups = maxK
+	}
+	tops := make([]string, 0, groups)
+	per := (len(inputs) + groups - 1) / groups
+	for i := 0; i < len(inputs); i += per {
+		end := i + per
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		group := inputs[i:end]
+		if len(group) == 1 {
+			tops = append(tops, group[0])
+			continue
+		}
+		inv := m.freshNet()
+		pos := m.freshNet()
+		if err := m.invTree(m.freshDev(name), base, group, inv); err != nil {
+			return err
+		}
+		if err := m.emit(m.freshDev(name), "INV", []string{inv}, pos); err != nil {
+			return err
+		}
+		tops = append(tops, pos)
+	}
+	return m.invTree(name, base, tops, output)
+}

@@ -1,0 +1,37 @@
+package cells
+
+import (
+	"fmt"
+
+	"maest/internal/tech"
+)
+
+// ValidateLibrary checks that a process's cell library is usable by
+// the whole toolchain: every cell's type name maps to a known logic
+// function, its pin count matches that function's arity, and it
+// expands to transistors under the process's transistor family.
+// It reports the first defect found.
+func ValidateLibrary(p *tech.Process) error {
+	if _, err := newExpander(p); err != nil {
+		return err
+	}
+	for _, name := range p.DeviceNames() {
+		d := p.Devices[name]
+		if d.Class != tech.ClassCell {
+			continue
+		}
+		f, fanin, err := CellFunc(name)
+		if err != nil {
+			return fmt.Errorf("cells: library %q: %v", p.Name, err)
+		}
+		wantPins := fanin + 1
+		if f == FuncDFF || f == FuncLatch {
+			wantPins = 3 // data, clock, output
+		}
+		if d.Pins != wantPins {
+			return fmt.Errorf("cells: library %q: cell %q has %d pins, function %v needs %d",
+				p.Name, name, d.Pins, f, wantPins)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package cells
+
+import (
+	"testing"
+
+	"maest/internal/tech"
+)
+
+func TestValidateLibraryBuiltins(t *testing.T) {
+	for _, name := range tech.BuiltinNames() {
+		p, err := tech.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateLibrary(p); err != nil {
+			t.Errorf("builtin %q: %v", name, err)
+		}
+	}
+}
+
+func TestValidateLibraryCatchesDefects(t *testing.T) {
+	// Unknown cell function.
+	p := tech.NMOS25()
+	p.AddDevice(tech.Device{Name: "MYSTERY", Class: tech.ClassCell, Width: 10, Height: 40, Pins: 3})
+	if err := ValidateLibrary(p); err == nil {
+		t.Error("unknown cell function accepted")
+	}
+	// Wrong pin count.
+	p2 := tech.NMOS25()
+	d := p2.Devices["NAND2"]
+	d.Pins = 5
+	p2.Devices["NAND2"] = d
+	if err := ValidateLibrary(p2); err == nil {
+		t.Error("wrong pin count accepted")
+	}
+	// No transistor family.
+	p3 := tech.NMOS25()
+	delete(p3.Devices, "ENH")
+	delete(p3.Devices, "DEP")
+	if err := ValidateLibrary(p3); err == nil {
+		t.Error("missing transistor family accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// EstimateChip estimates every module of a partitioned chip
+// concurrently — the paper's workflow estimates each module
+// independently before floor planning, which parallelizes perfectly.
+// Results are returned in module order; the first (lowest-index)
+// failure is reported.  workers ≤ 0 selects GOMAXPROCS.
+func EstimateChip(modules []*netlist.Circuit, p *tech.Process, opts SCOptions, workers int) ([]*Result, error) {
+	if len(modules) == 0 {
+		return nil, estErr("chip has no modules")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(modules) {
+		workers = len(modules)
+	}
+	results := make([]*Result, len(modules))
+	errs := make([]error, len(modules))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Each worker uses its own process copy: estimation
+				// only reads the process, but a private clone keeps
+				// the API contract obvious and race-detector clean
+				// even if callers mutate theirs concurrently.
+				results[i], errs[i] = Estimate(modules[i], p.Clone(), opts)
+			}
+		}()
+	}
+	for i := range modules {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%w (module %q)", err, modules[i].Name)
+		}
+	}
+	return results, nil
+}

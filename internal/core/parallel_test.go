@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func chipModules(t testing.TB, n int) []*netlist.Circuit {
+	t.Helper()
+	p := tech.NMOS25()
+	var out []*netlist.Circuit
+	for i := 0; i < n; i++ {
+		c, err := gen.RandomCircuit(gen.RandomConfig{
+			Name: fmt.Sprintf("m%d", i), Gates: 30 + i*5, Inputs: 4, Outputs: 3, Seed: int64(i + 1),
+		}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestEstimateChipMatchesSequential(t *testing.T) {
+	p := tech.NMOS25()
+	mods := chipModules(t, 6)
+	par, err := EstimateChip(mods, p, SCOptions{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(mods) {
+		t.Fatalf("results = %d", len(par))
+	}
+	for i, c := range mods {
+		seq, err := Estimate(c, p, SCOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Module != c.Name {
+			t.Fatalf("result %d is for %q, want %q", i, par[i].Module, c.Name)
+		}
+		if par[i].SC.Area != seq.SC.Area || par[i].FCExact.Area != seq.FCExact.Area {
+			t.Fatalf("module %q: parallel and sequential estimates differ", c.Name)
+		}
+	}
+}
+
+func TestEstimateChipWorkerClamping(t *testing.T) {
+	p := tech.NMOS25()
+	mods := chipModules(t, 2)
+	for _, workers := range []int{-1, 0, 1, 16} {
+		res, err := EstimateChip(mods, p, SCOptions{}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != 2 {
+			t.Fatalf("workers=%d: %d results", workers, len(res))
+		}
+	}
+}
+
+func TestEstimateChipErrors(t *testing.T) {
+	p := tech.NMOS25()
+	if _, err := EstimateChip(nil, p, SCOptions{}, 2); err == nil {
+		t.Error("empty chip accepted")
+	}
+	// One bad module (unknown type) fails the whole chip with its
+	// name in the error.
+	b := netlist.NewBuilder("bad")
+	b.AddDevice("g1", "WARP", "a", "b")
+	b.AddDevice("g2", "INV", "b", "a")
+	bad, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := append(chipModules(t, 2), bad)
+	if _, err := EstimateChip(mods, p, SCOptions{}, 4); err == nil {
+		t.Error("bad module accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"io"
+
+	"maest/internal/cells"
+	"maest/internal/hdl"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// Result bundles everything the Fig. 1 pipeline produces for one
+// module: both methodologies' area and aspect-ratio estimates, the
+// candidate shapes, and the statistics they were computed from.  It
+// is the record handed to the floor-planner database.
+type Result struct {
+	Module string
+	Stats  *netlist.Stats
+	// SC holds the Standard-Cell estimate; nil when the circuit is
+	// transistor-level only (no standard-cell methodology applies).
+	SC *SCEstimate
+	// SCCandidates holds the §7 multi-shape output (nil when SC is).
+	SCCandidates []*SCEstimate
+	// FCExact and FCAverage are the two Table-1 device-area modes.
+	FCExact   *FCEstimate
+	FCAverage *FCEstimate
+}
+
+// Estimate runs the full estimator on a circuit: Standard-Cell on the
+// gate level (when the circuit is built from library cells) and
+// Full-Custom on the transistor level (expanding cells to transistors
+// when necessary).  Mixing cells and transistors in one module is
+// rejected: the paper mixes methodologies between modules of a chip,
+// never inside one module.
+func Estimate(c *netlist.Circuit, p *tech.Process, opts SCOptions) (*Result, error) {
+	nCells, nTransistors := 0, 0
+	for _, d := range c.Devices {
+		dt, err := p.Device(d.Type)
+		if err != nil {
+			return nil, estErr("module %q: %v", c.Name, err)
+		}
+		if dt.Class == tech.ClassCell {
+			nCells++
+		} else {
+			nTransistors++
+		}
+	}
+	if nCells > 0 && nTransistors > 0 {
+		return nil, estErr("module %q mixes %d cells and %d transistors; estimate them as separate modules",
+			c.Name, nCells, nTransistors)
+	}
+
+	res := &Result{Module: c.Name}
+	s, err := netlist.Gather(c, p)
+	if err != nil {
+		return nil, estErr("module %q: %v", c.Name, err)
+	}
+	res.Stats = s
+
+	fcCircuit := c
+	if nCells > 0 {
+		sc, err := EstimateStandardCell(s, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.SC = sc
+		cand, err := EstimateStandardCellCandidates(s, p, opts, 5)
+		if err != nil {
+			return nil, err
+		}
+		res.SCCandidates = cand
+		fcCircuit, err = cells.ExpandTransistors(c, p)
+		if err != nil {
+			return nil, estErr("module %q: %v", c.Name, err)
+		}
+	}
+	if res.FCExact, err = EstimateFullCustom(fcCircuit, p, FCExactAreas); err != nil {
+		return nil, err
+	}
+	if res.FCAverage, err = EstimateFullCustom(fcCircuit, p, FCAverageAreas); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Pipeline is the end-to-end Fig. 1 flow: parse the circuit schematic
+// (.mnet) from r, combine it with the fabrication-process database,
+// and produce the estimate record for the floor planner.
+func Pipeline(r io.Reader, p *tech.Process, opts SCOptions) (*Result, error) {
+	c, err := hdl.ParseMnet(r)
+	if err != nil {
+		return nil, estErr("pipeline: %v", err)
+	}
+	return Estimate(c, p, opts)
+}

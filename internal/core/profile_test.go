@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"maest/internal/netlist"
+	"maest/internal/prob"
+	"maest/internal/tech"
+)
+
+func TestFeedThroughRowProfileShape(t *testing.T) {
+	s := gatherChain(t, 30)
+	for _, n := range []int{2, 3, 5, 8} {
+		prof, err := FeedThroughRowProfile(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.Rows != n || len(prof.PerRow) != n {
+			t.Fatalf("n=%d: shape %d/%d", n, prof.Rows, len(prof.PerRow))
+		}
+		// The theorem: the central row carries the maximum.
+		central := prob.CentralRow(n)
+		maxRow, maxVal := 1, prof.PerRow[0]
+		for i, v := range prof.PerRow {
+			if v > maxVal {
+				maxRow, maxVal = i+1, v
+			}
+		}
+		if math.Abs(prof.PerRow[central-1]-maxVal) > 1e-12 {
+			t.Fatalf("n=%d: max at row %d (%g), central %d has %g",
+				n, maxRow, maxVal, central, prof.PerRow[central-1])
+		}
+		// For a pure 2-pin-net workload (this chain) the paper's
+		// central-row bound dominates the per-row expectation.
+		if prof.Max() > prof.Central+1e-9 {
+			t.Fatalf("n=%d: profile max %g above central bound %g",
+				n, prof.Max(), prof.Central)
+		}
+		// Symmetry: row i and row n+1−i are mirror images.
+		for i := 0; i < n/2; i++ {
+			if math.Abs(prof.PerRow[i]-prof.PerRow[n-1-i]) > 1e-9 {
+				t.Fatalf("n=%d: profile not symmetric at %d", n, i)
+			}
+		}
+		// Totals positive for multi-row.
+		if n >= 3 && prof.Total() <= 0 {
+			t.Fatalf("n=%d: zero total", n)
+		}
+	}
+}
+
+func TestFeedThroughRowProfileErrors(t *testing.T) {
+	s := gatherChain(t, 10)
+	if _, err := FeedThroughRowProfile(s, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestEstimateStandardCellProfiled(t *testing.T) {
+	p := tech.NMOS25()
+	s := gatherChain(t, 40)
+	base, err := EstimateStandardCell(s, p, SCOptions{Rows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := EstimateStandardCellProfiled(s, p, SCOptions{Rows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profiled feed-through count never exceeds the paper's bound.
+	if prof.FeedThroughs > base.FeedThroughs {
+		t.Fatalf("profiled %d > base %d", prof.FeedThroughs, base.FeedThroughs)
+	}
+	if prof.Area > base.Area+1e-9 {
+		t.Fatalf("profiled area %g > base %g", prof.Area, base.Area)
+	}
+	// Height (tracks) unchanged: the refinement only touches width.
+	if prof.Height != base.Height || prof.Tracks != base.Tracks {
+		t.Fatal("profile changed the track model")
+	}
+	if math.Abs(prof.Area-prof.Width*prof.Height) > 1e-6 {
+		t.Fatal("area decomposition broken")
+	}
+}
+
+func TestProfiledSingleRow(t *testing.T) {
+	p := tech.NMOS25()
+	s := gatherChain(t, 10)
+	prof, err := EstimateStandardCellProfiled(s, p, SCOptions{Rows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.FeedThroughs != 0 {
+		t.Fatalf("single row profiled feed-throughs = %d", prof.FeedThroughs)
+	}
+}
+
+func TestProfileMatchesMixedDegrees(t *testing.T) {
+	// Hand-check on a mixed histogram: n=3, y2=4, y5=2.
+	s := &netlist.Stats{
+		CircuitName: "mix", N: 10, H: 6,
+		DegreeCount: map[int]int{2: 4, 5: 2},
+	}
+	prof, err := FeedThroughRowProfile(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := prob.FeedThroughProb(3, 2, 2)
+	p5, _ := prob.FeedThroughProb(3, 5, 2)
+	want := 4*p2 + 2*p5
+	if math.Abs(prof.PerRow[1]-want) > 1e-12 {
+		t.Fatalf("central row = %g, want %g", prof.PerRow[1], want)
+	}
+}
+
+func TestProfileExceedsCentralForHighDegreeNets(t *testing.T) {
+	// The flip side of the two-component simplification: a workload
+	// of high-degree nets has a per-row feed-through expectation
+	// above the Eq. 9 bound.
+	s := &netlist.Stats{
+		CircuitName: "highd", N: 40, H: 10,
+		DegreeCount: map[int]int{8: 10},
+	}
+	prof, err := FeedThroughRowProfile(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Max() <= prof.Central {
+		t.Fatalf("high-degree profile max %g should exceed central bound %g",
+			prof.Max(), prof.Central)
+	}
+}

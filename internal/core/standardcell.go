@@ -1,0 +1,235 @@
+// Package core implements the paper's contribution: the module area
+// estimator for the Standard-Cell (§4.1) and Full-Custom (§4.2)
+// layout methodologies, with the aspect-ratio estimation of §5 and
+// the §7 future-work extensions (routing-track sharing, multiple
+// aspect-ratio candidates), plus the Fig. 1 input/output pipeline.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"maest/internal/netlist"
+	"maest/internal/prob"
+	"maest/internal/tech"
+)
+
+// ErrEstimate wraps all estimation failures.
+var ErrEstimate = errors.New("core: estimation failed")
+
+func estErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrEstimate, fmt.Sprintf(format, args...))
+}
+
+// SCOptions configures the Standard-Cell estimator.
+type SCOptions struct {
+	// Rows fixes the number of standard-cell rows n.  Zero selects
+	// the initial row count with the §5 algorithm (and lets the port
+	// constraint adjust it).
+	Rows int
+	// TrackSharing enables the §7 future-work extension: instead of
+	// dedicating a full track to every net segment (paper assumption
+	// 3, which yields an upper bound), track demand is discounted by
+	// each segment's expected horizontal span so disjoint segments
+	// share tracks.
+	TrackSharing bool
+}
+
+// SCEstimate is the Standard-Cell estimation result.  Lengths are in
+// λ (as float64: the estimate is a statistical quantity, only the
+// paper-mandated roundings are applied), areas in λ².
+type SCEstimate struct {
+	Module string
+	// Rows is the row count n the estimate is for.
+	Rows int
+	// Tracks is the expectation value of the total number of routing
+	// tracks, Σ yᵢ·E(i) (after Eq. 3's round-up per net class).
+	Tracks int
+	// FeedThroughs is E(M), Eq. 11, rounded up.
+	FeedThroughs int
+	// CellLength is W_avg·N/n, the active-cell portion of a row.
+	CellLength float64
+	// Width is the full row length: CellLength + E(M)·f_w.
+	Width float64
+	// Height is n·rowHeight + Tracks·trackPitch.
+	Height float64
+	// Area = Width × Height (Eq. 12).
+	Area float64
+	// AspectRatio is Width / Height (Eq. 14).
+	AspectRatio float64
+	// TrackSharing records whether the extension was active.
+	TrackSharing bool
+	// PortFeasible reports the §5 control criterion: the module's
+	// I/O ports fit along one of the layout edges (the longer one).
+	PortFeasible bool
+}
+
+// EstimateStandardCell runs the §4.1 algorithm on the gathered
+// statistics.  The circuit must contain at least one device; all
+// other degeneracies (no routable nets, no ports) estimate cleanly.
+func EstimateStandardCell(s *netlist.Stats, p *tech.Process, opts SCOptions) (*SCEstimate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
+	}
+	if s.N <= 0 {
+		return nil, estErr("standard-cell %q: no devices", s.CircuitName)
+	}
+	n := opts.Rows
+	if n < 0 {
+		return nil, estErr("standard-cell %q: negative row count %d", s.CircuitName, n)
+	}
+	if n == 0 {
+		n = initialRows(s, p)
+	}
+	return estimateSCForRows(s, p, n, opts.TrackSharing)
+}
+
+// estimateSCForRows evaluates Eq. 12 for a fixed row count.
+func estimateSCForRows(s *netlist.Stats, p *tech.Process, n int, sharing bool) (*SCEstimate, error) {
+	if n < 1 {
+		return nil, estErr("standard-cell %q: row count %d < 1", s.CircuitName, n)
+	}
+	tracks, err := expectedTracks(s, n, sharing)
+	if err != nil {
+		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
+	}
+	pFT, err := prob.CentralFeedThroughProb(n)
+	if err != nil {
+		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
+	}
+	m, err := prob.FeedThroughsCeil(s.H, pFT)
+	if err != nil {
+		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
+	}
+	if n == 1 {
+		// A single row has no row above/below to separate; no
+		// feed-throughs are possible.
+		m = 0
+	}
+	cellLen := s.AvgWidth() * float64(s.N) / float64(n)
+	width := cellLen + float64(m)*float64(p.FeedThroughWidth)
+	height := float64(n)*float64(p.RowHeight) + float64(tracks)*float64(p.TrackPitch)
+	est := &SCEstimate{
+		Module:       s.CircuitName,
+		Rows:         n,
+		Tracks:       tracks,
+		FeedThroughs: m,
+		CellLength:   cellLen,
+		Width:        width,
+		Height:       height,
+		Area:         width * height,
+		TrackSharing: sharing,
+	}
+	if height > 0 {
+		est.AspectRatio = width / height
+	}
+	portLen := float64(s.NumPorts) * float64(p.PortPitch)
+	est.PortFeasible = portLen <= math.Max(width, height)
+	return est, nil
+}
+
+// expectedTracks computes Σ yᵢ·E(i) over the net-degree histogram
+// (Eqs. 2–3 applied to all nets).  With sharing enabled, each net
+// class's track demand is discounted by the expected horizontal span
+// fraction of its segments before the final round-up, modelling
+// multiple disjoint segments sharing one physical track.
+func expectedTracks(s *netlist.Stats, n int, sharing bool) (int, error) {
+	if !sharing {
+		total := 0
+		for _, d := range s.Degrees() {
+			t, err := prob.TracksForNet(n, d)
+			if err != nil {
+				return 0, err
+			}
+			total += s.DegreeCount[d] * t
+		}
+		return total, nil
+	}
+	demand := 0.0
+	for _, d := range s.Degrees() {
+		e, err := prob.ExpectedRowSpan(n, d)
+		if err != nil {
+			return 0, err
+		}
+		demand += float64(s.DegreeCount[d]) * e * spanFraction(d, n)
+	}
+	return int(math.Ceil(demand - 1e-9)), nil
+}
+
+// spanFraction estimates what fraction of a row's length one channel
+// segment of a degree-D net occupies.  The pins falling into one
+// channel are roughly D/E(i) ≈ D/min(n,D) of the net's pins; k points
+// uniform on a unit row span (k−1)/(k+1) of it in expectation.
+func spanFraction(d, n int) float64 {
+	k := float64(d)
+	if d > n {
+		k = k / float64(min(d, n)) // average pins per occupied row
+		if k < 2 {
+			k = 2
+		}
+	}
+	return (k - 1) / (k + 1)
+}
+
+// initialRows implements the §5 row-count initialization: start with
+// i = 2, set n = ⌈√(activeCellArea)/(i·rowHeight)⌉, and shrink n
+// (by incrementing i) until the active-cell row length accommodates
+// every I/O port along one edge.
+func initialRows(s *netlist.Stats, p *tech.Process) int {
+	cellArea := float64(s.ExactDeviceArea)
+	if cellArea <= 0 {
+		return 1
+	}
+	rowH := float64(p.RowHeight)
+	portLen := float64(s.NumPorts) * float64(p.PortPitch)
+	side := math.Sqrt(cellArea)
+	for i := 2; ; i++ {
+		n := int(math.Ceil(side / (float64(i) * rowH)))
+		if n < 1 {
+			n = 1
+		}
+		rowLen := cellArea / (float64(n) * rowH)
+		if rowLen >= portLen || n == 1 {
+			return n
+		}
+	}
+}
+
+// EstimateStandardCellCandidates implements the §7 extension of
+// returning several (row count, area, aspect ratio) candidates so the
+// floor planner can pick a module shape.  It evaluates `count` row
+// values centred on the §5 initial row count (or opts.Rows when
+// fixed), clamped to ≥ 1, deduplicated, in increasing row order.
+func EstimateStandardCellCandidates(s *netlist.Stats, p *tech.Process, opts SCOptions, count int) ([]*SCEstimate, error) {
+	if count < 1 {
+		return nil, estErr("standard-cell %q: candidate count %d < 1", s.CircuitName, count)
+	}
+	if s.N <= 0 {
+		return nil, estErr("standard-cell %q: no devices", s.CircuitName)
+	}
+	base := opts.Rows
+	if base == 0 {
+		base = initialRows(s, p)
+	}
+	lo := base - count/2
+	if lo < 1 {
+		lo = 1
+	}
+	var out []*SCEstimate
+	for n := lo; len(out) < count; n++ {
+		est, err := estimateSCForRows(s, p, n, opts.TrackSharing)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

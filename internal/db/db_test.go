@@ -1,0 +1,147 @@
+package db
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maest/internal/core"
+	"maest/internal/gen"
+	"maest/internal/tech"
+)
+
+func sample() *Database {
+	return &Database{
+		Chip: "demo",
+		Modules: []Module{
+			{
+				Name: "alu", Devices: 120, Nets: 90, Ports: 14,
+				Shapes: []Shape{
+					{Label: "sc-rows2", Rows: 2, W: 400, H: 200},
+					{Label: "sc-rows3", Rows: 3, W: 280, H: 260},
+					{Label: "fc-exact", W: 310, H: 310},
+				},
+			},
+			{
+				Name: "ctl", Devices: 40, Nets: 30, Ports: 8,
+				Shapes: []Shape{{Label: "sc-rows2", Rows: 2, W: 150, H: 120}},
+			},
+		},
+		Nets: []GlobalNet{
+			{Name: "g1", Pins: []GlobalPin{{"alu", "a"}, {"ctl", "y"}}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\ninput:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, d)
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := Shape{W: 100, H: 50}
+	if s.Area() != 5000 {
+		t.Fatalf("area = %g", s.Area())
+	}
+	if s.Aspect() != 2 {
+		t.Fatalf("aspect = %g", s.Aspect())
+	}
+	if (Shape{W: 5}).Aspect() != 0 {
+		t.Fatal("degenerate aspect should be 0")
+	}
+}
+
+func TestModuleByName(t *testing.T) {
+	d := sample()
+	if d.ModuleByName("alu") == nil || d.ModuleByName("nope") != nil {
+		t.Fatal("ModuleByName broken")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"no chip", "module m 1 1 1\nend\n"},
+		{"dup chip", "chip a\nchip b\nend\n"},
+		{"bad module", "chip a\nmodule m 1 1\nend\n"},
+		{"bad int", "chip a\nmodule m one 1 1\nend\n"},
+		{"orphan shape", "chip a\nshape s 1 1 1\nend\n"},
+		{"bad shape", "chip a\nmodule m 1 1 1\nshape s 1 1\nend\n"},
+		{"bad shape rows", "chip a\nmodule m 1 1 1\nshape s x 1 1\nend\n"},
+		{"bad shape dims", "chip a\nmodule m 1 1 1\nshape s 1 x 1\nend\n"},
+		{"short net", "chip a\nmodule m 1 1 1\nshape s 1 1 1\nnet n\nend\n"},
+		{"bad pin", "chip a\nmodule m 1 1 1\nshape s 1 1 1\nnet n m.a nodot\nend\n"},
+		{"unknown directive", "chip a\nwombat\nend\n"},
+		{"no end", "chip a\n"},
+		{"trailing", "chip a\nend\nchip b\n"},
+		{"moduleless net", "chip a\nmodule m 1 1 1\nshape s 1 1 1\nnet n m.a q.b\nend\n"},
+		{"single pin net", "chip a\nmodule m 1 1 1\nshape s 1 1 1\nnet n m.a\nend\n"},
+		{"shapeless module", "chip a\nmodule m 1 1 1\nend\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestValidateDuplicateModule(t *testing.T) {
+	d := sample()
+	d.Modules = append(d.Modules, d.Modules[0])
+	if err := Validate(d); err == nil {
+		t.Fatal("duplicate module accepted")
+	}
+	d2 := sample()
+	d2.Modules[0].Shapes[0].W = -1
+	if err := Validate(d2); err == nil {
+		t.Fatal("negative shape accepted")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.Chain("mod", 12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Estimate(c, p, core.SCOptions{Rows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromResult(res)
+	if m.Name != "mod" || m.Devices != 12 {
+		t.Fatalf("record = %+v", m)
+	}
+	// 5 SC candidates + 2 FC shapes.
+	if len(m.Shapes) != 7 {
+		t.Fatalf("shapes = %d, want 7", len(m.Shapes))
+	}
+	sawFC := false
+	for _, s := range m.Shapes {
+		if s.W <= 0 || s.H <= 0 {
+			t.Fatalf("bad shape %+v", s)
+		}
+		if s.Label == "fc-exact" {
+			sawFC = true
+		}
+	}
+	if !sawFC {
+		t.Fatal("missing fc-exact shape")
+	}
+	// The record must pass database validation inside a chip.
+	d := &Database{Chip: "c", Modules: []Module{m}}
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package floorplan is the chip floor planner the estimator feeds
+// (paper §1, refs. Mason [2] and Ulysses [3]): it takes the estimate
+// database — module shape candidates plus global interconnections —
+// and produces a slicing floor plan, choosing one shape per module.
+// It also hosts the §7 experiment measuring how estimate quality
+// changes the number of floor-planning iterations.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"maest/internal/db"
+)
+
+// ErrPlan wraps floor-planning failures.
+var ErrPlan = errors.New("floorplan: planning failed")
+
+// Placed is one module's slot in the finished plan.
+type Placed struct {
+	Name       string
+	X, Y, W, H float64
+	// ShapeIndex is the index of the chosen candidate in the module's
+	// shape list.
+	ShapeIndex int
+}
+
+// Plan is a finished slicing floor plan.
+type Plan struct {
+	Chip   string
+	Width  float64
+	Height float64
+	Blocks []Placed
+	// WireLength is the half-perimeter length of the global nets over
+	// block centres.
+	WireLength float64
+
+	byName map[string]*Placed
+}
+
+// Area returns the chip bounding-box area.
+func (p *Plan) Area() float64 { return p.Width * p.Height }
+
+// Utilization returns Σ block areas / chip area.
+func (p *Plan) Utilization() float64 {
+	if p.Area() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range p.Blocks {
+		sum += b.W * b.H
+	}
+	return sum / p.Area()
+}
+
+// BlockByName returns the placed slot of a module, or nil.
+func (p *Plan) BlockByName(name string) *Placed { return p.byName[name] }
+
+// shape candidates carried through the slicing combination, with
+// back-pointers for reconstruction.
+type combo struct {
+	w, h float64
+	// leaf: shapeIdx ≥ 0.  internal: cut is 'v' or 'h', li/ri select
+	// the child combos.
+	shapeIdx int
+	cut      byte
+	li, ri   int
+}
+
+type node struct {
+	// leaf
+	module *db.Module
+	// internal
+	left, right *node
+	combos      []combo
+}
+
+// PlanChip floor-plans the database: modules are clustered by global
+// connectivity into a balanced slicing tree, each node combines child
+// shape lists under both cut directions, and the minimum-area root
+// shape is realized.
+func PlanChip(d *db.Database) (*Plan, error) {
+	return PlanChipOpt(d, PlanOptions{})
+}
+
+// PlanOptions tunes the planner's objective.
+type PlanOptions struct {
+	// WireWeight trades chip area against global wire length: every
+	// Pareto-optimal root shape is realized and scored as
+	// area + WireWeight · wirelength · √area-normalization.  Zero
+	// selects pure minimum area (one realization).
+	WireWeight float64
+}
+
+// PlanChipOpt floor-plans with an explicit objective.
+func PlanChipOpt(d *db.Database, opts PlanOptions) (*Plan, error) {
+	if err := db.Validate(d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPlan, err)
+	}
+	if len(d.Modules) == 0 {
+		return nil, fmt.Errorf("%w: no modules", ErrPlan)
+	}
+	order := clusterOrder(d)
+	leaves := make([]*node, len(order))
+	for i, m := range order {
+		n := &node{module: m}
+		for si, s := range m.Shapes {
+			n.combos = append(n.combos, combo{w: s.W, h: s.H, shapeIdx: si})
+		}
+		n.combos = pareto(n.combos)
+		leaves[i] = n
+	}
+	root := buildTree(leaves)
+	combineAll(root)
+	if len(root.combos) == 0 {
+		return nil, fmt.Errorf("%w: no feasible shape combination", ErrPlan)
+	}
+	mkPlan := func(idx int) *Plan {
+		plan := &Plan{Chip: d.Chip, byName: map[string]*Placed{}}
+		plan.Width = root.combos[idx].w
+		plan.Height = root.combos[idx].h
+		realize(root, idx, 0, 0, plan)
+		plan.WireLength = wireLength(d, plan)
+		return plan
+	}
+	if opts.WireWeight <= 0 {
+		best := 0
+		for i, c := range root.combos {
+			if c.w*c.h < root.combos[best].w*root.combos[best].h {
+				best = i
+			}
+		}
+		return mkPlan(best), nil
+	}
+	// Wirelength-aware: realize every Pareto root shape and score
+	// area + weight·wirelength·√area (the √area factor keeps the two
+	// terms commensurable across chip sizes).
+	var best *Plan
+	bestScore := math.Inf(1)
+	for i := range root.combos {
+		p := mkPlan(i)
+		score := p.Area() + opts.WireWeight*p.WireLength*math.Sqrt(p.Area())
+		if score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best, nil
+}
+
+// clusterOrder orders modules so strongly connected ones end up
+// adjacent in the slicing tree: a greedy chain that always appends
+// the unplaced module with the strongest connectivity to the chain's
+// tail.
+func clusterOrder(d *db.Database) []*db.Module {
+	n := len(d.Modules)
+	conn := make(map[string]map[string]int, n)
+	for i := range d.Modules {
+		conn[d.Modules[i].Name] = map[string]int{}
+	}
+	for _, net := range d.Nets {
+		for i := 0; i < len(net.Pins); i++ {
+			for j := i + 1; j < len(net.Pins); j++ {
+				a, b := net.Pins[i].Module, net.Pins[j].Module
+				if a == b {
+					continue
+				}
+				conn[a][b]++
+				conn[b][a]++
+			}
+		}
+	}
+	// Start from the largest module (stable under ties by name).
+	idx := make([]*db.Module, 0, n)
+	for i := range d.Modules {
+		idx = append(idx, &d.Modules[i])
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		ai, aj := idx[i].Shapes[0].Area(), idx[j].Shapes[0].Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return idx[i].Name < idx[j].Name
+	})
+	used := map[string]bool{idx[0].Name: true}
+	order := []*db.Module{idx[0]}
+	for len(order) < n {
+		tail := order[len(order)-1].Name
+		var best *db.Module
+		bestScore := -1
+		for _, m := range idx {
+			if used[m.Name] {
+				continue
+			}
+			score := conn[tail][m.Name]
+			if score > bestScore || (score == bestScore && best != nil && m.Name < best.Name) {
+				best, bestScore = m, score
+			}
+		}
+		used[best.Name] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// buildTree pairs adjacent nodes level by level into a balanced
+// slicing tree.
+func buildTree(nodes []*node) *node {
+	for len(nodes) > 1 {
+		var next []*node
+		for i := 0; i < len(nodes); i += 2 {
+			if i+1 == len(nodes) {
+				next = append(next, nodes[i])
+				continue
+			}
+			next = append(next, &node{left: nodes[i], right: nodes[i+1]})
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// maxCombos caps each node's candidate list; pruning keeps the Pareto
+// staircase so the cap rarely binds.
+const maxCombos = 24
+
+func combineAll(n *node) {
+	if n.module != nil {
+		return
+	}
+	combineAll(n.left)
+	combineAll(n.right)
+	var out []combo
+	for li, lc := range n.left.combos {
+		for ri, rc := range n.right.combos {
+			// Vertical cut: side by side.
+			out = append(out, combo{
+				w: lc.w + rc.w, h: math.Max(lc.h, rc.h),
+				shapeIdx: -1, cut: 'v', li: li, ri: ri,
+			})
+			// Horizontal cut: stacked.
+			out = append(out, combo{
+				w: math.Max(lc.w, rc.w), h: lc.h + rc.h,
+				shapeIdx: -1, cut: 'h', li: li, ri: ri,
+			})
+		}
+	}
+	n.combos = pareto(out)
+}
+
+// pareto keeps the non-dominated staircase (no other combo has both
+// smaller-or-equal width and height), capped at maxCombos entries by
+// area.
+func pareto(cs []combo) []combo {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].w != cs[j].w {
+			return cs[i].w < cs[j].w
+		}
+		return cs[i].h < cs[j].h
+	})
+	var out []combo
+	for _, c := range cs {
+		// Sorted by ascending (w, h): the last kept entry has
+		// width ≤ c.w, so it dominates c unless c is strictly
+		// shorter.  Kept entries therefore form a staircase of
+		// increasing w and decreasing h.
+		if len(out) > 0 && c.h >= out[len(out)-1].h {
+			continue
+		}
+		out = append(out, c)
+	}
+	if len(out) > maxCombos {
+		sort.Slice(out, func(i, j int) bool { return out[i].w*out[i].h < out[j].w*out[j].h })
+		out = out[:maxCombos]
+		sort.Slice(out, func(i, j int) bool { return out[i].w < out[j].w })
+	}
+	return out
+}
+
+// realize walks the tree assigning positions for the chosen combo.
+func realize(n *node, comboIdx int, x, y float64, plan *Plan) {
+	c := n.combos[comboIdx]
+	if n.module != nil {
+		p := Placed{Name: n.module.Name, X: x, Y: y, W: c.w, H: c.h, ShapeIndex: c.shapeIdx}
+		plan.Blocks = append(plan.Blocks, p)
+		plan.byName[p.Name] = &plan.Blocks[len(plan.Blocks)-1]
+		return
+	}
+	realize(n.left, c.li, x, y, plan)
+	lc := n.left.combos[c.li]
+	if c.cut == 'v' {
+		realize(n.right, c.ri, x+lc.w, y, plan)
+	} else {
+		realize(n.right, c.ri, x, y+lc.h, plan)
+	}
+}
+
+func wireLength(d *db.Database, plan *Plan) float64 {
+	total := 0.0
+	for _, net := range d.Nets {
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		seen := false
+		for _, pin := range net.Pins {
+			b := plan.byName[pin.Module]
+			if b == nil {
+				continue
+			}
+			cx, cy := b.X+b.W/2, b.Y+b.H/2
+			minX, maxX = math.Min(minX, cx), math.Max(maxX, cx)
+			minY, maxY = math.Min(minY, cy), math.Max(maxY, cy)
+			seen = true
+		}
+		if seen {
+			total += (maxX - minX) + (maxY - minY)
+		}
+	}
+	return total
+}

@@ -1,0 +1,220 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"maest/internal/db"
+)
+
+func sampleDB() *db.Database {
+	return &db.Database{
+		Chip: "demo",
+		Modules: []db.Module{
+			{Name: "a", Devices: 10, Nets: 8, Ports: 4, Shapes: []db.Shape{
+				{Label: "s1", Rows: 2, W: 100, H: 50},
+				{Label: "s2", Rows: 4, W: 50, H: 100},
+			}},
+			{Name: "b", Devices: 10, Nets: 8, Ports: 4, Shapes: []db.Shape{
+				{Label: "s1", Rows: 2, W: 80, H: 40},
+			}},
+			{Name: "c", Devices: 10, Nets: 8, Ports: 4, Shapes: []db.Shape{
+				{Label: "s1", Rows: 2, W: 60, H: 60},
+			}},
+		},
+		Nets: []db.GlobalNet{
+			{Name: "n1", Pins: []db.GlobalPin{{Module: "a", Port: "x"}, {Module: "b", Port: "y"}}},
+			{Name: "n2", Pins: []db.GlobalPin{{Module: "b", Port: "z"}, {Module: "c", Port: "w"}}},
+		},
+	}
+}
+
+func TestPlanChipBasics(t *testing.T) {
+	plan, err := PlanChip(sampleDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Chip != "demo" || len(plan.Blocks) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Width <= 0 || plan.Height <= 0 {
+		t.Fatal("degenerate chip")
+	}
+	if plan.WireLength <= 0 {
+		t.Fatal("no wire length computed")
+	}
+	if u := plan.Utilization(); u <= 0 || u > 1+1e-9 {
+		t.Fatalf("utilization = %g", u)
+	}
+}
+
+func TestPlanBlocksDisjointAndInsideChip(t *testing.T) {
+	plan, err := PlanChip(sampleDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 1e-9
+	for i, a := range plan.Blocks {
+		if a.X < -eps || a.Y < -eps || a.X+a.W > plan.Width+eps || a.Y+a.H > plan.Height+eps {
+			t.Fatalf("block %s outside chip: %+v (chip %gx%g)", a.Name, a, plan.Width, plan.Height)
+		}
+		for j := i + 1; j < len(plan.Blocks); j++ {
+			b := plan.Blocks[j]
+			if a.X < b.X+b.W-eps && b.X < a.X+a.W-eps &&
+				a.Y < b.Y+b.H-eps && b.Y < a.Y+a.H-eps {
+				t.Fatalf("blocks %s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+}
+
+func TestPlanUsesShapeCandidates(t *testing.T) {
+	// With two shapes for module a, the planner must pick a valid
+	// index and the slot must match that shape.
+	plan, err := PlanChip(sampleDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := plan.BlockByName("a")
+	if a == nil {
+		t.Fatal("module a missing")
+	}
+	shapes := sampleDB().Modules[0].Shapes
+	if a.ShapeIndex < 0 || a.ShapeIndex >= len(shapes) {
+		t.Fatalf("shape index = %d", a.ShapeIndex)
+	}
+	s := shapes[a.ShapeIndex]
+	if a.W != s.W || a.H != s.H {
+		t.Fatalf("slot %gx%g != shape %gx%g", a.W, a.H, s.W, s.H)
+	}
+}
+
+func TestPlanSingleModule(t *testing.T) {
+	d := &db.Database{
+		Chip: "one",
+		Modules: []db.Module{{Name: "m", Devices: 1, Nets: 1, Ports: 1,
+			Shapes: []db.Shape{{Label: "s", W: 30, H: 20}}}},
+	}
+	plan, err := PlanChip(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Width != 30 || plan.Height != 20 {
+		t.Fatalf("plan = %gx%g", plan.Width, plan.Height)
+	}
+}
+
+func TestPlanRejectsInvalidDB(t *testing.T) {
+	d := sampleDB()
+	d.Modules[0].Shapes = nil
+	if _, err := PlanChip(d); err == nil {
+		t.Fatal("shapeless module accepted")
+	}
+	empty := &db.Database{Chip: "e"}
+	if _, err := PlanChip(empty); err == nil {
+		t.Fatal("empty database accepted")
+	}
+}
+
+func TestParetoPruning(t *testing.T) {
+	cs := []combo{
+		{w: 10, h: 10}, {w: 10, h: 12}, // dominated (same w, taller)
+		{w: 12, h: 8}, {w: 20, h: 8}, // second dominated (wider, same h)
+		{w: 15, h: 5},
+	}
+	out := pareto(cs)
+	if len(out) != 3 {
+		t.Fatalf("pareto kept %d: %+v", len(out), out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].w <= out[i-1].w || out[i].h >= out[i-1].h {
+			t.Fatalf("not a staircase: %+v", out)
+		}
+	}
+}
+
+func TestParetoCap(t *testing.T) {
+	var cs []combo
+	for i := 0; i < 100; i++ {
+		cs = append(cs, combo{w: float64(10 + i), h: float64(200 - i)})
+	}
+	out := pareto(cs)
+	if len(out) > maxCombos {
+		t.Fatalf("cap not applied: %d", len(out))
+	}
+}
+
+func TestClusterOrderPutsConnectedAdjacent(t *testing.T) {
+	d := sampleDB()
+	order := clusterOrder(d)
+	if len(order) != 3 {
+		t.Fatalf("order = %d modules", len(order))
+	}
+	pos := map[string]int{}
+	for i, m := range order {
+		pos[m.Name] = i
+	}
+	// b connects to both a and c; it must not be separated from both.
+	if abs(pos["a"]-pos["b"]) > 1 && abs(pos["b"]-pos["c"]) > 1 {
+		t.Fatalf("clustering ignored connectivity: %v", pos)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestWireLengthReflectsDistance(t *testing.T) {
+	// Two modules connected by a net: wire length equals the centre
+	// distance (half-perimeter).
+	d := &db.Database{
+		Chip: "two",
+		Modules: []db.Module{
+			{Name: "a", Devices: 1, Nets: 1, Ports: 1, Shapes: []db.Shape{{Label: "s", W: 10, H: 10}}},
+			{Name: "b", Devices: 1, Nets: 1, Ports: 1, Shapes: []db.Shape{{Label: "s", W: 10, H: 10}}},
+		},
+		Nets: []db.GlobalNet{{Name: "n", Pins: []db.GlobalPin{{Module: "a", Port: "p"}, {Module: "b", Port: "q"}}}},
+	}
+	plan, err := PlanChip(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plan.BlockByName("a"), plan.BlockByName("b")
+	want := math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+	if math.Abs(plan.WireLength-want) > 1e-9 {
+		t.Fatalf("wirelength = %g, want %g", plan.WireLength, want)
+	}
+}
+
+func TestPlanChipOptWireAware(t *testing.T) {
+	d := sampleDB()
+	areaPlan, err := PlanChip(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wirePlan, err := PlanChipOpt(d, PlanOptions{WireWeight: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire-aware plan never has a worse combined score, and the
+	// area-only plan never has a larger area.
+	if wirePlan.Area() < areaPlan.Area() {
+		t.Fatalf("area-only plan not minimal: %g vs %g", areaPlan.Area(), wirePlan.Area())
+	}
+	scoreOf := func(p *Plan, w float64) float64 {
+		return p.Area() + w*p.WireLength*math.Sqrt(p.Area())
+	}
+	if scoreOf(wirePlan, 10) > scoreOf(areaPlan, 10)+1e-9 {
+		t.Fatalf("wire-aware plan scored worse: %g vs %g",
+			scoreOf(wirePlan, 10), scoreOf(areaPlan, 10))
+	}
+	// Both remain legal.
+	for _, plan := range []*Plan{areaPlan, wirePlan} {
+		if len(plan.Blocks) != 3 || plan.Utilization() <= 0 {
+			t.Fatal("degenerate plan")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSVG renders a floor plan as a standalone SVG document: module
+// slots with their names and the global-net flylines between block
+// centres, for quick visual inspection of a plan.
+func WriteSVG(w io.Writer, plan *Plan, scale float64) error {
+	if plan.Width <= 0 || plan.Height <= 0 {
+		return fmt.Errorf("%w: cannot render degenerate plan", ErrPlan)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	bw := bufio.NewWriter(w)
+	width := plan.Width * scale
+	height := plan.Height * scale
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, "<title>%s</title>\n", plan.Chip)
+	fmt.Fprintf(bw, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#fafafa" stroke="#000"/>`+"\n", width, height)
+	for _, b := range plan.Blocks {
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#cfe0f5" stroke="#345" stroke-width="1"/>`+"\n",
+			b.X*scale, b.Y*scale, b.W*scale, b.H*scale)
+		fs := b.H * scale / 6
+		if fs > 14 {
+			fs = 14
+		}
+		if fs < 4 {
+			fs = 4
+		}
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-size="%.1f" font-family="monospace" text-anchor="middle">%s</text>`+"\n",
+			(b.X+b.W/2)*scale, (b.Y+b.H/2)*scale, fs, b.Name)
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}

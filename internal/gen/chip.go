@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// Chip is a multi-module design: the unit of work for the floor
+// planner (paper §1: "the chip is partitioned into large modules
+// which are laid out independently").
+type Chip struct {
+	Name string
+	// Modules are the partitioned blocks, each estimated separately.
+	Modules []*netlist.Circuit
+	// GlobalNets are the inter-module connections the floor planner
+	// optimizes wire length over.
+	GlobalNets []GlobalNet
+}
+
+// GlobalNet is one chip-level net connecting ports of different
+// modules.
+type GlobalNet struct {
+	Name string
+	Pins []GlobalPin
+}
+
+// GlobalPin names one endpoint of a global net.
+type GlobalPin struct {
+	Module string
+	Port   string
+}
+
+// ChipConfig parameterizes RandomChip.
+type ChipConfig struct {
+	Name string
+	// Modules is the number of blocks (≥ 2).
+	Modules int
+	// MinGates and MaxGates bound each block's random size.
+	MinGates, MaxGates int
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// RandomChip generates a chip of random modules plus two-pin global
+// nets wiring module outputs to other modules' inputs, leaving some
+// ports as chip pads.  The same config always yields the same chip.
+func RandomChip(cfg ChipConfig, p *tech.Process) (*Chip, error) {
+	if cfg.Modules < 2 {
+		return nil, fmt.Errorf("gen: chip needs ≥ 2 modules, got %d", cfg.Modules)
+	}
+	if cfg.MinGates < 1 || cfg.MaxGates < cfg.MinGates {
+		return nil, fmt.Errorf("gen: bad gate bounds [%d,%d]", cfg.MinGates, cfg.MaxGates)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("chip%d", cfg.Modules)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	chip := &Chip{Name: name}
+	type portRef struct{ module, port string }
+	var outs, ins []portRef
+	for i := 0; i < cfg.Modules; i++ {
+		gates := cfg.MinGates + rng.Intn(cfg.MaxGates-cfg.MinGates+1)
+		mc := RandomConfig{
+			Name:    fmt.Sprintf("%s_m%d", name, i),
+			Gates:   gates,
+			Inputs:  3 + rng.Intn(6),
+			Outputs: 2 + rng.Intn(5),
+			Seed:    cfg.Seed*1000 + int64(i),
+		}
+		c, err := RandomCircuit(mc, p)
+		if err != nil {
+			return nil, err
+		}
+		chip.Modules = append(chip.Modules, c)
+		for _, port := range c.Ports {
+			ref := portRef{c.Name, port.Name}
+			if port.Dir == netlist.Out {
+				outs = append(outs, ref)
+			} else {
+				ins = append(ins, ref)
+			}
+		}
+	}
+	// Wire ~70% of inputs to random outputs of other modules.
+	rng.Shuffle(len(ins), func(i, j int) { ins[i], ins[j] = ins[j], ins[i] })
+	netSeq := 0
+	for _, in := range ins {
+		if rng.Float64() > 0.7 || len(outs) == 0 {
+			continue // stays a chip pad
+		}
+		// Pick a driver from a different module if possible.
+		var candidates []portRef
+		for _, o := range outs {
+			if o.module != in.module {
+				candidates = append(candidates, o)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		drv := candidates[rng.Intn(len(candidates))]
+		netSeq++
+		chip.GlobalNets = append(chip.GlobalNets, GlobalNet{
+			Name: fmt.Sprintf("gn%d", netSeq),
+			Pins: []GlobalPin{
+				{Module: drv.module, Port: drv.port},
+				{Module: in.module, Port: in.port},
+			},
+		})
+	}
+	return chip, nil
+}

@@ -1,0 +1,26 @@
+package gen
+
+import (
+	"testing"
+
+	"maest/internal/tech"
+)
+
+func TestFullCustomSuiteCMOS(t *testing.T) {
+	p := tech.CMOS30()
+	suite, err := FullCustomSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 5 {
+		t.Fatalf("suite = %d", len(suite))
+	}
+	for _, c := range suite {
+		for _, d := range c.Devices {
+			dt, err := p.Device(d.Type)
+			if err != nil || dt.Class != tech.ClassTransistor {
+				t.Fatalf("%s: device %q not a CMOS transistor", c.Name, d.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package gen produces the workloads the benches and experiments run
+// on: deterministic reconstructions of the paper's evaluation
+// circuits (five Full-Custom modules in the spirit of the Newkirk &
+// Mathews examples, two Standard-Cell modules for the TimberWolf
+// comparison), plus seeded random netlist generators for parameter
+// sweeps and the multi-module chips used by the floor-planning
+// experiment.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maest/internal/cells"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// RandomConfig parameterizes RandomCircuit.
+type RandomConfig struct {
+	// Name names the module.
+	Name string
+	// Gates is the number of logic gates to place.
+	Gates int
+	// Inputs and Outputs are the external port counts.
+	Inputs, Outputs int
+	// Locality in (0,1] biases input selection toward recently
+	// created nets; smaller values produce longer, higher-fanout
+	// nets.  Zero selects the default 0.5.
+	Locality float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// gateMix is the weighted gate-type palette for random circuits,
+// chosen to resemble mapped control logic: inverter-rich with mixed
+// fan-ins and a sprinkle of state.
+var gateMix = []struct {
+	f      cells.Func
+	fanin  int
+	weight int
+}{
+	{cells.FuncNot, 1, 20},
+	{cells.FuncNand, 2, 25},
+	{cells.FuncNor, 2, 15},
+	{cells.FuncNand, 3, 10},
+	{cells.FuncNor, 3, 6},
+	{cells.FuncNand, 4, 4},
+	{cells.FuncXor, 2, 8},
+	{cells.FuncBuf, 1, 4},
+	{cells.FuncDFF, 1, 8},
+}
+
+// RandomCircuit generates a seeded random gate-level circuit mapped
+// onto the process's cell library.  The same config always yields the
+// same circuit.
+func RandomCircuit(cfg RandomConfig, p *tech.Process) (*netlist.Circuit, error) {
+	if cfg.Gates < 1 {
+		return nil, fmt.Errorf("gen: need at least 1 gate, got %d", cfg.Gates)
+	}
+	if cfg.Inputs < 1 {
+		return nil, fmt.Errorf("gen: need at least 1 input, got %d", cfg.Inputs)
+	}
+	if cfg.Outputs < 0 {
+		return nil, fmt.Errorf("gen: negative output count %d", cfg.Outputs)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("rand%d", cfg.Gates)
+	}
+	locality := cfg.Locality
+	if locality == 0 {
+		locality = 0.5
+	}
+	if locality < 0 || locality > 1 {
+		return nil, fmt.Errorf("gen: locality %g outside (0,1]", locality)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := netlist.NewBuilder(name)
+	m := cells.NewMapper(p, b)
+
+	totalWeight := 0
+	for _, g := range gateMix {
+		totalWeight += g.weight
+	}
+
+	nets := make([]string, 0, cfg.Inputs+cfg.Gates)
+	for i := 0; i < cfg.Inputs; i++ {
+		in := fmt.Sprintf("i%d", i)
+		b.AddPort(in, netlist.In, in)
+		nets = append(nets, in)
+	}
+	// pick selects a driver net with geometric recency bias: start
+	// from a small window over the newest nets and keep doubling it
+	// with probability 1−locality, then choose uniformly inside.
+	pick := func() string {
+		window := 8
+		for window < len(nets) && rng.Float64() > locality {
+			window *= 2
+		}
+		if window > len(nets) {
+			window = len(nets)
+		}
+		return nets[len(nets)-1-rng.Intn(window)]
+	}
+
+	for g := 0; g < cfg.Gates; g++ {
+		w := rng.Intn(totalWeight)
+		var choice int
+		for i, gm := range gateMix {
+			if w < gm.weight {
+				choice = i
+				break
+			}
+			w -= gm.weight
+		}
+		gm := gateMix[choice]
+		ins := make([]string, gm.fanin)
+		for i := range ins {
+			ins[i] = pick()
+		}
+		out := fmt.Sprintf("w%d", g)
+		if err := m.Gate(fmt.Sprintf("u%d", g), gm.f, ins, out); err != nil {
+			return nil, fmt.Errorf("gen: %v", err)
+		}
+		nets = append(nets, out)
+	}
+	// Attach output ports to the most recent distinct nets.
+	for i := 0; i < cfg.Outputs && i < cfg.Gates; i++ {
+		out := fmt.Sprintf("w%d", cfg.Gates-1-i)
+		b.AddPort("o"+out, netlist.Out, out)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: %v", err)
+	}
+	return c, nil
+}
+
+// Chain returns a k-inverter chain (k ≥ 1): the simplest 2-component
+// net workload.
+func Chain(name string, k int, p *tech.Process) (*netlist.Circuit, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gen: chain needs k ≥ 1, got %d", k)
+	}
+	if _, err := p.Device("INV"); err != nil {
+		return nil, fmt.Errorf("gen: %v", err)
+	}
+	b := netlist.NewBuilder(name)
+	for i := 0; i < k; i++ {
+		b.AddDevice(fmt.Sprintf("g%d", i), "INV",
+			fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	b.AddPort("in", netlist.In, "n0")
+	b.AddPort("out", netlist.Out, fmt.Sprintf("n%d", k))
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: %v", err)
+	}
+	return c, nil
+}

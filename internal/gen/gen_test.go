@@ -1,0 +1,249 @@
+package gen
+
+import (
+	"testing"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func TestRandomCircuitDeterministic(t *testing.T) {
+	p := tech.NMOS25()
+	cfg := RandomConfig{Name: "r", Gates: 50, Inputs: 5, Outputs: 4, Seed: 7}
+	a, err := RandomCircuit(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCircuit(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumDevices() != b.NumDevices() || a.NumNets() != b.NumNets() {
+		t.Fatal("same seed produced different circuits")
+	}
+	for i := range a.Devices {
+		if a.Devices[i].Type != b.Devices[i].Type {
+			t.Fatalf("device %d type differs", i)
+		}
+	}
+	c, err := RandomCircuit(RandomConfig{Name: "r", Gates: 50, Inputs: 5, Outputs: 4, Seed: 8}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.NumNets() == c.NumNets()
+	if same {
+		diff := false
+		for i := range a.Devices {
+			if a.Devices[i].Type != c.Devices[i].Type {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestRandomCircuitShape(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := RandomCircuit(RandomConfig{Gates: 80, Inputs: 6, Outputs: 5, Seed: 11}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() < 80 {
+		t.Fatalf("N = %d, want ≥ 80 (mapping may add cells)", c.NumDevices())
+	}
+	if c.NumPorts() != 11 {
+		t.Fatalf("ports = %d, want 11", c.NumPorts())
+	}
+	s, err := netlist.Gather(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.H == 0 || s.MaxDegree < 2 {
+		t.Fatalf("uninteresting circuit: H=%d maxD=%d", s.H, s.MaxDegree)
+	}
+}
+
+func TestRandomCircuitValidation(t *testing.T) {
+	p := tech.NMOS25()
+	bad := []RandomConfig{
+		{Gates: 0, Inputs: 2},
+		{Gates: 5, Inputs: 0},
+		{Gates: 5, Inputs: 2, Outputs: -1},
+		{Gates: 5, Inputs: 2, Locality: 2},
+		{Gates: 5, Inputs: 2, Locality: -0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := RandomCircuit(cfg, p); err == nil {
+			t.Errorf("case %d: accepted bad config", i)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := Chain("ch", 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 10 || c.NumPorts() != 2 {
+		t.Fatalf("chain shape: N=%d ports=%d", c.NumDevices(), c.NumPorts())
+	}
+	if _, err := Chain("ch", 0, p); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestFullCustomSuite(t *testing.T) {
+	p := tech.NMOS25()
+	suite, err := FullCustomSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d modules, want 5", len(suite))
+	}
+	for _, c := range suite {
+		if c.NumDevices() == 0 {
+			t.Errorf("%s: empty", c.Name)
+		}
+		for _, d := range c.Devices {
+			dt, err := p.Device(d.Type)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if dt.Class != tech.ClassTransistor {
+				t.Errorf("%s: device %q is not a transistor", c.Name, d.Name)
+			}
+		}
+	}
+	// The pass ladder is the all-2-component-net module.
+	ladder := suite[0]
+	s, err := netlist.Gather(ladder, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxDegree > 2 {
+		t.Fatalf("pass ladder has a net of degree %d", s.MaxDegree)
+	}
+}
+
+func TestStandardCellSuite(t *testing.T) {
+	p := tech.NMOS25()
+	suite, err := StandardCellSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 {
+		t.Fatalf("suite has %d modules, want 2", len(suite))
+	}
+	if suite[0].NumDevices() >= suite[1].NumDevices() {
+		t.Fatal("suite should be ordered small, large")
+	}
+	for _, c := range suite {
+		for _, d := range c.Devices {
+			dt, err := p.Device(d.Type)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if dt.Class != tech.ClassCell {
+				t.Errorf("%s: non-cell device %q", c.Name, d.Name)
+			}
+		}
+	}
+}
+
+func TestSuiteBuildersIndividually(t *testing.T) {
+	p := tech.NMOS25()
+	if _, err := PassLadder("l", 0, p); err == nil {
+		t.Error("ladder k=0 accepted")
+	}
+	if _, err := ShiftRegister("s", 0, p); err == nil {
+		t.Error("shift k=0 accepted")
+	}
+	rs, err := RSLatch("rs", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumDevices() != 2 {
+		t.Fatalf("RS latch has %d devices", rs.NumDevices())
+	}
+	fa, err := FullAdder("fa", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.NumDevices() != 5 || fa.NumPorts() != 5 {
+		t.Fatalf("full adder: N=%d ports=%d", fa.NumDevices(), fa.NumPorts())
+	}
+	dec, err := Decoder2("dec", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumDevices() != 6 {
+		t.Fatalf("decoder: N=%d", dec.NumDevices())
+	}
+	sr, err := ShiftRegister("sr", 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sr.NetByName("clk")
+	if clk == nil || clk.Degree() != 4 {
+		t.Fatalf("shift register clk degree = %v", clk)
+	}
+}
+
+func TestRandomChip(t *testing.T) {
+	p := tech.NMOS25()
+	cfg := ChipConfig{Name: "chip", Modules: 6, MinGates: 20, MaxGates: 60, Seed: 3}
+	chip, err := RandomChip(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chip.Modules) != 6 {
+		t.Fatalf("modules = %d", len(chip.Modules))
+	}
+	if len(chip.GlobalNets) == 0 {
+		t.Fatal("no global nets generated")
+	}
+	// Global net endpoints must reference real module ports, across
+	// different modules.
+	byName := map[string]*netlist.Circuit{}
+	for _, m := range chip.Modules {
+		byName[m.Name] = m
+	}
+	for _, gn := range chip.GlobalNets {
+		if len(gn.Pins) < 2 {
+			t.Fatalf("net %s has %d pins", gn.Name, len(gn.Pins))
+		}
+		if gn.Pins[0].Module == gn.Pins[1].Module {
+			t.Fatalf("net %s is intra-module", gn.Name)
+		}
+		for _, pin := range gn.Pins {
+			m := byName[pin.Module]
+			if m == nil {
+				t.Fatalf("net %s references unknown module %q", gn.Name, pin.Module)
+			}
+			if m.PortByName(pin.Port) == nil {
+				t.Fatalf("net %s references unknown port %s.%s", gn.Name, pin.Module, pin.Port)
+			}
+		}
+	}
+	// Deterministic.
+	chip2, err := RandomChip(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chip2.GlobalNets) != len(chip.GlobalNets) {
+		t.Fatal("chip generation not deterministic")
+	}
+	// Validation.
+	if _, err := RandomChip(ChipConfig{Modules: 1, MinGates: 1, MaxGates: 2}, p); err == nil {
+		t.Error("1 module accepted")
+	}
+	if _, err := RandomChip(ChipConfig{Modules: 3, MinGates: 5, MaxGates: 2}, p); err == nil {
+		t.Error("bad gate bounds accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package geom provides the integer lambda-grid geometry used throughout
+// maest: points, rectangles, horizontal intervals and area arithmetic.
+//
+// All coordinates are expressed in lambda (λ), the scalable design-rule
+// unit of the Mead–Conway methodology the paper evaluates against
+// (nMOS, λ = 2.5 µm).  Areas are therefore in λ².  Using an integer grid
+// keeps layout assembly exact and makes geometric invariants testable
+// without floating-point tolerance games.
+package geom
+
+import "fmt"
+
+// Lambda is a length on the λ grid.
+type Lambda int64
+
+// Area is a surface measured in λ².
+type Area int64
+
+// Mul returns the rectangle area w×h in λ².
+func Mul(w, h Lambda) Area { return Area(w) * Area(h) }
+
+// Point is a location on the λ grid.
+type Point struct {
+	X, Y Lambda
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// ManhattanDist returns the L1 distance between p and q, the metric used
+// for wire-length accounting in placement.
+func ManhattanDist(p, q Point) Lambda {
+	return absL(p.X-q.X) + absL(p.Y-q.Y)
+}
+
+func absL(v Lambda) Lambda {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is an axis-aligned rectangle.  The zero Rect is the empty
+// rectangle at the origin.  Min is inclusive and Max exclusive, so
+// Width = Max.X - Min.X.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(x0, y0, x1, y1 Lambda) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Point{x0, y0}, Point{x1, y1}}
+}
+
+// RectWH returns the rectangle with lower-left corner at (x, y) and the
+// given width and height.  Negative sizes are normalized away.
+func RectWH(x, y, w, h Lambda) Rect { return NewRect(x, y, x+w, y+h) }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() Lambda { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() Lambda { return r.Max.Y - r.Min.Y }
+
+// Area returns the surface of r in λ².
+func (r Rect) Area() Area { return Mul(r.Width(), r.Height()) }
+
+// Empty reports whether r encloses no grid area.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.Min.Add(d), r.Max.Add(d)}
+}
+
+// Contains reports whether p lies inside r (Min inclusive, Max
+// exclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Intersects reports whether r and s share interior area.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Intersect returns the overlap of r and s; the result is Empty when
+// they do not intersect.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Point{maxL(r.Min.X, s.Min.X), maxL(r.Min.Y, s.Min.Y)},
+		Point{minL(r.Max.X, s.Max.X), minL(r.Max.Y, s.Max.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the bounding box of r and s.  An Empty operand is
+// ignored so that Union can fold over a slice starting from the zero
+// Rect.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Point{minL(r.Min.X, s.Min.X), minL(r.Min.Y, s.Min.Y)},
+		Point{maxL(r.Max.X, s.Max.X), maxL(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Center returns the midpoint of r, rounded toward Min.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %dx%d]", r.Min.X, r.Min.Y, r.Width(), r.Height())
+}
+
+// BoundingBox returns the smallest rectangle containing every point in
+// pts; it returns the zero Rect for an empty slice.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{pts[0], pts[0].Add(Point{1, 1})}
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X >= r.Max.X {
+			r.Max.X = p.X + 1
+		}
+		if p.Y >= r.Max.Y {
+			r.Max.Y = p.Y + 1
+		}
+	}
+	return r
+}
+
+// HalfPerimeter returns the half-perimeter of the bounding box of pts,
+// the HPWL wire-length model used by the placer.
+func HalfPerimeter(pts []Point) Lambda {
+	if len(pts) < 2 {
+		return 0
+	}
+	r := BoundingBox(pts)
+	// BoundingBox is exclusive at Max, so subtract the 1λ padding that
+	// turned points into unit cells.
+	return (r.Width() - 1) + (r.Height() - 1)
+}
+
+func minL(a, b Lambda) Lambda {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxL(a, b Lambda) Lambda {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Interval is a half-open horizontal span [Lo, Hi) used by the channel
+// router to model net segments competing for a track.
+type Interval struct {
+	Lo, Hi Lambda
+}
+
+// NewInterval returns the interval covering both endpoints in any order.
+func NewInterval(a, b Lambda) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+// Len returns the span length of iv.
+func (iv Interval) Len() Lambda { return iv.Hi - iv.Lo }
+
+// Empty reports whether iv covers nothing.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Overlaps reports whether iv and jv share any span.  Touching
+// endpoints do not overlap: two net segments may abut on one track.
+func (iv Interval) Overlaps(jv Interval) bool {
+	return iv.Lo < jv.Hi && jv.Lo < iv.Hi
+}
+
+// Union returns the smallest interval covering both operands.
+func (iv Interval) Union(jv Interval) Interval {
+	if iv.Empty() {
+		return jv
+	}
+	if jv.Empty() {
+		return iv
+	}
+	return Interval{minL(iv.Lo, jv.Lo), maxL(iv.Hi, jv.Hi)}
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive b, the rounding the paper applies
+// to expectation values and row counts.
+func CeilDiv(a, b Lambda) Lambda {
+	if b <= 0 {
+		panic("geom: CeilDiv requires positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,298 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMul(t *testing.T) {
+	if got := Mul(3, 4); got != 12 {
+		t.Fatalf("Mul(3,4) = %d, want 12", got)
+	}
+	if got := Mul(0, 100); got != 0 {
+		t.Fatalf("Mul(0,100) = %d, want 0", got)
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p := Point{3, 5}
+	q := Point{-1, 2}
+	if got := p.Add(q); got != (Point{2, 7}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{4, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Add(q).Sub(q); got != p {
+		t.Fatalf("Add then Sub not identity: %v", got)
+	}
+}
+
+func TestManhattanDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want Lambda
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 7},
+		{Point{-2, 1}, Point{2, -1}, 6},
+	}
+	for _, c := range cases {
+		if got := ManhattanDist(c.p, c.q); got != c.want {
+			t.Errorf("ManhattanDist(%v,%v) = %d, want %d", c.p, c.q, got, c.want)
+		}
+		if got := ManhattanDist(c.q, c.p); got != c.want {
+			t.Errorf("ManhattanDist not symmetric for %v,%v", c.p, c.q)
+		}
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(10, 20, 2, 4)
+	if r.Min != (Point{2, 4}) || r.Max != (Point{10, 20}) {
+		t.Fatalf("NewRect did not normalize: %v", r)
+	}
+	if r.Width() != 8 || r.Height() != 16 {
+		t.Fatalf("size = %dx%d", r.Width(), r.Height())
+	}
+	if r.Area() != 128 {
+		t.Fatalf("area = %d", r.Area())
+	}
+}
+
+func TestRectWH(t *testing.T) {
+	r := RectWH(1, 2, 3, 4)
+	if r.Min != (Point{1, 2}) || r.Max != (Point{4, 6}) {
+		t.Fatalf("RectWH = %v", r)
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	if !(Rect{}).Empty() {
+		t.Fatal("zero Rect should be empty")
+	}
+	if (NewRect(0, 0, 1, 1)).Empty() {
+		t.Fatal("unit Rect should not be empty")
+	}
+	if !(Rect{Point{5, 5}, Point{5, 9}}).Empty() {
+		t.Fatal("zero-width Rect should be empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if !r.Contains(Point{0, 0}) {
+		t.Fatal("Min corner should be contained")
+	}
+	if r.Contains(Point{10, 10}) {
+		t.Fatal("Max corner should be excluded")
+	}
+	if !r.Contains(Point{9, 9}) {
+		t.Fatal("interior point should be contained")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 15, 15)
+	c := NewRect(20, 20, 30, 30)
+
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c should not intersect")
+	}
+	got := a.Intersect(b)
+	if got != NewRect(5, 5, 10, 10) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint Intersect should be empty")
+	}
+	// Abutting rectangles share no interior.
+	d := NewRect(10, 0, 20, 10)
+	if a.Intersects(d) {
+		t.Fatal("abutting rectangles must not intersect")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(5, 5, 6, 8)
+	u := a.Union(b)
+	if u != NewRect(0, 0, 6, 8) {
+		t.Fatalf("Union = %v", u)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Fatalf("empty Union b = %v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Fatalf("a Union empty = %v", got)
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	r := NewRect(0, 0, 4, 2).Translate(Point{10, 20})
+	if r != NewRect(10, 20, 14, 22) {
+		t.Fatalf("Translate = %v", r)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if !BoundingBox(nil).Empty() {
+		t.Fatal("bounding box of nothing should be empty")
+	}
+	pts := []Point{{3, 4}, {0, 9}, {7, 1}}
+	bb := BoundingBox(pts)
+	for _, p := range pts {
+		if !bb.Contains(p) {
+			t.Fatalf("bounding box %v does not contain %v", bb, p)
+		}
+	}
+	if bb.Min != (Point{0, 1}) || bb.Max != (Point{8, 10}) {
+		t.Fatalf("bounding box = %v", bb)
+	}
+}
+
+func TestHalfPerimeter(t *testing.T) {
+	if got := HalfPerimeter(nil); got != 0 {
+		t.Fatalf("HPWL(nil) = %d", got)
+	}
+	if got := HalfPerimeter([]Point{{5, 5}}); got != 0 {
+		t.Fatalf("HPWL(one point) = %d", got)
+	}
+	if got := HalfPerimeter([]Point{{0, 0}, {3, 4}}); got != 7 {
+		t.Fatalf("HPWL = %d, want 7", got)
+	}
+	if got := HalfPerimeter([]Point{{0, 0}, {3, 0}, {1, 4}}); got != 7 {
+		t.Fatalf("HPWL 3 pins = %d, want 7", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(9, 3)
+	if iv.Lo != 3 || iv.Hi != 9 {
+		t.Fatalf("NewInterval did not normalize: %v", iv)
+	}
+	if iv.Len() != 6 {
+		t.Fatalf("Len = %d", iv.Len())
+	}
+	if iv.Empty() {
+		t.Fatal("non-degenerate interval reported empty")
+	}
+	if !(Interval{5, 5}).Empty() {
+		t.Fatal("degenerate interval should be empty")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{0, 5}
+	b := Interval{5, 9}
+	c := Interval{4, 6}
+	if a.Overlaps(b) {
+		t.Fatal("touching intervals must not overlap")
+	}
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Fatal("a and c should overlap")
+	}
+	u := a.Union(b)
+	if u != (Interval{0, 9}) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want Lambda }{
+		{0, 3, 0},
+		{1, 3, 1},
+		{3, 3, 1},
+		{4, 3, 2},
+		{-5, 3, 0},
+		{10, 5, 2},
+		{11, 5, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnNonPositiveDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for divisor 0")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+// Property: Union is commutative, associative over samples, and always
+// contains both operands.
+func TestRectUnionProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := RectWH(Lambda(ax), Lambda(ay), Lambda(aw%64+65), Lambda(ah%64+65))
+		b := RectWH(Lambda(bx), Lambda(by), Lambda(bw%64+65), Lambda(bh%64+65))
+		u := a.Union(b)
+		if u != b.Union(a) {
+			return false
+		}
+		return u.Intersect(a) == a && u.Intersect(b) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect result is contained in both operands and
+// Intersects agrees with non-emptiness of Intersect.
+func TestRectIntersectProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := RectWH(Lambda(ax), Lambda(ay), Lambda(aw%64)+1, Lambda(ah%64)+1)
+		b := RectWH(Lambda(bx), Lambda(by), Lambda(bw%64)+1, Lambda(bh%64)+1)
+		in := a.Intersect(b)
+		if a.Intersects(b) != !in.Empty() {
+			return false
+		}
+		if in.Empty() {
+			return true
+		}
+		return in.Intersect(a) == in && in.Intersect(b) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Manhattan distance satisfies the triangle inequality.
+func TestManhattanTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{Lambda(ax), Lambda(ay)}
+		b := Point{Lambda(bx), Lambda(by)}
+		c := Point{Lambda(cx), Lambda(cy)}
+		return ManhattanDist(a, c) <= ManhattanDist(a, b)+ManhattanDist(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CeilDiv(a,b)*b >= a and (CeilDiv(a,b)-1)*b < a for a > 0.
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a uint16, b uint8) bool {
+		bb := Lambda(b%100) + 1
+		aa := Lambda(a)
+		q := CeilDiv(aa, bb)
+		if q*bb < aa {
+			return false
+		}
+		if aa > 0 && (q-1)*bb >= aa {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package hdl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"maest/internal/cells"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// ParseBench reads an ISCAS-85/89-style .bench gate-level description
+// and technology-maps it onto the given process's cell library:
+//
+//	# comment
+//	INPUT(a)
+//	INPUT(b)
+//	OUTPUT(y)
+//	n1 = NAND(a, b)
+//	y  = NOT(n1)
+//
+// The module takes its name from the name argument.  Gate functions
+// are mapped through cells.Mapper, so wide gates decompose into
+// library trees exactly as a synthesis front end would emit them.
+func ParseBench(r io.Reader, name string, p *tech.Process) (*netlist.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	b := netlist.NewBuilder(name)
+	m := cells.NewMapper(p, b)
+	var (
+		line    int
+		outputs []string
+		gateSeq int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case matchDecl(text, "INPUT"):
+			arg, err := declArg(text, "INPUT", line)
+			if err != nil {
+				return nil, err
+			}
+			b.AddPort(arg, netlist.In, arg)
+		case matchDecl(text, "OUTPUT"):
+			arg, err := declArg(text, "OUTPUT", line)
+			if err != nil {
+				return nil, err
+			}
+			// Defer: the port is added after parsing so the driven
+			// net exists, mirroring how ISCAS files forward-declare
+			// outputs.
+			outputs = append(outputs, arg)
+		default:
+			lhs, rhs, ok := strings.Cut(text, "=")
+			if !ok {
+				return nil, fmt.Errorf("hdl: bench line %d: expected assignment or INPUT/OUTPUT", line)
+			}
+			out := strings.TrimSpace(lhs)
+			if out == "" {
+				return nil, fmt.Errorf("hdl: bench line %d: empty output name", line)
+			}
+			fn, args, err := parseCall(strings.TrimSpace(rhs), line)
+			if err != nil {
+				return nil, err
+			}
+			f, err := cells.ParseFunc(fn)
+			if err != nil {
+				return nil, fmt.Errorf("hdl: bench line %d: %v", line, err)
+			}
+			gateSeq++
+			gname := fmt.Sprintf("%s_%d", strings.ToLower(fn), gateSeq)
+			if err := m.Gate(gname, f, args, out); err != nil {
+				return nil, fmt.Errorf("hdl: bench line %d: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hdl: read: %w", err)
+	}
+	for _, out := range outputs {
+		b.AddPort(out, netlist.Out, out)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("hdl: bench: %w", err)
+	}
+	return c, nil
+}
+
+func matchDecl(text, kw string) bool {
+	rest, ok := strings.CutPrefix(text, kw)
+	if !ok {
+		return false
+	}
+	rest = strings.TrimSpace(rest)
+	return strings.HasPrefix(rest, "(")
+}
+
+func declArg(text, kw string, line int) (string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, kw))
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("hdl: bench line %d: want '%s(<name>)'", line, kw)
+	}
+	arg := strings.TrimSpace(rest[1 : len(rest)-1])
+	if arg == "" || strings.ContainsAny(arg, ",() \t") {
+		return "", fmt.Errorf("hdl: bench line %d: bad %s argument %q", line, kw, arg)
+	}
+	return arg, nil
+}
+
+func parseCall(rhs string, line int) (fn string, args []string, err error) {
+	open := strings.IndexByte(rhs, '(')
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return "", nil, fmt.Errorf("hdl: bench line %d: want '<fn>(<args>)', got %q", line, rhs)
+	}
+	fn = strings.TrimSpace(rhs[:open])
+	if fn == "" {
+		return "", nil, fmt.Errorf("hdl: bench line %d: missing function name", line)
+	}
+	inner := rhs[open+1 : len(rhs)-1]
+	for _, part := range strings.Split(inner, ",") {
+		arg := strings.TrimSpace(part)
+		if arg == "" {
+			return "", nil, fmt.Errorf("hdl: bench line %d: empty argument in %q", line, rhs)
+		}
+		args = append(args, arg)
+	}
+	if len(args) == 0 {
+		return "", nil, fmt.Errorf("hdl: bench line %d: call %q has no arguments", line, rhs)
+	}
+	return fn, args, nil
+}

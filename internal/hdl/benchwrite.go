@@ -1,0 +1,77 @@
+package hdl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"maest/internal/cells"
+	"maest/internal/netlist"
+)
+
+// WriteBench serializes a gate-level circuit in ISCAS .bench form,
+// inverting the library naming convention (NAND3 → NAND(a,b,c)).
+// Only circuits whose every device maps to a known gate function can
+// be written; transistor-level circuits and cells with unconnected
+// inputs are rejected.  Together with ParseBench this gives a lossy
+// but useful interchange path: the gate structure round-trips, while
+// mapped names are regenerated.
+func WriteBench(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s (written by maest)\n", c.Name)
+	for _, p := range c.Ports {
+		switch p.Dir {
+		case netlist.In:
+			fmt.Fprintf(bw, "INPUT(%s)\n", p.Net.Name)
+		case netlist.Out:
+			fmt.Fprintf(bw, "OUTPUT(%s)\n", p.Net.Name)
+		default:
+			return fmt.Errorf("hdl: port %q: .bench has no inout ports", p.Name)
+		}
+	}
+	for _, d := range c.Devices {
+		f, _, err := cells.CellFunc(d.Type)
+		if err != nil {
+			return fmt.Errorf("hdl: device %q: %v", d.Name, err)
+		}
+		if len(d.Pins) < 2 {
+			return fmt.Errorf("hdl: device %q has no output pin", d.Name)
+		}
+		out := d.Pins[len(d.Pins)-1]
+		if out == nil {
+			return fmt.Errorf("hdl: device %q: unconnected output", d.Name)
+		}
+		var ins []string
+		for i, n := range d.Pins[:len(d.Pins)-1] {
+			if n == nil {
+				// Sequential cells may leave the clock open; other
+				// open inputs are not expressible in .bench.
+				if (f == cells.FuncDFF || f == cells.FuncLatch) && i == len(d.Pins)-2 {
+					continue
+				}
+				return fmt.Errorf("hdl: device %q: unconnected input %d", d.Name, i)
+			}
+			ins = append(ins, n.Name)
+		}
+		if len(ins) == 0 {
+			return fmt.Errorf("hdl: device %q has no inputs", d.Name)
+		}
+		fn := benchFuncName(f)
+		fmt.Fprintf(bw, "%s = %s(%s)\n", out.Name, fn, strings.Join(ins, ", "))
+	}
+	return bw.Flush()
+}
+
+func benchFuncName(f cells.Func) string {
+	switch f {
+	case cells.FuncNot:
+		return "NOT"
+	case cells.FuncBuf:
+		return "BUFF"
+	case cells.FuncLatch:
+		return "LATCH"
+	default:
+		return f.String()
+	}
+}

@@ -1,0 +1,138 @@
+package hdl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	p := tech.NMOS25()
+	orig, err := ParseBench(strings.NewReader(smallBench), "c17", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(bytes.NewReader(buf.Bytes()), "c17", p)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if back.NumDevices() != orig.NumDevices() || back.NumPorts() != orig.NumPorts() ||
+		back.NumNets() != orig.NumNets() {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			back.NumDevices(), back.NumPorts(), back.NumNets(),
+			orig.NumDevices(), orig.NumPorts(), orig.NumNets())
+	}
+	// Net degrees must match net-by-net.
+	for _, n := range orig.Nets {
+		n2 := back.NetByName(n.Name)
+		if n2 == nil || n2.Degree() != n.Degree() {
+			t.Fatalf("net %q degree not preserved", n.Name)
+		}
+	}
+}
+
+func TestWriteBenchRandomCircuits(t *testing.T) {
+	// Native-cell random circuits round-trip up to regenerated
+	// instance names.  (Mapper-decomposed gates re-parse as their
+	// decomposed structure, so only device/net counts are compared.)
+	p := tech.NMOS25()
+	for seed := int64(1); seed <= 4; seed++ {
+		c, err := gen.RandomCircuit(gen.RandomConfig{
+			Name: "r", Gates: 40, Inputs: 5, Outputs: 4, Seed: seed,
+		}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseBench(bytes.NewReader(buf.Bytes()), "r", p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if back.NumDevices() != c.NumDevices() {
+			t.Fatalf("seed %d: devices %d -> %d", seed, c.NumDevices(), back.NumDevices())
+		}
+	}
+}
+
+func TestWriteBenchRejectsUnwritable(t *testing.T) {
+	// Transistor-level device.
+	b := netlist.NewBuilder("x")
+	b.AddDevice("m1", "ENH", "a", "b", "c")
+	b.AddDevice("m2", "DEP", "c", "c", "")
+	b.AddPort("pa", netlist.In, "a")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(&bytes.Buffer{}, c); err == nil {
+		t.Error("transistor circuit accepted")
+	}
+	// Unconnected combinational input.
+	b2 := netlist.NewBuilder("y")
+	b2.AddDevice("g1", "NAND2", "a", "", "y")
+	b2.AddDevice("g2", "INV", "y", "a")
+	c2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(&bytes.Buffer{}, c2); err == nil {
+		t.Error("open input accepted")
+	}
+	// Inout port.
+	b3 := netlist.NewBuilder("z")
+	b3.AddDevice("g1", "INV", "a", "b")
+	b3.AddPort("pa", netlist.InOut, "a")
+	c3, err := b3.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(&bytes.Buffer{}, c3); err == nil {
+		t.Error("inout port accepted")
+	}
+}
+
+func TestWriteBenchOpenClockAllowed(t *testing.T) {
+	b := netlist.NewBuilder("ff")
+	b.AddDevice("f1", "DFF", "d", "", "q")
+	b.AddDevice("g1", "INV", "q", "d")
+	b.AddPort("pq", netlist.Out, "q")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "q = DFF(d)") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestParseBenchTestdataC17(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "testdata", "c17.bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := ParseBench(f, "c17", tech.NMOS25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 6 || c.NumPorts() != 7 {
+		t.Fatalf("c17 shape: N=%d ports=%d", c.NumDevices(), c.NumPorts())
+	}
+}

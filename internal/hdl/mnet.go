@@ -1,0 +1,169 @@
+// Package hdl is the estimator's front end (paper Fig. 1, "Circuit
+// Schematic ... expressed in a standard hardware description
+// language"): it reads and writes the .mnet structural netlist
+// language and reads ISCAS-style .bench gate-level files, translating
+// both into the netlist.Circuit "mathematical representation for
+// numerical analysis".
+package hdl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"maest/internal/netlist"
+)
+
+// The .mnet language is line-oriented:
+//
+//	# comment
+//	module small
+//	port in a
+//	port in b
+//	port out y
+//	device g1 NAND2 a b n1
+//	device g2 INV n1 y
+//	end
+//
+// device lines connect instance pins to nets in pin order; "-" leaves
+// a pin unconnected.  Names beginning with "$" are reserved for
+// generated nets and devices and are rejected from source text.
+
+// unconnected is the .mnet spelling of an open pin.
+const unconnected = "-"
+
+// ParseMnet parses one module from r.
+func ParseMnet(r io.Reader) (*netlist.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		b      *netlist.Builder
+		line   int
+		closed bool
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		key := fields[0]
+		if b == nil && key != "module" {
+			return nil, fmt.Errorf("hdl: line %d: %q before module header", line, key)
+		}
+		if closed {
+			return nil, fmt.Errorf("hdl: line %d: content after 'end'", line)
+		}
+		switch key {
+		case "module":
+			if b != nil {
+				return nil, fmt.Errorf("hdl: line %d: duplicate module header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("hdl: line %d: want 'module <name>'", line)
+			}
+			if err := checkName(fields[1], line); err != nil {
+				return nil, err
+			}
+			b = netlist.NewBuilder(fields[1])
+		case "port":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("hdl: line %d: want 'port <dir> <net>'", line)
+			}
+			dir, err := netlist.ParsePortDir(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("hdl: line %d: %v", line, err)
+			}
+			if err := checkName(fields[2], line); err != nil {
+				return nil, err
+			}
+			b.AddPort(fields[2], dir, fields[2])
+		case "device":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("hdl: line %d: want 'device <name> <type> <net>...'", line)
+			}
+			if err := checkName(fields[1], line); err != nil {
+				return nil, err
+			}
+			nets := make([]string, len(fields)-3)
+			for i, f := range fields[3:] {
+				if f == unconnected {
+					continue // leave empty -> unconnected pin
+				}
+				if err := checkName(f, line); err != nil {
+					return nil, err
+				}
+				nets[i] = f
+			}
+			b.AddDevice(fields[1], fields[2], nets...)
+		case "end":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("hdl: line %d: 'end' takes no arguments", line)
+			}
+			closed = true
+		default:
+			return nil, fmt.Errorf("hdl: line %d: unknown directive %q", line, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hdl: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("hdl: no module found")
+	}
+	if !closed {
+		return nil, fmt.Errorf("hdl: module not closed with 'end'")
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("hdl: %w", err)
+	}
+	return c, nil
+}
+
+func checkName(name string, line int) error {
+	if strings.HasPrefix(name, "$") {
+		return fmt.Errorf("hdl: line %d: name %q: '$' prefix is reserved for generated names", line, name)
+	}
+	if name == unconnected {
+		return fmt.Errorf("hdl: line %d: %q is reserved for unconnected pins", line, name)
+	}
+	return nil
+}
+
+// WriteMnet serializes c in .mnet form.  Generated "$" names survive a
+// write (they are re-readable only after renaming), so WriteMnet
+// rejects circuits containing them rather than emit an unparsable
+// file.
+func WriteMnet(w io.Writer, c *netlist.Circuit) error {
+	for _, d := range c.Devices {
+		if strings.HasPrefix(d.Name, "$") || strings.Contains(d.Name, "$") {
+			return fmt.Errorf("hdl: device %q has a generated name; rename before writing", d.Name)
+		}
+	}
+	for _, n := range c.Nets {
+		if strings.HasPrefix(n.Name, "$") {
+			return fmt.Errorf("hdl: net %q has a generated name; rename before writing", n.Name)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "module %s\n", c.Name)
+	for _, p := range c.Ports {
+		fmt.Fprintf(bw, "port %s %s\n", p.Dir, p.Net.Name)
+	}
+	for _, d := range c.Devices {
+		fmt.Fprintf(bw, "device %s %s", d.Name, d.Type)
+		for _, n := range d.Pins {
+			if n == nil {
+				fmt.Fprintf(bw, " %s", unconnected)
+			} else {
+				fmt.Fprintf(bw, " %s", n.Name)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}

@@ -1,0 +1,329 @@
+package hdl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"maest/internal/cells"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// ParseVerilog reads the structural gate-level Verilog subset of the
+// paper's era (Verilog-1985 primitives) and technology-maps it onto
+// the process cell library:
+//
+//	module demo (a, b, y);
+//	  input a, b;
+//	  output y;
+//	  wire n1;
+//	  nand g1 (n1, a, b);   // output first, then inputs
+//	  not  g2 (y, n1);
+//	endmodule
+//
+// Supported statements: module header, input/output/inout/wire
+// declarations, and the gate primitives and/or/nand/nor/xor/xnor/
+// not/buf plus dff/latch extensions.  Instance names are optional,
+// comments are // and /* */.
+func ParseVerilog(r io.Reader, p *tech.Process) (*netlist.Circuit, error) {
+	toks, err := lexVerilog(r)
+	if err != nil {
+		return nil, err
+	}
+	vp := &verilogParser{toks: toks, proc: p}
+	return vp.parseModule()
+}
+
+// lexVerilog produces identifier/punctuation tokens with comments
+// stripped.
+func lexVerilog(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("hdl: verilog read: %w", err)
+	}
+	src := string(data)
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("hdl: verilog: unterminated block comment")
+			}
+			i += end + 4
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ';':
+			toks = append(toks, string(c))
+			i++
+		case isVerilogIdentChar(c):
+			j := i
+			for j < len(src) && isVerilogIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("hdl: verilog: unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isVerilogIdentChar(c byte) bool {
+	return c == '_' || c == '$' || c == '\\' || c == '[' || c == ']' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+type verilogParser struct {
+	toks []string
+	pos  int
+	proc *tech.Process
+}
+
+func (vp *verilogParser) peek() string {
+	if vp.pos < len(vp.toks) {
+		return vp.toks[vp.pos]
+	}
+	return ""
+}
+
+func (vp *verilogParser) next() string {
+	t := vp.peek()
+	vp.pos++
+	return t
+}
+
+func (vp *verilogParser) expect(tok string) error {
+	if got := vp.next(); got != tok {
+		return fmt.Errorf("hdl: verilog: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+// identList parses "a, b, c" up to (but not consuming) a closer.
+func (vp *verilogParser) identList() ([]string, error) {
+	var out []string
+	for {
+		id := vp.next()
+		if id == "" || id == ";" || id == ")" {
+			return nil, fmt.Errorf("hdl: verilog: expected identifier, got %q", id)
+		}
+		out = append(out, id)
+		if vp.peek() != "," {
+			return out, nil
+		}
+		vp.next()
+	}
+}
+
+var verilogPrimitives = map[string]cells.Func{
+	"and": cells.FuncAnd, "or": cells.FuncOr,
+	"nand": cells.FuncNand, "nor": cells.FuncNor,
+	"xor": cells.FuncXor, "xnor": cells.FuncXnor,
+	"not": cells.FuncNot, "buf": cells.FuncBuf,
+	"dff": cells.FuncDFF, "latch": cells.FuncLatch,
+	"mux": cells.FuncMux,
+}
+
+func (vp *verilogParser) parseModule() (*netlist.Circuit, error) {
+	if err := vp.expect("module"); err != nil {
+		return nil, err
+	}
+	name := vp.next()
+	if name == "" || name == "(" {
+		return nil, fmt.Errorf("hdl: verilog: missing module name")
+	}
+	b := netlist.NewBuilder(name)
+	m := cells.NewMapper(vp.proc, b)
+
+	// Port list (names only; directions come from declarations).
+	portOrder := []string{}
+	if vp.peek() == "(" {
+		vp.next()
+		if vp.peek() != ")" {
+			ids, err := vp.identList()
+			if err != nil {
+				return nil, err
+			}
+			portOrder = ids
+		}
+		if err := vp.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := vp.expect(";"); err != nil {
+		return nil, err
+	}
+
+	dirs := map[string]netlist.PortDir{}
+	declared := map[string]bool{}
+	gateSeq := 0
+	for {
+		tok := vp.next()
+		switch tok {
+		case "":
+			return nil, fmt.Errorf("hdl: verilog: missing endmodule")
+		case "endmodule":
+			for _, pn := range portOrder {
+				dir, ok := dirs[pn]
+				if !ok {
+					return nil, fmt.Errorf("hdl: verilog: port %q has no direction declaration", pn)
+				}
+				b.AddPort(pn, dir, pn)
+			}
+			c, err := b.Build()
+			if err != nil {
+				return nil, fmt.Errorf("hdl: verilog: %w", err)
+			}
+			return c, nil
+		case "input", "output", "inout":
+			ids, err := vp.identList()
+			if err != nil {
+				return nil, err
+			}
+			if err := vp.expect(";"); err != nil {
+				return nil, err
+			}
+			dir := netlist.In
+			if tok == "output" {
+				dir = netlist.Out
+			} else if tok == "inout" {
+				dir = netlist.InOut
+			}
+			for _, id := range ids {
+				if _, dup := dirs[id]; dup {
+					return nil, fmt.Errorf("hdl: verilog: port %q declared twice", id)
+				}
+				dirs[id] = dir
+			}
+		case "wire":
+			ids, err := vp.identList()
+			if err != nil {
+				return nil, err
+			}
+			if err := vp.expect(";"); err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				declared[id] = true
+			}
+		default:
+			f, ok := verilogPrimitives[tok]
+			if !ok {
+				return nil, fmt.Errorf("hdl: verilog: unsupported statement or primitive %q", tok)
+			}
+			inst := ""
+			if vp.peek() != "(" {
+				inst = vp.next()
+			}
+			if err := vp.expect("("); err != nil {
+				return nil, err
+			}
+			conns, err := vp.identList()
+			if err != nil {
+				return nil, err
+			}
+			if err := vp.expect(")"); err != nil {
+				return nil, err
+			}
+			if err := vp.expect(";"); err != nil {
+				return nil, err
+			}
+			if len(conns) < 2 {
+				return nil, fmt.Errorf("hdl: verilog: primitive %q needs an output and at least one input", tok)
+			}
+			gateSeq++
+			if inst == "" {
+				inst = fmt.Sprintf("%s_%d", tok, gateSeq)
+			}
+			// Verilog primitive port order: output first.
+			if err := m.Gate(inst, f, conns[1:], conns[0]); err != nil {
+				return nil, fmt.Errorf("hdl: verilog: %v", err)
+			}
+		}
+	}
+}
+
+// WriteVerilog serializes a gate-level circuit as structural Verilog
+// using the primitive set above (the inverse of ParseVerilog, up to
+// decomposed gate structure).  Generated "$"-prefixed names are
+// written as-is; they are legal in this dialect (the lexer accepts
+// "$" anywhere in an identifier), if not in strict IEEE Verilog.
+func WriteVerilog(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var portNames []string
+	for _, p := range c.Ports {
+		portNames = append(portNames, p.Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", c.Name, strings.Join(portNames, ", "))
+	for _, p := range c.Ports {
+		kw := "input"
+		switch p.Dir {
+		case netlist.Out:
+			kw = "output"
+		case netlist.InOut:
+			kw = "inout"
+		}
+		fmt.Fprintf(bw, "  %s %s;\n", kw, p.Name)
+	}
+	// Wires: internal nets (not port nets).
+	portNet := map[string]bool{}
+	for _, p := range c.Ports {
+		portNet[p.Net.Name] = true
+	}
+	var wires []string
+	for _, n := range c.Nets {
+		if !portNet[n.Name] {
+			wires = append(wires, n.Name)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	for _, d := range c.Devices {
+		f, _, err := cells.CellFunc(d.Type)
+		if err != nil {
+			return fmt.Errorf("hdl: verilog: device %q: %v", d.Name, err)
+		}
+		prim := verilogPrimName(f)
+		if prim == "" {
+			return fmt.Errorf("hdl: verilog: device %q: no primitive for %v", d.Name, f)
+		}
+		if len(d.Pins) < 2 || d.Pins[len(d.Pins)-1] == nil {
+			return fmt.Errorf("hdl: verilog: device %q: unconnected output", d.Name)
+		}
+		conns := []string{d.Pins[len(d.Pins)-1].Name}
+		for i, n := range d.Pins[:len(d.Pins)-1] {
+			if n == nil {
+				if (f == cells.FuncDFF || f == cells.FuncLatch) && i == len(d.Pins)-2 {
+					continue // open clock
+				}
+				return fmt.Errorf("hdl: verilog: device %q: unconnected input %d", d.Name, i)
+			}
+			conns = append(conns, n.Name)
+		}
+		fmt.Fprintf(bw, "  %s %s (%s);\n", prim, d.Name, strings.Join(conns, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+func verilogPrimName(f cells.Func) string {
+	for name, fn := range verilogPrimitives {
+		if fn == f {
+			return name
+		}
+	}
+	return ""
+}

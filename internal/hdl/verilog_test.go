@@ -1,0 +1,210 @@
+package hdl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+const demoVerilog = `
+// full adder, structural Verilog-1985 style
+module fa (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire axb, t1, t2;
+  xor  x1 (axb, a, b);
+  xor  x2 (sum, axb, cin);
+  nand n1 (t1, a, b);
+  nand n2 (t2, cin, axb);
+  nand n3 (cout, t1, t2);
+endmodule
+`
+
+func TestParseVerilog(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := ParseVerilog(strings.NewReader(demoVerilog), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "fa" {
+		t.Fatalf("name = %q", c.Name)
+	}
+	if c.NumDevices() != 5 || c.NumPorts() != 5 {
+		t.Fatalf("N=%d ports=%d", c.NumDevices(), c.NumPorts())
+	}
+	if c.PortByName("cout").Dir != netlist.Out || c.PortByName("a").Dir != netlist.In {
+		t.Fatal("port directions wrong")
+	}
+	if c.NetByName("axb").Degree() != 3 {
+		t.Fatalf("axb degree = %d", c.NetByName("axb").Degree())
+	}
+}
+
+func TestParseVerilogFeatures(t *testing.T) {
+	p := tech.NMOS25()
+	in := `
+module m (a, q);
+  input a; output q;
+  /* block
+     comment */
+  wire w1;
+  not (w1, a);        // anonymous instance
+  dff f1 (q, w1, a);  // dff with clock
+endmodule
+`
+	c, err := ParseVerilog(strings.NewReader(in), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 2 {
+		t.Fatalf("N = %d", c.NumDevices())
+	}
+	if c.DeviceByName("f1") == nil {
+		t.Fatal("named instance lost")
+	}
+	// Wide gates decompose through the mapper.
+	in2 := `
+module w (a, b, c, d, e, f, g, h, y);
+  input a, b, c, d, e, f, g, h; output y;
+  nand (y, a, b, c, d, e, f, g, h);
+endmodule
+`
+	c2, err := ParseVerilog(strings.NewReader(in2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDevices() < 3 {
+		t.Fatalf("NAND8 mapped to %d devices", c2.NumDevices())
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	p := tech.NMOS25()
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"no module kw", "wire a;"},
+		{"no name", "module (a);"},
+		{"no endmodule", "module m (a); input a;"},
+		{"undeclared port dir", "module m (a); endmodule"},
+		{"dup port decl", "module m (a); input a; output a; endmodule"},
+		{"bad primitive", "module m (a); input a; foo g (x, a); endmodule"},
+		{"short primitive", "module m (a); input a; not (a); endmodule"},
+		{"unterminated comment", "module m (a); /* input a; endmodule"},
+		{"bad char", "module m (a); input a; not #(x, a); endmodule"},
+		{"missing semicolon", "module m (a) input a; endmodule"},
+		{"empty ident list", "module m (a); input ; endmodule"},
+	}
+	for _, c := range cases {
+		if _, err := ParseVerilog(strings.NewReader(c.in), p); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	p := tech.NMOS25()
+	orig, err := ParseVerilog(strings.NewReader(demoVerilog), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog(bytes.NewReader(buf.Bytes()), p)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	if back.NumDevices() != orig.NumDevices() || back.NumNets() != orig.NumNets() ||
+		back.NumPorts() != orig.NumPorts() {
+		t.Fatal("round trip changed shape")
+	}
+	for _, n := range orig.Nets {
+		n2 := back.NetByName(n.Name)
+		if n2 == nil || n2.Degree() != n.Degree() {
+			t.Fatalf("net %q not preserved", n.Name)
+		}
+	}
+}
+
+func TestVerilogCrossFormat(t *testing.T) {
+	// .bench -> circuit -> Verilog -> circuit: same shape.
+	p := tech.NMOS25()
+	c, err := ParseBench(strings.NewReader(smallBench), "c17", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog(bytes.NewReader(buf.Bytes()), p)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if back.NumDevices() != c.NumDevices() || back.NumPorts() != c.NumPorts() {
+		t.Fatal("cross-format conversion changed shape")
+	}
+}
+
+func TestWriteVerilogRejectsTransistors(t *testing.T) {
+	b := netlist.NewBuilder("x")
+	b.AddDevice("m1", "ENH", "a", "b", "c")
+	b.AddDevice("m2", "DEP", "c", "c", "")
+	b.AddPort("pa", netlist.In, "a")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&bytes.Buffer{}, c); err == nil {
+		t.Fatal("transistor circuit accepted")
+	}
+}
+
+func FuzzParseVerilog(f *testing.F) {
+	f.Add(demoVerilog)
+	f.Add("module m (a); input a; endmodule")
+	f.Add("module m (); ; endmodule")
+	f.Add("module m (a, ); input a; endmodule")
+	p := tech.NMOS25()
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseVerilog(strings.NewReader(input), p)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteVerilog(&buf, c); err != nil {
+			return
+		}
+		if _, err := ParseVerilog(bytes.NewReader(buf.Bytes()), p); err != nil {
+			t.Fatalf("reparse of own output failed: %v\n%s", err, buf.String())
+		}
+	})
+}
+
+func TestVerilogMuxPrimitive(t *testing.T) {
+	p := tech.NMOS25()
+	in := `
+module m (s, a, b, y);
+  input s, a, b; output y;
+  mux m1 (y, s, a, b);
+endmodule
+`
+	c, err := ParseVerilog(strings.NewReader(in), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDevices() != 1 || c.Devices[0].Type != "MUX2" {
+		t.Fatalf("mux parse: %d devices", c.NumDevices())
+	}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mux m1 (y, s, a, b);") {
+		t.Fatalf("writer output:\n%s", buf.String())
+	}
+}

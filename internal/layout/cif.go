@@ -1,0 +1,200 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"maest/internal/geom"
+	"maest/internal/tech"
+)
+
+// CIF (Caltech Intermediate Form) is the interchange format of the
+// paper's design era; WriteCIF emits a module's geometry as one CIF
+// symbol and ReadCIF parses the subset WriteCIF produces (DS/9/L/B/
+// DF/C/E plus comments), enough for round-trips and for viewing in a
+// period tool.
+//
+// Coordinates: CIF's unit is 0.01 µm.  Geometry is on the λ grid with
+// y growing downward; CIF's y grows upward, so boxes are flipped
+// about the module's top edge.  The DS scale factor a/b converts λ to
+// CIF units: a = LambdaNM/10, b = 1 (half-λ centres are expressed by
+// doubling: a = LambdaNM/20 would lose precision for odd LambdaNM, so
+// WriteCIF emits centre coordinates in half-λ and sets b = 2).
+
+// WriteCIF serializes g as a CIF file.
+func WriteCIF(w io.Writer, g *Geometry, p *tech.Process) error {
+	if p.LambdaNM%10 != 0 {
+		return fmt.Errorf("%w: λ = %d nm is not a multiple of the 10 nm CIF unit", ErrLayout, p.LambdaNM)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(maest layout of %s, process %s, lambda %d nm);\n", g.Name, p.Name, p.LambdaNM)
+	fmt.Fprintf(bw, "DS 1 %d 2;\n", p.LambdaNM/10)
+	fmt.Fprintf(bw, "9 %s;\n", g.Name)
+	var current Layer
+	topY := g.Bounds.Max.Y
+	for _, r := range g.Rects {
+		if r.Layer != current {
+			fmt.Fprintf(bw, "L %s;\n", r.Layer)
+			current = r.Layer
+		}
+		// Centre in half-λ, y flipped.
+		cx := r.Box.Min.X + r.Box.Max.X
+		cy := 2*topY - (r.Box.Min.Y + r.Box.Max.Y)
+		fmt.Fprintf(bw, "B %d %d %d %d;\n", 2*r.Box.Width(), 2*r.Box.Height(), cx, cy)
+	}
+	fmt.Fprintln(bw, "DF;")
+	fmt.Fprintln(bw, "C 1;")
+	fmt.Fprintln(bw, "E")
+	return bw.Flush()
+}
+
+// CIFBox is one parsed CIF box, in the file's raw (pre-scale)
+// coordinates.
+type CIFBox struct {
+	Layer        string
+	W, H, CX, CY int64
+}
+
+// CIFFile is the parsed subset of a CIF file.
+type CIFFile struct {
+	Name    string
+	ScaleA  int
+	ScaleB  int
+	Boxes   []CIFBox
+	Defined bool
+}
+
+// ReadCIF parses the WriteCIF subset of CIF.
+func ReadCIF(r io.Reader) (*CIFFile, error) {
+	// CIF statements are ';'-terminated; comments are parenthesized.
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read CIF: %v", ErrLayout, err)
+	}
+	text := stripCIFComments(string(data))
+	f := &CIFFile{}
+	layer := ""
+	sawEnd := false
+	for _, stmt := range strings.Split(text, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if sawEnd {
+			return nil, fmt.Errorf("%w: CIF content after E", ErrLayout)
+		}
+		fields := strings.Fields(stmt)
+		switch fields[0] {
+		case "DS":
+			if f.Defined {
+				return nil, fmt.Errorf("%w: nested CIF symbol definition", ErrLayout)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: bad DS statement %q", ErrLayout, stmt)
+			}
+			a, err1 := strconv.Atoi(fields[2])
+			b, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || a <= 0 || b <= 0 {
+				return nil, fmt.Errorf("%w: bad DS scale in %q", ErrLayout, stmt)
+			}
+			f.ScaleA, f.ScaleB = a, b
+			f.Defined = true
+		case "9":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: bad name statement %q", ErrLayout, stmt)
+			}
+			f.Name = fields[1]
+		case "L":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: bad layer statement %q", ErrLayout, stmt)
+			}
+			layer = fields[1]
+		case "B":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%w: bad box statement %q", ErrLayout, stmt)
+			}
+			if layer == "" {
+				return nil, fmt.Errorf("%w: box before any layer", ErrLayout)
+			}
+			var nums [4]int64
+			for i, fd := range fields[1:] {
+				v, err := strconv.ParseInt(fd, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: bad box coordinate %q", ErrLayout, fd)
+				}
+				nums[i] = v
+			}
+			if nums[0] <= 0 || nums[1] <= 0 {
+				return nil, fmt.Errorf("%w: non-positive box size in %q", ErrLayout, stmt)
+			}
+			f.Boxes = append(f.Boxes, CIFBox{Layer: layer, W: nums[0], H: nums[1], CX: nums[2], CY: nums[3]})
+		case "DF", "C":
+			// end of symbol / top-level call: nothing to record
+		case "E":
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("%w: unsupported CIF statement %q", ErrLayout, stmt)
+		}
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("%w: CIF missing E terminator", ErrLayout)
+	}
+	if !f.Defined {
+		return nil, fmt.Errorf("%w: CIF has no symbol definition", ErrLayout)
+	}
+	return f, nil
+}
+
+// Geometry reconstructs the λ-grid geometry from a parsed CIF file
+// written by WriteCIF (scale b must be 2, i.e. half-λ coordinates).
+func (f *CIFFile) Geometry() (*Geometry, error) {
+	if f.ScaleB != 2 {
+		return nil, fmt.Errorf("%w: CIF scale denominator %d (want 2, maest convention)", ErrLayout, f.ScaleB)
+	}
+	g := &Geometry{Name: f.Name}
+	// First pass: find the top edge to un-flip y.
+	var maxTop int64
+	for _, b := range f.Boxes {
+		if top := b.CY + b.H/2; top > maxTop {
+			maxTop = top
+		}
+	}
+	for _, b := range f.Boxes {
+		if b.W%2 != 0 || b.H%2 != 0 {
+			return nil, fmt.Errorf("%w: CIF box size not on the λ grid", ErrLayout)
+		}
+		w, h := b.W/2, b.H/2
+		minX := (b.CX - w) / 2
+		// y flip: CIF cy measured up from bottom; module y measured
+		// down from maxTop.
+		minY := (maxTop - (b.CY + h)) / 2
+		g.Rects = append(g.Rects, GeoRect{
+			Layer: Layer(b.Layer),
+			Box:   geom.RectWH(geom.Lambda(minX), geom.Lambda(minY), geom.Lambda(w), geom.Lambda(h)),
+		})
+		g.Bounds = g.Bounds.Union(g.Rects[len(g.Rects)-1].Box)
+	}
+	return g, nil
+}
+
+// stripCIFComments removes (possibly nested) parenthesized comments.
+func stripCIFComments(s string) string {
+	var out strings.Builder
+	depth := 0
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+		case r == ')':
+			if depth > 0 {
+				depth--
+			}
+		case depth == 0:
+			out.WriteRune(r)
+		}
+	}
+	return out.String()
+}

@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"maest/internal/geom"
+	"maest/internal/tech"
+)
+
+// DRC is a design-rule checker over module geometry: it verifies the
+// spacing rules the layout engine is supposed to respect, catching
+// regressions in track placement, drop emission, or stacking.
+//
+// Rules checked (all in λ):
+//
+//	metal–metal   spacing ≥ trackPitch − wireWidth between trunks of
+//	              different nets on the same track row
+//	poly–poly     different-net vertical drops may not overlap
+//	cell–cell     cells may not overlap (placement legality)
+//	bounds        everything inside the module bounding box
+type DRCViolation struct {
+	Rule string
+	A, B GeoRect
+}
+
+// String implements fmt.Stringer.
+func (v DRCViolation) String() string {
+	return fmt.Sprintf("%s: %s %q %v vs %s %q %v",
+		v.Rule, v.A.Layer, v.A.Name, v.A.Box, v.B.Layer, v.B.Name, v.B.Box)
+}
+
+// CheckDRC runs all rules and returns every violation found (nil when
+// clean).
+func CheckDRC(g *Geometry, p *tech.Process) []DRCViolation {
+	var out []DRCViolation
+	// Bounds.
+	for _, r := range g.Rects {
+		if r.Box.Intersect(g.Bounds) != r.Box {
+			out = append(out, DRCViolation{Rule: "bounds", A: r, B: GeoRect{Layer: "BOUNDS", Box: g.Bounds}})
+		}
+	}
+	// Cell overlaps.
+	out = append(out, pairRule(g, LayerCell, "cell-overlap", func(a, b GeoRect) bool {
+		return a.Box.Intersects(b.Box)
+	})...)
+	// Different-net metal overlap (same-net overlap is a legal join).
+	out = append(out, pairRule(g, LayerMetal, "metal-short", func(a, b GeoRect) bool {
+		return a.Name != b.Name && a.Box.Intersects(b.Box)
+	})...)
+	// Different-net poly overlap.
+	out = append(out, pairRule(g, LayerPoly, "poly-short", func(a, b GeoRect) bool {
+		return a.Name != b.Name && a.Box.Intersects(b.Box)
+	})...)
+	return out
+}
+
+// pairRule applies a predicate to every pair of rects on one layer,
+// using a sweep over x to avoid the full quadratic blowup.
+func pairRule(g *Geometry, layer Layer, rule string, bad func(a, b GeoRect) bool) []DRCViolation {
+	var rects []GeoRect
+	for _, r := range g.Rects {
+		if r.Layer == layer {
+			rects = append(rects, r)
+		}
+	}
+	sort.Slice(rects, func(i, j int) bool { return rects[i].Box.Min.X < rects[j].Box.Min.X })
+	var out []DRCViolation
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[j].Box.Min.X >= rects[i].Box.Max.X {
+				break // sweep: no later rect can overlap in x
+			}
+			if bad(rects[i], rects[j]) {
+				out = append(out, DRCViolation{Rule: rule, A: rects[i], B: rects[j]})
+			}
+		}
+	}
+	return out
+}
+
+// MinMetalSpacing returns the smallest horizontal gap between
+// different-net metal trunks sharing a track (same y extent), or -1
+// when no such pair exists — a quantitative health metric for the
+// router's track packing.
+func MinMetalSpacing(g *Geometry) geom.Lambda {
+	byY := map[geom.Lambda][]GeoRect{}
+	for _, r := range g.Rects {
+		if r.Layer == LayerMetal {
+			byY[r.Box.Min.Y] = append(byY[r.Box.Min.Y], r)
+		}
+	}
+	min := geom.Lambda(-1)
+	for _, rects := range byY {
+		sort.Slice(rects, func(i, j int) bool { return rects[i].Box.Min.X < rects[j].Box.Min.X })
+		for i := 1; i < len(rects); i++ {
+			if rects[i].Name == rects[i-1].Name {
+				continue
+			}
+			gap := rects[i].Box.Min.X - rects[i-1].Box.Max.X
+			if min < 0 || gap < min {
+				min = gap
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,239 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"maest/internal/geom"
+	"maest/internal/place"
+	"maest/internal/route"
+	"maest/internal/tech"
+)
+
+// Geometry is the concrete mask-level-ish view of a finished module:
+// cell outlines, feed-through columns, and the routed wires from the
+// detailed channel router, on the λ grid with y growing downward from
+// the module's top edge.
+
+// Layer identifies the abstract mask layer of a rectangle.
+type Layer string
+
+// Layers emitted by BuildGeometry (nMOS-style CIF layer codes).
+const (
+	// LayerCell is a placed device outline.
+	LayerCell Layer = "NB"
+	// LayerMetal carries horizontal channel trunks.
+	LayerMetal Layer = "NM"
+	// LayerPoly carries vertical drops between trunks and cell edges.
+	LayerPoly Layer = "NP"
+	// LayerFeedThrough marks feed-through columns crossing a row.
+	LayerFeedThrough Layer = "NF"
+)
+
+// GeoRect is one named rectangle on a layer.
+type GeoRect struct {
+	Layer Layer
+	// Name carries the device instance or net the rectangle belongs
+	// to.
+	Name string
+	Box  geom.Rect
+}
+
+// Geometry is a module's full rectangle list.
+type Geometry struct {
+	Name   string
+	Bounds geom.Rect
+	Rects  []GeoRect
+}
+
+// CountLayer returns how many rectangles sit on the given layer.
+func (g *Geometry) CountLayer(l Layer) int {
+	n := 0
+	for _, r := range g.Rects {
+		if r.Layer == l {
+			n++
+		}
+	}
+	return n
+}
+
+// BuildGeometry lays the placement and its detailed routing onto
+// concrete coordinates: channel c is stacked above row c, trunks
+// occupy tracks top-down at the process track pitch, vertical drops
+// run from each trunk to the channel edge they serve, and feed-through
+// columns are appended at the right end of their row.
+func BuildGeometry(pl *place.Placement, det *route.Detailed, p *tech.Process) (*Geometry, error) {
+	if err := pl.Check(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLayout, err)
+	}
+	nRows := len(pl.Rows)
+	if len(det.Channels) != nRows+1 {
+		return nil, fmt.Errorf("%w: routing has %d channels for %d rows",
+			ErrLayout, len(det.Channels), nRows)
+	}
+	if err := det.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLayout, err)
+	}
+	g := &Geometry{Name: pl.Circuit.Name}
+	wireW := p.TrackPitch / 2
+	if wireW < 1 {
+		wireW = 1
+	}
+
+	// Vertical stacking: channel 0, row 0, channel 1, row 1, ...
+	chTop := make([]geom.Lambda, nRows+1)   // y of each channel's top
+	chBot := make([]geom.Lambda, nRows+1)   // y of each channel's bottom
+	rowTop := make([]geom.Lambda, nRows)    // y of each row's top
+	rowBottom := make([]geom.Lambda, nRows) // y of each row's bottom
+	y := geom.Lambda(0)
+	for c := 0; c <= nRows; c++ {
+		chTop[c] = y
+		y += geom.Lambda(det.Channels[c].Tracks) * p.TrackPitch
+		chBot[c] = y
+		if c < nRows {
+			rowTop[c] = y
+			y += pl.RowHeight(c)
+			rowBottom[c] = y
+		}
+	}
+	height := y
+
+	// Cells.
+	width := geom.Lambda(0)
+	for r, row := range pl.Rows {
+		var x geom.Lambda
+		for _, d := range row {
+			w := pl.DeviceWidth(d)
+			h := pl.DeviceHeight(d)
+			g.Rects = append(g.Rects, GeoRect{
+				Layer: LayerCell,
+				Name:  pl.Circuit.Devices[d].Name,
+				Box:   geom.RectWH(x, rowTop[r], w, h),
+			})
+			x += w
+		}
+		if x > width {
+			width = x
+		}
+	}
+
+	// Wires.  Remember each net's drop columns per channel edge so
+	// row crossings (feed-throughs) can be reconstructed below.
+	type edgeKey struct {
+		net     string
+		channel int
+	}
+	bottomsOf := map[edgeKey]map[geom.Lambda]bool{}
+	topsOf := map[edgeKey]map[geom.Lambda]bool{}
+	for c, ch := range det.Channels {
+		for _, w := range ch.Wires {
+			trunkY := chTop[c] + geom.Lambda(w.Track)*p.TrackPitch
+			g.Rects = append(g.Rects, GeoRect{
+				Layer: LayerMetal,
+				Name:  w.Net.Name,
+				Box:   geom.RectWH(w.Span.Lo, trunkY, w.Span.Len(), wireW),
+			})
+			for _, x := range w.TopDrops {
+				g.Rects = append(g.Rects, GeoRect{
+					Layer: LayerPoly,
+					Name:  w.Net.Name,
+					Box:   geom.NewRect(x, chTop[c], x+2, trunkY+wireW),
+				})
+				k := edgeKey{w.Net.Name, c}
+				if topsOf[k] == nil {
+					topsOf[k] = map[geom.Lambda]bool{}
+				}
+				topsOf[k][x] = true
+				if x+2 > width {
+					width = x + 2
+				}
+			}
+			for _, x := range w.BottomDrops {
+				g.Rects = append(g.Rects, GeoRect{
+					Layer: LayerPoly,
+					Name:  w.Net.Name,
+					Box:   geom.NewRect(x, trunkY, x+2, chBot[c]),
+				})
+				k := edgeKey{w.Net.Name, c}
+				if bottomsOf[k] == nil {
+					bottomsOf[k] = map[geom.Lambda]bool{}
+				}
+				bottomsOf[k][x] = true
+				if x+2 > width {
+					width = x + 2
+				}
+			}
+			if right := w.Span.Hi; right > width {
+				width = right
+			}
+		}
+	}
+	// Feed-throughs: a net leaving channel c downward and entering
+	// channel c+1 from the top at the same column crosses row c.
+	for k, cols := range bottomsOf {
+		if k.channel >= nRows {
+			continue
+		}
+		for x := range cols {
+			if topsOf[edgeKey{k.net, k.channel + 1}][x] {
+				g.Rects = append(g.Rects, GeoRect{
+					Layer: LayerFeedThrough,
+					Name:  k.net,
+					Box:   geom.NewRect(x, rowTop[k.channel], x+2, rowBottom[k.channel]),
+				})
+			}
+		}
+	}
+	if width == 0 || height == 0 {
+		return nil, fmt.Errorf("%w: module %q produced empty geometry", ErrLayout, pl.Circuit.Name)
+	}
+	g.Bounds = geom.NewRect(0, 0, width, height)
+	for _, r := range g.Rects {
+		if r.Box.Intersect(g.Bounds) != r.Box {
+			return nil, fmt.Errorf("%w: %s rect %q %v escapes bounds %v",
+				ErrLayout, r.Layer, r.Name, r.Box, g.Bounds)
+		}
+	}
+	// Deterministic rectangle order for serialization and golden
+	// tests (feed-through reconstruction iterates maps).
+	sort.Slice(g.Rects, func(i, j int) bool {
+		a, b := g.Rects[i], g.Rects[j]
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Box.Min != b.Box.Min {
+			if a.Box.Min.Y != b.Box.Min.Y {
+				return a.Box.Min.Y < b.Box.Min.Y
+			}
+			return a.Box.Min.X < b.Box.Min.X
+		}
+		if a.Box.Max.Y != b.Box.Max.Y {
+			return a.Box.Max.Y < b.Box.Max.Y
+		}
+		return a.Box.Max.X < b.Box.Max.X
+	})
+	return g, nil
+}
+
+// CheckCellsDisjoint verifies that no two cell outlines overlap — the
+// basic legality invariant of any placement-derived geometry.
+func (g *Geometry) CheckCellsDisjoint() error {
+	var cells []GeoRect
+	for _, r := range g.Rects {
+		if r.Layer == LayerCell {
+			cells = append(cells, r)
+		}
+	}
+	for i := 0; i < len(cells); i++ {
+		for j := i + 1; j < len(cells); j++ {
+			if cells[i].Box.Intersects(cells[j].Box) {
+				return fmt.Errorf("%w: cells %q and %q overlap",
+					ErrLayout, cells[i].Name, cells[j].Name)
+			}
+		}
+	}
+	return nil
+}

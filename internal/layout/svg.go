@@ -1,0 +1,53 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSVG renders a module geometry as a standalone SVG document —
+// cells in grey, metal trunks in blue, poly drops in red,
+// feed-through columns in gold — for quick visual inspection of the
+// layout engine's output.  One λ maps to `scale` SVG user units
+// (default 2 when scale ≤ 0).
+func WriteSVG(w io.Writer, g *Geometry, scale int) error {
+	if g.Bounds.Empty() {
+		return fmt.Errorf("%w: cannot render empty geometry", ErrLayout)
+	}
+	if scale <= 0 {
+		scale = 2
+	}
+	s := int64(scale)
+	bw := bufio.NewWriter(w)
+	width := int64(g.Bounds.Width()) * s
+	height := int64(g.Bounds.Height()) * s
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, "<title>%s</title>\n", g.Name)
+	fmt.Fprintf(bw, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	for _, r := range g.Rects {
+		fill, opacity := styleFor(r.Layer)
+		fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="%s" stroke="#333" stroke-width="0.5"><title>%s %s</title></rect>`+"\n",
+			int64(r.Box.Min.X)*s, int64(r.Box.Min.Y)*s,
+			int64(r.Box.Width())*s, int64(r.Box.Height())*s,
+			fill, opacity, r.Layer, r.Name)
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+func styleFor(l Layer) (fill, opacity string) {
+	switch l {
+	case LayerCell:
+		return "#bbbbbb", "0.9"
+	case LayerMetal:
+		return "#3366cc", "0.8"
+	case LayerPoly:
+		return "#cc3333", "0.8"
+	case LayerFeedThrough:
+		return "#ddaa22", "0.8"
+	default:
+		return "#999999", "0.5"
+	}
+}

@@ -1,0 +1,52 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	g, _ := buildGeo(t, 30, 2, 3)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<title>geo</title>", "#3366cc", "#bbbbbb"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One rect per geometry rect plus the background.
+	if got := strings.Count(out, "<rect"); got != len(g.Rects)+1 {
+		t.Fatalf("rect count = %d, want %d", got, len(g.Rects)+1)
+	}
+}
+
+func TestWriteSVGScale(t *testing.T) {
+	g, _ := buildGeo(t, 10, 1, 1)
+	var a, b bytes.Buffer
+	if err := WriteSVG(&a, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&b, g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || b.Len() == 0 || a.String() == b.String() {
+		t.Fatal("scale had no effect")
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	if err := WriteSVG(&bytes.Buffer{}, &Geometry{Name: "e"}, 2); err == nil {
+		t.Fatal("empty geometry accepted")
+	}
+}
+
+func TestStyleForUnknownLayer(t *testing.T) {
+	fill, op := styleFor(Layer("XX"))
+	if fill == "" || op == "" {
+		t.Fatal("unknown layer has no style")
+	}
+}

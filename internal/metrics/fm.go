@@ -1,0 +1,313 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"maest/internal/netlist"
+)
+
+// Fiduccia–Mattheyses bipartitioning: the classic linear-time min-cut
+// improvement pass (gain buckets, tentative move sequence, best-prefix
+// rollback), used here to drive the Rent-exponent analysis with
+// placement-quality partitions instead of traversal-order chunks.
+
+// Bipart is a two-way partition of a device subset.
+type Bipart struct {
+	// Side[d] reports the side of device d (only meaningful for
+	// devices in the partitioned subset).
+	Side map[int]bool
+	// CutNets is the number of nets with pins on both sides.
+	CutNets int
+	// Passes is the number of FM passes run before convergence.
+	Passes int
+}
+
+// fmInstance carries one partition problem: a subset of devices and
+// the nets among them.
+type fmInstance struct {
+	c       *netlist.Circuit
+	devices []int
+	inSet   map[int]bool
+	// nets with ≥ 2 subset devices, as device-index lists.
+	nets [][]int
+	// netsOf[d] lists net indices touching device d.
+	netsOf map[int][]int
+}
+
+func newFMInstance(c *netlist.Circuit, devices []int) *fmInstance {
+	inst := &fmInstance{
+		c:       c,
+		devices: append([]int(nil), devices...),
+		inSet:   make(map[int]bool, len(devices)),
+		netsOf:  map[int][]int{},
+	}
+	for _, d := range devices {
+		inst.inSet[d] = true
+	}
+	for _, n := range c.Nets {
+		var members []int
+		for _, dev := range n.Devices {
+			if inst.inSet[dev.Index] {
+				members = append(members, dev.Index)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		idx := len(inst.nets)
+		inst.nets = append(inst.nets, members)
+		for _, d := range members {
+			inst.netsOf[d] = append(inst.netsOf[d], idx)
+		}
+	}
+	return inst
+}
+
+// Bipartition splits the device subset into two balanced halves with
+// minimum net cut (FM passes until no pass improves).  The subset
+// must contain at least 2 devices; nil selects all devices.
+// Balance tolerance: side sizes differ by at most 1 + |subset|/16.
+func Bipartition(c *netlist.Circuit, subset []int, seed int64) (*Bipart, error) {
+	if subset == nil {
+		subset = make([]int, c.NumDevices())
+		for i := range subset {
+			subset[i] = i
+		}
+	}
+	if len(subset) < 2 {
+		return nil, fmt.Errorf("%w: bipartition needs ≥ 2 devices, got %d", ErrMetrics, len(subset))
+	}
+	inst := newFMInstance(c, subset)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Initial partition: random balanced split (deterministic via
+	// seed).
+	order := append([]int(nil), inst.devices...)
+	sort.Ints(order)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	side := make(map[int]bool, len(order))
+	for i, d := range order {
+		side[d] = i >= len(order)/2
+	}
+
+	maxImb := 1 + len(subset)/16
+	passes := 0
+	for ; passes < 24; passes++ {
+		improved := inst.fmPass(side, maxImb)
+		if !improved {
+			break
+		}
+	}
+	return &Bipart{Side: side, CutNets: inst.cut(side), Passes: passes}, nil
+}
+
+// cut counts nets spanning both sides.
+func (inst *fmInstance) cut(side map[int]bool) int {
+	cut := 0
+	for _, members := range inst.nets {
+		a, b := false, false
+		for _, d := range members {
+			if side[d] {
+				b = true
+			} else {
+				a = true
+			}
+		}
+		if a && b {
+			cut++
+		}
+	}
+	return cut
+}
+
+// gain returns the cut reduction of moving d to the other side.
+func (inst *fmInstance) gain(d int, side map[int]bool) int {
+	g := 0
+	for _, ni := range inst.netsOf[d] {
+		same, other := 0, 0
+		for _, m := range inst.nets[ni] {
+			if m == d {
+				continue
+			}
+			if side[m] == side[d] {
+				same++
+			} else {
+				other++
+			}
+		}
+		if same == 0 {
+			g++ // net becomes uncut
+		}
+		if other == 0 {
+			g-- // net becomes cut
+		}
+	}
+	return g
+}
+
+// fmPass performs one FM pass: tentatively move every device once in
+// greedy gain order (respecting balance), then keep the best prefix.
+// Reports whether the cut improved.
+func (inst *fmInstance) fmPass(side map[int]bool, maxImb int) bool {
+	n := len(inst.devices)
+	locked := make(map[int]bool, n)
+	sizeA, sizeB := 0, 0
+	for _, d := range inst.devices {
+		if side[d] {
+			sizeB++
+		} else {
+			sizeA++
+		}
+	}
+	type move struct {
+		dev  int
+		gain int
+	}
+	var seq []move
+	cum, best, bestAt := 0, 0, -1
+	for step := 0; step < n; step++ {
+		// Select the max-gain unlocked device whose move keeps
+		// balance.  (A bucket structure makes this O(1); the linear
+		// scan keeps the code transparent at module scale.)
+		bestDev, bestGain := -1, -1<<30
+		for _, d := range inst.devices {
+			if locked[d] {
+				continue
+			}
+			fromA := !side[d]
+			na, nb := sizeA, sizeB
+			if fromA {
+				na, nb = na-1, nb+1
+			} else {
+				na, nb = na+1, nb-1
+			}
+			if abs(na-nb) > maxImb {
+				continue
+			}
+			if g := inst.gain(d, side); g > bestGain || (g == bestGain && d < bestDev) {
+				bestDev, bestGain = d, g
+			}
+		}
+		if bestDev < 0 {
+			break
+		}
+		// Apply tentatively.
+		if side[bestDev] {
+			sizeB--
+			sizeA++
+		} else {
+			sizeA--
+			sizeB++
+		}
+		side[bestDev] = !side[bestDev]
+		locked[bestDev] = true
+		seq = append(seq, move{bestDev, bestGain})
+		cum += bestGain
+		if cum > best {
+			best, bestAt = cum, len(seq)-1
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(seq) - 1; i > bestAt; i-- {
+		side[seq[i].dev] = !side[seq[i].dev]
+	}
+	return best > 0
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RentFM estimates the Rent exponent with recursive FM bisection —
+// the partition-quality counterpart to Rent's traversal-order
+// chunking.  Levels whose partitions fall below 2 devices stop the
+// recursion.
+func RentFM(c *netlist.Circuit, seed int64) (*RentResult, error) {
+	n := c.NumDevices()
+	if n < 8 {
+		return nil, fmt.Errorf("%w: need ≥ 8 devices, got %d", ErrMetrics, n)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	levels := map[int][]float64{} // approximate block size -> pin counts
+	var recurse func(subset []int, depth int) error
+	recurse = func(subset []int, depth int) error {
+		if len(subset) < 2 || depth > 24 {
+			return nil
+		}
+		levels[len(subset)] = append(levels[len(subset)],
+			float64(externalNets(c, subset)))
+		if len(subset) < 4 {
+			return nil
+		}
+		bp, err := Bipartition(c, subset, seed+int64(depth))
+		if err != nil {
+			return err
+		}
+		var a, b []int
+		for _, d := range subset {
+			if bp.Side[d] {
+				b = append(b, d)
+			} else {
+				a = append(a, d)
+			}
+		}
+		if len(a) == 0 || len(b) == 0 {
+			return nil
+		}
+		if err := recurse(a, depth+1); err != nil {
+			return err
+		}
+		return recurse(b, depth+1)
+	}
+	if err := recurse(all, 0); err != nil {
+		return nil, err
+	}
+	var samples []RentSample
+	for size, pins := range levels {
+		sum := 0.0
+		for _, p := range pins {
+			sum += p
+		}
+		samples = append(samples, RentSample{
+			Blocks: float64(size),
+			Pins:   sum / float64(len(pins)),
+		})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Blocks > samples[j].Blocks })
+	return fitRent(samples, n)
+}
+
+// fitRent runs the Region-II-excluded log-log fit shared by both Rent
+// estimators.
+func fitRent(samples []RentSample, n int) (*RentResult, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("%w: only %d levels", ErrMetrics, len(samples))
+	}
+	var xs, ys []float64
+	for _, s := range samples {
+		if s.Pins <= 0 || s.Blocks > float64(n)/4 {
+			continue
+		}
+		xs = append(xs, math.Log(s.Blocks))
+		ys = append(ys, math.Log(s.Pins))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("%w: not enough non-degenerate levels", ErrMetrics)
+	}
+	slope, intercept, r2 := fitLine(xs, ys)
+	return &RentResult{
+		Exponent:    slope,
+		Coefficient: math.Exp(intercept),
+		R2:          r2,
+		Samples:     samples,
+	}, nil
+}

@@ -1,0 +1,233 @@
+// Package metrics computes interconnect-complexity statistics of a
+// circuit: net-degree distributions, pin counts, and an empirical
+// Rent exponent from recursive bisection.  The estimator's accuracy
+// depends on exactly these properties (the paper's probability model
+// assumes uniform placement; Rent-like locality is what real
+// placements exploit), so the sweeps report them alongside estimation
+// error.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"maest/internal/netlist"
+)
+
+// ErrMetrics wraps analysis failures.
+var ErrMetrics = errors.New("metrics: analysis failed")
+
+// DegreeStats summarizes the net-degree distribution.
+type DegreeStats struct {
+	// RoutableNets counts nets with ≥ 2 distinct devices.
+	RoutableNets int
+	// MeanDegree and MaxDegree describe routable nets.
+	MeanDegree float64
+	MaxDegree  int
+	// TotalPins counts device pin connections on routable nets.
+	TotalPins int
+	// Histogram maps degree D to the number of nets.
+	Histogram map[int]int
+}
+
+// Degrees computes the degree statistics of a circuit.
+func Degrees(c *netlist.Circuit) *DegreeStats {
+	s := &DegreeStats{Histogram: map[int]int{}}
+	sum := 0
+	for _, n := range c.Nets {
+		d := n.Degree()
+		if d < 2 {
+			continue
+		}
+		s.RoutableNets++
+		s.Histogram[d]++
+		sum += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.TotalPins += n.PinCount
+	}
+	if s.RoutableNets > 0 {
+		s.MeanDegree = float64(sum) / float64(s.RoutableNets)
+	}
+	return s
+}
+
+// RentSample is one bisection level's observation.
+type RentSample struct {
+	// Blocks is the mean devices per partition at this level.
+	Blocks float64
+	// Pins is the mean external-net count per partition.
+	Pins float64
+}
+
+// RentResult is the fitted Rent's-rule model P = k·Bʳ.
+type RentResult struct {
+	// Exponent is r, Coefficient is k.
+	Exponent, Coefficient float64
+	// R2 is the log-log fit quality.
+	R2 float64
+	// Samples holds the per-level observations the fit used.
+	Samples []RentSample
+}
+
+// Rent estimates the circuit's Rent exponent by recursive bisection:
+// devices are ordered by breadth-first connectivity traversal (so
+// related logic stays together, as a placer would keep it), each
+// level splits every partition in half, and the external-pin count
+// of each partition is measured.  At least 8 devices are required to
+// produce the two fit points a power law needs.
+func Rent(c *netlist.Circuit) (*RentResult, error) {
+	n := c.NumDevices()
+	if n < 8 {
+		return nil, fmt.Errorf("%w: need ≥ 8 devices, got %d", ErrMetrics, n)
+	}
+	order := bfsOrder(c)
+	var samples []RentSample
+	for size := n; size >= 2; size = (size + 1) / 2 {
+		// Partition the BFS order into chunks of `size`.
+		var pinsSum float64
+		parts := 0
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			if hi-lo < 2 {
+				continue
+			}
+			pinsSum += float64(externalNets(c, order[lo:hi]))
+			parts++
+		}
+		if parts == 0 {
+			continue
+		}
+		samples = append(samples, RentSample{
+			Blocks: float64(size),
+			Pins:   pinsSum / float64(parts),
+		})
+		if size == 2 {
+			break
+		}
+	}
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("%w: only %d bisection levels", ErrMetrics, len(samples))
+	}
+	// Fit log P = log k + r log B, ignoring zero-pin samples and the
+	// top levels near module size — Rent's classical "Region II",
+	// where pin limitation flattens the power law and which the
+	// literature excludes from exponent fits.
+	var xs, ys []float64
+	for _, s := range samples {
+		if s.Pins <= 0 || s.Blocks > float64(n)/4 {
+			continue
+		}
+		xs = append(xs, math.Log(s.Blocks))
+		ys = append(ys, math.Log(s.Pins))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("%w: not enough non-degenerate levels", ErrMetrics)
+	}
+	slope, intercept, r2 := fitLine(xs, ys)
+	return &RentResult{
+		Exponent:    slope,
+		Coefficient: math.Exp(intercept),
+		R2:          r2,
+		Samples:     samples,
+	}, nil
+}
+
+// bfsOrder returns device indices in breadth-first connectivity
+// order, deterministic via index tie-breaking.
+func bfsOrder(c *netlist.Circuit) []int {
+	n := c.NumDevices()
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			d := queue[0]
+			queue = queue[1:]
+			order = append(order, d)
+			var neigh []int
+			for _, net := range c.Devices[d].Pins {
+				if net == nil || net.Degree() > 16 {
+					continue // skip huge nets (clock-like) for locality
+				}
+				for _, dev := range net.Devices {
+					if !visited[dev.Index] {
+						visited[dev.Index] = true
+						neigh = append(neigh, dev.Index)
+					}
+				}
+			}
+			sort.Ints(neigh)
+			queue = append(queue, neigh...)
+		}
+	}
+	return order
+}
+
+// externalNets counts the nets that cross the boundary of the device
+// subset (or reach a module port).
+func externalNets(c *netlist.Circuit, subset []int) int {
+	in := map[int]bool{}
+	for _, d := range subset {
+		in[d] = true
+	}
+	count := 0
+	for _, net := range c.Nets {
+		if net.Degree() == 0 {
+			continue
+		}
+		inside, outside := false, net.External()
+		for _, dev := range net.Devices {
+			if in[dev.Index] {
+				inside = true
+			} else {
+				outside = true
+			}
+		}
+		if inside && outside {
+			count++
+		}
+	}
+	return count
+}
+
+// fitLine is simple 1-D ordinary least squares returning slope,
+// intercept and R².
+func fitLine(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func TestDegrees(t *testing.T) {
+	b := netlist.NewBuilder("d")
+	b.AddDevice("g1", "NAND2", "a", "b", "x")
+	b.AddDevice("g2", "INV", "x", "y")
+	b.AddDevice("g3", "INV", "x", "z")
+	b.AddDevice("g4", "NAND2", "y", "z", "q")
+	b.AddPort("pa", netlist.In, "a")
+	b.AddPort("pb", netlist.In, "b")
+	b.AddPort("pq", netlist.Out, "q")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Degrees(c)
+	// Routable nets: x(3), y(2), z(2); a,b,q are degree 1.
+	if s.RoutableNets != 3 {
+		t.Fatalf("routable = %d", s.RoutableNets)
+	}
+	if s.MaxDegree != 3 {
+		t.Fatalf("max = %d", s.MaxDegree)
+	}
+	if math.Abs(s.MeanDegree-7.0/3) > 1e-12 {
+		t.Fatalf("mean = %g", s.MeanDegree)
+	}
+	if s.Histogram[2] != 2 || s.Histogram[3] != 1 {
+		t.Fatalf("hist = %v", s.Histogram)
+	}
+}
+
+func TestDegreesEmptyish(t *testing.T) {
+	b := netlist.NewBuilder("e")
+	b.AddDevice("g1", "INV", "a", "b")
+	b.AddPort("pa", netlist.In, "a")
+	b.AddPort("pb", netlist.Out, "b")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Degrees(c)
+	if s.RoutableNets != 0 || s.MeanDegree != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRentOnChain(t *testing.T) {
+	// A chain has boundary pins independent of block size: the Rent
+	// exponent of a 1-D chain is ~0 (constant external pins per
+	// block interior).
+	p := tech.NMOS25()
+	c, err := gen.Chain("ch", 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Rent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exponent > 0.3 {
+		t.Fatalf("chain Rent exponent = %.2f, want near 0", r.Exponent)
+	}
+	if len(r.Samples) < 3 {
+		t.Fatalf("samples = %d", len(r.Samples))
+	}
+}
+
+func TestRentOnRandomLogic(t *testing.T) {
+	// Random mapped logic lands in the classic 0.4–0.85 band.
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "r", Gates: 200, Inputs: 8, Outputs: 6, Seed: 5,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Rent(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exponent < 0.2 || r.Exponent > 0.95 {
+		t.Fatalf("Rent exponent = %.2f outside plausible band", r.Exponent)
+	}
+	if r.R2 < 0.5 {
+		t.Fatalf("log-log fit R² = %.2f too poor", r.R2)
+	}
+	if r.Coefficient <= 0 {
+		t.Fatalf("coefficient = %g", r.Coefficient)
+	}
+}
+
+func TestRentOrderingEffect(t *testing.T) {
+	// Lower-locality circuits should not have a *smaller* exponent
+	// than a chain.
+	p := tech.NMOS25()
+	chain, err := gen.Chain("ch", 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Rent(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	messy, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "m", Gates: 64, Inputs: 6, Outputs: 4, Seed: 5, Locality: 0.2,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Rent(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Exponent < rc.Exponent-0.05 {
+		t.Fatalf("messy exponent %.2f below chain %.2f", rm.Exponent, rc.Exponent)
+	}
+}
+
+func TestRentTooSmall(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.Chain("tiny", 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rent(c); err == nil {
+		t.Fatal("tiny circuit accepted")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept, r2 := fitLine(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("fit = %g %g %g", slope, intercept, r2)
+	}
+	// Degenerate x.
+	s2, _, r22 := fitLine([]float64{1, 1}, []float64{2, 4})
+	if s2 != 0 || r22 != 0 {
+		t.Fatalf("degenerate fit = %g %g", s2, r22)
+	}
+	// Constant y.
+	_, _, r23 := fitLine([]float64{1, 2}, []float64{5, 5})
+	if r23 != 1 {
+		t.Fatalf("constant-y R² = %g", r23)
+	}
+}
+
+func TestBFSOrderCoversAll(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "b", Gates: 50, Inputs: 5, Outputs: 4, Seed: 7,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := bfsOrder(c)
+	if len(order) != c.NumDevices() {
+		t.Fatalf("order covers %d of %d", len(order), c.NumDevices())
+	}
+	seen := map[int]bool{}
+	for _, d := range order {
+		if seen[d] {
+			t.Fatalf("device %d visited twice", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestExternalNets(t *testing.T) {
+	b := netlist.NewBuilder("x")
+	b.AddDevice("g1", "INV", "a", "m")
+	b.AddDevice("g2", "INV", "m", "z")
+	b.AddPort("pa", netlist.In, "a")
+	b.AddPort("pz", netlist.Out, "z")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subset {g1}: net m crosses (g1 in, g2 out), net a reaches a
+	// port -> 2 external.
+	if got := externalNets(c, []int{0}); got != 2 {
+		t.Fatalf("external = %d, want 2", got)
+	}
+	// Whole circuit: a and z reach ports, m is internal -> 2.
+	if got := externalNets(c, []int{0, 1}); got != 2 {
+		t.Fatalf("external = %d, want 2", got)
+	}
+}

@@ -1,0 +1,298 @@
+// Package netlist models the circuit schematic the estimator analyses
+// (paper §3): devices, signal nets, and external I/O ports.
+//
+// The estimator never needs transistor-level electrical detail — only
+// the structural quantities of §4: the number of devices N, the number
+// of nets H, each device's type (hence width Wᵢ from the process
+// database), the multiplicity Xᵢ of each width, the number of external
+// ports, and yᵢ, the number of nets having each component count D.
+// This package provides the structure plus a validating builder; the
+// derived statistics live in stats.go.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PortDir is the direction of an external port.
+type PortDir int
+
+const (
+	// In is a module input.
+	In PortDir = iota
+	// Out is a module output.
+	Out
+	// InOut is a bidirectional port.
+	InOut
+)
+
+// String implements fmt.Stringer.
+func (d PortDir) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("PortDir(%d)", int(d))
+	}
+}
+
+// ParsePortDir converts the textual form used by the HDL front end.
+func ParsePortDir(s string) (PortDir, error) {
+	switch s {
+	case "in":
+		return In, nil
+	case "out":
+		return Out, nil
+	case "inout":
+		return InOut, nil
+	default:
+		return 0, fmt.Errorf("netlist: unknown port direction %q", s)
+	}
+}
+
+// Device is one placed instance: a standard cell or a full-custom
+// transistor, depending on the layout methodology in force.
+type Device struct {
+	// Index is the position of the device in Circuit.Devices.
+	Index int
+	// Name is the unique instance name.
+	Name string
+	// Type names the device type in the process database.
+	Type string
+	// Pins lists the nets this device connects to, in pin order.  A
+	// pin may be nil (unconnected).
+	Pins []*Net
+}
+
+// Net is one signal net.
+type Net struct {
+	// Index is the position of the net in Circuit.Nets.
+	Index int
+	// Name is the unique net name.
+	Name string
+	// Devices lists the distinct devices attached to the net, in
+	// first-connection order.
+	Devices []*Device
+	// PinCount is the total number of device pins on the net (a
+	// device connecting twice contributes twice here but once to
+	// Devices).
+	PinCount int
+	// Ports lists external ports driven by or driving this net.
+	Ports []*Port
+}
+
+// Degree returns D, the number of components (distinct devices) in the
+// net — the quantity the paper's probability machinery is written in.
+func (n *Net) Degree() int { return len(n.Devices) }
+
+// External reports whether the net reaches a module port.
+func (n *Net) External() bool { return len(n.Ports) > 0 }
+
+// Port is an external I/O terminal of the module.
+type Port struct {
+	Name string
+	Dir  PortDir
+	Net  *Net
+}
+
+// Circuit is a flat module netlist.
+type Circuit struct {
+	Name    string
+	Devices []*Device
+	Nets    []*Net
+	Ports   []*Port
+
+	deviceByName map[string]*Device
+	netByName    map[string]*Net
+	portByName   map[string]*Port
+}
+
+// DeviceByName returns the named device instance, or nil.
+func (c *Circuit) DeviceByName(name string) *Device { return c.deviceByName[name] }
+
+// NetByName returns the named net, or nil.
+func (c *Circuit) NetByName(name string) *Net { return c.netByName[name] }
+
+// PortByName returns the named port, or nil.
+func (c *Circuit) PortByName(name string) *Port { return c.portByName[name] }
+
+// NumDevices returns N.
+func (c *Circuit) NumDevices() int { return len(c.Devices) }
+
+// NumNets returns the total net count, including degenerate nets.
+func (c *Circuit) NumNets() int { return len(c.Nets) }
+
+// NumPorts returns the external port count.
+func (c *Circuit) NumPorts() int { return len(c.Ports) }
+
+// ErrInvalidCircuit wraps all builder validation failures.
+var ErrInvalidCircuit = errors.New("netlist: invalid circuit")
+
+// Builder incrementally assembles a Circuit, interning nets by name.
+// All errors are deferred to Build so construction code stays linear.
+type Builder struct {
+	c    *Circuit
+	errs []error
+}
+
+// NewBuilder starts a circuit with the given module name.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: &Circuit{
+		Name:         name,
+		deviceByName: map[string]*Device{},
+		netByName:    map[string]*Net{},
+		portByName:   map[string]*Port{},
+	}}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Net interns (creating if necessary) the named net.
+func (b *Builder) Net(name string) *Net {
+	if name == "" {
+		b.fail("empty net name")
+		return nil
+	}
+	if n, ok := b.c.netByName[name]; ok {
+		return n
+	}
+	n := &Net{Index: len(b.c.Nets), Name: name}
+	b.c.Nets = append(b.c.Nets, n)
+	b.c.netByName[name] = n
+	return n
+}
+
+// AddDevice adds an instance of the given type connected to the named
+// nets, in pin order.  An empty net name leaves that pin unconnected.
+func (b *Builder) AddDevice(name, typ string, nets ...string) *Device {
+	if name == "" {
+		b.fail("empty device name")
+		return nil
+	}
+	if typ == "" {
+		b.fail("device %q: empty type", name)
+		return nil
+	}
+	if _, dup := b.c.deviceByName[name]; dup {
+		b.fail("duplicate device %q", name)
+		return nil
+	}
+	d := &Device{Index: len(b.c.Devices), Name: name, Type: typ}
+	for _, netName := range nets {
+		if netName == "" {
+			d.Pins = append(d.Pins, nil)
+			continue
+		}
+		n := b.Net(netName)
+		d.Pins = append(d.Pins, n)
+		n.PinCount++
+		if !containsDevice(n.Devices, d) {
+			n.Devices = append(n.Devices, d)
+		}
+	}
+	b.c.Devices = append(b.c.Devices, d)
+	b.c.deviceByName[name] = d
+	return d
+}
+
+func containsDevice(ds []*Device, d *Device) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPort declares an external port on the named net (interned if
+// new).
+func (b *Builder) AddPort(name string, dir PortDir, netName string) *Port {
+	if name == "" {
+		b.fail("empty port name")
+		return nil
+	}
+	if _, dup := b.c.portByName[name]; dup {
+		b.fail("duplicate port %q", name)
+		return nil
+	}
+	n := b.Net(netName)
+	if n == nil {
+		return nil
+	}
+	p := &Port{Name: name, Dir: dir, Net: n}
+	n.Ports = append(n.Ports, p)
+	b.c.Ports = append(b.c.Ports, p)
+	b.c.portByName[name] = p
+	return p
+}
+
+// Build validates and returns the circuit.  After Build the builder
+// must not be reused.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.c.Name == "" {
+		b.fail("empty circuit name")
+	}
+	if len(b.c.Devices) == 0 {
+		b.fail("circuit %q has no devices", b.c.Name)
+	}
+	for _, n := range b.c.Nets {
+		if n.PinCount == 0 && !n.External() {
+			b.fail("net %q is dangling (no pins, no ports)", n.Name)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("%w: %s", ErrInvalidCircuit, joinErrs(b.errs))
+	}
+	return b.c, nil
+}
+
+func joinErrs(errs []error) string {
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Sprintf("%d problem(s): %s", len(errs), joinLimited(msgs, 8))
+}
+
+func joinLimited(msgs []string, limit int) string {
+	if len(msgs) > limit {
+		msgs = append(msgs[:limit:limit], fmt.Sprintf("... and %d more", len(msgs)-limit))
+	}
+	out := ""
+	for i, m := range msgs {
+		if i > 0 {
+			out += "; "
+		}
+		out += m
+	}
+	return out
+}
+
+// TypeHistogram counts device instances by type name, sorted output via
+// TypeNames.
+func (c *Circuit) TypeHistogram() map[string]int {
+	h := make(map[string]int)
+	for _, d := range c.Devices {
+		h[d.Type]++
+	}
+	return h
+}
+
+// TypeNames returns the distinct device type names in sorted order.
+func (c *Circuit) TypeNames() []string {
+	h := c.TypeHistogram()
+	names := make([]string, 0, len(h))
+	for n := range h {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

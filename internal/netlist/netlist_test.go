@@ -1,0 +1,179 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildSmall returns a 4-gate circuit used by several tests:
+//
+//	a, b -> g1(NAND2) -> n1
+//	n1   -> g2(INV)   -> n2
+//	n1,b -> g3(NOR2)  -> n3
+//	n2,n3-> g4(NAND2) -> y
+func buildSmall(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("small")
+	b.AddDevice("g1", "NAND2", "a", "b", "n1")
+	b.AddDevice("g2", "INV", "n1", "n2")
+	b.AddDevice("g3", "NOR2", "n1", "b", "n3")
+	b.AddDevice("g4", "NAND2", "n2", "n3", "y")
+	b.AddPort("a", In, "a")
+	b.AddPort("b", In, "b")
+	b.AddPort("y", Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuilderBasics(t *testing.T) {
+	c := buildSmall(t)
+	if c.NumDevices() != 4 {
+		t.Fatalf("N = %d", c.NumDevices())
+	}
+	if c.NumPorts() != 3 {
+		t.Fatalf("ports = %d", c.NumPorts())
+	}
+	// Nets: a b n1 n2 n3 y = 6.
+	if c.NumNets() != 6 {
+		t.Fatalf("nets = %d", c.NumNets())
+	}
+	n1 := c.NetByName("n1")
+	if n1 == nil || n1.Degree() != 3 {
+		t.Fatalf("n1 degree = %v", n1)
+	}
+	if n1.External() {
+		t.Fatal("n1 should be internal")
+	}
+	a := c.NetByName("a")
+	if !a.External() || a.Degree() != 1 {
+		t.Fatalf("a: external=%v degree=%d", a.External(), a.Degree())
+	}
+	if c.DeviceByName("g3").Type != "NOR2" {
+		t.Fatal("device lookup broken")
+	}
+	if c.PortByName("y").Dir != Out {
+		t.Fatal("port lookup broken")
+	}
+}
+
+func TestNetDeviceDedup(t *testing.T) {
+	b := NewBuilder("dedup")
+	// g1 connects to net x twice (e.g. a gate with tied inputs).
+	b.AddDevice("g1", "NAND2", "x", "x", "z")
+	b.AddDevice("g2", "INV", "z", "q")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.NetByName("x")
+	if x.Degree() != 1 {
+		t.Fatalf("x degree = %d, want 1 (distinct devices)", x.Degree())
+	}
+	if x.PinCount != 2 {
+		t.Fatalf("x pin count = %d, want 2", x.PinCount)
+	}
+}
+
+func TestUnconnectedPin(t *testing.T) {
+	b := NewBuilder("nc")
+	d := b.AddDevice("g1", "NAND2", "a", "", "y")
+	b.AddDevice("g2", "INV", "y", "a")
+	if d.Pins[1] != nil {
+		t.Fatal("empty net name should leave pin nil")
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+	}{
+		{"no devices", func(b *Builder) {}},
+		{"empty device name", func(b *Builder) { b.AddDevice("", "INV", "a", "b") }},
+		{"empty type", func(b *Builder) { b.AddDevice("g", "", "a", "b") }},
+		{"dup device", func(b *Builder) {
+			b.AddDevice("g", "INV", "a", "b")
+			b.AddDevice("g", "INV", "b", "c")
+		}},
+		{"dup port", func(b *Builder) {
+			b.AddDevice("g", "INV", "a", "b")
+			b.AddPort("p", In, "a")
+			b.AddPort("p", In, "b")
+		}},
+		{"empty port name", func(b *Builder) {
+			b.AddDevice("g", "INV", "a", "b")
+			b.AddPort("", In, "a")
+		}},
+	}
+	for _, c := range cases {
+		b := NewBuilder("t")
+		c.build(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", c.name)
+		} else if !errors.Is(err, ErrInvalidCircuit) {
+			t.Errorf("%s: error not wrapped: %v", c.name, err)
+		}
+	}
+}
+
+func TestEmptyCircuitName(t *testing.T) {
+	b := NewBuilder("")
+	b.AddDevice("g", "INV", "a", "b")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for empty circuit name")
+	}
+}
+
+func TestErrorListTruncation(t *testing.T) {
+	b := NewBuilder("many")
+	for i := 0; i < 12; i++ {
+		b.AddDevice("", "INV", "a") // 12 identical failures
+	}
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "and") || !strings.Contains(err.Error(), "more") {
+		t.Fatalf("long error list not truncated: %v", err)
+	}
+}
+
+func TestTypeHistogram(t *testing.T) {
+	c := buildSmall(t)
+	h := c.TypeHistogram()
+	if h["NAND2"] != 2 || h["INV"] != 1 || h["NOR2"] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	names := c.TypeNames()
+	want := []string{"INV", "NAND2", "NOR2"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestPortDirParseAndString(t *testing.T) {
+	for _, d := range []PortDir{In, Out, InOut} {
+		got, err := ParsePortDir(d.String())
+		if err != nil || got != d {
+			t.Fatalf("round trip %v: %v %v", d, got, err)
+		}
+	}
+	if _, err := ParsePortDir("sideways"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if PortDir(9).String() != "PortDir(9)" {
+		t.Fatal("unknown dir String mismatch")
+	}
+}

@@ -1,0 +1,120 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"maest/internal/tech"
+)
+
+func TestGatherSmall(t *testing.T) {
+	c := buildSmall(t)
+	p := tech.NMOS25()
+	s, err := Gather(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CircuitName != "small" {
+		t.Fatalf("name = %q", s.CircuitName)
+	}
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.NumPorts != 3 {
+		t.Fatalf("ports = %d", s.NumPorts)
+	}
+	// Routable nets: b(deg2: g1,g3), n1(deg3), n2(deg2), n3(deg2).
+	// Degenerate: a(deg1), y(deg1).
+	if s.H != 4 {
+		t.Fatalf("H = %d", s.H)
+	}
+	if s.DegenerateNets != 2 {
+		t.Fatalf("degenerate = %d", s.DegenerateNets)
+	}
+	if s.DegreeCount[2] != 3 || s.DegreeCount[3] != 1 {
+		t.Fatalf("yi = %v", s.DegreeCount)
+	}
+	if s.MaxDegree != 3 {
+		t.Fatalf("max degree = %d", s.MaxDegree)
+	}
+	// Widths: NAND2=18 (x2), INV=14 (x1), NOR2=18 (x1) -> 18:3, 14:1.
+	if s.WidthCount[18] != 3 || s.WidthCount[14] != 1 {
+		t.Fatalf("Xi = %v", s.WidthCount)
+	}
+	// Eq. 1: Wavg = (3*18 + 1*14)/4 = 17.
+	if got := s.AvgWidth(); math.Abs(got-17) > 1e-12 {
+		t.Fatalf("Wavg = %g", got)
+	}
+	if got := s.AvgHeight(); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("Havg = %g", got)
+	}
+	if got := s.AvgDeviceArea(); math.Abs(got-17*40) > 1e-9 {
+		t.Fatalf("avg device area = %g", got)
+	}
+	// Exact area: (18+14+18+18)*40 = 68*40 = 2720.
+	if s.ExactDeviceArea != 2720 {
+		t.Fatalf("exact device area = %d", s.ExactDeviceArea)
+	}
+}
+
+func TestGatherUnknownDeviceType(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddDevice("g1", "FLUXCAP", "a", "b")
+	b.AddDevice("g2", "INV", "b", "a")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gather(c, tech.NMOS25()); err == nil {
+		t.Fatal("expected error for unknown device type")
+	}
+}
+
+func TestStatsSortedAccessors(t *testing.T) {
+	c := buildSmall(t)
+	s, err := Gather(c, tech.NMOS25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := s.Degrees()
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1] >= ds[i] {
+			t.Fatalf("degrees not sorted: %v", ds)
+		}
+	}
+	ws := s.Widths()
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1] >= ws[i] {
+			t.Fatalf("widths not sorted: %v", ws)
+		}
+	}
+}
+
+func TestStatsZeroValueAverages(t *testing.T) {
+	var s Stats
+	if s.AvgWidth() != 0 || s.AvgHeight() != 0 || s.AvgDeviceArea() != 0 {
+		t.Fatal("zero stats should give zero averages, not NaN")
+	}
+}
+
+func TestDeviceDims(t *testing.T) {
+	c := buildSmall(t)
+	ws, hs, err := DeviceDims(c, tech.NMOS25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 || len(hs) != 4 {
+		t.Fatalf("lengths %d %d", len(ws), len(hs))
+	}
+	if ws[0] != 18 || ws[1] != 14 || hs[0] != 40 {
+		t.Fatalf("dims = %v %v", ws, hs)
+	}
+
+	b := NewBuilder("bad")
+	b.AddDevice("g1", "NOPE", "a", "b")
+	b.AddDevice("g2", "INV", "b", "a")
+	bad, _ := b.Build()
+	if _, _, err := DeviceDims(bad, tech.NMOS25()); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}

@@ -1,0 +1,259 @@
+// Package pla models programmable logic arrays, the third layout
+// style the paper's introduction cites: Gerveshi [ref. 1] "verified
+// that for PLA's, the module area has a simple linear relationship to
+// the number of basic logic functions and the number of devices".
+// The package generates PLA personality matrices, lowers them to
+// transistor-level netlists (nMOS NOR-NOR planes), and computes the
+// gridded plane area — so the linear-area observation can be checked
+// both against the grid model and against the estimator/layout flow.
+package pla
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// ErrPLA wraps PLA construction failures.
+var ErrPLA = errors.New("pla: invalid personality")
+
+// Literal is one AND-plane programming entry.
+type Literal byte
+
+// AND-plane entries.
+const (
+	// DontCare leaves the input unused in the term.
+	DontCare Literal = iota
+	// True programs the uncomplemented input.
+	True
+	// Complement programs the inverted input.
+	Complement
+)
+
+// Personality is a PLA programming matrix: Terms product terms over
+// Inputs inputs, feeding Outputs OR-plane columns.
+type Personality struct {
+	Inputs, Outputs int
+	// And[t][i] programs input i in term t.
+	And [][]Literal
+	// Or[t][o] reports whether term t feeds output o.
+	Or [][]bool
+}
+
+// Terms returns the product-term count.
+func (q *Personality) Terms() int { return len(q.And) }
+
+// Validate checks the matrix invariants: consistent dimensions, every
+// term uses at least one literal and feeds at least one output, every
+// output is fed by at least one term.
+func (q *Personality) Validate() error {
+	if q.Inputs < 1 || q.Outputs < 1 {
+		return fmt.Errorf("%w: needs ≥1 input and output, got %d/%d", ErrPLA, q.Inputs, q.Outputs)
+	}
+	if len(q.And) == 0 || len(q.And) != len(q.Or) {
+		return fmt.Errorf("%w: plane row counts %d/%d", ErrPLA, len(q.And), len(q.Or))
+	}
+	outFed := make([]bool, q.Outputs)
+	for t := range q.And {
+		if len(q.And[t]) != q.Inputs {
+			return fmt.Errorf("%w: term %d has %d AND entries, want %d", ErrPLA, t, len(q.And[t]), q.Inputs)
+		}
+		if len(q.Or[t]) != q.Outputs {
+			return fmt.Errorf("%w: term %d has %d OR entries, want %d", ErrPLA, t, len(q.Or[t]), q.Outputs)
+		}
+		lits, outs := 0, 0
+		for _, l := range q.And[t] {
+			if l > Complement {
+				return fmt.Errorf("%w: term %d has invalid literal %d", ErrPLA, t, l)
+			}
+			if l != DontCare {
+				lits++
+			}
+		}
+		for o, used := range q.Or[t] {
+			if used {
+				outs++
+				outFed[o] = true
+			}
+		}
+		if lits == 0 {
+			return fmt.Errorf("%w: term %d uses no literals", ErrPLA, t)
+		}
+		if outs == 0 {
+			return fmt.Errorf("%w: term %d feeds no output", ErrPLA, t)
+		}
+	}
+	for o, fed := range outFed {
+		if !fed {
+			return fmt.Errorf("%w: output %d is never fed", ErrPLA, o)
+		}
+	}
+	return nil
+}
+
+// Devices returns the transistor count of the personality under the
+// nMOS NOR-NOR implementation: one pull-down per programmed literal
+// and per OR-plane cross, one input inverter pair per input, one
+// depletion load per term and per output, and one output inverter
+// pair per output (the OR plane's NOR needs re-inversion).
+func (q *Personality) Devices() int {
+	n := 0
+	for t := range q.And {
+		for _, l := range q.And[t] {
+			if l != DontCare {
+				n++
+			}
+		}
+		for _, used := range q.Or[t] {
+			if used {
+				n++
+			}
+		}
+	}
+	n += 2 * q.Inputs  // input buffers/inverters
+	n += q.Terms()     // term loads
+	n += q.Outputs     // OR column loads
+	n += 2 * q.Outputs // output inverters
+	return n
+}
+
+// Functions returns Gerveshi's "number of basic logic functions":
+// the implemented input and output columns.
+func (q *Personality) Functions() int { return q.Inputs + q.Outputs }
+
+// GridArea returns the gridded plane area in λ² for the process: one
+// column pitch per true/complement input line and per output line,
+// one row pitch per term, plus driver bands on both axes.
+func (q *Personality) GridArea(p *tech.Process) float64 {
+	pitch := float64(p.TrackPitch)
+	width := float64(2*q.Inputs+q.Outputs)*pitch + 2*float64(p.RowHeight)
+	height := float64(q.Terms())*pitch + 2*float64(p.RowHeight)
+	return width * height
+}
+
+// Random generates a seeded random personality: each term programs
+// each input with probability density (split between true and
+// complement) and feeds each output with probability density,
+// patched afterwards so Validate holds.
+func Random(inputs, outputs, terms int, density float64, seed int64) (*Personality, error) {
+	if inputs < 1 || outputs < 1 || terms < 1 {
+		return nil, fmt.Errorf("%w: dimensions %d/%d/%d", ErrPLA, inputs, outputs, terms)
+	}
+	if density <= 0 || density > 1 {
+		return nil, fmt.Errorf("%w: density %g outside (0,1]", ErrPLA, density)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := &Personality{Inputs: inputs, Outputs: outputs}
+	for t := 0; t < terms; t++ {
+		and := make([]Literal, inputs)
+		lits := 0
+		for i := range and {
+			if rng.Float64() < density {
+				if rng.Intn(2) == 0 {
+					and[i] = True
+				} else {
+					and[i] = Complement
+				}
+				lits++
+			}
+		}
+		if lits == 0 {
+			and[rng.Intn(inputs)] = True
+		}
+		or := make([]bool, outputs)
+		outs := 0
+		for o := range or {
+			if rng.Float64() < density {
+				or[o] = true
+				outs++
+			}
+		}
+		if outs == 0 {
+			or[rng.Intn(outputs)] = true
+		}
+		q.And = append(q.And, and)
+		q.Or = append(q.Or, or)
+	}
+	// Ensure every output is fed.
+	fed := make([]bool, outputs)
+	for t := range q.Or {
+		for o, used := range q.Or[t] {
+			if used {
+				fed[o] = true
+			}
+		}
+	}
+	for o, ok := range fed {
+		if !ok {
+			q.Or[rng.Intn(terms)][o] = true
+		}
+	}
+	return q, q.Validate()
+}
+
+// Circuit lowers the personality to a transistor-level nMOS netlist:
+// NOR-NOR planes with depletion loads, input and output inverters.
+// The process must offer the nMOS transistor family.
+func (q *Personality) Circuit(name string, p *tech.Process) (*netlist.Circuit, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	for _, dev := range []string{"ENH", "DEP"} {
+		d, err := p.Device(dev)
+		if err != nil || d.Class != tech.ClassTransistor {
+			return nil, fmt.Errorf("%w: process %q lacks nMOS transistor %q", ErrPLA, p.Name, dev)
+		}
+	}
+	b := netlist.NewBuilder(name)
+	seq := 0
+	tx := func(typ, gate, source, drain string) {
+		seq++
+		b.AddDevice(fmt.Sprintf("m%d", seq), typ, gate, source, drain)
+	}
+	// Input columns: in_i buffered to itself (distribution) and
+	// inverted to inb_i.
+	for i := 0; i < q.Inputs; i++ {
+		in := fmt.Sprintf("in%d", i)
+		inb := fmt.Sprintf("inb%d", i)
+		b.AddPort("p"+in, netlist.In, in)
+		tx("ENH", in, "", inb)
+		tx("DEP", inb, inb, "")
+	}
+	// AND plane: term t is a NOR of its programmed literals.
+	for t := range q.And {
+		term := fmt.Sprintf("t%d", t)
+		for i, l := range q.And[t] {
+			switch l {
+			case True:
+				// NOR plane computes the complement, so a True
+				// literal pulls down on the complemented column.
+				tx("ENH", fmt.Sprintf("inb%d", i), "", term)
+			case Complement:
+				tx("ENH", fmt.Sprintf("in%d", i), "", term)
+			}
+		}
+		tx("DEP", term, term, "")
+	}
+	// OR plane: output column o is a NOR of its terms, re-inverted.
+	for o := 0; o < q.Outputs; o++ {
+		col := fmt.Sprintf("c%d", o)
+		out := fmt.Sprintf("out%d", o)
+		for t := range q.Or {
+			if q.Or[t][o] {
+				tx("ENH", fmt.Sprintf("t%d", t), "", col)
+			}
+		}
+		tx("DEP", col, col, "")
+		tx("ENH", col, "", out)
+		tx("DEP", out, out, "")
+		b.AddPort("p"+out, netlist.Out, out)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPLA, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,191 @@
+package pla
+
+import (
+	"math/rand"
+	"testing"
+
+	"maest/internal/baseline"
+	"maest/internal/core"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func small(t testing.TB) *Personality {
+	t.Helper()
+	q, err := Random(4, 3, 8, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestRandomValidates(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		q, err := Random(3+int(seed%6), 1+int(seed%4), 2+int(seed%12), 0.4, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomRejectsBadDims(t *testing.T) {
+	cases := []struct {
+		i, o, t int
+		d       float64
+	}{
+		{0, 1, 1, 0.5}, {1, 0, 1, 0.5}, {1, 1, 0, 0.5}, {2, 2, 2, 0}, {2, 2, 2, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := Random(c.i, c.o, c.t, c.d, 1); err == nil {
+			t.Errorf("Random(%+v) accepted", c)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func(mutate func(*Personality)) *Personality {
+		q := small(t)
+		mutate(q)
+		return q
+	}
+	cases := []struct {
+		name string
+		q    *Personality
+	}{
+		{"no terms", mk(func(q *Personality) { q.And, q.Or = nil, nil })},
+		{"row mismatch", mk(func(q *Personality) { q.Or = q.Or[:len(q.Or)-1] })},
+		{"short and row", mk(func(q *Personality) { q.And[0] = q.And[0][:1] })},
+		{"short or row", mk(func(q *Personality) { q.Or[0] = q.Or[0][:1] })},
+		{"bad literal", mk(func(q *Personality) { q.And[0][0] = 9 })},
+		{"empty term", mk(func(q *Personality) {
+			for i := range q.And[0] {
+				q.And[0][i] = DontCare
+			}
+		})},
+		{"unfed term", mk(func(q *Personality) {
+			for o := range q.Or[0] {
+				q.Or[0][o] = false
+			}
+		})},
+		{"dead output", mk(func(q *Personality) {
+			for tI := range q.Or {
+				q.Or[tI][0] = false
+			}
+		})},
+	}
+	for _, c := range cases {
+		if err := c.q.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestDevicesCountsMatchCircuit(t *testing.T) {
+	p := tech.NMOS25()
+	for seed := int64(1); seed <= 6; seed++ {
+		q, err := Random(5, 3, 10, 0.45, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := q.Circuit("pla", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumDevices() != q.Devices() {
+			t.Fatalf("seed %d: circuit has %d devices, model says %d",
+				seed, c.NumDevices(), q.Devices())
+		}
+		if c.NumPorts() != q.Inputs+q.Outputs {
+			t.Fatalf("ports = %d", c.NumPorts())
+		}
+	}
+}
+
+func TestCircuitNetDegrees(t *testing.T) {
+	// A term net touches its literal pull-downs, its load, and its
+	// OR-plane consumers — moderate-degree nets the estimator's
+	// probability machinery exists for.
+	p := tech.NMOS25()
+	q := small(t)
+	c, err := q.Circuit("pla", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netlist.Gather(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxDegree < 3 {
+		t.Fatalf("max degree = %d, expected plane nets of degree ≥ 3", s.MaxDegree)
+	}
+	if s.H == 0 {
+		t.Fatal("no routable nets")
+	}
+}
+
+func TestCircuitRequiresNMOS(t *testing.T) {
+	q := small(t)
+	if _, err := q.Circuit("pla", tech.CMOS30()); err == nil {
+		t.Fatal("CMOS process accepted by nMOS PLA generator")
+	}
+}
+
+func TestGridAreaLinearInFunctionsAndDevices(t *testing.T) {
+	// The Gerveshi claim on the full personality model: fit grid area
+	// linearly in (functions, devices) over random PLAs.
+	p := tech.NMOS25()
+	rng := rand.New(rand.NewSource(9))
+	var xs [][]float64
+	var ys []float64
+	for k := 0; k < 150; k++ {
+		q, err := Random(2+rng.Intn(10), 1+rng.Intn(6), 4+rng.Intn(30), 0.3+rng.Float64()*0.4, int64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, []float64{float64(q.Functions()), float64(q.Devices())})
+		ys = append(ys, q.GridArea(p))
+	}
+	_, r2, err := baseline.FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.8 {
+		t.Fatalf("grid area not linear enough: R² = %g", r2)
+	}
+}
+
+func TestEstimatorRunsOnPLACircuits(t *testing.T) {
+	// The full-custom estimator must handle PLA transistor netlists;
+	// its estimate scales with the personality size.
+	p := tech.NMOS25()
+	smallQ, err := Random(3, 2, 5, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigQ, err := Random(8, 5, 24, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := smallQ.Circuit("s", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := bigQ.Circuit("b", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := core.EstimateFullCustom(cs, p, core.FCExactAreas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := core.EstimateFullCustom(cb, p, core.FCExactAreas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Area <= es.Area {
+		t.Fatalf("estimate did not scale: %g <= %g", eb.Area, es.Area)
+	}
+}

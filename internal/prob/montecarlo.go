@@ -1,0 +1,150 @@
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The Monte Carlo estimators below replay the paper's placement model
+// literally: each of a net's D components lands in one of n rows
+// independently and uniformly.  They exist to validate the closed
+// forms (the paper's own "numerical simulation results") and to power
+// the simulation benches.
+
+// SimulateRowSpan estimates E(i), the mean number of distinct rows
+// occupied by a net under the paper's placement model.  Eq. 2
+// truncates its exponent to k = min(n, D) — "there are only n
+// components which are placed in rows with the probability of 1/n;
+// the remaining components are placed in any row" — so for D > n only
+// min(n, D) components are placed at random here.  Use
+// SimulateRowSpanExact for the untruncated occupancy process; the
+// tests quantify the bias between the two.
+func SimulateRowSpan(rng *rand.Rand, n, D, trials int) (float64, error) {
+	if n < 1 || D < 1 {
+		return 0, fmt.Errorf("prob: SimulateRowSpan needs n,D ≥ 1, got n=%d D=%d", n, D)
+	}
+	if D > n {
+		D = n
+	}
+	return SimulateRowSpanExact(rng, n, D, trials)
+}
+
+// SimulateRowSpanExact estimates the mean number of distinct rows
+// occupied by all D components placed uniformly over n rows, with no
+// paper-model truncation.
+func SimulateRowSpanExact(rng *rand.Rand, n, D, trials int) (float64, error) {
+	if n < 1 || D < 1 {
+		return 0, fmt.Errorf("prob: SimulateRowSpanExact needs n,D ≥ 1, got n=%d D=%d", n, D)
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("prob: need trials ≥ 1, got %d", trials)
+	}
+	occupied := make([]bool, n)
+	sum := 0
+	for t := 0; t < trials; t++ {
+		for r := range occupied {
+			occupied[r] = false
+		}
+		span := 0
+		for c := 0; c < D; c++ {
+			r := rng.Intn(n)
+			if !occupied[r] {
+				occupied[r] = true
+				span++
+			}
+		}
+		sum += span
+	}
+	return float64(sum) / float64(trials), nil
+}
+
+// SimulateFeedThrough estimates the probability that a D-component
+// net placed uniformly over n rows needs a feed-through in row i
+// (1-based): at least one component above and one below.
+func SimulateFeedThrough(rng *rand.Rand, n, D, i, trials int) (float64, error) {
+	if err := checkRow(n, i); err != nil {
+		return 0, err
+	}
+	if D < 1 {
+		return 0, fmt.Errorf("prob: SimulateFeedThrough needs D ≥ 1, got %d", D)
+	}
+	if trials < 1 {
+		return 0, fmt.Errorf("prob: need trials ≥ 1, got %d", trials)
+	}
+	hits := 0
+	for t := 0; t < trials; t++ {
+		above, below := false, false
+		for c := 0; c < D; c++ {
+			r := rng.Intn(n) + 1
+			if r < i {
+				above = true
+			} else if r > i {
+				below = true
+			}
+		}
+		if above && below {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}
+
+// SimulateRowSpanDist estimates the full Eq. 2 distribution; index
+// i-1 holds the observed frequency of spanning exactly i rows.  Like
+// SimulateRowSpan it applies the paper's k = min(n, D) truncation.
+func SimulateRowSpanDist(rng *rand.Rand, n, D, trials int) ([]float64, error) {
+	if n < 1 || D < 1 {
+		return nil, fmt.Errorf("prob: SimulateRowSpanDist needs n,D ≥ 1, got n=%d D=%d", n, D)
+	}
+	if D > n {
+		D = n
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("prob: need trials ≥ 1, got %d", trials)
+	}
+	imax := n
+	if D < n {
+		imax = D
+	}
+	counts := make([]int, imax)
+	occupied := make([]bool, n)
+	for t := 0; t < trials; t++ {
+		for r := range occupied {
+			occupied[r] = false
+		}
+		span := 0
+		for c := 0; c < D; c++ {
+			r := rng.Intn(n)
+			if !occupied[r] {
+				occupied[r] = true
+				span++
+			}
+		}
+		counts[span-1]++
+	}
+	dist := make([]float64, imax)
+	for i, c := range counts {
+		dist[i] = float64(c) / float64(trials)
+	}
+	return dist, nil
+}
+
+// ArgmaxFeedThroughRow returns the row index (1-based) maximizing the
+// analytic feed-through probability for a D-component net over n
+// rows, used to verify the paper's central-row theorem.
+func ArgmaxFeedThroughRow(n, D int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("prob: need n ≥ 1, got %d", n)
+	}
+	best, bestP := 1, -1.0
+	for i := 1; i <= n; i++ {
+		p, err := FeedThroughProb(n, D, i)
+		if err != nil {
+			return 0, err
+		}
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,165 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const mcTrials = 200_000
+
+// mcTol returns a ~5σ binomial-proportion tolerance for the trial
+// count, so the comparisons are tight but not flaky.
+func mcTol(p float64) float64 {
+	return 5*math.Sqrt(p*(1-p)/float64(mcTrials)) + 1e-4
+}
+
+func TestSimulateRowSpanMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ n, D int }{{2, 2}, {3, 2}, {4, 5}, {6, 3}, {8, 8}, {5, 12}} {
+		analytic, err := ExpectedRowSpan(c.n, c.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := SimulateRowSpan(rng, c.n, c.D, mcTrials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Span variance is below n²/4; allow 5σ of a conservative
+		// bound.
+		tol := 5 * float64(c.n) / 2 / math.Sqrt(mcTrials)
+		if math.Abs(sim-analytic) > tol {
+			t.Errorf("n=%d D=%d: sim %g vs analytic %g (tol %g)", c.n, c.D, sim, analytic, tol)
+		}
+	}
+}
+
+func TestPaperTruncationUnderestimatesSpan(t *testing.T) {
+	// For D > n the paper's k = min(n, D) truncation underestimates
+	// the true expected occupancy n(1 − (1−1/n)^D).  Quantify it so
+	// the heuristic's bias is on record.
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []struct{ n, D int }{{4, 5}, {5, 12}, {3, 9}} {
+		paperE, err := ExpectedRowSpan(c.n, c.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueE, err := SimulateRowSpanExact(rng, c.n, c.D, mcTrials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if paperE >= trueE {
+			t.Errorf("n=%d D=%d: paper model E=%g should underestimate true E=%g",
+				c.n, c.D, paperE, trueE)
+		}
+		exact := float64(c.n) * (1 - math.Pow(1-1/float64(c.n), float64(c.D)))
+		tol := 5 * float64(c.n) / 2 / math.Sqrt(mcTrials)
+		if math.Abs(trueE-exact) > tol {
+			t.Errorf("n=%d D=%d: simulated true E=%g vs occupancy formula %g",
+				c.n, c.D, trueE, exact)
+		}
+	}
+}
+
+func TestSimulateRowSpanDistMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ n, D int }{{3, 2}, {4, 4}, {5, 3}} {
+		analytic, err := RowSpanDist(c.n, c.D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := SimulateRowSpanDist(rng, c.n, c.D, mcTrials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sim) != len(analytic) {
+			t.Fatalf("n=%d D=%d: length mismatch %d vs %d", c.n, c.D, len(sim), len(analytic))
+		}
+		for i := range sim {
+			if math.Abs(sim[i]-analytic[i]) > mcTol(analytic[i]) {
+				t.Errorf("n=%d D=%d i=%d: sim %g vs analytic %g", c.n, c.D, i+1, sim[i], analytic[i])
+			}
+		}
+	}
+}
+
+func TestSimulateFeedThroughMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range []struct{ n, D, i int }{
+		{3, 2, 2}, {5, 2, 3}, {5, 4, 3}, {5, 4, 1}, {7, 3, 4}, {9, 6, 2},
+	} {
+		analytic, err := FeedThroughProb(c.n, c.D, c.i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := SimulateFeedThrough(rng, c.n, c.D, c.i, mcTrials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sim-analytic) > mcTol(analytic) {
+			t.Errorf("n=%d D=%d i=%d: sim %g vs analytic %g", c.n, c.D, c.i, sim, analytic)
+		}
+	}
+}
+
+func TestSimulateCentralRowClaim(t *testing.T) {
+	// Simulated replication of the paper's numerical experiment: the
+	// central row collects the most feed-throughs.
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{3, 5, 7} {
+		for _, D := range []int{2, 4} {
+			bestRow, bestP := 0, -1.0
+			for i := 1; i <= n; i++ {
+				p, err := SimulateFeedThrough(rng, n, D, i, mcTrials/4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p > bestP {
+					bestRow, bestP = i, p
+				}
+			}
+			if bestRow != CentralRow(n) {
+				t.Errorf("n=%d D=%d: simulated argmax row %d, want central %d",
+					n, D, bestRow, CentralRow(n))
+			}
+		}
+	}
+}
+
+func TestArgmaxFeedThroughRow(t *testing.T) {
+	row, err := ArgmaxFeedThroughRow(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != 5 {
+		t.Fatalf("argmax = %d, want 5", row)
+	}
+	if _, err := ArgmaxFeedThroughRow(0, 3); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSimulatorInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SimulateRowSpan(rng, 0, 2, 10); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SimulateRowSpan(rng, 2, 2, 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := SimulateFeedThrough(rng, 3, 0, 2, 10); err == nil {
+		t.Error("D=0 accepted")
+	}
+	if _, err := SimulateFeedThrough(rng, 3, 2, 9, 10); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if _, err := SimulateFeedThrough(rng, 3, 2, 2, 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := SimulateRowSpanDist(rng, 0, 2, 10); err == nil {
+		t.Error("dist n=0 accepted")
+	}
+	if _, err := SimulateRowSpanDist(rng, 2, 2, 0); err == nil {
+		t.Error("dist trials=0 accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper works purely in expectations (E(i), E(M)).  The variance
+// functions below extend it with second moments, so callers can
+// attach confidence intervals to track and feed-through estimates —
+// a natural "additional experiments" item from §7.
+
+// RowSpanVariance returns Var(i) of the Eq. 2 distribution.
+func RowSpanVariance(n, D int) (float64, error) {
+	dist, err := RowSpanDist(n, D)
+	if err != nil {
+		return 0, err
+	}
+	mean, m2 := 0.0, 0.0
+	for i, p := range dist {
+		v := float64(i + 1)
+		mean += v * p
+		m2 += v * v * p
+	}
+	variance := m2 - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric guard
+	}
+	return variance, nil
+}
+
+// FeedThroughCountVariance returns Var(M) of the Eq. 10 binomial law:
+// H·p·(1−p).
+func FeedThroughCountVariance(H int, p float64) (float64, error) {
+	if H < 0 {
+		return 0, fmt.Errorf("prob: FeedThroughCountVariance needs H ≥ 0, got %d", H)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("prob: probability %g outside [0,1]", p)
+	}
+	return float64(H) * p * (1 - p), nil
+}
+
+// TrackInterval returns a mean ± z·σ interval for the total track
+// count of a net-degree histogram over n rows, treating nets as
+// independent.  degreeCount maps D to yᵢ.  The returned bounds are
+// clamped to ≥ 0.
+func TrackInterval(n int, degreeCount map[int]int, z float64) (mean, lo, hi float64, err error) {
+	if z < 0 {
+		return 0, 0, 0, fmt.Errorf("prob: negative z %g", z)
+	}
+	variance := 0.0
+	for d, y := range degreeCount {
+		e, err := ExpectedRowSpan(n, d)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		v, err := RowSpanVariance(n, d)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		mean += float64(y) * e
+		variance += float64(y) * v
+	}
+	sigma := math.Sqrt(variance)
+	lo = mean - z*sigma
+	if lo < 0 {
+		lo = 0
+	}
+	hi = mean + z*sigma
+	return mean, lo, hi, nil
+}

@@ -1,0 +1,119 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRowSpanVarianceKnown(t *testing.T) {
+	// n=2, D=2: i ∈ {1,2} each with p=1/2 -> Var = 1/4.
+	v, err := RowSpanVariance(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("Var = %g, want 0.25", v)
+	}
+	// D=1: deterministic, Var = 0.
+	v, err = RowSpanVariance(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("Var(D=1) = %g", v)
+	}
+	if _, err := RowSpanVariance(0, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestRowSpanVarianceMatchesMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, c := range []struct{ n, d int }{{3, 2}, {5, 4}, {8, 6}} {
+		analytic, err := RowSpanVariance(c.n, c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MC variance.
+		const trials = 100_000
+		occupied := make([]bool, c.n)
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			for r := range occupied {
+				occupied[r] = false
+			}
+			span := 0
+			for k := 0; k < c.d; k++ {
+				r := rng.Intn(c.n)
+				if !occupied[r] {
+					occupied[r] = true
+					span++
+				}
+			}
+			sum += float64(span)
+			sum2 += float64(span) * float64(span)
+		}
+		mc := sum2/trials - (sum/trials)*(sum/trials)
+		if math.Abs(mc-analytic) > 0.05*math.Max(analytic, 0.1)+0.01 {
+			t.Errorf("n=%d D=%d: MC var %g vs analytic %g", c.n, c.d, mc, analytic)
+		}
+	}
+}
+
+func TestFeedThroughCountVariance(t *testing.T) {
+	v, err := FeedThroughCountVariance(100, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-21) > 1e-12 {
+		t.Fatalf("Var = %g, want 21", v)
+	}
+	if _, err := FeedThroughCountVariance(-1, 0.3); err == nil {
+		t.Error("H=-1 accepted")
+	}
+	if _, err := FeedThroughCountVariance(5, 2); err == nil {
+		t.Error("p=2 accepted")
+	}
+}
+
+func TestTrackInterval(t *testing.T) {
+	deg := map[int]int{2: 10, 4: 5}
+	mean, lo, hi, err := TrackInterval(4, deg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= mean && mean <= hi) {
+		t.Fatalf("interval ordering broken: %g %g %g", lo, mean, hi)
+	}
+	// Mean matches the direct sum.
+	e2, _ := ExpectedRowSpan(4, 2)
+	e4, _ := ExpectedRowSpan(4, 4)
+	want := 10*e2 + 5*e4
+	if math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", mean, want)
+	}
+	// z=0 collapses the interval.
+	m0, lo0, hi0, err := TrackInterval(4, deg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo0 != m0 || hi0 != m0 {
+		t.Fatal("z=0 interval not degenerate")
+	}
+	// Errors.
+	if _, _, _, err := TrackInterval(4, deg, -1); err == nil {
+		t.Error("negative z accepted")
+	}
+	if _, _, _, err := TrackInterval(0, deg, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	// Clamping at zero.
+	_, loC, _, err := TrackInterval(2, map[int]int{2: 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loC < 0 {
+		t.Fatal("lower bound not clamped")
+	}
+}

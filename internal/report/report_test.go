@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"maest/internal/tech"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb", "c"},
+	}
+	tab.AddRow(1, "x", 3.14159)
+	tab.AddRow("longer", 2.0, 12345.6)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3.14") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	// Large floats render without decimals.
+	if !strings.Contains(out, "12346") {
+		t.Fatalf("large float formatting:\n%s", out)
+	}
+}
+
+func TestRunTable1ShapeClaims(t *testing.T) {
+	p := tech.NMOS25()
+	rows, err := RunTable1(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	// The pass-ladder module (all 2-component nets) must have zero
+	// estimated wire area — the paper's footnote.
+	if rows[0].Module != "fc-passladder" || rows[0].WireAreaExact != 0 {
+		t.Fatalf("footnote case broken: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.RealArea <= 0 || r.TotalExact <= 0 || r.TotalAverage <= 0 {
+			t.Fatalf("%s: degenerate areas %+v", r.Module, r)
+		}
+		// Paper's shape: estimates are close for small modules —
+		// every error within a ±35% band (paper: −17%…+26%) and the
+		// suite mean |error| near the paper's 12%.
+		if math.Abs(r.ErrExact) > 0.35 {
+			t.Errorf("%s: exact-mode error %.1f%% outside band", r.Module, r.ErrExact*100)
+		}
+	}
+	mean := 0.0
+	for _, r := range rows {
+		mean += math.Abs(r.ErrExact)
+	}
+	mean /= float64(len(rows))
+	if mean > 0.25 {
+		t.Errorf("mean |error| %.1f%% too large for the Table 1 claim", mean*100)
+	}
+	// Rendering works.
+	var buf bytes.Buffer
+	if err := Table1(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fc-fulladder") {
+		t.Fatal("table missing module")
+	}
+}
+
+func TestRunTable2ShapeClaims(t *testing.T) {
+	p := tech.NMOS25()
+	rows, err := RunTable2(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // 3 + 2 configurations
+		t.Fatalf("Table 2 has %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		// The estimator is an upper bound: overestimates, never
+		// under.
+		if r.Overestimate <= 0 {
+			t.Errorf("%s rows=%d: estimator did not overestimate (%.1f%%)",
+				r.Module, r.Rows, r.Overestimate*100)
+		}
+		if r.TracksEstimated <= r.TracksReal {
+			t.Errorf("%s rows=%d: estimated tracks %d not above real %d",
+				r.Module, r.Rows, r.TracksEstimated, r.TracksReal)
+		}
+		// The §7 sharing extension must cut the overestimate.
+		if r.SharedOverest >= r.Overestimate {
+			t.Errorf("%s rows=%d: sharing did not reduce overestimate", r.Module, r.Rows)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Table2(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sc-exp1") {
+		t.Fatal("table missing module")
+	}
+}

@@ -1,0 +1,523 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"maest/internal/geom"
+	"maest/internal/netlist"
+	"maest/internal/place"
+)
+
+// Detailed routing: beyond track *counts*, DetailRoute assigns every
+// net segment to a concrete track and column positions, honouring the
+// vertical constraints of classic two-layer channel routing (a pin
+// entering the channel from the top must reach its trunk above any
+// trunk whose net has a pin at the same column on the bottom edge —
+// otherwise the two vertical wires would short).  Cyclic constraints
+// are broken with doglegs: the offending segment is split at one of
+// its pin columns.  This is the Hashimoto–Stevens constrained
+// left-edge family of algorithms the paper's era used for nMOS
+// channels.
+
+// ErrDetail wraps detailed-routing failures.
+var ErrDetail = errors.New("route: detailed routing failed")
+
+// Wire is one horizontal trunk on a channel track, with the vertical
+// drop columns that connect it to pins and feed-throughs.
+type Wire struct {
+	// Net is the routed net.
+	Net *netlist.Net
+	// Track is the 0-based track index from the channel top.
+	Track int
+	// Span is the trunk's horizontal extent.
+	Span geom.Interval
+	// TopDrops and BottomDrops are the columns where verticals leave
+	// the trunk toward the upper and lower channel edge.
+	TopDrops, BottomDrops []geom.Lambda
+}
+
+// Channel is one fully routed channel.
+type Channel struct {
+	// Index is the channel position: channel c runs above row c.
+	Index int
+	// Tracks is the number of tracks used.
+	Tracks int
+	// Wires lists the placed trunks.
+	Wires []Wire
+	// Doglegs counts constraint-cycle splits performed.
+	Doglegs int
+}
+
+// Detailed is the full detailed-routing result.
+type Detailed struct {
+	Channels []Channel
+	// TotalTracks sums the channel track counts.
+	TotalTracks int
+	// TotalDoglegs counts all splits.
+	TotalDoglegs int
+}
+
+// chanSegment is a trunk candidate before track assignment.
+type chanSegment struct {
+	net  *netlist.Net
+	span geom.Interval
+	// top/bottom hold the vertical columns entering from each edge.
+	top, bottom []geom.Lambda
+}
+
+// DetailRoute performs detailed channel routing over a placement.
+// Pin-to-channel assignment follows the same policy as RouteModule,
+// so DetailRoute's track counts are a refinement (never smaller in
+// aggregate than the density bound, usually equal or slightly above
+// it when doglegs are needed).
+func DetailRoute(pl *place.Placement) (*Detailed, error) {
+	if err := pl.Check(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDetail, err)
+	}
+	nRows := len(pl.Rows)
+	pinCols := pl.PinColumns()
+	segs := make(map[int]map[*netlist.Net]*chanSegment) // channel -> net -> segment
+	seg := func(c int, n *netlist.Net) *chanSegment {
+		if segs[c] == nil {
+			segs[c] = map[*netlist.Net]*chanSegment{}
+		}
+		s := segs[c][n]
+		if s == nil {
+			s = &chanSegment{net: n, span: geom.Interval{Lo: 1 << 40, Hi: -(1 << 40)}}
+			segs[c][n] = s
+		}
+		return s
+	}
+	grow := func(s *chanSegment, x geom.Lambda) {
+		if x < s.span.Lo {
+			s.span.Lo = x
+		}
+		if x > s.span.Hi {
+			s.span.Hi = x
+		}
+	}
+
+	for _, net := range pl.Circuit.Nets {
+		if net.Degree() < 2 {
+			continue
+		}
+		type pin struct {
+			x   geom.Lambda
+			row int
+		}
+		pins := make([]pin, 0, net.Degree())
+		rmin, rmax := nRows, -1
+		for _, dev := range net.Devices {
+			d := dev.Index
+			for k, pnet := range dev.Pins {
+				if pnet != net {
+					continue
+				}
+				p := pin{x: pinCols[d][k], row: pl.RowOf[d]}
+				pins = append(pins, p)
+				if p.row < rmin {
+					rmin = p.row
+				}
+				if p.row > rmax {
+					rmax = p.row
+				}
+			}
+		}
+		spine := medianX(pins, func(p pin) geom.Lambda { return p.x })
+
+		if rmin == rmax {
+			// Single-row net: trunk in the channel above the row,
+			// all pins enter from below the channel (the row's top
+			// edge).
+			s := seg(rmin, net)
+			for _, p := range pins {
+				grow(s, p.x)
+				s.bottom = append(s.bottom, p.x)
+			}
+			continue
+		}
+		// Multi-row: the spine crosses channels rmin+1..rmax; pins
+		// enter their channel per the RouteModule policy.
+		for c := rmin + 1; c <= rmax; c++ {
+			s := seg(c, net)
+			grow(s, spine)
+			// The spine continues through: it leaves via both edges
+			// except at the extremes.
+			if c > rmin+1 {
+				s.top = append(s.top, spine)
+			}
+			if c < rmax {
+				s.bottom = append(s.bottom, spine)
+			}
+		}
+		for _, p := range pins {
+			switch {
+			case p.row == rmin:
+				s := seg(rmin+1, net)
+				grow(s, p.x)
+				s.top = append(s.top, p.x) // pin on the channel's upper edge
+			default:
+				s := seg(p.row, net)
+				grow(s, p.x)
+				s.bottom = append(s.bottom, p.x) // pin on the lower edge... see note
+			}
+		}
+	}
+
+	out := &Detailed{}
+	for c := 0; c <= nRows; c++ {
+		chSegs := segs[c]
+		ch := Channel{Index: c}
+		if len(chSegs) > 0 {
+			list := make([]*chanSegment, 0, len(chSegs))
+			for _, s := range chSegs {
+				if s.span.Hi == s.span.Lo {
+					s.span.Hi++
+				}
+				list = append(list, s)
+			}
+			var err error
+			ch, err = routeChannel(c, list)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out.Channels = append(out.Channels, ch)
+		out.TotalTracks += ch.Tracks
+		out.TotalDoglegs += ch.Doglegs
+	}
+	return out, nil
+}
+
+// routeChannel assigns one channel's segments to tracks under the
+// vertical constraint graph.
+func routeChannel(index int, list []*chanSegment) (Channel, error) {
+	// Deterministic order.
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].span.Lo != list[j].span.Lo {
+			return list[i].span.Lo < list[j].span.Lo
+		}
+		return list[i].net.Name < list[j].net.Name
+	})
+	// Two interacting repairs run to a joint fixpoint:
+	//
+	//  1. Same-edge collisions — different nets entering a channel
+	//     from the same edge within a vertical pitch would short;
+	//     the later drop jogs sideways.
+	//  2. Vertical-constraint cycles — resolved by jogging one of
+	//     the cycle's shared columns (the classic dogleg move).
+	//
+	// Each repair can disturb the other, so alternate until both are
+	// clean; every jog moves a column strictly right and the budget
+	// is fixed up front, so the loop terminates.
+	doglegs := 0
+	maxJogs := 8*len(list) + 16
+	var above [][]int
+	for pass := 0; ; pass++ {
+		if pass > maxJogs {
+			return Channel{}, fmt.Errorf("%w: channel %d: vertical repairs did not converge", ErrDetail, index)
+		}
+		if err := resolveEdgeCollisions(index, list); err != nil {
+			return Channel{}, err
+		}
+		above = buildConstraints(list)
+		u, v := findCycleEdge(above, len(list))
+		if u < 0 {
+			break
+		}
+		// Edge (v above u) exists because v has a top drop and u a
+		// bottom drop at some shared column; jog u's bottom drop.
+		if !jogSharedColumn(list[u], list[v]) {
+			// Fall back to jogging v's top drop.
+			if !jogSharedColumnTop(list[v], list[u]) {
+				return Channel{}, fmt.Errorf("%w: channel %d: cannot jog constraint cycle", ErrDetail, index)
+			}
+		}
+		doglegs++
+	}
+	// Constrained left-edge: fill tracks top to bottom; a segment is
+	// eligible for the current track when all its must-be-above
+	// segments are already placed on strictly higher tracks.
+	placedTrack := make([]int, len(list))
+	for i := range placedTrack {
+		placedTrack[i] = -1
+	}
+	remaining := len(list)
+	ch := Channel{Index: index}
+	for track := 0; remaining > 0; track++ {
+		if track > 2*len(list)+4 {
+			return Channel{}, fmt.Errorf("%w: channel %d: track assignment did not converge", ErrDetail, index)
+		}
+		var lastEnd geom.Lambda = -(1 << 40)
+		for i, s := range list {
+			if placedTrack[i] >= 0 {
+				continue
+			}
+			ok := s.span.Lo >= lastEnd
+			for _, a := range above[i] {
+				if placedTrack[a] < 0 || placedTrack[a] >= track {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			placedTrack[i] = track
+			lastEnd = s.span.Hi
+			remaining--
+			ch.Wires = append(ch.Wires, Wire{
+				Net:         s.net,
+				Track:       track,
+				Span:        s.span,
+				TopDrops:    append([]geom.Lambda(nil), s.top...),
+				BottomDrops: append([]geom.Lambda(nil), s.bottom...),
+			})
+		}
+		ch.Tracks = track + 1
+	}
+	return ch, nil
+}
+
+// resolveEdgeCollisions shifts drop columns so no two different nets
+// share a column on the same channel edge.  Deterministic: segments
+// are processed in list order, columns claimed first-come.
+func resolveEdgeCollisions(index int, list []*chanSegment) error {
+	// Verticals are 2λ wide, so a drop at column x occupies [x, x+2):
+	// different nets must keep their drop columns ≥ 2λ apart.
+	for _, edge := range []bool{true, false} { // true = top edge
+		owner := map[geom.Lambda]*chanSegment{}
+		conflict := func(s *chanSegment, x geom.Lambda) bool {
+			for dx := geom.Lambda(-1); dx <= 1; dx++ {
+				if o, taken := owner[x+dx]; taken && o != s && o.net != s.net {
+					return true
+				}
+			}
+			return false
+		}
+		for _, s := range list {
+			cols := s.top
+			if !edge {
+				cols = s.bottom
+			}
+			for i, x := range cols {
+				budget := 0
+				for conflict(s, x) {
+					if budget++; budget > 4096 {
+						return fmt.Errorf("%w: channel %d: cannot resolve edge collisions", ErrDetail, index)
+					}
+					x += 2 // jog one full vertical pitch and retry
+				}
+				cols[i] = x
+				owner[x], owner[x+1] = s, s
+				if s.span.Hi < x {
+					s.span.Hi = x
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildConstraints derives the must-be-above relation from shared
+// drop columns.
+func buildConstraints(list []*chanSegment) [][]int {
+	above := make([][]int, len(list))
+	colTop := map[geom.Lambda][]int{}
+	colBot := map[geom.Lambda][]int{}
+	for i, s := range list {
+		for _, x := range s.top {
+			colTop[x] = append(colTop[x], i)
+		}
+		for _, x := range s.bottom {
+			colBot[x] = append(colBot[x], i)
+		}
+	}
+	for x, tops := range colTop {
+		for _, t := range tops {
+			// A vertical occupies [x, x+2): a top drop constrains any
+			// different-net bottom drop within one column.
+			for dx := geom.Lambda(-1); dx <= 1; dx++ {
+				for _, b := range colBot[x+dx] {
+					if t != b && list[t].net != list[b].net {
+						above[b] = append(above[b], t)
+					}
+				}
+			}
+		}
+	}
+	return above
+}
+
+// findCycleEdge returns an edge (u, v) with v ∈ above[u] lying on a
+// constraint cycle, or (-1, -1).
+func findCycleEdge(above [][]int, n int) (int, int) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	var eu, ev = -1, -1
+	var dfs func(int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range above[u] {
+			if v >= n {
+				continue
+			}
+			if color[v] == gray {
+				eu, ev = u, v
+				return true
+			}
+			if color[v] == white && dfs(v) {
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(u) {
+			return eu, ev
+		}
+	}
+	return -1, -1
+}
+
+// jogSharedColumn moves one of u's bottom drops that collides with a
+// top drop of v one vertical pitch to the right, reporting success.
+// Collision means the 2λ footprints touch: |x − y| ≤ 1.
+func jogSharedColumn(u, v *chanSegment) bool {
+	for i, x := range u.bottom {
+		for _, y := range v.top {
+			if x-y <= 1 && y-x <= 1 {
+				u.bottom[i] = x + 2
+				if u.span.Hi < x+2 {
+					u.span.Hi = x + 2
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// jogSharedColumnTop moves one of v's top drops that collides with a
+// bottom drop of u one vertical pitch to the right.
+func jogSharedColumnTop(v, u *chanSegment) bool {
+	for i, x := range v.top {
+		for _, y := range u.bottom {
+			if x-y <= 1 && y-x <= 1 {
+				v.top[i] = x + 2
+				if v.span.Hi < x+2 {
+					v.span.Hi = x + 2
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findCycle returns the index of a node on some cycle of the
+// must-be-above relation, or -1.
+func findCycle(above [][]int, n int) int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	var hit int = -1
+	var dfs func(int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range above[u] {
+			if v >= n {
+				continue
+			}
+			if color[v] == gray {
+				hit = v
+				return true
+			}
+			if color[v] == white && dfs(v) {
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(u) {
+			return hit
+		}
+	}
+	return -1
+}
+
+// Validate checks the detailed routing invariants: trunks on one
+// track never overlap, vertical constraints are satisfied, and every
+// drop column lies within its trunk's span.
+func (d *Detailed) Validate() error {
+	for _, ch := range d.Channels {
+		byTrack := map[int][]Wire{}
+		for _, w := range ch.Wires {
+			if w.Track < 0 || w.Track >= ch.Tracks {
+				return fmt.Errorf("%w: channel %d: wire of %q on track %d of %d",
+					ErrDetail, ch.Index, w.Net.Name, w.Track, ch.Tracks)
+			}
+			for _, x := range w.TopDrops {
+				if x < w.Span.Lo || x > w.Span.Hi {
+					return fmt.Errorf("%w: channel %d: top drop %d outside span %v",
+						ErrDetail, ch.Index, x, w.Span)
+				}
+			}
+			for _, x := range w.BottomDrops {
+				if x < w.Span.Lo || x > w.Span.Hi {
+					return fmt.Errorf("%w: channel %d: bottom drop %d outside span %v",
+						ErrDetail, ch.Index, x, w.Span)
+				}
+			}
+			byTrack[w.Track] = append(byTrack[w.Track], w)
+		}
+		for t, wires := range byTrack {
+			sort.Slice(wires, func(i, j int) bool { return wires[i].Span.Lo < wires[j].Span.Lo })
+			for i := 1; i < len(wires); i++ {
+				if wires[i].Span.Lo < wires[i-1].Span.Hi {
+					return fmt.Errorf("%w: channel %d track %d: trunks of %q and %q overlap",
+						ErrDetail, ch.Index, t, wires[i-1].Net.Name, wires[i].Net.Name)
+				}
+			}
+		}
+		// Vertical constraints: for every column with a top drop of
+		// wire A and a bottom drop of wire B (different nets), A must
+		// be on a strictly smaller track index (nearer the top).
+		tops := map[geom.Lambda][]Wire{}
+		bots := map[geom.Lambda][]Wire{}
+		for _, w := range ch.Wires {
+			for _, x := range w.TopDrops {
+				tops[x] = append(tops[x], w)
+			}
+			for _, x := range w.BottomDrops {
+				bots[x] = append(bots[x], w)
+			}
+		}
+		for x, ts := range tops {
+			for _, tw := range ts {
+				for _, bw := range bots[x] {
+					if tw.Net == bw.Net {
+						continue
+					}
+					if tw.Track >= bw.Track {
+						return fmt.Errorf("%w: channel %d column %d: vertical short between %q (track %d) and %q (track %d)",
+							ErrDetail, ch.Index, x, tw.Net.Name, tw.Track, bw.Net.Name, bw.Track)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"maest/internal/cells"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func TestEvalBasicGates(t *testing.T) {
+	b := netlist.NewBuilder("g")
+	b.AddDevice("g1", "NAND2", "a", "b", "n1")
+	b.AddDevice("g2", "INV", "n1", "y")
+	b.AddPort("a", netlist.In, "a")
+	b.AddPort("b", netlist.In, "b")
+	b.AddPort("y", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = a AND b.
+	for _, tc := range []struct{ a, b, want bool }{
+		{false, false, false}, {true, false, false},
+		{false, true, false}, {true, true, true},
+	} {
+		vals, err := Eval(c, map[string]bool{"a": tc.a, "b": tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals["y"] != tc.want {
+			t.Fatalf("a=%v b=%v: y=%v", tc.a, tc.b, vals["y"])
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	mk := func(build func(b *netlist.Builder)) *netlist.Circuit {
+		b := netlist.NewBuilder("e")
+		build(b)
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Missing input.
+	c1 := mk(func(b *netlist.Builder) {
+		b.AddDevice("g1", "INV", "a", "y")
+		b.AddPort("pa", netlist.In, "a")
+	})
+	if _, err := Eval(c1, map[string]bool{}); err == nil {
+		t.Error("unassigned input accepted")
+	}
+	// Unknown input name.
+	if _, err := Eval(c1, map[string]bool{"zzz": true}); err == nil {
+		t.Error("unknown input accepted")
+	}
+	// Assigning a driven net.
+	if _, err := Eval(c1, map[string]bool{"a": true, "y": false}); err == nil {
+		t.Error("driven net assignment accepted")
+	}
+	// Multiple drivers.
+	c2 := mk(func(b *netlist.Builder) {
+		b.AddDevice("g1", "INV", "a", "y")
+		b.AddDevice("g2", "INV", "b", "y")
+		b.AddPort("pa", netlist.In, "a")
+		b.AddPort("pb", netlist.In, "b")
+	})
+	if _, err := Eval(c2, map[string]bool{"a": true, "b": false}); err == nil {
+		t.Error("multi-driven net accepted")
+	}
+	// Combinational cycle (cross-coupled NANDs).
+	c3 := mk(func(b *netlist.Builder) {
+		b.AddDevice("g1", "NAND2", "s", "qn", "q")
+		b.AddDevice("g2", "NAND2", "r", "q", "qn")
+		b.AddPort("ps", netlist.In, "s")
+		b.AddPort("pr", netlist.In, "r")
+	})
+	if _, err := Eval(c3, map[string]bool{"s": true, "r": true}); err == nil {
+		t.Error("combinational cycle accepted")
+	}
+	// Sequential cell.
+	c4 := mk(func(b *netlist.Builder) {
+		b.AddDevice("f1", "DFF", "d", "clk", "q")
+		b.AddPort("pd", netlist.In, "d")
+		b.AddPort("pc", netlist.In, "clk")
+	})
+	if _, err := Eval(c4, map[string]bool{"d": true, "clk": false}); err == nil {
+		t.Error("sequential cell accepted")
+	}
+	// Unconnected input pin.
+	c5 := mk(func(b *netlist.Builder) {
+		b.AddDevice("g1", "NAND2", "a", "", "y")
+		b.AddPort("pa", netlist.In, "a")
+	})
+	if _, err := Eval(c5, map[string]bool{"a": true}); err == nil {
+		t.Error("open input accepted")
+	}
+}
+
+// TestMapperFunctionEquivalence is the headline verification: every
+// generic gate function the mapper supports, at every fan-in, maps to
+// a library network computing the same truth table — on the full
+// library and on crippled libraries that force decompositions.
+func TestMapperFunctionEquivalence(t *testing.T) {
+	full := tech.NMOS25()
+	noMux := full.Clone()
+	delete(noMux.Devices, "MUX2")
+	noWide := full.Clone() // force NAND/NOR trees
+	delete(noWide.Devices, "NAND3")
+	delete(noWide.Devices, "NAND4")
+	delete(noWide.Devices, "NOR3")
+	libs := map[string]*tech.Process{"full": full, "noMux": noMux, "noWide": noWide}
+
+	cases := []struct {
+		f      cells.Func
+		fanins []int
+	}{
+		{cells.FuncBuf, []int{1}},
+		{cells.FuncNot, []int{1}},
+		{cells.FuncAnd, []int{1, 2, 3, 5, 8}},
+		{cells.FuncNand, []int{1, 2, 3, 4, 6, 8}},
+		{cells.FuncOr, []int{1, 2, 4, 7}},
+		{cells.FuncNor, []int{2, 3, 5, 8}},
+		{cells.FuncXor, []int{2, 3, 5}},
+		{cells.FuncXnor, []int{2, 4}},
+		{cells.FuncMux, []int{3}},
+	}
+	for libName, lib := range libs {
+		for _, tc := range cases {
+			for _, k := range tc.fanins {
+				circ, ins, out := mapGate(t, lib, tc.f, k)
+				for vec := 0; vec < 1<<k; vec++ {
+					assign := map[string]bool{}
+					var bits []bool
+					for i, in := range ins {
+						v := vec&(1<<i) != 0
+						assign[in] = v
+						bits = append(bits, v)
+					}
+					want, err := EvalFunc(tc.f, bits)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vals, err := Eval(circ, assign)
+					if err != nil {
+						t.Fatalf("%s %v/%d vec %b: %v", libName, tc.f, k, vec, err)
+					}
+					if vals[out] != want {
+						t.Fatalf("%s: %v fan-in %d: wrong output for input %0*b: got %v want %v",
+							libName, tc.f, k, k, vec, vals[out], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func mapGate(t *testing.T, p *tech.Process, f cells.Func, fanin int) (*netlist.Circuit, []string, string) {
+	t.Helper()
+	b := netlist.NewBuilder("eq")
+	m := cells.NewMapper(p, b)
+	ins := make([]string, fanin)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("x%d", i)
+		b.AddPort("p"+ins[i], netlist.In, ins[i])
+	}
+	if err := m.Gate("g", f, ins, "y"); err != nil {
+		t.Fatalf("map %v/%d: %v", f, fanin, err)
+	}
+	b.AddPort("py", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ins, "y"
+}
+
+func TestAOI22Semantics(t *testing.T) {
+	b := netlist.NewBuilder("aoi")
+	b.AddDevice("u1", "AOI22", "a", "b", "c", "d", "y")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		b.AddPort("p"+in, netlist.In, in)
+	}
+	b.AddPort("py", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vec := 0; vec < 16; vec++ {
+		a, bb, cc, d := vec&1 != 0, vec&2 != 0, vec&4 != 0, vec&8 != 0
+		vals, err := Eval(c, map[string]bool{"a": a, "b": bb, "c": cc, "d": d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := !((a && bb) || (cc && d))
+		if vals["y"] != want {
+			t.Fatalf("AOI22(%v,%v,%v,%v) = %v, want %v", a, bb, cc, d, vals["y"], want)
+		}
+	}
+}
+
+func TestEvalFuncErrors(t *testing.T) {
+	if _, err := EvalFunc(cells.FuncMux, []bool{true}); err == nil {
+		t.Error("short MUX accepted")
+	}
+	if _, err := EvalFunc(cells.FuncDFF, []bool{true}); err == nil {
+		t.Error("sequential function accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package tech
+
+import (
+	"fmt"
+	"sort"
+
+	"maest/internal/geom"
+)
+
+// Built-in processes.  NMOS25 reconstructs the paper's evaluation
+// technology: nMOS, λ = 2.5 µm, Mead–Conway design rules (Newkirk &
+// Mathews library for the full-custom experiments, the Rutgers nMOS
+// standard-cell library for the TimberWolf experiments).  CMOS30 is a
+// generic two-metal CMOS process demonstrating that the estimator
+// "deals with different chip fabrication technologies" (§1).
+//
+// Cell widths follow typical λ-rule library footprints: an nMOS
+// inverter is roughly 14λ wide in a 40λ-tall row, with each additional
+// series/parallel transistor adding 6–8λ.  Feed-through and track
+// pitches are the classic 7λ metal pitch (3λ wire + 4λ space).
+
+// NMOS25 returns a fresh copy of the built-in nMOS λ=2.5µm process.
+func NMOS25() *Process {
+	p := &Process{
+		Name:             "nmos25",
+		LambdaNM:         2500,
+		RowHeight:        40,
+		TrackPitch:       7,
+		FeedThroughWidth: 7,
+		PortPitch:        8,
+	}
+	for _, d := range []Device{
+		// Full-custom transistor footprints (gate + contacts).
+		{Name: "ENH", Class: ClassTransistor, Width: 8, Height: 8, Pins: 3},
+		{Name: "DEP", Class: ClassTransistor, Width: 8, Height: 10, Pins: 3},
+		{Name: "ENHW", Class: ClassTransistor, Width: 12, Height: 8, Pins: 3}, // wide driver
+		// Standard cells.
+		{Name: "INV", Class: ClassCell, Width: 14, Height: 40, Pins: 2},
+		{Name: "BUF", Class: ClassCell, Width: 20, Height: 40, Pins: 2},
+		{Name: "NAND2", Class: ClassCell, Width: 18, Height: 40, Pins: 3},
+		{Name: "NAND3", Class: ClassCell, Width: 24, Height: 40, Pins: 4},
+		{Name: "NAND4", Class: ClassCell, Width: 30, Height: 40, Pins: 5},
+		{Name: "NOR2", Class: ClassCell, Width: 18, Height: 40, Pins: 3},
+		{Name: "NOR3", Class: ClassCell, Width: 24, Height: 40, Pins: 4},
+		{Name: "AOI22", Class: ClassCell, Width: 28, Height: 40, Pins: 5},
+		{Name: "XOR2", Class: ClassCell, Width: 34, Height: 40, Pins: 3},
+		{Name: "MUX2", Class: ClassCell, Width: 30, Height: 40, Pins: 4},
+		{Name: "DLATCH", Class: ClassCell, Width: 44, Height: 40, Pins: 3},
+		{Name: "DFF", Class: ClassCell, Width: 56, Height: 40, Pins: 3},
+	} {
+		p.AddDevice(d)
+	}
+	return p
+}
+
+// CMOS30 returns a fresh copy of the built-in generic 3 µm CMOS
+// process.
+func CMOS30() *Process {
+	p := &Process{
+		Name:             "cmos30",
+		LambdaNM:         1500,
+		RowHeight:        50,
+		TrackPitch:       8,
+		FeedThroughWidth: 8,
+		PortPitch:        10,
+	}
+	for _, d := range []Device{
+		{Name: "NFET", Class: ClassTransistor, Width: 9, Height: 9, Pins: 3},
+		{Name: "PFET", Class: ClassTransistor, Width: 9, Height: 13, Pins: 3},
+		{Name: "INV", Class: ClassCell, Width: 12, Height: 50, Pins: 2},
+		{Name: "BUF", Class: ClassCell, Width: 18, Height: 50, Pins: 2},
+		{Name: "NAND2", Class: ClassCell, Width: 16, Height: 50, Pins: 3},
+		{Name: "NAND3", Class: ClassCell, Width: 21, Height: 50, Pins: 4},
+		{Name: "NAND4", Class: ClassCell, Width: 26, Height: 50, Pins: 5},
+		{Name: "NOR2", Class: ClassCell, Width: 16, Height: 50, Pins: 3},
+		{Name: "NOR3", Class: ClassCell, Width: 21, Height: 50, Pins: 4},
+		{Name: "AOI22", Class: ClassCell, Width: 24, Height: 50, Pins: 5},
+		{Name: "XOR2", Class: ClassCell, Width: 30, Height: 50, Pins: 3},
+		{Name: "MUX2", Class: ClassCell, Width: 26, Height: 50, Pins: 4},
+		{Name: "DLATCH", Class: ClassCell, Width: 38, Height: 50, Pins: 3},
+		{Name: "DFF", Class: ClassCell, Width: 48, Height: 50, Pins: 3},
+	} {
+		p.AddDevice(d)
+	}
+	return p
+}
+
+var builtins = map[string]func() *Process{
+	"nmos25": NMOS25,
+	"cmos30": CMOS30,
+}
+
+// Lookup returns a fresh copy of a built-in process by name.
+func Lookup(name string) (*Process, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("tech: unknown built-in process %q (have %v)", name, BuiltinNames())
+	}
+	return mk(), nil
+}
+
+// BuiltinNames lists the registered built-in processes in sorted order.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MinChannelHeight returns the height of a routing channel carrying the
+// given number of tracks, in λ.
+func (p *Process) MinChannelHeight(tracks int) geom.Lambda {
+	if tracks <= 0 {
+		return 0
+	}
+	return geom.Lambda(tracks) * p.TrackPitch
+}

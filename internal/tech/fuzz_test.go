@@ -1,0 +1,39 @@
+package tech
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the process parser never panics and successful
+// parses survive a write/read cycle unchanged in count.
+func FuzzRead(f *testing.F) {
+	var sample bytes.Buffer
+	if err := Write(&sample, NMOS25()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample.String())
+	f.Add("process p\nend\n")
+	f.Add("device X cell 1 2 3\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		procs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		for _, p := range procs {
+			if err := Write(&buf, p); err != nil {
+				t.Fatalf("write of parsed process failed: %v", err)
+			}
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(back) != len(procs) {
+			t.Fatalf("round trip changed process count")
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package tech
+
+import (
+	"fmt"
+
+	"maest/internal/geom"
+)
+
+// λ-based scaling: the whole point of the Mead–Conway methodology is
+// that layouts and estimates expressed in λ survive a process shrink
+// unchanged — only the physical conversion factor moves.  Rescale
+// derives a shrunk/grown process; the physical helpers convert λ²
+// results to square microns for reporting.
+
+// Rescale returns a copy of p with λ set to newLambdaNM.  All
+// λ-denominated fields (row height, pitches, device footprints) are
+// unchanged — that is the methodology's invariance — so estimates in
+// λ² are identical and only physical areas change.
+func (p *Process) Rescale(name string, newLambdaNM int) (*Process, error) {
+	if newLambdaNM <= 0 {
+		return nil, fmt.Errorf("%w: lambda %d nm must be positive", ErrInvalidProcess, newLambdaNM)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name for rescaled process", ErrInvalidProcess)
+	}
+	q := p.Clone()
+	q.Name = name
+	q.LambdaNM = newLambdaNM
+	return q, nil
+}
+
+// MicronsPerLambda returns λ in microns.
+func (p *Process) MicronsPerLambda() float64 { return float64(p.LambdaNM) / 1000 }
+
+// PhysicalArea converts a λ² area to square microns under this
+// process.
+func (p *Process) PhysicalArea(a float64) float64 {
+	m := p.MicronsPerLambda()
+	return a * m * m
+}
+
+// PhysicalLength converts a λ length to microns.
+func (p *Process) PhysicalLength(l geom.Lambda) float64 {
+	return float64(l) * p.MicronsPerLambda()
+}

@@ -1,0 +1,59 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRescale(t *testing.T) {
+	p := NMOS25()
+	q, err := p.Rescale("nmos12", 1250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "nmos12" || q.LambdaNM != 1250 {
+		t.Fatalf("rescaled = %+v", q)
+	}
+	// λ-denominated geometry is invariant.
+	if q.RowHeight != p.RowHeight || q.TrackPitch != p.TrackPitch {
+		t.Fatal("λ fields changed under rescale")
+	}
+	if q.Devices["INV"].Width != p.Devices["INV"].Width {
+		t.Fatal("device footprints changed under rescale")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if p.LambdaNM != 2500 {
+		t.Fatal("rescale mutated the source process")
+	}
+	if _, err := p.Rescale("x", 0); err == nil {
+		t.Error("lambda 0 accepted")
+	}
+	if _, err := p.Rescale("", 100); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestPhysicalConversions(t *testing.T) {
+	p := NMOS25() // λ = 2.5 µm
+	if got := p.MicronsPerLambda(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("µm/λ = %g", got)
+	}
+	// 100 λ² = 100 × 6.25 µm² = 625 µm².
+	if got := p.PhysicalArea(100); math.Abs(got-625) > 1e-9 {
+		t.Fatalf("area = %g", got)
+	}
+	if got := p.PhysicalLength(40); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("length = %g", got)
+	}
+	// A 2x shrink quarters physical area for the same λ² figure.
+	q, err := p.Rescale("half", 1250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.PhysicalArea(100); math.Abs(got-625.0/4) > 1e-9 {
+		t.Fatalf("shrunk area = %g", got)
+	}
+}

@@ -1,0 +1,186 @@
+package tech
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"maest/internal/geom"
+)
+
+// The on-disk process format is line-oriented:
+//
+//	# comment
+//	process nmos25
+//	lambda_nm 2500
+//	row_height 40
+//	track_pitch 7
+//	feedthrough_width 7
+//	port_pitch 8
+//	device INV cell 14 40 2
+//	device ENH transistor 8 8 3
+//	end
+//
+// Field order before the device list is free; "end" closes the process.
+// A file may contain several processes.
+
+// Write serializes p in the text format.
+func Write(w io.Writer, p *Process) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "process %s\n", p.Name)
+	fmt.Fprintf(bw, "lambda_nm %d\n", p.LambdaNM)
+	fmt.Fprintf(bw, "row_height %d\n", p.RowHeight)
+	fmt.Fprintf(bw, "track_pitch %d\n", p.TrackPitch)
+	fmt.Fprintf(bw, "feedthrough_width %d\n", p.FeedThroughWidth)
+	fmt.Fprintf(bw, "port_pitch %d\n", p.PortPitch)
+	for _, name := range p.DeviceNames() {
+		d := p.Devices[name]
+		fmt.Fprintf(bw, "device %s %s %d %d %d\n", d.Name, d.Class, d.Width, d.Height, d.Pins)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Read parses every process in r.  Each parsed process is validated.
+func Read(r io.Reader) ([]*Process, error) {
+	sc := bufio.NewScanner(r)
+	var (
+		procs []*Process
+		cur   *Process
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		key := fields[0]
+		if cur == nil && key != "process" {
+			return nil, fmt.Errorf("tech: line %d: %q outside a process block", line, key)
+		}
+		switch key {
+		case "process":
+			if cur != nil {
+				return nil, fmt.Errorf("tech: line %d: nested process block", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tech: line %d: want 'process <name>'", line)
+			}
+			cur = &Process{Name: fields[1], Devices: map[string]Device{}}
+		case "lambda_nm":
+			v, err := intField(fields, line)
+			if err != nil {
+				return nil, err
+			}
+			cur.LambdaNM = v
+		case "row_height":
+			v, err := intField(fields, line)
+			if err != nil {
+				return nil, err
+			}
+			cur.RowHeight = geom.Lambda(v)
+		case "track_pitch":
+			v, err := intField(fields, line)
+			if err != nil {
+				return nil, err
+			}
+			cur.TrackPitch = geom.Lambda(v)
+		case "feedthrough_width":
+			v, err := intField(fields, line)
+			if err != nil {
+				return nil, err
+			}
+			cur.FeedThroughWidth = geom.Lambda(v)
+		case "port_pitch":
+			v, err := intField(fields, line)
+			if err != nil {
+				return nil, err
+			}
+			cur.PortPitch = geom.Lambda(v)
+		case "device":
+			d, err := parseDevice(fields, line)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := cur.Devices[d.Name]; dup {
+				return nil, fmt.Errorf("tech: line %d: duplicate device %q", line, d.Name)
+			}
+			cur.AddDevice(d)
+		case "end":
+			if err := cur.Validate(); err != nil {
+				return nil, fmt.Errorf("tech: line %d: %w", line, err)
+			}
+			procs = append(procs, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("tech: line %d: unknown directive %q", line, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tech: read: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("tech: process %q not closed with 'end'", cur.Name)
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("tech: no process blocks found")
+	}
+	return procs, nil
+}
+
+// ReadOne parses r and requires exactly one process.
+func ReadOne(r io.Reader) (*Process, error) {
+	procs, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) != 1 {
+		return nil, fmt.Errorf("tech: want exactly one process, file has %d", len(procs))
+	}
+	return procs[0], nil
+}
+
+func intField(fields []string, line int) (int, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("tech: line %d: want '%s <int>'", line, fields[0])
+	}
+	v, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, fmt.Errorf("tech: line %d: bad integer %q: %v", line, fields[1], err)
+	}
+	return v, nil
+}
+
+func parseDevice(fields []string, line int) (Device, error) {
+	if len(fields) != 6 {
+		return Device{}, fmt.Errorf("tech: line %d: want 'device <name> <class> <w> <h> <pins>'", line)
+	}
+	var class DeviceClass
+	switch fields[2] {
+	case "cell":
+		class = ClassCell
+	case "transistor":
+		class = ClassTransistor
+	default:
+		return Device{}, fmt.Errorf("tech: line %d: unknown device class %q", line, fields[2])
+	}
+	nums := make([]int, 3)
+	for i, f := range fields[3:] {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return Device{}, fmt.Errorf("tech: line %d: bad integer %q: %v", line, f, err)
+		}
+		nums[i] = v
+	}
+	return Device{
+		Name:   fields[1],
+		Class:  class,
+		Width:  geom.Lambda(nums[0]),
+		Height: geom.Lambda(nums[1]),
+		Pins:   nums[2],
+	}, nil
+}

@@ -1,0 +1,177 @@
+// Package tech models the fabrication-process database the estimator
+// consumes (paper §3, Fig. 1).
+//
+// The paper keeps "multiple process data bases ... to describe various
+// VLSI technologies"; each records the areas of the different device
+// types, the height of the standard-cell rows and the value of λ, the
+// maximum allowable mask misalignment.  This package provides that
+// database as a value type, two built-in processes (the nMOS λ = 2.5 µm
+// Mead–Conway process of Table 1 and a generic CMOS process), and a
+// line-oriented text serialization so processes can be stored on disk
+// and swapped without recompiling — the paper's requirement that the
+// estimator "can easily be adjusted to cope with new chip fabrication
+// processes".
+package tech
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"maest/internal/geom"
+)
+
+// DeviceClass distinguishes the two layout methodologies' primitives:
+// standard cells occupy a full row height, while full-custom transistors
+// have free rectangular footprints.
+type DeviceClass int
+
+const (
+	// ClassCell is a standard cell: fixed height (the row height),
+	// variable width.
+	ClassCell DeviceClass = iota
+	// ClassTransistor is a full-custom transistor footprint.
+	ClassTransistor
+)
+
+// String implements fmt.Stringer.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassCell:
+		return "cell"
+	case ClassTransistor:
+		return "transistor"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// Device describes one device type available in a process: its name,
+// class, and bounding-box footprint in λ.  Pins is the number of signal
+// terminals the device exposes (used when expanding gates to
+// transistors and when synthesizing layouts).
+type Device struct {
+	Name   string
+	Class  DeviceClass
+	Width  geom.Lambda
+	Height geom.Lambda
+	Pins   int
+}
+
+// Area returns the active-area footprint of the device in λ².
+func (d Device) Area() geom.Area { return geom.Mul(d.Width, d.Height) }
+
+// Process is one fabrication-technology database entry.
+type Process struct {
+	// Name identifies the process, e.g. "nmos25".
+	Name string
+	// LambdaNM is the physical length of 1 λ in nanometres (2500 for
+	// the paper's nMOS process).  It only matters when converting λ²
+	// results to physical units; all estimation happens in λ.
+	LambdaNM int
+	// RowHeight is the standard-cell row height in λ.
+	RowHeight geom.Lambda
+	// TrackPitch is the centre-to-centre pitch of one routing track in
+	// λ.  Eq. 12 of the paper adds track counts to row heights; that
+	// sum is dimensionally consistent only with an implied per-track
+	// pitch, which this field makes explicit.
+	TrackPitch geom.Lambda
+	// FeedThroughWidth is the width f_w of one feed-through column
+	// crossing a cell row (Eq. 12).
+	FeedThroughWidth geom.Lambda
+	// PortPitch is the edge length one I/O port consumes, used by the
+	// aspect-ratio control criterion of §5 ("all input and output
+	// ports must fit along one of the layout edges").
+	PortPitch geom.Lambda
+	// Devices lists the device types fabricable in this process,
+	// keyed by name.
+	Devices map[string]Device
+}
+
+// Clone returns a deep copy of p so callers can derive modified
+// processes without aliasing the registry's builtins.
+func (p *Process) Clone() *Process {
+	q := *p
+	q.Devices = make(map[string]Device, len(p.Devices))
+	for k, v := range p.Devices {
+		q.Devices[k] = v
+	}
+	return &q
+}
+
+// Device returns the named device type.
+func (p *Process) Device(name string) (Device, error) {
+	d, ok := p.Devices[name]
+	if !ok {
+		return Device{}, fmt.Errorf("tech: process %q has no device %q", p.Name, name)
+	}
+	return d, nil
+}
+
+// AddDevice registers (or replaces) a device type.
+func (p *Process) AddDevice(d Device) {
+	if p.Devices == nil {
+		p.Devices = make(map[string]Device)
+	}
+	p.Devices[d.Name] = d
+}
+
+// DeviceNames returns the device type names in sorted order, for
+// deterministic serialization and reporting.
+func (p *Process) DeviceNames() []string {
+	names := make([]string, 0, len(p.Devices))
+	for n := range p.Devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrInvalidProcess wraps all Validate failures.
+var ErrInvalidProcess = errors.New("tech: invalid process")
+
+// Validate checks the structural invariants every estimator entry point
+// relies on.  It reports the first violation found.
+func (p *Process) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidProcess, fmt.Sprintf(format, args...))
+	}
+	if p.Name == "" {
+		return fail("empty process name")
+	}
+	if p.LambdaNM <= 0 {
+		return fail("process %q: lambda_nm must be positive, got %d", p.Name, p.LambdaNM)
+	}
+	if p.RowHeight <= 0 {
+		return fail("process %q: row_height must be positive, got %d", p.Name, p.RowHeight)
+	}
+	if p.TrackPitch <= 0 {
+		return fail("process %q: track_pitch must be positive, got %d", p.Name, p.TrackPitch)
+	}
+	if p.FeedThroughWidth <= 0 {
+		return fail("process %q: feedthrough_width must be positive, got %d", p.Name, p.FeedThroughWidth)
+	}
+	if p.PortPitch <= 0 {
+		return fail("process %q: port_pitch must be positive, got %d", p.Name, p.PortPitch)
+	}
+	if len(p.Devices) == 0 {
+		return fail("process %q: no device types", p.Name)
+	}
+	for name, d := range p.Devices {
+		if name != d.Name {
+			return fail("process %q: device map key %q != device name %q", p.Name, name, d.Name)
+		}
+		if d.Width <= 0 || d.Height <= 0 {
+			return fail("process %q: device %q has non-positive footprint %dx%d",
+				p.Name, name, d.Width, d.Height)
+		}
+		if d.Pins < 0 {
+			return fail("process %q: device %q has negative pin count", p.Name, name)
+		}
+		if d.Class == ClassCell && d.Height != p.RowHeight {
+			return fail("process %q: cell %q height %d != row height %d",
+				p.Name, name, d.Height, p.RowHeight)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package tech
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("unobtainium"); err == nil {
+		t.Fatal("expected error for unknown process")
+	}
+}
+
+func TestLookupReturnsFreshCopies(t *testing.T) {
+	a, _ := Lookup("nmos25")
+	b, _ := Lookup("nmos25")
+	a.Devices["INV"] = Device{Name: "INV", Class: ClassCell, Width: 999, Height: 40, Pins: 2}
+	if b.Devices["INV"].Width == 999 {
+		t.Fatal("Lookup aliases builtin device maps")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NMOS25()
+	q := p.Clone()
+	q.AddDevice(Device{Name: "ZZZ", Class: ClassTransistor, Width: 1, Height: 1, Pins: 2})
+	if _, ok := p.Devices["ZZZ"]; ok {
+		t.Fatal("Clone shares device map")
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	p := NMOS25()
+	d, err := p.Device("NAND2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Width != 18 || d.Height != p.RowHeight {
+		t.Fatalf("NAND2 = %+v", d)
+	}
+	if d.Area() != 18*40 {
+		t.Fatalf("NAND2 area = %d", d.Area())
+	}
+	if _, err := p.Device("missing"); err == nil {
+		t.Fatal("expected error for missing device")
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	mk := func(mutate func(*Process)) *Process {
+		p := NMOS25()
+		mutate(p)
+		return p
+	}
+	cases := []struct {
+		name string
+		p    *Process
+	}{
+		{"empty name", mk(func(p *Process) { p.Name = "" })},
+		{"bad lambda", mk(func(p *Process) { p.LambdaNM = 0 })},
+		{"bad row height", mk(func(p *Process) { p.RowHeight = -1 })},
+		{"bad track pitch", mk(func(p *Process) { p.TrackPitch = 0 })},
+		{"bad ft width", mk(func(p *Process) { p.FeedThroughWidth = 0 })},
+		{"bad port pitch", mk(func(p *Process) { p.PortPitch = 0 })},
+		{"no devices", mk(func(p *Process) { p.Devices = nil })},
+		{"key mismatch", mk(func(p *Process) {
+			p.Devices["WRONG"] = Device{Name: "INV", Class: ClassCell, Width: 14, Height: 40}
+		})},
+		{"zero footprint", mk(func(p *Process) {
+			p.Devices["BAD"] = Device{Name: "BAD", Class: ClassTransistor, Width: 0, Height: 4}
+		})},
+		{"negative pins", mk(func(p *Process) {
+			p.Devices["BAD"] = Device{Name: "BAD", Class: ClassTransistor, Width: 4, Height: 4, Pins: -1}
+		})},
+		{"cell height mismatch", mk(func(p *Process) {
+			p.Devices["BAD"] = Device{Name: "BAD", Class: ClassCell, Width: 4, Height: 4, Pins: 2}
+		})},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want failure", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidProcess) {
+			t.Errorf("%s: error not wrapped in ErrInvalidProcess: %v", c.name, err)
+		}
+	}
+}
+
+func TestDeviceNamesSorted(t *testing.T) {
+	p := NMOS25()
+	names := p.DeviceNames()
+	if len(names) != len(p.Devices) {
+		t.Fatalf("got %d names, want %d", len(names), len(p.Devices))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		orig, _ := Lookup(name)
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatalf("Write(%s): %v", name, err)
+		}
+		back, err := ReadOne(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadOne(%s): %v\ninput:\n%s", name, err, buf.String())
+		}
+		if !reflect.DeepEqual(orig, back) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", name, back, orig)
+		}
+	}
+}
+
+func TestReadMultipleProcesses(t *testing.T) {
+	var buf bytes.Buffer
+	a, _ := Lookup("nmos25")
+	b, _ := Lookup("cmos30")
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	procs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 || procs[0].Name != "nmos25" || procs[1].Name != "cmos30" {
+		t.Fatalf("got %d procs", len(procs))
+	}
+	if _, err := ReadOne(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadOne should reject two-process input")
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"directive outside block", "lambda_nm 2500\n"},
+		{"nested process", "process a\nprocess b\n"},
+		{"unknown directive", "process a\nwombat 3\nend\n"},
+		{"bad int", "process a\nlambda_nm many\nend\n"},
+		{"missing arg", "process a\nlambda_nm\nend\n"},
+		{"unclosed", "process a\nlambda_nm 2500\n"},
+		{"bad device class", "process a\ndevice X blob 1 2 3\nend\n"},
+		{"short device", "process a\ndevice X cell 1 2\nend\n"},
+		{"bad device int", "process a\ndevice X cell one 2 3\nend\n"},
+		{"duplicate device", "process a\nlambda_nm 1\nrow_height 4\ntrack_pitch 1\nfeedthrough_width 1\nport_pitch 1\ndevice X cell 1 4 2\ndevice X cell 1 4 2\nend\n"},
+		{"invalid on end", "process a\nend\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlankLines(t *testing.T) {
+	in := `
+# a comment
+process tiny
+
+lambda_nm 1000
+row_height 10
+track_pitch 2
+# mid-block comment
+feedthrough_width 2
+port_pitch 2
+device T transistor 2 2 3
+end
+`
+	p, err := ReadOne(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "tiny" || len(p.Devices) != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestMinChannelHeight(t *testing.T) {
+	p := NMOS25()
+	if got := p.MinChannelHeight(0); got != 0 {
+		t.Fatalf("0 tracks -> %d", got)
+	}
+	if got := p.MinChannelHeight(-3); got != 0 {
+		t.Fatalf("negative tracks -> %d", got)
+	}
+	if got := p.MinChannelHeight(5); got != 35 {
+		t.Fatalf("5 tracks -> %d, want 35", got)
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if ClassCell.String() != "cell" || ClassTransistor.String() != "transistor" {
+		t.Fatal("DeviceClass.String mismatch")
+	}
+	if DeviceClass(42).String() != "DeviceClass(42)" {
+		t.Fatal("unknown class String mismatch")
+	}
+}

@@ -1,0 +1,454 @@
+// Package maest is a module area estimator for VLSI layout: a Go
+// reproduction of Chen & Bushnell, "A Module Area Estimator for VLSI
+// Layout", 25th Design Automation Conference (DAC), 1988.
+//
+// The estimator predicts, before any layout exists, the area and
+// aspect ratio of a circuit module under two layout methodologies:
+//
+//   - Standard-Cell: equal-height cells in rows separated by routing
+//     channels; the estimator computes the expected number of routing
+//     tracks from the probability that a net's pins scatter over the
+//     rows, and the expected number of feed-throughs in the central
+//     row (paper §4.1, Eqs. 1–12).
+//   - Full-Custom: free transistor placement; per-net interconnect is
+//     lower-bounded by a two-row/one-track-channel model (paper §4.2,
+//     Eq. 13), run with exact or average device areas.
+//
+// The package also ships everything needed to evaluate the estimator
+// the way the paper does: a structural netlist language, process
+// databases (nMOS λ=2.5µm and a generic CMOS), a simulated-annealing
+// placer plus channel router producing real layouts (the TimberWolf
+// stand-in), a Full-Custom layout synthesizer (the manual-layout
+// stand-in), a slicing floor planner consuming the estimate database,
+// baseline estimators, and workload generators.
+//
+// Quick start:
+//
+//	proc := maest.NMOS25()
+//	circ, err := maest.ParseMnet(file)
+//	res, err := maest.Estimate(circ, proc, maest.SCOptions{})
+//	fmt.Println(res.SC.Area, res.FCExact.Area)
+package maest
+
+import (
+	"io"
+
+	"maest/internal/baseline"
+	"maest/internal/cells"
+	"maest/internal/core"
+	"maest/internal/db"
+	"maest/internal/floorplan"
+	"maest/internal/gen"
+	"maest/internal/geom"
+	"maest/internal/hdl"
+	"maest/internal/layout"
+	"maest/internal/metrics"
+	"maest/internal/netlist"
+	"maest/internal/pla"
+	"maest/internal/place"
+	"maest/internal/prob"
+	"maest/internal/route"
+	"maest/internal/sim"
+	"maest/internal/tech"
+)
+
+// Geometry units (Mead–Conway λ grid).
+type (
+	// Lambda is a length in λ.
+	Lambda = geom.Lambda
+	// Area is a surface in λ².
+	Area = geom.Area
+)
+
+// Technology database.
+type (
+	// Process is a fabrication-process database entry.
+	Process = tech.Process
+	// Device is one fabricable device type.
+	Device = tech.Device
+)
+
+// NMOS25 returns the built-in nMOS λ=2.5µm process (the paper's
+// evaluation technology).
+func NMOS25() *Process { return tech.NMOS25() }
+
+// CMOS30 returns the built-in generic CMOS process.
+func CMOS30() *Process { return tech.CMOS30() }
+
+// LookupProcess returns a built-in process by name ("nmos25",
+// "cmos30").
+func LookupProcess(name string) (*Process, error) { return tech.Lookup(name) }
+
+// ReadProcess parses exactly one process from its text serialization.
+func ReadProcess(r io.Reader) (*Process, error) { return tech.ReadOne(r) }
+
+// WriteProcess serializes a process.
+func WriteProcess(w io.Writer, p *Process) error { return tech.Write(w, p) }
+
+// Circuit model.
+type (
+	// Circuit is a flat module netlist.
+	Circuit = netlist.Circuit
+	// CircuitBuilder assembles circuits programmatically.
+	CircuitBuilder = netlist.Builder
+	// Stats are the §4 estimator inputs gathered from a circuit.
+	Stats = netlist.Stats
+	// PortDir is an external port direction.
+	PortDir = netlist.PortDir
+)
+
+// Port directions.
+const (
+	In    = netlist.In
+	Out   = netlist.Out
+	InOut = netlist.InOut
+)
+
+// NewCircuitBuilder starts a circuit with the given module name.
+func NewCircuitBuilder(name string) *CircuitBuilder { return netlist.NewBuilder(name) }
+
+// GatherStats scans a circuit against a process and returns the
+// estimator inputs (N, H, Wᵢ, Xᵢ, yᵢ, ports).
+func GatherStats(c *Circuit, p *Process) (*Stats, error) { return netlist.Gather(c, p) }
+
+// HDL front end.
+
+// ParseMnet parses a module in the .mnet structural netlist language.
+func ParseMnet(r io.Reader) (*Circuit, error) { return hdl.ParseMnet(r) }
+
+// WriteMnet serializes a circuit in .mnet form.
+func WriteMnet(w io.Writer, c *Circuit) error { return hdl.WriteMnet(w, c) }
+
+// ParseBench parses an ISCAS-style .bench gate-level file, mapping
+// its gates onto the process cell library.
+func ParseBench(r io.Reader, name string, p *Process) (*Circuit, error) {
+	return hdl.ParseBench(r, name, p)
+}
+
+// ParseVerilog parses a structural gate-level Verilog subset
+// (Verilog-1985 primitives), mapping onto the process cell library.
+func ParseVerilog(r io.Reader, p *Process) (*Circuit, error) {
+	return hdl.ParseVerilog(r, p)
+}
+
+// WriteVerilog serializes a gate-level circuit as structural Verilog.
+func WriteVerilog(w io.Writer, c *Circuit) error { return hdl.WriteVerilog(w, c) }
+
+// ExpandTransistors lowers a gate-level circuit to the transistor
+// level for Full-Custom estimation.
+func ExpandTransistors(c *Circuit, p *Process) (*Circuit, error) {
+	return cells.ExpandTransistors(c, p)
+}
+
+// The estimator (the paper's contribution).
+type (
+	// SCOptions configures the Standard-Cell estimator.
+	SCOptions = core.SCOptions
+	// SCEstimate is a Standard-Cell estimation result (Eq. 12/14).
+	SCEstimate = core.SCEstimate
+	// FCMode selects exact or average device areas (Table 1 modes).
+	FCMode = core.FCMode
+	// FCEstimate is a Full-Custom estimation result (Eq. 13).
+	FCEstimate = core.FCEstimate
+	// Result bundles both methodologies' estimates for one module.
+	Result = core.Result
+)
+
+// Full-Custom device-area modes.
+const (
+	FCExactAreas   = core.FCExactAreas
+	FCAverageAreas = core.FCAverageAreas
+)
+
+// EstimateStandardCell runs the §4.1 Standard-Cell estimator on
+// gathered statistics.
+func EstimateStandardCell(s *Stats, p *Process, opts SCOptions) (*SCEstimate, error) {
+	return core.EstimateStandardCell(s, p, opts)
+}
+
+// EstimateStandardCellCandidates returns several candidate shapes
+// around the initial row count (the paper's §7 multi-shape output).
+func EstimateStandardCellCandidates(s *Stats, p *Process, opts SCOptions, count int) ([]*SCEstimate, error) {
+	return core.EstimateStandardCellCandidates(s, p, opts, count)
+}
+
+// EstimateStandardCellProfiled runs the Standard-Cell estimator with
+// the per-row feed-through profile refinement (full Eq. 4/5 at every
+// row instead of the central-row two-component bound).
+func EstimateStandardCellProfiled(s *Stats, p *Process, opts SCOptions) (*SCEstimate, error) {
+	return core.EstimateStandardCellProfiled(s, p, opts)
+}
+
+// FeedThroughProfile is the per-row expected feed-through count.
+type FeedThroughProfile = core.FeedThroughProfile
+
+// FeedThroughRowProfile computes each row's expected feed-through
+// count for a module's net-degree histogram over n rows.
+func FeedThroughRowProfile(s *Stats, n int) (*FeedThroughProfile, error) {
+	return core.FeedThroughRowProfile(s, n)
+}
+
+// EstimateFullCustom runs the §4.2 Full-Custom estimator on a
+// transistor-level circuit.
+func EstimateFullCustom(c *Circuit, p *Process, mode FCMode) (*FCEstimate, error) {
+	return core.EstimateFullCustom(c, p, mode)
+}
+
+// Estimate runs both estimators on a circuit (expanding cells to
+// transistors for the Full-Custom side).
+func Estimate(c *Circuit, p *Process, opts SCOptions) (*Result, error) {
+	return core.Estimate(c, p, opts)
+}
+
+// Pipeline is the end-to-end Fig. 1 flow: .mnet + process in,
+// estimate record out.
+func Pipeline(r io.Reader, p *Process, opts SCOptions) (*Result, error) {
+	return core.Pipeline(r, p, opts)
+}
+
+// Ground-truth layout flow (the evaluation substrate).
+type (
+	// LayoutModule is a measured module layout.
+	LayoutModule = layout.Module
+	// Placement is a legal row placement.
+	Placement = place.Placement
+	// PlaceOptions configures the annealing placer.
+	PlaceOptions = place.Options
+	// RouteOptions configures the channel router.
+	RouteOptions = route.Options
+	// RouteResult is a routing outcome.
+	RouteResult = route.Result
+)
+
+// PlaceCircuit places a circuit into rows with simulated annealing.
+func PlaceCircuit(c *Circuit, p *Process, opts PlaceOptions) (*Placement, error) {
+	return place.Place(c, p, opts)
+}
+
+// RoutePlacement channel-routes a placement.
+func RoutePlacement(pl *Placement, opts RouteOptions) (*RouteResult, error) {
+	return route.RouteModule(pl, opts)
+}
+
+// LayoutStandardCell places, routes, and measures a standard-cell
+// module (the TimberWolf stand-in of Table 2).
+func LayoutStandardCell(c *Circuit, p *Process, rows int, seed int64) (*LayoutModule, error) {
+	return layout.LayoutStandardCell(c, p, rows, seed)
+}
+
+// SynthesizeFullCustom constructs and measures a transistor-level
+// layout (the manual-layout stand-in of Table 1).
+func SynthesizeFullCustom(c *Circuit, p *Process, seed int64) (*LayoutModule, error) {
+	return layout.SynthesizeFullCustom(c, p, seed)
+}
+
+// Detailed geometry and interchange.
+type (
+	// DetailedRouting is a full per-track channel-routing result.
+	DetailedRouting = route.Detailed
+	// Geometry is a module's concrete rectangle-level layout.
+	Geometry = layout.Geometry
+)
+
+// DetailRoutePlacement performs detailed (per-track, vertical-
+// constraint-aware) channel routing over a placement.
+func DetailRoutePlacement(pl *Placement) (*DetailedRouting, error) {
+	return route.DetailRoute(pl)
+}
+
+// BuildGeometry turns a placement plus detailed routing into concrete
+// rectangle geometry.
+func BuildGeometry(pl *Placement, det *DetailedRouting, p *Process) (*Geometry, error) {
+	return layout.BuildGeometry(pl, det, p)
+}
+
+// WriteCIF serializes a module geometry as a CIF (Caltech
+// Intermediate Form) file.
+func WriteCIF(w io.Writer, g *Geometry, p *Process) error { return layout.WriteCIF(w, g, p) }
+
+// WriteSVG renders a module geometry as an SVG document (scale SVG
+// units per λ; ≤ 0 selects the default).
+func WriteSVG(w io.Writer, g *Geometry, scale int) error { return layout.WriteSVG(w, g, scale) }
+
+// WritePlanSVG renders a floor plan as an SVG document.
+func WritePlanSVG(w io.Writer, plan *FloorPlan, scale float64) error {
+	return floorplan.WriteSVG(w, plan, scale)
+}
+
+// DRCViolation is one design-rule violation found in a geometry.
+type DRCViolation = layout.DRCViolation
+
+// CheckDRC runs the design-rule checks over a module geometry.
+func CheckDRC(g *Geometry, p *Process) []DRCViolation { return layout.CheckDRC(g, p) }
+
+// WriteBench serializes a gate-level circuit in ISCAS .bench form.
+func WriteBench(w io.Writer, c *Circuit) error { return hdl.WriteBench(w, c) }
+
+// Estimate database and floor planning.
+type (
+	// EstimateDB is the floor planner's input database.
+	EstimateDB = db.Database
+	// ModuleRecord is one module's estimates in the database.
+	ModuleRecord = db.Module
+	// ShapeRecord is one candidate module shape.
+	ShapeRecord = db.Shape
+	// GlobalNet is a chip-level net between module ports.
+	GlobalNet = db.GlobalNet
+	// GlobalPin is one endpoint of a global net.
+	GlobalPin = db.GlobalPin
+	// FloorPlan is a finished slicing floor plan.
+	FloorPlan = floorplan.Plan
+	// Chip is a multi-module design.
+	Chip = gen.Chip
+)
+
+// ModuleRecordFromResult converts an estimate result into a database
+// record.
+func ModuleRecordFromResult(res *Result) ModuleRecord { return db.FromResult(res) }
+
+// ReadEstimateDB parses a serialized estimate database.
+func ReadEstimateDB(r io.Reader) (*EstimateDB, error) { return db.Read(r) }
+
+// WriteEstimateDB serializes an estimate database.
+func WriteEstimateDB(w io.Writer, d *EstimateDB) error { return db.Write(w, d) }
+
+// PlanChip floor-plans an estimate database (minimum area).
+func PlanChip(d *EstimateDB) (*FloorPlan, error) { return floorplan.PlanChip(d) }
+
+// PlanOptions tunes the floor planner's objective.
+type PlanOptions = floorplan.PlanOptions
+
+// PlanChipOpt floor-plans with an explicit objective (e.g. trading
+// chip area against global wire length).
+func PlanChipOpt(d *EstimateDB, opts PlanOptions) (*FloorPlan, error) {
+	return floorplan.PlanChipOpt(d, opts)
+}
+
+// GlobalRouteResult is a chip-level wiring estimate over a plan.
+type GlobalRouteResult = floorplan.GlobalRouteResult
+
+// GlobalRoute estimates the chip-level wiring demand of a floor plan
+// on a grid×grid congestion map.
+func GlobalRoute(d *EstimateDB, plan *FloorPlan, p *Process, grid int) (*GlobalRouteResult, error) {
+	return floorplan.GlobalRoute(d, plan, p, grid)
+}
+
+// EstimateChip estimates all modules of a chip concurrently (workers
+// ≤ 0 selects GOMAXPROCS), preserving module order.
+func EstimateChip(modules []*Circuit, p *Process, opts SCOptions, workers int) ([]*Result, error) {
+	return core.EstimateChip(modules, p, opts, workers)
+}
+
+// Workload generation.
+type (
+	// RandomConfig parameterizes RandomCircuit.
+	RandomConfig = gen.RandomConfig
+	// ChipConfig parameterizes RandomChip.
+	ChipConfig = gen.ChipConfig
+)
+
+// RandomCircuit generates a seeded random gate-level circuit.
+func RandomCircuit(cfg RandomConfig, p *Process) (*Circuit, error) { return gen.RandomCircuit(cfg, p) }
+
+// RandomChip generates a seeded multi-module chip.
+func RandomChip(cfg ChipConfig, p *Process) (*Chip, error) { return gen.RandomChip(cfg, p) }
+
+// Chain returns a k-inverter chain circuit, the simplest
+// 2-component-net workload.
+func Chain(name string, k int, p *Process) (*Circuit, error) { return gen.Chain(name, k, p) }
+
+// FullCustomSuite returns the five Table-1-style benchmark modules.
+func FullCustomSuite(p *Process) ([]*Circuit, error) { return gen.FullCustomSuite(p) }
+
+// StandardCellSuite returns the two Table-2-style benchmark modules.
+func StandardCellSuite(p *Process) ([]*Circuit, error) { return gen.StandardCellSuite(p) }
+
+// Probability machinery (paper §4.1), exposed for analysis tools.
+
+// ExpectedRowSpan returns E(i) of Eqs. 2–3: the expected number of
+// rows spanned by a D-component net over n rows.
+func ExpectedRowSpan(n, D int) (float64, error) { return prob.ExpectedRowSpan(n, D) }
+
+// FeedThroughProb returns the probability that a D-component net
+// needs a feed-through in row i of n (Eqs. 4–5 closed form).
+func FeedThroughProb(n, D, i int) (float64, error) { return prob.FeedThroughProb(n, D, i) }
+
+// CentralFeedThroughProb returns Eq. 9, the central-row feed-through
+// probability under the two-component-net model.
+func CentralFeedThroughProb(n int) (float64, error) { return prob.CentralFeedThroughProb(n) }
+
+// RowSpanVariance returns Var(i) of the Eq. 2 row-span distribution —
+// the second-moment extension to the paper's expectations.
+func RowSpanVariance(n, D int) (float64, error) { return prob.RowSpanVariance(n, D) }
+
+// TrackInterval returns mean ± z·σ bounds on the total track count of
+// a net-degree histogram over n rows.
+func TrackInterval(n int, degreeCount map[int]int, z float64) (mean, lo, hi float64, err error) {
+	return prob.TrackInterval(n, degreeCount, z)
+}
+
+// Baselines.
+type (
+	// PLESTModel is the density-calibrated comparator of §2.
+	PLESTModel = baseline.PLESTModel
+	// PLA parameterizes the Gerveshi PLA area model.
+	PLA = baseline.PLA
+)
+
+// NaiveEstimate is the active-area×factor rule of thumb.
+func NaiveEstimate(s *Stats, factor float64) (float64, error) { return baseline.Naive(s, factor) }
+
+// CalibratePLEST measures channel density from real layouts of the
+// training circuits and returns the PLEST-style model.
+func CalibratePLEST(train []*Circuit, p *Process, rows int, seed int64) (*PLESTModel, error) {
+	return baseline.CalibratePLEST(train, p, rows, seed)
+}
+
+// PLA substrate (the Gerveshi [1] linear-area context).
+type (
+	// PLAPersonality is a PLA programming matrix that can be lowered
+	// to a transistor netlist.
+	PLAPersonality = pla.Personality
+)
+
+// RandomPLA generates a seeded random PLA personality.
+func RandomPLA(inputs, outputs, terms int, density float64, seed int64) (*PLAPersonality, error) {
+	return pla.Random(inputs, outputs, terms, density, seed)
+}
+
+// Interconnect-complexity metrics.
+type (
+	// DegreeStats summarizes a circuit's net-degree distribution.
+	DegreeStats = metrics.DegreeStats
+	// RentResult is a fitted Rent's-rule model.
+	RentResult = metrics.RentResult
+)
+
+// CircuitDegrees computes the net-degree statistics of a circuit.
+func CircuitDegrees(c *Circuit) *DegreeStats { return metrics.Degrees(c) }
+
+// EvalCircuit evaluates a combinational gate-level circuit on an
+// input assignment (net name → value) and returns every net's value —
+// the equivalence-checking simulator the mapper is verified with.
+func EvalCircuit(c *Circuit, inputs map[string]bool) (map[string]bool, error) {
+	return sim.Eval(c, inputs)
+}
+
+// RentExponent estimates the circuit's Rent exponent by recursive
+// bisection over a connectivity-order chunking.
+func RentExponent(c *Circuit) (*RentResult, error) { return metrics.Rent(c) }
+
+// RentExponentFM estimates the Rent exponent with recursive
+// Fiduccia–Mattheyses min-cut bisection (higher-quality partitions).
+func RentExponentFM(c *Circuit, seed int64) (*RentResult, error) {
+	return metrics.RentFM(c, seed)
+}
+
+// Bipart is a two-way min-cut partition of a circuit's devices.
+type Bipart = metrics.Bipart
+
+// Bipartition splits the device subset (nil = all) into two balanced
+// halves with a Fiduccia–Mattheyses min-cut pass.
+func Bipartition(c *Circuit, subset []int, seed int64) (*Bipart, error) {
+	return metrics.Bipartition(c, subset, seed)
+}

@@ -1,0 +1,359 @@
+package maest_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"maest"
+)
+
+const demoMnet = `
+module demo
+port in a
+port in b
+port out y
+device g1 NAND2 a b n1
+device g2 INV n1 n2
+device g3 NOR2 n1 b n3
+device g4 NAND2 n2 n3 y
+end
+`
+
+func TestPublicPipeline(t *testing.T) {
+	p := maest.NMOS25()
+	res, err := maest.Pipeline(strings.NewReader(demoMnet), p, maest.SCOptions{Rows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SC == nil || res.FCExact == nil || res.FCAverage == nil {
+		t.Fatal("missing estimates")
+	}
+	if res.SC.Area <= 0 || res.FCExact.Area <= 0 {
+		t.Fatal("degenerate estimates")
+	}
+}
+
+func TestPublicBuilderFlow(t *testing.T) {
+	p := maest.CMOS30()
+	b := maest.NewCircuitBuilder("pub")
+	b.AddDevice("g1", "NAND2", "a", "b", "y")
+	b.AddDevice("g2", "INV", "y", "z")
+	b.AddPort("a", maest.In, "a")
+	b.AddPort("b", maest.In, "b")
+	b.AddPort("z", maest.Out, "z")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := maest.GatherStats(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 || s.NumPorts != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	sc, err := maest.EstimateStandardCell(s, p, maest.SCOptions{Rows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Area <= 0 {
+		t.Fatal("empty estimate")
+	}
+	x, err := maest.ExpandTransistors(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := maest.EstimateFullCustom(x, p, maest.FCExactAreas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Area <= 0 {
+		t.Fatal("empty FC estimate")
+	}
+}
+
+func TestPublicGroundTruthFlow(t *testing.T) {
+	p := maest.NMOS25()
+	c, err := maest.RandomCircuit(maest.RandomConfig{Gates: 30, Inputs: 4, Outputs: 3, Seed: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := maest.LayoutStandardCell(c, p, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Area() <= 0 {
+		t.Fatal("empty layout")
+	}
+	pl, err := maest.PlaceCircuit(c, p, maest.PlaceOptions{Rows: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := maest.RoutePlacement(pl, maest.RouteOptions{TrackSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.TotalTracks <= 0 {
+		t.Fatal("no routing")
+	}
+}
+
+func TestPublicFloorplanFlow(t *testing.T) {
+	p := maest.NMOS25()
+	chip, err := maest.RandomChip(maest.ChipConfig{Modules: 3, MinGates: 10, MaxGates: 20, Seed: 2}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &maest.EstimateDB{Chip: chip.Name}
+	for _, mod := range chip.Modules {
+		res, err := maest.Estimate(mod, p, maest.SCOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Modules = append(d.Modules, maest.ModuleRecordFromResult(res))
+	}
+	for _, gn := range chip.GlobalNets {
+		rec := maest.GlobalNet{Name: gn.Name}
+		for _, pin := range gn.Pins {
+			rec.Pins = append(rec.Pins, maest.GlobalPin{Module: pin.Module, Port: pin.Port})
+		}
+		d.Nets = append(d.Nets, rec)
+	}
+	var buf bytes.Buffer
+	if err := maest.WriteEstimateDB(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := maest.ReadEstimateDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := maest.PlanChip(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Area() <= 0 || len(plan.Blocks) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestPublicProbability(t *testing.T) {
+	e, err := maest.ExpectedRowSpan(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-5.0/3) > 1e-12 {
+		t.Fatalf("E = %g", e)
+	}
+	pft, err := maest.CentralFeedThroughProb(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pft-2.0/9) > 1e-12 {
+		t.Fatalf("p = %g", pft)
+	}
+	if _, err := maest.FeedThroughProb(5, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicProcessRoundTrip(t *testing.T) {
+	p, err := maest.LookupProcess("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := maest.WriteProcess(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := maest.ReadProcess(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "nmos25" {
+		t.Fatalf("name = %q", back.Name)
+	}
+}
+
+func TestPublicSuitesAndBaselines(t *testing.T) {
+	p := maest.NMOS25()
+	fc, err := maest.FullCustomSuite(p)
+	if err != nil || len(fc) != 5 {
+		t.Fatalf("FC suite: %v %d", err, len(fc))
+	}
+	sc, err := maest.StandardCellSuite(p)
+	if err != nil || len(sc) != 2 {
+		t.Fatalf("SC suite: %v %d", err, len(sc))
+	}
+	s, err := maest.GatherStats(sc[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maest.NaiveEstimate(s, 2); err != nil {
+		t.Fatal(err)
+	}
+	model, err := maest.CalibratePLEST(sc[:1], p, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Density <= 0 {
+		t.Fatal("bad PLEST calibration")
+	}
+	if _, err := maest.SynthesizeFullCustom(fc[0], p, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExtendedSurface(t *testing.T) {
+	p := maest.NMOS25()
+	c, err := maest.RandomCircuit(maest.RandomConfig{Gates: 40, Inputs: 5, Outputs: 4, Seed: 3}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := maest.GatherStats(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profiled estimator and feed-through profile.
+	if _, err := maest.EstimateStandardCellProfiled(s, p, maest.SCOptions{Rows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maest.FeedThroughRowProfile(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Variance surface.
+	if _, err := maest.RowSpanVariance(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := maest.TrackInterval(3, s.DegreeCount, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Parallel chip estimation.
+	res, err := maest.EstimateChip([]*maest.Circuit{c}, p, maest.SCOptions{}, 2)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("EstimateChip: %v", err)
+	}
+	// Geometry + DRC + SVG + CIF.
+	pl, err := maest.PlaceCircuit(c, p, maest.PlaceOptions{Rows: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := maest.DetailRoutePlacement(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := maest.BuildGeometry(pl, det, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := maest.CheckDRC(g, p); len(vs) != 0 {
+		t.Fatalf("DRC violations on engine output: %v", vs[0])
+	}
+	var buf bytes.Buffer
+	if err := maest.WriteSVG(&buf, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Partitioning and Rent.
+	if _, err := maest.Bipartition(c, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maest.RentExponentFM(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Rescaled process conversions.
+	q, err := p.Rescale("shrunk", 1250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.PhysicalArea(100) >= p.PhysicalArea(100) {
+		t.Fatal("shrink did not reduce physical area")
+	}
+	// HDL surfaces: Verilog + bench writers.
+	var v, bb bytes.Buffer
+	if err := maest.WriteVerilog(&v, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := maest.ParseVerilog(&v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maest.WriteBench(&bb, back); err != nil {
+		t.Fatal(err)
+	}
+	// Chain generator.
+	if _, err := maest.Chain("c", 5, p); err != nil {
+		t.Fatal(err)
+	}
+	// Plan SVG + global route on a tiny chip.
+	chip, err := maest.RandomChip(maest.ChipConfig{Modules: 2, MinGates: 8, MaxGates: 12, Seed: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &maest.EstimateDB{Chip: chip.Name}
+	for _, m := range chip.Modules {
+		r, err := maest.Estimate(m, p, maest.SCOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Modules = append(d.Modules, maest.ModuleRecordFromResult(r))
+	}
+	for _, gn := range chip.GlobalNets {
+		rec := maest.GlobalNet{Name: gn.Name}
+		for _, pin := range gn.Pins {
+			rec.Pins = append(rec.Pins, maest.GlobalPin{Module: pin.Module, Port: pin.Port})
+		}
+		d.Nets = append(d.Nets, rec)
+	}
+	plan, err := maest.PlanChip(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var psvg bytes.Buffer
+	if err := maest.WritePlanSVG(&psvg, plan, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nets) > 0 {
+		if _, err := maest.GlobalRoute(d, plan, p, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// PLA surface.
+	q2, err := maest.RandomPLA(3, 2, 5, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Circuit("pla", p); err != nil {
+		t.Fatal(err)
+	}
+	// Degree metrics.
+	if deg := maest.CircuitDegrees(c); deg.RoutableNets == 0 {
+		t.Fatal("no degrees")
+	}
+}
+
+func TestPublicSimAndPlanOpt(t *testing.T) {
+	b := maest.NewCircuitBuilder("s")
+	b.AddDevice("g1", "XOR2", "a", "b", "y")
+	b.AddPort("a", maest.In, "a")
+	b.AddPort("b", maest.In, "b")
+	b.AddPort("y", maest.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := maest.EvalCircuit(c, map[string]bool{"a": true, "b": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals["y"] {
+		t.Fatal("XOR(1,0) != 1")
+	}
+	d := &maest.EstimateDB{Chip: "x", Modules: []maest.ModuleRecord{
+		{Name: "m", Devices: 1, Nets: 1, Ports: 1,
+			Shapes: []maest.ShapeRecord{{Label: "s", W: 10, H: 10}}},
+	}}
+	if _, err := maest.PlanChipOpt(d, maest.PlanOptions{WireWeight: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+// full adder, structural Verilog-1985 style
+module fa (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire axb, t1, t2;
+  xor  x1 (axb, a, b);
+  xor  x2 (sum, axb, cin);
+  nand n1 (t1, a, b);
+  nand n2 (t2, cin, axb);
+  nand n3 (cout, t1, t2);
+endmodule
