@@ -7,6 +7,8 @@
 package maest_test
 
 import (
+	"context"
+	"io"
 	"math"
 	"math/rand"
 	"strings"
@@ -497,4 +499,43 @@ func BenchmarkFeedThroughProfileAblation(b *testing.B) {
 	}
 	b.ReportMetric(chainRatio, "profile/central(2pin)")
 	b.ReportMetric(fanRatio, "profile/central(fanout)")
+}
+
+// E17 — observability overhead: Estimate with tracing disabled must
+// match the untraced seed (the nil-sink fast path adds no
+// allocations), and the JSONL-traced run bounds the enabled cost.
+func BenchmarkEstimateObservabilityOff(b *testing.B) {
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "obs", Gates: 60, Inputs: 6, Outputs: 4, Seed: 11,
+	}, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maest.EstimateCtx(ctx, c, p, maest.SCOptions{Rows: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateObservabilityOn(b *testing.B) {
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "obs", Gates: 60, Inputs: 6, Outputs: 4, Seed: 11,
+	}, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := maest.WithTraceSink(context.Background(), maest.NewJSONLTraceSink(io.Discard))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maest.EstimateCtx(ctx, c, p, maest.SCOptions{Rows: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

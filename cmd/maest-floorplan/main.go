@@ -8,9 +8,16 @@
 //	maest-floorplan estimates.db            # plan a database
 //	maest-floorplan -generate -modules 6    # generate, estimate, plan
 //	maest-floorplan -experiment -modules 6  # iteration experiment
+//	maest-floorplan -trace out.jsonl -metrics -generate -modules 6
+//
+// The observability flags match maest: -trace streams JSONL spans
+// (per-module estimate spans under the chip span, then the floorplan
+// span) and prints the summary tree to stderr, -metrics dumps the
+// pipeline metrics, -pprof CPU-profiles the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,43 +27,69 @@ import (
 	"maest/internal/floorplan"
 	"maest/internal/gen"
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/tech"
 )
 
+// options carries the parsed flag values into run.
+type options struct {
+	proc       string
+	generate   bool
+	experiment bool
+	modules    int
+	seed       int64
+	svgOut     string
+	trace      string
+	metrics    bool
+	pprof      string
+}
+
 func main() {
-	var (
-		procFlag   = flag.String("proc", "nmos25", "builtin process name")
-		generate   = flag.Bool("generate", false, "generate a random chip instead of reading a database")
-		experiment = flag.Bool("experiment", false, "run the floorplan-iteration experiment (E10)")
-		modules    = flag.Int("modules", 6, "module count for generated chips")
-		seed       = flag.Int64("seed", 1, "generation and layout seed")
-		svgOut     = flag.String("svg", "", "render the floor plan as SVG to this file")
-	)
+	var o options
+	flag.StringVar(&o.proc, "proc", "nmos25", "builtin process name")
+	flag.BoolVar(&o.generate, "generate", false, "generate a random chip instead of reading a database")
+	flag.BoolVar(&o.experiment, "experiment", false, "run the floorplan-iteration experiment (E10)")
+	flag.IntVar(&o.modules, "modules", 6, "module count for generated chips")
+	flag.Int64Var(&o.seed, "seed", 1, "generation and layout seed")
+	flag.StringVar(&o.svgOut, "svg", "", "render the floor plan as SVG to this file")
+	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr")
+	flag.BoolVar(&o.metrics, "metrics", false, "dump pipeline metrics (Prometheus text format) to stderr on exit")
+	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
 	flag.Parse()
-	if err := run(*procFlag, *generate, *experiment, *modules, *seed, *svgOut, flag.Args()); err != nil {
+	if err := run(o, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "maest-floorplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(procName string, generate, experiment bool, modules int, seed int64, svgOut string, args []string) error {
-	p, err := tech.Lookup(procName)
+func run(o options, args []string) (err error) {
+	cli, ctx, err := obs.SetupCLI(context.Background(), o.trace, o.metrics, o.pprof)
 	if err != nil {
 		return err
 	}
-	if experiment {
-		return runExperiment(p, modules, seed)
+	defer func() {
+		if cerr := cli.Close(os.Stderr); err == nil {
+			err = cerr
+		}
+	}()
+
+	p, err := tech.Lookup(o.proc)
+	if err != nil {
+		return err
+	}
+	if o.experiment {
+		return runExperiment(p, o.modules, o.seed)
 	}
 	var d *db.Database
-	if generate {
-		d, err = generateDB(p, modules, seed)
+	if o.generate {
+		d, err = generateDB(ctx, p, o.modules, o.seed)
 	} else {
 		d, err = readDB(args)
 	}
 	if err != nil {
 		return err
 	}
-	plan, err := floorplan.PlanChip(d)
+	plan, err := floorplan.PlanChipCtx(ctx, d)
 	if err != nil {
 		return err
 	}
@@ -74,8 +107,8 @@ func run(procName string, generate, experiment bool, modules int, seed int64, sv
 		fmt.Printf("global routing: %.0f λ of wire, %.0f λ² wiring area, worst bin congestion %.2f\n",
 			gr.WireLength, gr.WiringArea, gr.MaxCongestion)
 	}
-	if svgOut != "" {
-		f, err := os.Create(svgOut)
+	if o.svgOut != "" {
+		f, err := os.Create(o.svgOut)
 		if err != nil {
 			return err
 		}
@@ -83,7 +116,7 @@ func run(procName string, generate, experiment bool, modules int, seed int64, sv
 		if err := floorplan.WriteSVG(f, plan, 1); err != nil {
 			return err
 		}
-		fmt.Printf("rendered floor plan SVG to %s\n", svgOut)
+		fmt.Printf("rendered floor plan SVG to %s\n", o.svgOut)
 	}
 	return nil
 }
@@ -100,19 +133,21 @@ func readDB(args []string) (*db.Database, error) {
 	return db.Read(f)
 }
 
-func generateDB(p *tech.Process, modules int, seed int64) (*db.Database, error) {
+func generateDB(ctx context.Context, p *tech.Process, modules int, seed int64) (*db.Database, error) {
 	chip, err := gen.RandomChip(gen.ChipConfig{
 		Name: "random", Modules: modules, MinGates: 20, MaxGates: 80, Seed: seed,
 	}, p)
 	if err != nil {
 		return nil, err
 	}
+	// The worker pool gives each module its own estimate span under
+	// one chip span and exercises the utilization metrics.
+	results, err := core.EstimateChipCtx(ctx, chip.Modules, p, core.SCOptions{TrackSharing: true}, 0)
+	if err != nil {
+		return nil, err
+	}
 	d := &db.Database{Chip: chip.Name}
-	for _, c := range chip.Modules {
-		res, err := core.Estimate(c, p, core.SCOptions{TrackSharing: true})
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		d.Modules = append(d.Modules, db.FromResult(res))
 	}
 	for _, gn := range chip.GlobalNets {

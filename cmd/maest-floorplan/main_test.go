@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"maest/internal/db"
@@ -10,7 +12,7 @@ import (
 )
 
 func TestRunGenerate(t *testing.T) {
-	if err := run("nmos25", true, false, 3, 1, "", nil); err != nil {
+	if err := run(options{proc: "nmos25", generate: true, modules: 3, seed: 1}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -20,7 +22,7 @@ func TestRunFromDatabaseFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := generateDB(p, 3, 2)
+	d, err := generateDB(context.Background(), p, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,28 +36,48 @@ func TestRunFromDatabaseFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("nmos25", false, false, 0, 1, "", []string{path}); err != nil {
+	if err := run(options{proc: "nmos25", seed: 1}, []string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExperiment(t *testing.T) {
-	if err := run("nmos25", false, true, 3, 1, "", nil); err != nil {
+	if err := run(options{proc: "nmos25", experiment: true, modules: 3, seed: 1}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunGenerateTraced checks the chip-scale trace: per-module
+// estimate spans under the estimate_chip span, then the floorplan
+// span.
+func TestRunGenerateTraced(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run(options{proc: "nmos25", generate: true, modules: 3, seed: 1, trace: trace, metrics: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"span":"estimate_chip"`, `"span":"estimate"`, `"span":"floorplan"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace missing %s:\n%s", want, data)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", true, false, 3, 1, "", nil); err == nil {
+	if err := run(options{proc: "nope", generate: true, modules: 3, seed: 1}, nil); err == nil {
 		t.Error("unknown process accepted")
 	}
-	if err := run("nmos25", false, false, 3, 1, "", nil); err == nil {
+	if err := run(options{proc: "nmos25", modules: 3, seed: 1}, nil); err == nil {
 		t.Error("missing database file accepted")
 	}
-	if err := run("nmos25", false, false, 3, 1, "", []string{"/nope.db"}); err == nil {
+	if err := run(options{proc: "nmos25", modules: 3, seed: 1}, []string{"/nope.db"}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("nmos25", true, false, 1, 1, "", nil); err == nil {
+	if err := run(options{proc: "nmos25", generate: true, modules: 1, seed: 1}, nil); err == nil {
 		t.Error("1-module chip accepted")
 	}
 }

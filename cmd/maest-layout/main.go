@@ -8,35 +8,68 @@
 //
 //	maest-layout [-proc nmos25] [-rows N] [-seed S] circuit.mnet
 //	maest-layout -fc [-proc nmos25] [-seed S] transistor-circuit.mnet
+//	maest-layout -trace out.jsonl -metrics -pprof out.cpu circuit.mnet
+//
+// The observability flags match maest: -trace streams JSONL spans
+// (place/route children under the layout span) and prints the
+// summary tree to stderr, -metrics dumps the annealing and routing
+// metrics, -pprof CPU-profiles the run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"maest"
+	"maest/internal/obs"
 )
 
+// options carries the parsed flag values into run.
+type options struct {
+	proc    string
+	rows    int
+	seed    int64
+	fc      bool
+	cifOut  string
+	svgOut  string
+	trace   string
+	metrics bool
+	pprof   string
+}
+
 func main() {
-	var (
-		procFlag = flag.String("proc", "nmos25", "process: builtin name or @file")
-		rows     = flag.Int("rows", 2, "standard-cell row count")
-		seed     = flag.Int64("seed", 1, "layout engine seed")
-		fc       = flag.Bool("fc", false, "synthesize a full-custom layout (transistor-level input)")
-		cifOut   = flag.String("cif", "", "also write the detailed layout geometry as CIF to this file")
-		svgOut   = flag.String("svg", "", "also render the detailed layout geometry as SVG to this file")
-	)
+	var o options
+	flag.StringVar(&o.proc, "proc", "nmos25", "process: builtin name or @file")
+	flag.IntVar(&o.rows, "rows", 2, "standard-cell row count")
+	flag.Int64Var(&o.seed, "seed", 1, "layout engine seed")
+	flag.BoolVar(&o.fc, "fc", false, "synthesize a full-custom layout (transistor-level input)")
+	flag.StringVar(&o.cifOut, "cif", "", "also write the detailed layout geometry as CIF to this file")
+	flag.StringVar(&o.svgOut, "svg", "", "also render the detailed layout geometry as SVG to this file")
+	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr")
+	flag.BoolVar(&o.metrics, "metrics", false, "dump pipeline metrics (Prometheus text format) to stderr on exit")
+	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
 	flag.Parse()
-	if err := run(*procFlag, *rows, *seed, *fc, *cifOut, *svgOut, flag.Args()); err != nil {
+	if err := run(o, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "maest-layout:", err)
 		os.Exit(1)
 	}
 }
 
-func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, args []string) error {
-	proc, err := loadProcess(procFlag)
+func run(o options, args []string) (err error) {
+	cli, ctx, err := obs.SetupCLI(context.Background(), o.trace, o.metrics, o.pprof)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cli.Close(os.Stderr); err == nil {
+			err = cerr
+		}
+	}()
+
+	proc, err := loadProcess(o.proc)
 	if err != nil {
 		return err
 	}
@@ -48,13 +81,13 @@ func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, 
 		return err
 	}
 	defer f.Close()
-	circ, err := maest.ParseMnet(f)
+	circ, err := maest.ParseMnetCtx(ctx, f)
 	if err != nil {
 		return err
 	}
 
-	if fc {
-		m, err := maest.SynthesizeFullCustom(circ, proc, seed)
+	if o.fc {
+		m, err := maest.SynthesizeFullCustomCtx(ctx, circ, proc, o.seed)
 		if err != nil {
 			return err
 		}
@@ -69,7 +102,7 @@ func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, 
 		return nil
 	}
 
-	m, err := maest.LayoutStandardCell(circ, proc, rows, seed)
+	m, err := maest.LayoutStandardCellCtx(ctx, circ, proc, o.rows, o.seed)
 	if err != nil {
 		return err
 	}
@@ -77,7 +110,7 @@ func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, 
 	if err != nil {
 		return err
 	}
-	est, err := maest.EstimateStandardCell(s, proc, maest.SCOptions{Rows: rows})
+	est, err := maest.EstimateStandardCell(s, proc, maest.SCOptions{Rows: o.rows})
 	if err != nil {
 		return err
 	}
@@ -89,8 +122,8 @@ func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, 
 		m.Name, m.Width, m.Height, m.Area(), m.Rows, tracks, m.FeedThroughs, m.AspectRatio())
 	fmt.Printf("estimator: %.0f λ², %d tracks  (overestimate %+.1f%%)\n",
 		est.Area, est.Tracks, (est.Area/float64(m.Area())-1)*100)
-	if cifOut != "" || svgOut != "" {
-		pl, err := maest.PlaceCircuit(circ, proc, maest.PlaceOptions{Rows: rows, Seed: seed})
+	if o.cifOut != "" || o.svgOut != "" {
+		pl, err := maest.PlaceCircuitCtx(ctx, circ, proc, maest.PlaceOptions{Rows: o.rows, Seed: o.seed})
 		if err != nil {
 			return err
 		}
@@ -102,17 +135,17 @@ func run(procFlag string, rows int, seed int64, fc bool, cifOut, svgOut string, 
 		if err != nil {
 			return err
 		}
-		if cifOut != "" {
-			if err := writeTo(cifOut, func(w *os.File) error { return maest.WriteCIF(w, g, proc) }); err != nil {
+		if o.cifOut != "" {
+			if err := writeTo(o.cifOut, func(w *os.File) error { return maest.WriteCIF(w, g, proc) }); err != nil {
 				return err
 			}
-			fmt.Printf("wrote detailed CIF geometry (%d rects) to %s\n", len(g.Rects), cifOut)
+			fmt.Printf("wrote detailed CIF geometry (%d rects) to %s\n", len(g.Rects), o.cifOut)
 		}
-		if svgOut != "" {
-			if err := writeTo(svgOut, func(w *os.File) error { return maest.WriteSVG(w, g, 0) }); err != nil {
+		if o.svgOut != "" {
+			if err := writeTo(o.svgOut, func(w *os.File) error { return maest.WriteSVG(w, g, 0) }); err != nil {
 				return err
 			}
-			fmt.Printf("rendered layout SVG to %s\n", svgOut)
+			fmt.Printf("rendered layout SVG to %s\n", o.svgOut)
 		}
 	}
 	return nil

@@ -10,7 +10,7 @@ import (
 const repoTestdata = "../../testdata"
 
 func TestRunStandardCell(t *testing.T) {
-	if err := run("nmos25", 2, 1, false, "", "",
+	if err := run(options{proc: "nmos25", rows: 2, seed: 1},
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestRunStandardCell(t *testing.T) {
 func TestRunWithCIF(t *testing.T) {
 	dir := t.TempDir()
 	cif := filepath.Join(dir, "out.cif")
-	if err := run("nmos25", 3, 1, false, cif, filepath.Join(dir, "out.svg"),
+	if err := run(options{proc: "nmos25", rows: 3, seed: 1, cifOut: cif, svgOut: filepath.Join(dir, "out.svg")},
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
 		t.Fatal(err)
 	}
@@ -33,24 +33,44 @@ func TestRunWithCIF(t *testing.T) {
 }
 
 func TestRunFullCustom(t *testing.T) {
-	if err := run("nmos25", 0, 1, true, "", "",
+	if err := run(options{proc: "nmos25", seed: 1, fc: true},
 		[]string{filepath.Join(repoTestdata, "ladder.mnet")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunTraced checks that a traced layout run records the
+// place/route spans nested under the layout span.
+func TestRunTraced(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	if err := run(options{proc: "nmos25", rows: 2, seed: 1, trace: trace, metrics: true},
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"span":"layout.sc"`, `"span":"place"`, `"span":"route"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace missing %s:\n%s", want, data)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 2, 1, false, "", "", []string{"x"}); err == nil {
+	if err := run(options{proc: "nope", rows: 2, seed: 1}, []string{"x"}); err == nil {
 		t.Error("unknown process accepted")
 	}
-	if err := run("nmos25", 2, 1, false, "", "", nil); err == nil {
+	if err := run(options{proc: "nmos25", rows: 2, seed: 1}, nil); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("nmos25", 2, 1, false, "", "", []string{"/nope.mnet"}); err == nil {
+	if err := run(options{proc: "nmos25", rows: 2, seed: 1}, []string{"/nope.mnet"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Full-custom on a cell-level circuit must fail.
-	if err := run("nmos25", 2, 1, true, "", "",
+	if err := run(options{proc: "nmos25", rows: 2, seed: 1, fc: true},
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err == nil {
 		t.Error("cell circuit accepted by -fc")
 	}

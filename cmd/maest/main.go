@@ -7,11 +7,17 @@
 //
 //	maest [-proc nmos25|cmos30|@file] [-rows N] [-sharing] [-db] circuit.mnet
 //	maest -bench -name c17 circuit.bench
+//	maest -trace out.jsonl -metrics -pprof out.cpu circuit.mnet
 //
-// With no positional argument the circuit is read from stdin.
+// With no positional argument the circuit is read from stdin.  The
+// observability flags: -trace streams a JSONL span trace to the file
+// ("-" = stdout) and prints the span summary tree to stderr; -metrics
+// dumps the Prometheus-style metrics to stderr; -pprof writes a CPU
+// profile to the file and a heap snapshot to FILE.heap.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,28 +25,56 @@ import (
 	"strings"
 
 	"maest"
+	"maest/internal/obs"
 )
 
+// options carries the parsed flag values into run.
+type options struct {
+	proc    string
+	rows    int
+	sharing bool
+	bench   bool
+	verilog bool
+	name    string
+	asDB    bool
+	stats   bool
+	trace   string
+	metrics bool
+	pprof   string
+}
+
 func main() {
-	var (
-		procFlag = flag.String("proc", "nmos25", "process: builtin name or @file to load a process database")
-		rows     = flag.Int("rows", 0, "fix the standard-cell row count (0 = automatic §5 selection)")
-		sharing  = flag.Bool("sharing", false, "enable the §7 routing-track-sharing extension")
-		bench    = flag.Bool("bench", false, "input is ISCAS-style .bench instead of .mnet")
-		verilog  = flag.Bool("verilog", false, "input is structural gate-level Verilog instead of .mnet")
-		name     = flag.String("name", "module", "module name for .bench inputs")
-		asDB     = flag.Bool("db", false, "emit a floor-planner database record instead of text")
-		stats    = flag.Bool("stats", false, "also print interconnect-complexity statistics")
-	)
+	var o options
+	flag.StringVar(&o.proc, "proc", "nmos25", "process: builtin name or @file to load a process database")
+	flag.IntVar(&o.rows, "rows", 0, "fix the standard-cell row count (0 = automatic §5 selection)")
+	flag.BoolVar(&o.sharing, "sharing", false, "enable the §7 routing-track-sharing extension")
+	flag.BoolVar(&o.bench, "bench", false, "input is ISCAS-style .bench instead of .mnet")
+	flag.BoolVar(&o.verilog, "verilog", false, "input is structural gate-level Verilog instead of .mnet")
+	flag.StringVar(&o.name, "name", "module", "module name for .bench inputs")
+	flag.BoolVar(&o.asDB, "db", false, "emit a floor-planner database record instead of text")
+	flag.BoolVar(&o.stats, "stats", false, "also print interconnect-complexity statistics")
+	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr")
+	flag.BoolVar(&o.metrics, "metrics", false, "dump pipeline metrics (Prometheus text format) to stderr on exit")
+	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
 	flag.Parse()
-	if err := run(*procFlag, *rows, *sharing, *bench, *verilog, *name, *asDB, *stats, flag.Args()); err != nil {
+	if err := run(o, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "maest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(procFlag string, rows int, sharing, bench, verilog bool, name string, asDB, stats bool, args []string) error {
-	proc, err := loadProcess(procFlag)
+func run(o options, args []string) (err error) {
+	cli, ctx, err := obs.SetupCLI(context.Background(), o.trace, o.metrics, o.pprof)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cli.Close(os.Stderr); err == nil {
+			err = cerr
+		}
+	}()
+
+	proc, err := loadProcess(o.proc)
 	if err != nil {
 		return err
 	}
@@ -52,28 +86,28 @@ func run(procFlag string, rows int, sharing, bench, verilog bool, name string, a
 
 	var circ *maest.Circuit
 	switch {
-	case bench && verilog:
+	case o.bench && o.verilog:
 		return fmt.Errorf("-bench and -verilog are mutually exclusive")
-	case bench:
-		circ, err = maest.ParseBench(in, name, proc)
-	case verilog:
-		circ, err = maest.ParseVerilog(in, proc)
+	case o.bench:
+		circ, err = maest.ParseBenchCtx(ctx, in, o.name, proc)
+	case o.verilog:
+		circ, err = maest.ParseVerilogCtx(ctx, in, proc)
 	default:
-		circ, err = maest.ParseMnet(in)
+		circ, err = maest.ParseMnetCtx(ctx, in)
 	}
 	if err != nil {
 		return err
 	}
-	res, err := maest.Estimate(circ, proc, maest.SCOptions{Rows: rows, TrackSharing: sharing})
+	res, err := maest.EstimateCtx(ctx, circ, proc, maest.SCOptions{Rows: o.rows, TrackSharing: o.sharing})
 	if err != nil {
 		return err
 	}
-	if asDB {
+	if o.asDB {
 		d := &maest.EstimateDB{Chip: res.Module, Modules: []maest.ModuleRecord{maest.ModuleRecordFromResult(res)}}
 		return maest.WriteEstimateDB(os.Stdout, d)
 	}
 	printResult(res, proc)
-	if stats {
+	if o.stats {
 		printStats(circ)
 	}
 	return nil

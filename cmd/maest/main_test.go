@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,21 +13,21 @@ import (
 const repoTestdata = "../../testdata"
 
 func TestRunMnet(t *testing.T) {
-	if err := run("nmos25", 2, false, false, false, "module", false, false,
+	if err := run(options{proc: "nmos25", rows: 2, name: "module"},
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBenchWithStatsAndSharing(t *testing.T) {
-	if err := run("cmos30", 0, true, true, false, "c17", false, true,
+	if err := run(options{proc: "cmos30", sharing: true, bench: true, name: "c17", stats: true},
 		[]string{filepath.Join(repoTestdata, "c17.bench")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDBOutput(t *testing.T) {
-	if err := run("nmos25", 0, false, false, false, "module", true, false,
+	if err := run(options{proc: "nmos25", name: "module", asDB: true},
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
 		t.Fatal(err)
 	}
@@ -42,37 +44,73 @@ func TestRunProcessFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("@"+procFile, 2, false, false, false, "module", false, false,
+	if err := run(options{proc: "@" + procFile, rows: 2, name: "module"},
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunVerilogInput(t *testing.T) {
-	if err := run("nmos25", 2, false, false, true, "module", false, false,
+	if err := run(options{proc: "nmos25", rows: 2, verilog: true, name: "module"},
 		[]string{filepath.Join(repoTestdata, "fa.v")}); err != nil {
 		t.Fatal(err)
 	}
 	// Mutually exclusive flags.
-	if err := run("nmos25", 2, false, true, true, "module", false, false,
+	if err := run(options{proc: "nmos25", rows: 2, bench: true, verilog: true, name: "module"},
 		[]string{filepath.Join(repoTestdata, "fa.v")}); err == nil {
 		t.Fatal("-bench -verilog combination accepted")
 	}
 }
 
+// TestRunObservability is the acceptance flow: a traced, metered,
+// profiled run must leave a JSONL span trace covering parse →
+// estimate plus the pprof artifacts.
+func TestRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	prof := filepath.Join(dir, "cpu.pprof")
+	if err := run(options{proc: "nmos25", name: "module", trace: trace, metrics: true, pprof: prof},
+		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid trace line %q: %v", sc.Text(), err)
+		}
+		spans[m["span"].(string)] = true
+	}
+	for _, want := range []string{"parse.mnet", "estimate", "estimate.sc", "estimate.fc"} {
+		if !spans[want] {
+			t.Errorf("trace missing span %q (got %v)", want, spans)
+		}
+	}
+	for _, p := range []string{prof, prof + ".heap"} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("unobtainium", 0, false, false, false, "m", false, false, nil); err == nil {
+	base := options{proc: "nmos25", name: "m"}
+	if err := run(options{proc: "unobtainium", name: "m"}, nil); err == nil {
 		t.Error("unknown process accepted")
 	}
-	if err := run("@/does/not/exist", 0, false, false, false, "m", false, false, nil); err == nil {
+	if err := run(options{proc: "@/does/not/exist", name: "m"}, nil); err == nil {
 		t.Error("missing process file accepted")
 	}
-	if err := run("nmos25", 0, false, false, false, "m", false, false,
-		[]string{"/does/not/exist.mnet"}); err == nil {
+	if err := run(base, []string{"/does/not/exist.mnet"}); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run("nmos25", 0, false, false, false, "m", false, false,
-		[]string{"a", "b"}); err == nil {
+	if err := run(base, []string{"a", "b"}); err == nil {
 		t.Error("two inputs accepted")
 	}
 	// Malformed input.
@@ -81,10 +119,18 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not a module"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("nmos25", 0, false, false, false, "m", false, false, []string{bad}); err == nil {
+	if err := run(base, []string{bad}); err == nil {
 		t.Error("malformed input accepted")
 	}
-	if err := run("nmos25", 0, false, true, false, "m", false, false, []string{bad}); err == nil {
+	badBench := base
+	badBench.bench = true
+	if err := run(badBench, []string{bad}); err == nil {
 		t.Error("malformed bench accepted")
+	}
+	// An unwritable trace path fails up front.
+	badTrace := base
+	badTrace.trace = filepath.Join(dir, "no", "such", "dir", "t.jsonl")
+	if err := run(badTrace, []string{filepath.Join(repoTestdata, "demo.mnet")}); err == nil {
+		t.Error("unwritable trace path accepted")
 	}
 }

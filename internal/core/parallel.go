@@ -1,20 +1,46 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/tech"
+)
+
+// Chip-scale metrics: the worker pool is the throughput engine of the
+// "estimate every module, then floor-plan" workflow, so its
+// utilization is what tells whether the pipeline runs as fast as the
+// hardware allows.
+var (
+	mChips       = obs.DefCounter("maest_chip_estimates_total", "completed chip-level estimate runs")
+	mChipModules = obs.DefCounter("maest_chip_modules_total", "modules estimated through the chip worker pool")
+	mChipWorkers = obs.DefGauge("maest_chip_workers", "worker count of the most recent chip estimate")
+	mChipWorkSec = obs.DefHistogram("maest_chip_wall_seconds", "chip estimate wall-clock latency", obs.DefBuckets)
+	mChipUtil    = obs.DefHistogram("maest_chip_worker_utilization_ratio", "per-worker busy fraction of a chip estimate", obs.RatioBuckets)
 )
 
 // EstimateChip estimates every module of a partitioned chip
 // concurrently — the paper's workflow estimates each module
 // independently before floor planning, which parallelizes perfectly.
-// Results are returned in module order; the first (lowest-index)
-// failure is reported.  workers ≤ 0 selects GOMAXPROCS.
+// Results are returned in module order.  When several modules fail,
+// every failure is reported (errors.Join), each tagged with its
+// module name.  workers ≤ 0 selects GOMAXPROCS.
 func EstimateChip(modules []*netlist.Circuit, p *tech.Process, opts SCOptions, workers int) ([]*Result, error) {
+	return EstimateChipCtx(context.Background(), modules, p, opts, workers)
+}
+
+// EstimateChipCtx is EstimateChip with observability: an
+// "estimate_chip" span parenting one "estimate" span per module, and
+// worker-pool utilization metrics.
+func EstimateChipCtx(ctx context.Context, modules []*netlist.Circuit, p *tech.Process, opts SCOptions, workers int) (res []*Result, err error) {
+	ctx, sp := obs.Start(ctx, "estimate_chip")
+	defer func() { sp.EndErr(err) }()
 	if len(modules) == 0 {
 		return nil, estErr("chip has no modules")
 	}
@@ -24,32 +50,62 @@ func EstimateChip(modules []*netlist.Circuit, p *tech.Process, opts SCOptions, w
 	if workers > len(modules) {
 		workers = len(modules)
 	}
+	sp.SetInt("modules", int64(len(modules)))
+	sp.SetInt("workers", int64(workers))
+
 	results := make([]*Result, len(modules))
 	errs := make([]error, len(modules))
+	busy := make([]time.Duration, workers)
 	idx := make(chan int)
+	t0 := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				// Each worker uses its own process copy: estimation
 				// only reads the process, but a private clone keeps
 				// the API contract obvious and race-detector clean
 				// even if callers mutate theirs concurrently.
-				results[i], errs[i] = Estimate(modules[i], p.Clone(), opts)
+				start := time.Now()
+				results[i], errs[i] = EstimateCtx(ctx, modules[i], p.Clone(), opts)
+				busy[w] += time.Since(start)
 			}
-		}()
+		}(w)
 	}
 	for i := range modules {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%w (module %q)", err, modules[i].Name)
+
+	wall := time.Since(t0)
+	mChips.Inc()
+	mChipModules.Add(int64(len(modules)))
+	mChipWorkers.Set(float64(workers))
+	mChipWorkSec.Observe(wall.Seconds())
+	if wall > 0 {
+		var util float64
+		for _, b := range busy {
+			r := b.Seconds() / wall.Seconds()
+			mChipUtil.Observe(r)
+			util += r
 		}
+		sp.SetFloat("utilization", util/float64(workers))
+	}
+
+	// Aggregate every module failure — a multi-module run must be
+	// diagnosable in one pass, not one lowest-index error at a time.
+	var failures []error
+	for i, e := range errs {
+		if e != nil {
+			failures = append(failures, fmt.Errorf("%w (module %q)", e, modules[i].Name))
+		}
+	}
+	if len(failures) > 0 {
+		sp.SetInt("failed_modules", int64(len(failures)))
+		return nil, errors.Join(failures...)
 	}
 	return results, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"maest/internal/gen"
@@ -80,5 +81,35 @@ func TestEstimateChipErrors(t *testing.T) {
 	mods := append(chipModules(t, 2), bad)
 	if _, err := EstimateChip(mods, p, SCOptions{}, 4); err == nil {
 		t.Error("bad module accepted")
+	}
+}
+
+func badModule(t *testing.T, name string) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder(name)
+	b.AddDevice("g1", "WARP", "a", "b")
+	b.AddDevice("g2", "INV", "b", "a")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEstimateChipAggregatesAllErrors(t *testing.T) {
+	// Every failing module must be named in the joined error, not
+	// just the lowest-index one.
+	p := tech.NMOS25()
+	mods := chipModules(t, 2)
+	mods = append(mods, badModule(t, "badA"))
+	mods = append(mods, badModule(t, "badB"))
+	_, err := EstimateChip(mods, p, SCOptions{}, 4)
+	if err == nil {
+		t.Fatal("bad modules accepted")
+	}
+	for _, name := range []string{"badA", "badB"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("joined error missing module %q: %v", name, err)
+		}
 	}
 }

@@ -1,12 +1,24 @@
 package core
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"maest/internal/cells"
 	"maest/internal/hdl"
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/tech"
+)
+
+// Estimator stage metrics: the paper's Tables 1–2 sell the estimator
+// on per-module CPU time, so the latency histogram is the headline
+// figure; the counters catch error rates under chip-scale load.
+var (
+	mEstimates   = obs.DefCounter("maest_estimate_total", "completed module estimates")
+	mEstimateErr = obs.DefCounter("maest_estimate_errors_total", "failed module estimates")
+	mEstimateSec = obs.DefHistogram("maest_estimate_seconds", "per-module estimate latency", obs.DefBuckets)
 )
 
 // Result bundles everything the Fig. 1 pipeline produces for one
@@ -33,6 +45,25 @@ type Result struct {
 // rejected: the paper mixes methodologies between modules of a chip,
 // never inside one module.
 func Estimate(c *netlist.Circuit, p *tech.Process, opts SCOptions) (*Result, error) {
+	return EstimateCtx(context.Background(), c, p, opts)
+}
+
+// EstimateCtx is Estimate with observability: it opens an "estimate"
+// span (with "sc" and "fc" children) in the context's trace and
+// records the latency and outcome metrics.
+func EstimateCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process, opts SCOptions) (res *Result, err error) {
+	ctx, sp := obs.Start(ctx, "estimate")
+	sp.SetString("module", c.Name)
+	defer func(t0 time.Time) {
+		mEstimateSec.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			mEstimateErr.Inc()
+		} else {
+			mEstimates.Inc()
+		}
+		sp.EndErr(err)
+	}(time.Now())
+
 	nCells, nTransistors := 0, 0
 	for _, d := range c.Devices {
 		dt, err := p.Device(d.Type)
@@ -50,46 +81,84 @@ func Estimate(c *netlist.Circuit, p *tech.Process, opts SCOptions) (*Result, err
 			c.Name, nCells, nTransistors)
 	}
 
-	res := &Result{Module: c.Name}
+	res = &Result{Module: c.Name}
 	s, err := netlist.Gather(c, p)
 	if err != nil {
 		return nil, estErr("module %q: %v", c.Name, err)
 	}
 	res.Stats = s
+	sp.SetInt("devices", int64(s.N))
+	sp.SetInt("nets", int64(s.H))
 
 	fcCircuit := c
 	if nCells > 0 {
-		sc, err := EstimateStandardCell(s, p, opts)
-		if err != nil {
+		if err := estimateSC(ctx, res, s, p, opts); err != nil {
 			return nil, err
 		}
-		res.SC = sc
-		cand, err := EstimateStandardCellCandidates(s, p, opts, 5)
-		if err != nil {
-			return nil, err
-		}
-		res.SCCandidates = cand
 		fcCircuit, err = cells.ExpandTransistors(c, p)
 		if err != nil {
 			return nil, estErr("module %q: %v", c.Name, err)
 		}
 	}
-	if res.FCExact, err = EstimateFullCustom(fcCircuit, p, FCExactAreas); err != nil {
-		return nil, err
-	}
-	if res.FCAverage, err = EstimateFullCustom(fcCircuit, p, FCAverageAreas); err != nil {
+	if err := estimateFC(ctx, res, fcCircuit, p); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// estimateSC runs the §4.1 Standard-Cell side under its own span.
+func estimateSC(ctx context.Context, res *Result, s *netlist.Stats, p *tech.Process, opts SCOptions) (err error) {
+	_, sp := obs.Start(ctx, "estimate.sc")
+	defer func() { sp.EndErr(err) }()
+	sc, err := EstimateStandardCell(s, p, opts)
+	if err != nil {
+		return err
+	}
+	res.SC = sc
+	sp.SetInt("rows", int64(sc.Rows))
+	sp.SetInt("tracks", int64(sc.Tracks))
+	sp.SetInt("feedthroughs", int64(sc.FeedThroughs))
+	sp.SetFloat("area", sc.Area)
+	cand, err := EstimateStandardCellCandidates(s, p, opts, 5)
+	if err != nil {
+		return err
+	}
+	res.SCCandidates = cand
+	sp.SetInt("candidates", int64(len(cand)))
+	return nil
+}
+
+// estimateFC runs the §4.2 Full-Custom side (both device-area modes)
+// under its own span.
+func estimateFC(ctx context.Context, res *Result, c *netlist.Circuit, p *tech.Process) (err error) {
+	_, sp := obs.Start(ctx, "estimate.fc")
+	defer func() { sp.EndErr(err) }()
+	if res.FCExact, err = EstimateFullCustom(c, p, FCExactAreas); err != nil {
+		return err
+	}
+	if res.FCAverage, err = EstimateFullCustom(c, p, FCAverageAreas); err != nil {
+		return err
+	}
+	sp.SetFloat("area_exact", res.FCExact.Area)
+	sp.SetFloat("area_average", res.FCAverage.Area)
+	return nil
 }
 
 // Pipeline is the end-to-end Fig. 1 flow: parse the circuit schematic
 // (.mnet) from r, combine it with the fabrication-process database,
 // and produce the estimate record for the floor planner.
 func Pipeline(r io.Reader, p *tech.Process, opts SCOptions) (*Result, error) {
-	c, err := hdl.ParseMnet(r)
+	return PipelineCtx(context.Background(), r, p, opts)
+}
+
+// PipelineCtx is Pipeline with observability: a "pipeline" span whose
+// children cover the parse and estimate stages.
+func PipelineCtx(ctx context.Context, r io.Reader, p *tech.Process, opts SCOptions) (res *Result, err error) {
+	ctx, sp := obs.Start(ctx, "pipeline")
+	defer func() { sp.EndErr(err) }()
+	c, err := hdl.ParseMnetCtx(ctx, r)
 	if err != nil {
 		return nil, estErr("pipeline: %v", err)
 	}
-	return Estimate(c, p, opts)
+	return EstimateCtx(ctx, c, p, opts)
 }

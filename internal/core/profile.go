@@ -1,11 +1,22 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/prob"
 	"maest/internal/tech"
+)
+
+// Feed-through profile metrics: how often the per-row refinement is
+// computed and how its totals distribute — the signal the
+// early-routability work (Kar et al.) consumes.
+var (
+	mProfiles     = obs.DefCounter("maest_feedthrough_profiles_total", "computed per-row feed-through profiles")
+	mProfileMax   = obs.DefHistogram("maest_feedthrough_profile_max", "max per-row expected feed-through count", obs.CountBuckets)
+	mProfileTotal = obs.DefHistogram("maest_feedthrough_profile_sum", "total expected feed-through count over all rows", obs.CountBuckets)
 )
 
 // FeedThroughProfile is a refinement the paper's future-work section
@@ -47,6 +58,9 @@ func FeedThroughRowProfile(s *netlist.Stats, n int) (*FeedThroughProfile, error)
 		return nil, estErr("profile %q: %v", s.CircuitName, err)
 	}
 	prof.Central = float64(s.H) * pc
+	mProfiles.Inc()
+	mProfileMax.Observe(prof.Max())
+	mProfileTotal.Observe(prof.Total())
 	return prof, nil
 }
 
@@ -81,6 +95,27 @@ func (f *FeedThroughProfile) Total() float64 {
 // *under*-counts their feed-throughs (Eq. 5's probability grows with
 // D), which the profile corrects.
 func EstimateStandardCellProfiled(s *netlist.Stats, p *tech.Process, opts SCOptions) (*SCEstimate, error) {
+	return EstimateStandardCellProfiledCtx(context.Background(), s, p, opts)
+}
+
+// EstimateStandardCellProfiledCtx is EstimateStandardCellProfiled
+// under an "estimate.sc_profiled" span carrying the profile's
+// headline numbers.
+func EstimateStandardCellProfiledCtx(ctx context.Context, s *netlist.Stats, p *tech.Process, opts SCOptions) (est *SCEstimate, err error) {
+	_, sp := obs.Start(ctx, "estimate.sc_profiled")
+	sp.SetString("module", s.CircuitName)
+	defer func() {
+		if est != nil {
+			sp.SetInt("rows", int64(est.Rows))
+			sp.SetInt("feedthroughs", int64(est.FeedThroughs))
+			sp.SetFloat("area", est.Area)
+		}
+		sp.EndErr(err)
+	}()
+	return estimateStandardCellProfiled(s, p, opts)
+}
+
+func estimateStandardCellProfiled(s *netlist.Stats, p *tech.Process, opts SCOptions) (*SCEstimate, error) {
 	base, err := EstimateStandardCell(s, p, opts)
 	if err != nil {
 		return nil, err

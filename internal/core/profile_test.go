@@ -57,6 +57,76 @@ func TestFeedThroughRowProfileErrors(t *testing.T) {
 	}
 }
 
+func TestFeedThroughRowProfileSingleRow(t *testing.T) {
+	// With one row no net ever crosses a row boundary, so every
+	// per-row expectation (and the central bound) collapses to zero.
+	s := gatherChain(t, 10)
+	prof, err := FeedThroughRowProfile(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Rows != 1 || len(prof.PerRow) != 1 {
+		t.Fatalf("shape %d/%d", prof.Rows, len(prof.PerRow))
+	}
+	if prof.PerRow[0] != 0 {
+		t.Fatalf("single-row expectation = %g, want 0", prof.PerRow[0])
+	}
+	if prof.Max() != 0 || prof.Total() != 0 {
+		t.Fatalf("Max=%g Total=%g, want 0", prof.Max(), prof.Total())
+	}
+}
+
+func TestFeedThroughRowProfileEmptyHistogram(t *testing.T) {
+	// A module with no multi-terminal nets: the profile is all zero,
+	// but the paper's central bound (H·pc) still reflects H.
+	s := &netlist.Stats{CircuitName: "empty", N: 5, H: 7}
+	prof, err := FeedThroughRowProfile(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range prof.PerRow {
+		if v != 0 {
+			t.Fatalf("row %d expectation = %g, want 0", i+1, v)
+		}
+	}
+	pc, err := prob.CentralFeedThroughProb(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prof.Central-7*pc) > 1e-12 {
+		t.Fatalf("central = %g, want %g", prof.Central, 7*pc)
+	}
+}
+
+func TestFeedThroughRowProfileDegreeAboveRows(t *testing.T) {
+	// Net degree above the row count is legal (many cells share a
+	// row); the profile must stay finite and follow Eq. 4/5: edge
+	// rows can never host a feed-through (nothing above row 1 or
+	// below row n), the middle row carries a positive expectation.
+	s := &netlist.Stats{
+		CircuitName: "wide", N: 12, H: 8,
+		DegreeCount: map[int]int{5: 4},
+	}
+	prof, err := FeedThroughRowProfile(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.PerRow[0] > 1e-12 || prof.PerRow[2] > 1e-12 {
+		t.Fatalf("edge rows nonzero: %v", prof.PerRow)
+	}
+	mid := prof.PerRow[1]
+	if mid <= 0 || math.IsNaN(mid) || math.IsInf(mid, 0) {
+		t.Fatalf("middle row expectation = %g", mid)
+	}
+	p5, err := prob.FeedThroughProb(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mid-4*p5) > 1e-12 {
+		t.Fatalf("middle row = %g, want %g", mid, 4*p5)
+	}
+}
+
 func TestEstimateStandardCellProfiled(t *testing.T) {
 	p := tech.NMOS25()
 	s := gatherChain(t, 40)

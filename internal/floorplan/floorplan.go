@@ -7,12 +7,25 @@
 package floorplan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"maest/internal/db"
+	"maest/internal/obs"
+)
+
+// Floor-planner metrics: utilization tells whether the module shape
+// estimates tile well; the latency histogram covers the §7
+// iteration-loop budget.
+var (
+	mPlans     = obs.DefCounter("maest_floorplan_total", "completed floor plans")
+	mPlanSec   = obs.DefHistogram("maest_floorplan_seconds", "floor-planning latency", obs.DefBuckets)
+	mPlanUtil  = obs.DefHistogram("maest_floorplan_utilization_ratio", "chip area utilization of finished plans", obs.RatioBuckets)
+	mPlanBlock = obs.DefCounter("maest_floorplan_modules_total", "modules placed by the floor planner")
 )
 
 // ErrPlan wraps floor-planning failures.
@@ -96,6 +109,38 @@ type PlanOptions struct {
 
 // PlanChipOpt floor-plans with an explicit objective.
 func PlanChipOpt(d *db.Database, opts PlanOptions) (*Plan, error) {
+	return PlanChipOptCtx(context.Background(), d, opts)
+}
+
+// PlanChipCtx is PlanChip with observability.
+func PlanChipCtx(ctx context.Context, d *db.Database) (*Plan, error) {
+	return PlanChipOptCtx(ctx, d, PlanOptions{})
+}
+
+// PlanChipOptCtx is PlanChipOpt with observability: a "floorplan"
+// span carrying the chip dimensions and utilization plus the planner
+// metrics.
+func PlanChipOptCtx(ctx context.Context, d *db.Database, opts PlanOptions) (plan *Plan, err error) {
+	_, sp := obs.Start(ctx, "floorplan")
+	sp.SetString("chip", d.Chip)
+	sp.SetInt("modules", int64(len(d.Modules)))
+	defer func(t0 time.Time) {
+		mPlanSec.Observe(time.Since(t0).Seconds())
+		if err == nil {
+			mPlans.Inc()
+			mPlanBlock.Add(int64(len(plan.Blocks)))
+			mPlanUtil.Observe(plan.Utilization())
+			sp.SetFloat("width", plan.Width)
+			sp.SetFloat("height", plan.Height)
+			sp.SetFloat("utilization", plan.Utilization())
+			sp.SetFloat("wirelength", plan.WireLength)
+		}
+		sp.EndErr(err)
+	}(time.Now())
+	return planChipOpt(d, opts)
+}
+
+func planChipOpt(d *db.Database, opts PlanOptions) (*Plan, error) {
 	if err := db.Validate(d); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrPlan, err)
 	}

@@ -1,0 +1,59 @@
+package hdl
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"maest/internal/netlist"
+	"maest/internal/obs"
+	"maest/internal/tech"
+)
+
+// Front-end metrics, shared by every input language.
+var (
+	mParses   = obs.DefCounter("maest_parse_total", "parsed circuit modules (all front-end languages)")
+	mParseErr = obs.DefCounter("maest_parse_errors_total", "front-end parse failures")
+	mParseSec = obs.DefHistogram("maest_parse_seconds", "front-end parse latency", obs.DefBuckets)
+)
+
+// ParseMnetCtx is ParseMnet under a "parse.mnet" span with the
+// front-end metrics.
+func ParseMnetCtx(ctx context.Context, r io.Reader) (*netlist.Circuit, error) {
+	return tracedParse(ctx, "parse.mnet", func() (*netlist.Circuit, error) {
+		return ParseMnet(r)
+	})
+}
+
+// ParseBenchCtx is ParseBench under a "parse.bench" span with the
+// front-end metrics.
+func ParseBenchCtx(ctx context.Context, r io.Reader, name string, p *tech.Process) (*netlist.Circuit, error) {
+	return tracedParse(ctx, "parse.bench", func() (*netlist.Circuit, error) {
+		return ParseBench(r, name, p)
+	})
+}
+
+// ParseVerilogCtx is ParseVerilog under a "parse.verilog" span with
+// the front-end metrics.
+func ParseVerilogCtx(ctx context.Context, r io.Reader, p *tech.Process) (*netlist.Circuit, error) {
+	return tracedParse(ctx, "parse.verilog", func() (*netlist.Circuit, error) {
+		return ParseVerilog(r, p)
+	})
+}
+
+func tracedParse(ctx context.Context, span string, parse func() (*netlist.Circuit, error)) (c *netlist.Circuit, err error) {
+	_, sp := obs.Start(ctx, span)
+	defer func(t0 time.Time) {
+		mParseSec.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			mParseErr.Inc()
+		} else {
+			mParses.Inc()
+			sp.SetString("module", c.Name)
+			sp.SetInt("devices", int64(len(c.Devices)))
+			sp.SetInt("nets", int64(len(c.Nets)))
+		}
+		sp.EndErr(err)
+	}(time.Now())
+	return parse()
+}

@@ -7,11 +7,13 @@
 package layout
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"maest/internal/geom"
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/place"
 	"maest/internal/route"
 	"maest/internal/tech"
@@ -103,11 +105,27 @@ func assemble(pl *place.Placement, rr *route.Result, p *tech.Process, pitch, ftW
 // model (TimberWolf 3.2-generation layouts shared tracks weakly in
 // single-metal nMOS; see route.Options.MaxShare), and measure.
 func LayoutStandardCell(c *netlist.Circuit, p *tech.Process, rows int, seed int64) (*Module, error) {
-	pl, err := place.Place(c, p, place.Options{Rows: rows, Seed: seed})
+	return LayoutStandardCellCtx(context.Background(), c, p, rows, seed)
+}
+
+// LayoutStandardCellCtx is LayoutStandardCell with observability: a
+// "layout.sc" span parenting the place and route spans.
+func LayoutStandardCellCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process, rows int, seed int64) (m *Module, err error) {
+	ctx, sp := obs.Start(ctx, "layout.sc")
+	sp.SetString("module", c.Name)
+	sp.SetInt("rows", int64(rows))
+	defer func() {
+		if m != nil {
+			sp.SetInt("width", int64(m.Width))
+			sp.SetInt("height", int64(m.Height))
+		}
+		sp.EndErr(err)
+	}()
+	pl, err := place.PlaceCtx(ctx, c, p, place.Options{Rows: rows, Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrLayout, err)
 	}
-	rr, err := route.RouteModule(pl, route.Options{TrackSharing: true, MaxShare: 2})
+	rr, err := route.RouteModuleCtx(ctx, pl, route.Options{TrackSharing: true, MaxShare: 2})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrLayout, err)
 	}
@@ -120,6 +138,27 @@ func LayoutStandardCell(c *netlist.Circuit, p *tech.Process, rows int, seed int6
 // sharing, and keeps the minimum-area result (ties broken toward
 // squareness).  The circuit must be transistor-level.
 func SynthesizeFullCustom(c *netlist.Circuit, p *tech.Process, seed int64) (*Module, error) {
+	return SynthesizeFullCustomCtx(context.Background(), c, p, seed)
+}
+
+// SynthesizeFullCustomCtx is SynthesizeFullCustom with observability:
+// a "layout.fc" span parenting one place/route pair per candidate row
+// count.
+func SynthesizeFullCustomCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process, seed int64) (m *Module, err error) {
+	ctx, sp := obs.Start(ctx, "layout.fc")
+	sp.SetString("module", c.Name)
+	defer func() {
+		if m != nil {
+			sp.SetInt("rows", int64(m.Rows))
+			sp.SetInt("width", int64(m.Width))
+			sp.SetInt("height", int64(m.Height))
+		}
+		sp.EndErr(err)
+	}()
+	return synthesizeFullCustom(ctx, c, p, seed)
+}
+
+func synthesizeFullCustom(ctx context.Context, c *netlist.Circuit, p *tech.Process, seed int64) (*Module, error) {
 	if c.NumDevices() == 0 {
 		return nil, fmt.Errorf("%w: circuit %q has no devices", ErrLayout, c.Name)
 	}
@@ -136,13 +175,13 @@ func SynthesizeFullCustom(c *netlist.Circuit, p *tech.Process, seed int64) (*Mod
 	maxRows := isqrt(c.NumDevices()) + 2
 	var best *Module
 	for rows := 1; rows <= maxRows; rows++ {
-		pl, err := place.Place(c, p, place.Options{Rows: rows, Seed: seed + int64(rows)})
+		pl, err := place.PlaceCtx(ctx, c, p, place.Options{Rows: rows, Seed: seed + int64(rows)})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrLayout, err)
 		}
 		// Manual-style full-custom wiring: share tracks and abut
 		// adjacent two-pin neighbours (diffusion sharing).
-		rr, err := route.RouteModule(pl, route.Options{TrackSharing: true, AbutAdjacentPairs: true})
+		rr, err := route.RouteModuleCtx(ctx, pl, route.Options{TrackSharing: true, AbutAdjacentPairs: true})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrLayout, err)
 		}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// BenchmarkSpanDisabled measures the nil-sink fast path every
+// instrumented function pays when tracing is off — it must stay
+// allocation-free and a few nanoseconds.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "estimate")
+		sp.SetInt("devices", 42)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanJSONL measures the enabled path end to end (span
+// allocation + JSON encoding) for comparison.
+func BenchmarkSpanJSONL(b *testing.B) {
+	ctx := WithSink(context.Background(), NewJSONL(io.Discard))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "estimate")
+		sp.SetInt("devices", 42)
+		sp.End()
+	}
+}
+
+// BenchmarkCounterInc and BenchmarkHistogramObserve measure the
+// always-on metric updates the pipeline performs at stage boundaries.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0013)
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI wires the standard observability flags shared by the maest
+// commands (-trace FILE, -metrics, -pprof FILE) into a context and a
+// single end-of-run flush. Zero-valued flags cost nothing: the
+// returned context is the input context and Close is a no-op.
+type CLI struct {
+	tree      *TreeSink
+	traceFile *os.File
+	stopCPU   func() error
+	heapPath  string
+	metrics   bool
+}
+
+// SetupCLI interprets the flag values: trace != "" streams JSONL
+// spans to that file ("-" = stdout) and accumulates the summary tree;
+// metrics arms the end-of-run Prometheus dump; pprofPath != ""
+// CPU-profiles into pprofPath and heap-snapshots into
+// pprofPath+".heap" at Close.
+func SetupCLI(ctx context.Context, trace string, metrics bool, pprofPath string) (*CLI, context.Context, error) {
+	c := &CLI{metrics: metrics}
+	if trace != "" {
+		var w io.Writer
+		if trace == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(trace)
+			if err != nil {
+				return nil, ctx, err
+			}
+			c.traceFile = f
+			w = f
+		}
+		c.tree = NewTree()
+		ctx = WithSink(ctx, Multi(NewJSONL(w), c.tree))
+	}
+	if pprofPath != "" {
+		stop, err := StartCPUProfile(pprofPath)
+		if err != nil {
+			c.Close(io.Discard)
+			return nil, ctx, err
+		}
+		c.stopCPU = stop
+		c.heapPath = pprofPath + ".heap"
+	}
+	return c, ctx, nil
+}
+
+// Close flushes everything armed by SetupCLI: it stops the CPU
+// profile, snapshots the heap, renders the span summary tree and the
+// metrics dump to w (conventionally stderr, keeping stdout clean for
+// machine output). Safe to call on a nil receiver and idempotent for
+// the file-backed parts.
+func (c *CLI) Close(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.stopCPU != nil {
+		keep(c.stopCPU())
+		c.stopCPU = nil
+	}
+	if c.heapPath != "" {
+		keep(WriteHeapProfile(c.heapPath))
+		c.heapPath = ""
+	}
+	if c.tree != nil {
+		fmt.Fprintf(w, "--- trace (%d spans) ---\n", c.tree.Len())
+		keep(c.tree.WriteTree(w))
+	}
+	if c.traceFile != nil {
+		keep(c.traceFile.Close())
+		c.traceFile = nil
+	}
+	if c.metrics {
+		fmt.Fprintln(w, "--- metrics ---")
+		keep(Default.WritePrometheus(w))
+	}
+	return firstErr
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use and never allocate.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the exposition to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (CAS loop; safe concurrently).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket i counts observations ≤ uppers[i], with an
+// implicit +Inf bucket).
+type Histogram struct {
+	name, help string
+	uppers     []float64
+	counts     []atomic.Int64 // len(uppers)+1; last is +Inf
+	sumBits    atomic.Uint64
+	count      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first upper ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// DefBuckets suit second-scale latencies: the paper's per-module CPU
+// budgets (1.5 s / 3 s) fall in the middle of the range.
+var DefBuckets = []float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 1.5, 3, 10}
+
+// CountBuckets suit small integer quantities (tracks, feed-throughs,
+// rows, iterations).
+var CountBuckets = []float64{0, 1, 2, 5, 10, 20, 50, 100, 250, 1000, 10_000, 100_000, 1_000_000}
+
+// RatioBuckets suit fractions in [0, 1] (accept ratios, utilization).
+var RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+
+// Registry holds the process's metrics. The zero value is not usable;
+// call NewRegistry. Get-or-create lookups take a mutex, so hot paths
+// hoist metrics into package variables and only pay atomic updates.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the pipeline instruments into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, help: help}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, help: help}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (sorted copy) on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		uppers := append([]float64(nil), buckets...)
+		sort.Float64s(uppers)
+		h = &Histogram{name: name, help: help, uppers: uppers, counts: make([]atomic.Int64, len(uppers)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric (tests and long-lived servers
+// sampling deltas).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sumBits.Store(0)
+	}
+}
+
+// WritePrometheus emits every metric in the Prometheus text
+// exposition format (version 0.0.4), names sorted for stable diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if err := writeHeader(w, h.name, h.help, "histogram"); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, ub := range h.uppers {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.uppers)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// DefCounter, DefGauge and DefHistogram register into the Default
+// registry — the form the instrumented packages use for their
+// package-level metric variables.
+
+// DefCounter get-or-creates a counter in the Default registry.
+func DefCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// DefGauge get-or-creates a gauge in the Default registry.
+func DefGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// DefHistogram get-or-creates a histogram in the Default registry.
+func DefHistogram(name, help string, buckets []float64) *Histogram {
+	return Default.Histogram(name, help, buckets)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total", "") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "a histogram", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-107) > 1e-9 {
+		t.Fatalf("sum = %g, want 107", h.Sum())
+	}
+	if math.Abs(h.Mean()-21.4) > 1e-9 {
+		t.Fatalf("mean = %g, want 21.4", h.Mean())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative buckets: ≤1 → 2 (0.5 and the boundary value 1),
+	// ≤2 → 3, ≤5 → 4, +Inf → 5.
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="2"} 3`,
+		`h_bucket{le="5"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+		"h_sum 107",
+		"h_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("maest_b_total", "second").Inc()
+	r.Counter("maest_a_total", "first").Add(2)
+	r.Gauge("maest_workers", "worker count").Set(8)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP maest_a_total first\n# TYPE maest_a_total counter\nmaest_a_total 2\n",
+		"# TYPE maest_b_total counter\nmaest_b_total 1\n",
+		"# TYPE maest_workers gauge\nmaest_workers 8\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name for stable output.
+	if strings.Index(out, "maest_a_total") > strings.Index(out, "maest_b_total") {
+		t.Errorf("metrics not sorted:\n%s", out)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1})
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left values: c=%d g=%g hc=%d hs=%g", c.Value(), g.Value(), h.Count(), h.Sum())
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_hist", "", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("conc_gauge", "").Value(); got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := r.Histogram("conc_hist", "", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestMetricUpdateZeroAllocs(t *testing.T) {
+	c := NewRegistry().Counter("x_total", "")
+	h := NewRegistry().Histogram("h", "", DefBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(0.001)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f objects per op, want 0", allocs)
+	}
+}

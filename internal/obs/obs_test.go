@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.SetInt("a", 1)
+	sp.SetFloat("b", 2)
+	sp.SetString("c", "x")
+	sp.End()
+	sp.EndErr(errors.New("boom"))
+}
+
+func TestDisabledPathReturnsNilSpan(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "root")
+	if sp != nil {
+		t.Fatal("span created without a sink")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context rewrapped on the disabled path")
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, sp := Start(ctx, "root")
+		sp.SetInt("devices", 7)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func TestSpanTreePropagation(t *testing.T) {
+	tree := NewTree()
+	ctx := WithSink(context.Background(), tree)
+	ctx, root := Start(ctx, "root")
+	root.SetString("module", "demo")
+	cctx, child := Start(ctx, "child")
+	if _, gc := Start(cctx, "grandchild"); gc == nil {
+		t.Fatal("grandchild span not created")
+	} else {
+		gc.SetInt("n", 3)
+		gc.End()
+	}
+	child.End()
+	root.EndErr(errors.New("late failure"))
+
+	if tree.Len() != 3 {
+		t.Fatalf("recorded %d spans, want 3", tree.Len())
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"root", "  child", "    grandchild", "module=demo", "n=3", "ERROR: late failure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+	// Children must be indented under the root, not printed as roots.
+	if strings.Contains(out, "\nchild") {
+		t.Errorf("child rendered as a root:\n%s", out)
+	}
+}
+
+func TestSinkFrom(t *testing.T) {
+	if SinkFrom(context.Background()) != nil {
+		t.Fatal("sink found in empty context")
+	}
+	tree := NewTree()
+	ctx := WithSink(context.Background(), tree)
+	if SinkFrom(ctx) != Sink(tree) {
+		t.Fatal("installed sink not found")
+	}
+	ctx, sp := Start(ctx, "s")
+	defer sp.End()
+	if SinkFrom(ctx) != Sink(tree) {
+		t.Fatal("sink not reachable through the active span")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	ctx := WithSink(context.Background(), sink)
+	ctx, root := Start(ctx, "estimate")
+	root.SetString("module", "c17")
+	root.SetInt("devices", 6)
+	_, child := Start(ctx, "parse")
+	child.EndErr(errors.New("bad token"))
+	root.End()
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	// Children end before parents, so the child is first.
+	if lines[0]["span"] != "parse" || lines[0]["err"] != "bad token" {
+		t.Errorf("child line wrong: %v", lines[0])
+	}
+	if lines[1]["span"] != "estimate" {
+		t.Errorf("root line wrong: %v", lines[1])
+	}
+	attrs, _ := lines[1]["attrs"].(map[string]any)
+	if attrs["module"] != "c17" || attrs["devices"] != float64(6) {
+		t.Errorf("root attrs wrong: %v", attrs)
+	}
+	if lines[0]["parent"] != lines[1]["id"] {
+		t.Errorf("child parent %v != root id %v", lines[0]["parent"], lines[1]["id"])
+	}
+	if _, err := time.Parse(time.RFC3339Nano, lines[1]["start"].(string)); err != nil {
+		t.Errorf("start timestamp not RFC3339Nano: %v", err)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tree := NewTree()
+	jsonl := NewJSONL(io.Discard)
+	ctx := WithSink(context.Background(), Multi(jsonl, tree))
+	ctx, root := Start(ctx, "chip")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, sp := Start(ctx, fmt.Sprintf("mod-%d-%d", w, i))
+				sp.SetInt("worker", int64(w))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got, want := tree.Len(), workers*perWorker+1; got != want {
+		t.Fatalf("recorded %d spans, want %d", got, want)
+	}
+}
+
+func TestMultiNilHandling(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of no sinks must be nil")
+	}
+	tree := NewTree()
+	if Multi(nil, tree) != Sink(tree) {
+		t.Fatal("Multi of one sink must be that sink")
+	}
+	ctx, sp := Start(WithSink(context.Background(), Multi(nil, nil)), "x")
+	_ = ctx
+	if sp != nil {
+		t.Fatal("nil multi-sink must disable tracing")
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tree := NewTree()
+	_, sp := Start(WithSink(context.Background(), tree), "x")
+	sp.End()
+	sp.End()
+	sp.EndErr(errors.New("late"))
+	if tree.Len() != 1 {
+		t.Fatalf("span recorded %d times, want 1", tree.Len())
+	}
+}
+
+func TestProfilingHelpers(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = fmt.Sprintf("%d", i)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestSetupCLI(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	prof := filepath.Join(dir, "prof.cpu")
+	cli, ctx, err := SetupCLI(context.Background(), trace, true, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sp := Start(ctx, "work")
+	sp.SetInt("n", 1)
+	sp.End()
+	DefCounter("obs_cli_test_total", "test counter").Inc()
+	var out bytes.Buffer
+	if err := cli.Close(&out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"span":"work"`) {
+		t.Errorf("trace file missing span: %s", data)
+	}
+	s := out.String()
+	if !strings.Contains(s, "work") || !strings.Contains(s, "obs_cli_test_total 1") {
+		t.Errorf("Close output missing tree or metrics:\n%s", s)
+	}
+	for _, p := range []string{prof, prof + ".heap"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("profile not written: %v", err)
+		}
+	}
+	// nil CLI and disabled CLI are no-ops.
+	if err := (*CLI)(nil).Close(&out); err != nil {
+		t.Fatal(err)
+	}
+	cli2, ctx2, err := SetupCLI(context.Background(), "", false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sp := Start(ctx2, "x"); sp != nil {
+		t.Fatal("disabled CLI created spans")
+	}
+	before := out.Len()
+	if err := cli2.Close(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != before {
+		t.Fatal("disabled CLI wrote output on Close")
+	}
+}

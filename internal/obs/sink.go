@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JSONLSink streams each completed span as one JSON line — the
+// machine-readable trace format (`-trace FILE` in the CLIs).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL returns a sink writing one JSON object per span to w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// jsonSpan is the wire form of a span: flat, stable field names,
+// microsecond duration (the pipeline's natural granularity).
+type jsonSpan struct {
+	Span   string         `json:"span"`
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent,omitempty"`
+	Start  string         `json:"start"`
+	Micros int64          `json:"us"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	Err    string         `json:"err,omitempty"`
+}
+
+// Record implements Sink.
+func (s *JSONLSink) Record(d *SpanData) {
+	js := jsonSpan{
+		Span:   d.Name,
+		ID:     d.ID,
+		Parent: d.ParentID,
+		Start:  d.Start.UTC().Format(time.RFC3339Nano),
+		Micros: d.Duration.Microseconds(),
+		Err:    d.Err,
+	}
+	if len(d.Attrs) > 0 {
+		js.Attrs = make(map[string]any, len(d.Attrs))
+		for _, a := range d.Attrs {
+			js.Attrs[a.Key] = a.Value
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(js) // best-effort: a broken trace file must not fail the run
+}
+
+// TreeSink accumulates completed spans and renders them as an
+// indented human-readable summary tree — the `-trace` end-of-run
+// report.
+type TreeSink struct {
+	mu    sync.Mutex
+	spans []*SpanData
+}
+
+// NewTree returns an empty accumulating sink.
+func NewTree() *TreeSink { return &TreeSink{} }
+
+// Record implements Sink.
+func (s *TreeSink) Record(d *SpanData) {
+	s.mu.Lock()
+	s.spans = append(s.spans, d)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (s *TreeSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spans)
+}
+
+// WriteTree renders the span forest, roots in start order, children
+// indented under their parents:
+//
+//	estimate 1.8ms  {module=demo devices=6 nets=8}
+//	  parse.mnet 103µs  {devices=6}
+func (s *TreeSink) WriteTree(w io.Writer) error {
+	s.mu.Lock()
+	spans := make([]*SpanData, len(s.spans))
+	copy(spans, s.spans)
+	s.mu.Unlock()
+
+	children := make(map[uint64][]*SpanData, len(spans))
+	byID := make(map[uint64]*SpanData, len(spans))
+	for _, d := range spans {
+		byID[d.ID] = d
+	}
+	var roots []*SpanData
+	for _, d := range spans {
+		if d.ParentID != 0 && byID[d.ParentID] != nil {
+			children[d.ParentID] = append(children[d.ParentID], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	order := func(ds []*SpanData) {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Start.Before(ds[j].Start) })
+	}
+	order(roots)
+	var walk func(d *SpanData, depth int) error
+	walk = func(d *SpanData, depth int) error {
+		if err := writeSpanLine(w, d, depth); err != nil {
+			return err
+		}
+		kids := children[d.ID]
+		order(kids)
+		for _, k := range kids {
+			if err := walk(k, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpanLine(w io.Writer, d *SpanData, depth int) error {
+	for i := 0; i < depth; i++ {
+		if _, err := io.WriteString(w, "  "); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s", d.Name, d.Duration.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	if len(d.Attrs) > 0 {
+		if _, err := io.WriteString(w, "  {"); err != nil {
+			return err
+		}
+		for i, a := range d.Attrs {
+			sep := ""
+			if i > 0 {
+				sep = " "
+			}
+			if _, err := fmt.Fprintf(w, "%s%s=%v", sep, a.Key, a.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	if d.Err != "" {
+		if _, err := fmt.Fprintf(w, "  ERROR: %s", d.Err); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// multiSink fans every span out to several sinks.
+type multiSink []Sink
+
+// Multi returns a sink recording into every non-nil sink given. With
+// zero usable sinks it returns nil (tracing disabled).
+func Multi(sinks ...Sink) Sink {
+	var ms multiSink
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return ms[0]
+	default:
+		return ms
+	}
+}
+
+// Record implements Sink.
+func (ms multiSink) Record(d *SpanData) {
+	for _, s := range ms {
+		s.Record(d)
+	}
+}

@@ -7,14 +7,31 @@
 package place
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
+	"time"
 
 	"maest/internal/geom"
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/tech"
+)
+
+// Annealing metrics: iteration throughput, accept ratio, and cost
+// improvement are what separate "the schedule converged" from "the
+// schedule burned CPU" — the TimberWolf-side half of the paper's
+// timing comparison.
+var (
+	mPlacements     = obs.DefCounter("maest_place_total", "completed placements")
+	mPlaceSec       = obs.DefHistogram("maest_place_seconds", "placement latency", obs.DefBuckets)
+	mAnnealMoves    = obs.DefCounter("maest_anneal_moves_total", "proposed annealing moves")
+	mAnnealAccepted = obs.DefCounter("maest_anneal_accepted_total", "accepted annealing moves")
+	mAnnealAccept   = obs.DefHistogram("maest_anneal_accept_ratio", "per-placement accepted/proposed move ratio", obs.RatioBuckets)
+	mAnnealImprove  = obs.DefHistogram("maest_anneal_cost_improvement_ratio", "per-placement (initial-final)/initial cost improvement", obs.RatioBuckets)
 )
 
 // Options configures Place.
@@ -48,15 +65,70 @@ var ErrPlace = errors.New("place: placement failed")
 // simulated annealing.  The result is deterministic for a given
 // (circuit, options) pair.
 func Place(c *netlist.Circuit, p *tech.Process, opts Options) (*Placement, error) {
+	return PlaceCtx(context.Background(), c, p, opts)
+}
+
+// PlaceCtx is Place with observability: a "place" span carrying the
+// annealing statistics (moves, accept ratio, cost trajectory) plus
+// the placement metrics.  Tracing does not perturb the anneal — the
+// RNG stream and move sequence are identical with and without a sink.
+func PlaceCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process, opts Options) (pl *Placement, err error) {
+	_, sp := obs.Start(ctx, "place")
+	sp.SetString("module", c.Name)
+	defer func(t0 time.Time) {
+		mPlaceSec.Observe(time.Since(t0).Seconds())
+		if err == nil {
+			mPlacements.Inc()
+		}
+		sp.EndErr(err)
+	}(time.Now())
+	pl, st, err := place(c, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetInt("devices", int64(c.NumDevices()))
+	sp.SetInt("rows", int64(opts.Rows))
+	sp.SetInt("moves", int64(st.proposed))
+	sp.SetInt("accepted", int64(st.accepted))
+	sp.SetFloat("cost_initial", st.costInitial)
+	sp.SetFloat("cost_final", st.costFinal)
+	if len(st.trajectory) > 0 {
+		sp.SetString("cost_trajectory", formatTrajectory(st.trajectory))
+	}
+	mAnnealMoves.Add(int64(st.proposed))
+	mAnnealAccepted.Add(int64(st.accepted))
+	if st.proposed > 0 {
+		mAnnealAccept.Observe(float64(st.accepted) / float64(st.proposed))
+	}
+	if st.costInitial > 0 {
+		mAnnealImprove.Observe((st.costInitial - st.costFinal) / st.costInitial)
+	}
+	return pl, nil
+}
+
+// formatTrajectory renders sampled anneal costs as "c0→c1→…" for the
+// span attribute.
+func formatTrajectory(costs []float64) string {
+	var b strings.Builder
+	for i, c := range costs {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		fmt.Fprintf(&b, "%.0f", c)
+	}
+	return b.String()
+}
+
+func place(c *netlist.Circuit, p *tech.Process, opts Options) (*Placement, annealStats, error) {
 	if opts.Rows < 1 {
-		return nil, fmt.Errorf("%w: need ≥ 1 row, got %d", ErrPlace, opts.Rows)
+		return nil, annealStats{}, fmt.Errorf("%w: need ≥ 1 row, got %d", ErrPlace, opts.Rows)
 	}
 	if c.NumDevices() == 0 {
-		return nil, fmt.Errorf("%w: circuit %q has no devices", ErrPlace, c.Name)
+		return nil, annealStats{}, fmt.Errorf("%w: circuit %q has no devices", ErrPlace, c.Name)
 	}
 	widths, heights, err := netlist.DeviceDims(c, p)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrPlace, err)
+		return nil, annealStats{}, fmt.Errorf("%w: %v", ErrPlace, err)
 	}
 	pl := &Placement{
 		Circuit: c,
@@ -75,8 +147,8 @@ func Place(c *netlist.Circuit, p *tech.Process, opts Options) (*Placement, error
 		pl.Slot[i] = len(pl.Rows[r])
 		pl.Rows[r] = append(pl.Rows[r], i)
 	}
-	pl.anneal(opts)
-	return pl, nil
+	st := pl.anneal(opts)
+	return pl, st, nil
 }
 
 // DeviceWidth returns the cached width of device d.
@@ -198,13 +270,26 @@ func (pl *Placement) cost() float64 {
 	return wl + imbalance/math.Max(mean, 1)
 }
 
+// annealStats summarizes one annealing run for the observability
+// layer: move counts, endpoint costs, and a downsampled cost
+// trajectory.
+type annealStats struct {
+	proposed, accepted     int
+	costInitial, costFinal float64
+	trajectory             []float64
+}
+
+// trajectorySamples bounds the sampled cost-trajectory length so span
+// attributes stay readable regardless of the move budget.
+const trajectorySamples = 9
+
 // anneal improves the placement with a classic geometric-cooling
 // schedule over two move types: swap two devices, or pop a device
 // into a random slot of a random row.
-func (pl *Placement) anneal(opts Options) {
+func (pl *Placement) anneal(opts Options) annealStats {
 	n := len(pl.RowOf)
 	if n < 2 || len(pl.Rows) == 0 {
-		return
+		return annealStats{}
 	}
 	moves := opts.Moves
 	if moves == 0 {
@@ -215,6 +300,11 @@ func (pl *Placement) anneal(opts Options) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	cur := pl.cost()
+	st := annealStats{costInitial: cur, trajectory: []float64{cur}}
+	stride := moves / trajectorySamples
+	if stride == 0 {
+		stride = 1
+	}
 	// Initial temperature: a fraction of current cost so early moves
 	// are mostly accepted.
 	temp := math.Max(cur*0.05, 1)
@@ -244,15 +334,25 @@ func (pl *Placement) anneal(opts Options) {
 			// order: only d moved, so the row minus d is unchanged.
 			undo = func() { pl.move(d, fromRow, fromSlot) }
 		}
+		st.proposed++
 		next := pl.cost()
 		delta := next - cur
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 			cur = next
+			st.accepted++
 		} else {
 			undo()
 		}
+		if st.proposed%stride == 0 {
+			st.trajectory = append(st.trajectory, cur)
+		}
 		temp *= cooling
 	}
+	st.costFinal = cur
+	if st.trajectory[len(st.trajectory)-1] != cur {
+		st.trajectory = append(st.trajectory, cur)
+	}
+	return st
 }
 
 // swap exchanges the positions of devices a and b.

@@ -10,12 +10,27 @@
 package route
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"maest/internal/geom"
+	"maest/internal/obs"
 	"maest/internal/place"
+)
+
+// Router metrics: track and feed-through counts are the quantities
+// the estimator predicts (Eqs. 9–12), so the router reports the
+// ground-truth side of that comparison.
+var (
+	mRoutes        = obs.DefCounter("maest_route_total", "completed module routings")
+	mRouteSec      = obs.DefHistogram("maest_route_seconds", "per-module routing latency", obs.DefBuckets)
+	mRouteSegments = obs.DefCounter("maest_route_segments_total", "routed horizontal segments")
+	mRouteTracks   = obs.DefCounter("maest_route_tracks_total", "allocated channel tracks")
+	mRouteFeeds    = obs.DefCounter("maest_route_feedthroughs_total", "inserted feed-through columns")
+	mChannelTracks = obs.DefHistogram("maest_route_channel_tracks", "track count per routing channel", obs.CountBuckets)
 )
 
 // Options configures RouteModule.
@@ -65,6 +80,36 @@ type segment struct {
 
 // RouteModule routes every net of the placement's circuit.
 func RouteModule(pl *place.Placement, opts Options) (*Result, error) {
+	return RouteModuleCtx(context.Background(), pl, opts)
+}
+
+// RouteModuleCtx is RouteModule with observability: a "route" span
+// carrying the segment/track/feed-through counts plus the router
+// metrics.
+func RouteModuleCtx(ctx context.Context, pl *place.Placement, opts Options) (res *Result, err error) {
+	_, sp := obs.Start(ctx, "route")
+	sp.SetString("module", pl.Circuit.Name)
+	defer func(t0 time.Time) {
+		mRouteSec.Observe(time.Since(t0).Seconds())
+		if err == nil {
+			mRoutes.Inc()
+			mRouteSegments.Add(int64(res.Segments))
+			mRouteTracks.Add(int64(res.TotalTracks))
+			mRouteFeeds.Add(int64(res.TotalFeedThroughs))
+			for _, t := range res.ChannelTracks {
+				mChannelTracks.Observe(float64(t))
+			}
+			sp.SetInt("segments", int64(res.Segments))
+			sp.SetInt("tracks", int64(res.TotalTracks))
+			sp.SetInt("feedthroughs", int64(res.TotalFeedThroughs))
+			sp.SetInt("channels", int64(len(res.ChannelTracks)))
+		}
+		sp.EndErr(err)
+	}(time.Now())
+	return routeModule(pl, opts)
+}
+
+func routeModule(pl *place.Placement, opts Options) (*Result, error) {
 	if err := pl.Check(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRoute, err)
 	}

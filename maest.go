@@ -31,6 +31,7 @@
 package maest
 
 import (
+	"context"
 	"io"
 
 	"maest/internal/baseline"
@@ -44,6 +45,7 @@ import (
 	"maest/internal/layout"
 	"maest/internal/metrics"
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/pla"
 	"maest/internal/place"
 	"maest/internal/prob"
@@ -451,4 +453,139 @@ type Bipart = metrics.Bipart
 // halves with a Fiduccia–Mattheyses min-cut pass.
 func Bipartition(c *Circuit, subset []int, seed int64) (*Bipart, error) {
 	return metrics.Bipartition(c, subset, seed)
+}
+
+// Observability: hierarchical spans, a process-wide metrics registry,
+// and profiling hooks across the estimate/place/route pipeline.  Pass
+// a context prepared with WithTraceSink to any of the *Ctx variants
+// below and every stage records a span; without a sink the
+// instrumentation is free (nil-span fast path, no allocations).
+type (
+	// TraceSink receives completed spans; implementations must be
+	// concurrency-safe.
+	TraceSink = obs.Sink
+	// TraceSpan is one timed pipeline region (nil is a valid no-op).
+	TraceSpan = obs.Span
+	// TraceSpanData is the record a sink receives per span.
+	TraceSpanData = obs.SpanData
+	// TraceAttr is one key/value pair attached to a span.
+	TraceAttr = obs.Attr
+	// TreeTraceSink accumulates spans and renders a summary tree.
+	TreeTraceSink = obs.TreeSink
+	// JSONLTraceSink streams spans as JSON lines.
+	JSONLTraceSink = obs.JSONLSink
+	// MetricsRegistry holds counters, gauges, and histograms with
+	// Prometheus-style text exposition.
+	MetricsRegistry = obs.Registry
+)
+
+// WithTraceSink returns a context whose pipeline spans record to sink.
+func WithTraceSink(ctx context.Context, sink TraceSink) context.Context {
+	return obs.WithSink(ctx, sink)
+}
+
+// StartSpan opens a span for caller-side work (library users nesting
+// their own stages among the pipeline's).
+func StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return obs.Start(ctx, name)
+}
+
+// NewJSONLTraceSink returns a sink writing one JSON line per span.
+func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink { return obs.NewJSONL(w) }
+
+// NewTreeTraceSink returns an accumulating sink whose WriteTree
+// renders the human-readable span summary tree.
+func NewTreeTraceSink() *TreeTraceSink { return obs.NewTree() }
+
+// MultiTraceSink fans spans out to several sinks (nil sinks dropped).
+func MultiTraceSink(sinks ...TraceSink) TraceSink { return obs.Multi(sinks...) }
+
+// Metrics returns the process-wide registry the pipeline records
+// into.
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// WriteMetrics emits every pipeline metric in the Prometheus text
+// exposition format.
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// StartCPUProfile begins a pprof CPU profile into path; call the
+// returned stop function to finish it.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	return obs.StartCPUProfile(path)
+}
+
+// WriteHeapProfile snapshots the live heap into path.
+func WriteHeapProfile(path string) error { return obs.WriteHeapProfile(path) }
+
+// Context-carrying variants of the pipeline entry points.  Each is
+// identical to its plain counterpart plus span/metric recording under
+// the context's trace sink.
+
+// EstimateCtx is Estimate with observability.
+func EstimateCtx(ctx context.Context, c *Circuit, p *Process, opts SCOptions) (*Result, error) {
+	return core.EstimateCtx(ctx, c, p, opts)
+}
+
+// EstimateChipCtx is EstimateChip with observability (per-module
+// spans under one chip span, worker utilization metrics).
+func EstimateChipCtx(ctx context.Context, modules []*Circuit, p *Process, opts SCOptions, workers int) ([]*Result, error) {
+	return core.EstimateChipCtx(ctx, modules, p, opts, workers)
+}
+
+// PipelineCtx is Pipeline with observability.
+func PipelineCtx(ctx context.Context, r io.Reader, p *Process, opts SCOptions) (*Result, error) {
+	return core.PipelineCtx(ctx, r, p, opts)
+}
+
+// EstimateStandardCellProfiledCtx is EstimateStandardCellProfiled
+// with observability.
+func EstimateStandardCellProfiledCtx(ctx context.Context, s *Stats, p *Process, opts SCOptions) (*SCEstimate, error) {
+	return core.EstimateStandardCellProfiledCtx(ctx, s, p, opts)
+}
+
+// ParseMnetCtx, ParseBenchCtx and ParseVerilogCtx are the front-end
+// parsers with observability.
+func ParseMnetCtx(ctx context.Context, r io.Reader) (*Circuit, error) {
+	return hdl.ParseMnetCtx(ctx, r)
+}
+
+// ParseBenchCtx is ParseBench with observability.
+func ParseBenchCtx(ctx context.Context, r io.Reader, name string, p *Process) (*Circuit, error) {
+	return hdl.ParseBenchCtx(ctx, r, name, p)
+}
+
+// ParseVerilogCtx is ParseVerilog with observability.
+func ParseVerilogCtx(ctx context.Context, r io.Reader, p *Process) (*Circuit, error) {
+	return hdl.ParseVerilogCtx(ctx, r, p)
+}
+
+// PlaceCircuitCtx is PlaceCircuit with observability (annealing
+// statistics on the "place" span).
+func PlaceCircuitCtx(ctx context.Context, c *Circuit, p *Process, opts PlaceOptions) (*Placement, error) {
+	return place.PlaceCtx(ctx, c, p, opts)
+}
+
+// RoutePlacementCtx is RoutePlacement with observability.
+func RoutePlacementCtx(ctx context.Context, pl *Placement, opts RouteOptions) (*RouteResult, error) {
+	return route.RouteModuleCtx(ctx, pl, opts)
+}
+
+// LayoutStandardCellCtx is LayoutStandardCell with observability.
+func LayoutStandardCellCtx(ctx context.Context, c *Circuit, p *Process, rows int, seed int64) (*LayoutModule, error) {
+	return layout.LayoutStandardCellCtx(ctx, c, p, rows, seed)
+}
+
+// SynthesizeFullCustomCtx is SynthesizeFullCustom with observability.
+func SynthesizeFullCustomCtx(ctx context.Context, c *Circuit, p *Process, seed int64) (*LayoutModule, error) {
+	return layout.SynthesizeFullCustomCtx(ctx, c, p, seed)
+}
+
+// PlanChipCtx is PlanChip with observability.
+func PlanChipCtx(ctx context.Context, d *EstimateDB) (*FloorPlan, error) {
+	return floorplan.PlanChipCtx(ctx, d)
+}
+
+// PlanChipOptCtx is PlanChipOpt with observability.
+func PlanChipOptCtx(ctx context.Context, d *EstimateDB, opts PlanOptions) (*FloorPlan, error) {
+	return floorplan.PlanChipOptCtx(ctx, d, opts)
 }

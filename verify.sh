@@ -1,0 +1,17 @@
+#!/bin/sh
+# verify.sh — the repo's pre-merge gate: formatting, vet, build, and
+# the full test suite under the race detector.
+set -e
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "verify.sh: all checks passed"
