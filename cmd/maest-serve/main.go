@@ -1,0 +1,146 @@
+// Command maest-serve is the long-lived estimation service: the
+// Fig. 1 pipeline behind an HTTP/JSON API with a content-addressed
+// result cache, concurrency limiting, per-request deadlines, and
+// graceful shutdown.
+//
+// Usage:
+//
+//	maest-serve [-addr :8080] [-proc nmos25] [-cache N]
+//	            [-concurrency N] [-timeout 30s] [-max-bytes N]
+//	            [-workers N] [-drain 10s]
+//	            [-trace out.jsonl] [-pprof out.cpu]
+//
+// Endpoints:
+//
+//	POST /v1/estimate        {"netlist": "...", "format": "mnet|bench|verilog", ...}
+//	POST /v1/estimate/batch  {"modules": [{"netlist": "..."}, ...]}
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus text exposition
+//
+// SIGINT/SIGTERM drain in-flight estimates for up to -drain before
+// the listener closes hard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"maest/internal/obs"
+	"maest/internal/serve"
+)
+
+// options carries the parsed flag values into run.
+type options struct {
+	addr        string
+	proc        string
+	cacheSize   int
+	concurrency int
+	timeout     time.Duration
+	maxBytes    int64
+	workers     int
+	drain       time.Duration
+	trace       string
+	pprof       string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.proc, "proc", "nmos25", "default builtin process for requests naming none")
+	flag.IntVar(&o.cacheSize, "cache", 1024, "result cache capacity in entries (negative disables)")
+	flag.IntVar(&o.concurrency, "concurrency", 0, "max concurrent estimate requests; excess gets 429 (0 = 2×GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request estimation deadline")
+	flag.Int64Var(&o.maxBytes, "max-bytes", 8<<20, "request body size limit in bytes")
+	flag.IntVar(&o.workers, "workers", 0, "batch estimation worker pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget for in-flight estimates")
+	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr on exit")
+	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "maest-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until a termination signal has
+// been handled (metrics stay live on /metrics; -trace/-pprof flush at
+// exit like the other maest commands).
+func run(o options) (err error) {
+	cli, ctx, err := obs.SetupCLI(context.Background(), o.trace, false, o.pprof)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cli.Close(os.Stderr); err == nil {
+			err = cerr
+		}
+	}()
+
+	srv, addr, err := startServer(ctx, o, nil)
+	if err != nil {
+		return err
+	}
+	log.Printf("maest-serve: listening on %s (process %s, cache %d, drain %s)",
+		addr, o.proc, o.cacheSize, o.drain)
+
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-sigCtx.Done()
+	log.Printf("maest-serve: shutting down, draining for up to %s", o.drain)
+	return shutdown(srv, o.drain)
+}
+
+// startServer validates the options, binds the listener, and serves
+// in the background, returning the bound address (the tests listen on
+// port 0).  hook is threaded into serve.Options for deterministic
+// end-to-end overload tests; production passes nil.
+func startServer(ctx context.Context, o options, hook func()) (*http.Server, string, error) {
+	handler := serve.New(serve.Options{
+		Process:         o.proc,
+		CacheSize:       o.cacheSize,
+		MaxConcurrent:   o.concurrency,
+		Timeout:         o.timeout,
+		MaxRequestBytes: o.maxBytes,
+		Workers:         o.workers,
+		EstimateHook:    hook,
+	})
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Estimate requests carry their own deadline; pad the write
+		// timeout past it so the 504 body still reaches the client.
+		WriteTimeout: o.timeout + 5*time.Second,
+		BaseContext:  func(net.Listener) context.Context { return ctx },
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			log.Printf("maest-serve: %v", serr)
+		}
+	}()
+	return srv, ln.Addr().String(), nil
+}
+
+// shutdown drains in-flight estimates for up to the drain budget,
+// then closes the listener hard.
+func shutdown(srv *http.Server, drain time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete after %s: %w", drain, err)
+	}
+	return nil
+}

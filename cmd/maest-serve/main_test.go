@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"maest/internal/serve"
+)
+
+const repoTestdata = "../../testdata"
+
+// startTestServer boots the real service on an ephemeral port and
+// tears it down through the production drain path.
+func startTestServer(t *testing.T, o options, hook func()) string {
+	t.Helper()
+	if o.addr == "" {
+		o.addr = "127.0.0.1:0"
+	}
+	if o.proc == "" {
+		o.proc = "nmos25"
+	}
+	if o.cacheSize == 0 {
+		o.cacheSize = 1024
+	}
+	if o.timeout == 0 {
+		o.timeout = 30 * time.Second
+	}
+	if o.maxBytes == 0 {
+		o.maxBytes = 8 << 20
+	}
+	srv, addr, err := startServer(context.Background(), o, hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := shutdown(srv, 5*time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return "http://" + addr
+}
+
+func postJSON(t *testing.T, url string, v any) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// scrapeCounter reads one counter from the live /metrics exposition.
+func scrapeCounter(t *testing.T, base, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindSubmatch(b)
+	if m == nil {
+		t.Fatalf("metric %s not found in exposition", name)
+	}
+	v, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServeEndToEnd drives the real HTTP server over a socket: the
+// same netlist twice must answer identically with the repeat recorded
+// as a content-addressed cache hit.
+func TestServeEndToEnd(t *testing.T) {
+	base := startTestServer(t, options{}, nil)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	netlist, err := os.ReadFile(filepath.Join(repoTestdata, "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := serve.EstimateRequest{Netlist: string(netlist)}
+	hits0 := scrapeCounter(t, base, "maest_serve_cache_hits_total")
+
+	code, _, first := postJSON(t, base+"/v1/estimate", req)
+	if code != http.StatusOK {
+		t.Fatalf("first estimate: %d %s", code, first)
+	}
+	code, _, second := postJSON(t, base+"/v1/estimate", req)
+	if code != http.StatusOK {
+		t.Fatalf("second estimate: %d %s", code, second)
+	}
+
+	var r1, r2 serve.EstimateResponse
+	if err := json.Unmarshal(first, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit || !r2.CacheHit {
+		t.Fatalf("cache flags: first=%v second=%v", r1.CacheHit, r2.CacheHit)
+	}
+	r2.CacheHit = false
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("answers differ:\n%s\n%s", b1, b2)
+	}
+	if hits := scrapeCounter(t, base, "maest_serve_cache_hits_total") - hits0; hits != 1 {
+		t.Fatalf("maest_serve_cache_hits_total delta = %d, want 1", hits)
+	}
+}
+
+// TestServeOverloadSheds429 pins the backpressure contract over a
+// real socket: with one concurrency slot deterministically held, a
+// batch request is shed with 429 and Retry-After.
+func TestServeOverloadSheds429(t *testing.T) {
+	acquired := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	base := startTestServer(t, options{concurrency: 1}, func() {
+		once.Do(func() {
+			close(acquired)
+			<-gate
+		})
+	})
+
+	netlist, err := os.ReadFile(filepath.Join(repoTestdata, "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code, _, body := postJSON(t, base+"/v1/estimate", serve.EstimateRequest{Netlist: string(netlist)})
+		if code != http.StatusOK {
+			t.Errorf("held request: %d %s", code, body)
+		}
+	}()
+	<-acquired // the only slot is now held mid-estimate
+
+	batch := serve.BatchRequest{Modules: []serve.ModuleInput{{Netlist: string(netlist)}}}
+	code, hdr, body := postJSON(t, base+"/v1/estimate/batch", batch)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("batch under overload: %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(gate)
+	wg.Wait()
+
+	// With the slot released the same batch succeeds.
+	code, _, body = postJSON(t, base+"/v1/estimate/batch", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch after release: %d %s", code, body)
+	}
+	var br serve.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	// The held single-module estimate already populated the cache.
+	if br.CacheHits != 1 {
+		t.Fatalf("batch cache hits = %d, want 1", br.CacheHits)
+	}
+}
+
+// TestServeBatchFanout exercises the batch endpoint at chip scale
+// over the socket, then confirms the repeat is answered from cache.
+func TestServeBatchFanout(t *testing.T) {
+	base := startTestServer(t, options{}, nil)
+	var mods []serve.ModuleInput
+	for i := 0; i < 20; i++ {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "module chip%d\nport in a\n", i)
+		prev := "a"
+		for g := 0; g <= i; g++ {
+			fmt.Fprintf(&b, "device g%d INV %s w%d\n", g, prev, g)
+			prev = fmt.Sprintf("w%d", g)
+		}
+		fmt.Fprintf(&b, "port out %s\nend\n", prev)
+		mods = append(mods, serve.ModuleInput{Netlist: b.String()})
+	}
+	req := serve.BatchRequest{Modules: mods, Workers: 4}
+	code, _, body := postJSON(t, base+"/v1/estimate/batch", req)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	var br serve.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Modules) != 20 || br.CacheHits != 0 {
+		t.Fatalf("modules=%d hits=%d", len(br.Modules), br.CacheHits)
+	}
+	for i, m := range br.Modules {
+		if want := fmt.Sprintf("chip%d", i); m.Module != want {
+			t.Fatalf("module %d answered as %q, want %q", i, m.Module, want)
+		}
+	}
+	code, _, body = postJSON(t, base+"/v1/estimate/batch", req)
+	if code != http.StatusOK {
+		t.Fatalf("repeat batch: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.CacheHits != 20 {
+		t.Fatalf("repeat batch hits = %d, want 20", br.CacheHits)
+	}
+}
+
+// TestShutdownDrainsInflight verifies graceful shutdown: a request
+// running when Shutdown begins still completes successfully.
+func TestShutdownDrainsInflight(t *testing.T) {
+	acquired := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	srv, addr, err := startServer(context.Background(), options{
+		addr: "127.0.0.1:0", proc: "nmos25", cacheSize: 16,
+		timeout: 30 * time.Second, maxBytes: 8 << 20,
+	}, func() {
+		once.Do(func() {
+			close(acquired)
+			<-gate
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netlist, err := os.ReadFile(filepath.Join(repoTestdata, "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		code, _, body := postJSON(t, "http://"+addr+"/v1/estimate",
+			serve.EstimateRequest{Netlist: string(netlist)})
+		if code != http.StatusOK {
+			done <- fmt.Errorf("in-flight request: %d %s", code, body)
+			return
+		}
+		done <- nil
+	}()
+	<-acquired
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- shutdown(srv, 10*time.Second) }()
+	// Give Shutdown a moment to close the listener, then let the
+	// in-flight estimate finish inside the drain window.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	if err := <-done; err != nil {
+		t.Error(err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("drain failed: %v", err)
+	}
+}

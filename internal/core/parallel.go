@@ -64,6 +64,13 @@ func EstimateChipCtx(ctx context.Context, modules []*netlist.Circuit, p *tech.Pr
 		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
+				// Cancellation check per module: a module already
+				// estimating runs to completion (the estimator is not
+				// preemptible), but unstarted ones are skipped so the
+				// pool winds down promptly.
+				if ctx.Err() != nil {
+					continue
+				}
 				// Each worker uses its own process copy: estimation
 				// only reads the process, but a private clone keeps
 				// the API contract obvious and race-detector clean
@@ -74,11 +81,23 @@ func EstimateChipCtx(ctx context.Context, modules []*netlist.Circuit, p *tech.Pr
 			}
 		}(w)
 	}
+feed:
 	for i := range modules {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		// Surface the cancellation itself: partial results are not
+		// a usable chip estimate, and module errors observed after
+		// the deadline are noise.
+		sp.SetString("cancelled", cerr.Error())
+		return nil, cerr
+	}
 
 	wall := time.Since(t0)
 	mChips.Inc()

@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"maest/internal/gen"
 	"maest/internal/netlist"
+	"maest/internal/obs"
 	"maest/internal/tech"
 )
 
@@ -111,5 +116,103 @@ func TestEstimateChipAggregatesAllErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("joined error missing module %q: %v", name, err)
 		}
+	}
+}
+
+// cancelSink cancels a context after n "estimate" spans have
+// completed — a deterministic way to cancel EstimateChipCtx mid-pool.
+type cancelSink struct {
+	mu     sync.Mutex
+	after  int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (s *cancelSink) Record(d *obs.SpanData) {
+	if d.Name != "estimate" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if s.seen == s.after {
+		s.cancel()
+	}
+}
+
+// Cancellation mid-pool: unstarted modules are skipped and ctx.Err()
+// is surfaced, not an aggregate of per-module failures.
+func TestEstimateChipCtxCancelledMidPool(t *testing.T) {
+	p := tech.NMOS25()
+	mods := chipModules(t, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelSink{after: 1, cancel: cancel}
+	ctx = obs.WithSink(ctx, sink)
+
+	// One worker: after the first module's span ends the context is
+	// cancelled, so the pool must skip (nearly) all remaining work.
+	res, err := EstimateChipCtx(ctx, mods, p, SCOptions{}, 1)
+	if res != nil {
+		t.Fatal("cancelled chip estimate returned results")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	sink.mu.Lock()
+	estimated := sink.seen
+	sink.mu.Unlock()
+	// The module in flight at cancel time may complete; everything
+	// queued behind it must not run.
+	if estimated > 2 {
+		t.Fatalf("%d modules estimated after cancellation, want ≤ 2", estimated)
+	}
+}
+
+// A context cancelled before the call estimates nothing.
+func TestEstimateChipCtxCancelledUpFront(t *testing.T) {
+	p := tech.NMOS25()
+	mods := chipModules(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	count := &countSink{}
+	if _, err := EstimateChipCtx(obs.WithSink(ctx, count), mods, p, SCOptions{}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := count.estimates(); n != 0 {
+		t.Fatalf("%d modules estimated under a dead context", n)
+	}
+}
+
+// countSink counts completed "estimate" spans.
+type countSink struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *countSink) Record(d *obs.SpanData) {
+	if d.Name != "estimate" {
+		return
+	}
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *countSink) estimates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Deadline expiry mid-pool surfaces DeadlineExceeded (the serving
+// layer maps this to 504).
+func TestEstimateChipCtxDeadline(t *testing.T) {
+	p := tech.NMOS25()
+	mods := chipModules(t, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := EstimateChipCtx(ctx, mods, p, SCOptions{}, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

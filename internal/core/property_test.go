@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"maest/internal/gen"
+	"maest/internal/geom"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// Property and metamorphic tests: instead of pinning numbers, these
+// pin the *shape* of the estimator's response to controlled input
+// perturbations — the qualitative claims §4–§5 of the paper argue
+// from, which survive any re-tuning of process constants.
+
+// chainStats gathers estimator inputs for a k-stage inverter chain.
+func chainStats(t *testing.T, k int, p *tech.Process) *netlist.Stats {
+	t.Helper()
+	b := netlist.NewBuilder(fmt.Sprintf("chain%d", k))
+	b.AddPort("pa", netlist.In, "n0")
+	for i := 0; i < k; i++ {
+		b.AddDevice(fmt.Sprintf("g%d", i), "INV",
+			fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	b.AddPort("py", netlist.Out, fmt.Sprintf("n%d", k))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netlist.Gather(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// copyStats deep-copies estimator inputs so a test can perturb one
+// §4 quantity while holding the rest fixed.
+func copyStats(s *netlist.Stats) *netlist.Stats {
+	c := *s
+	c.WidthCount = make(map[geom.Lambda]int, len(s.WidthCount))
+	for k, v := range s.WidthCount {
+		c.WidthCount[k] = v
+	}
+	c.DegreeCount = make(map[int]int, len(s.DegreeCount))
+	for k, v := range s.DegreeCount {
+		c.DegreeCount[k] = v
+	}
+	return &c
+}
+
+// TestSCAreaMonotoneInGates pins Eq. 12's response to module size:
+// with the row count held fixed, adding gates to a module never
+// shrinks the estimated area (cell length grows with N, Eq. 1/12).
+func TestSCAreaMonotoneInGates(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{1, 3, 5} {
+		prev := -1.0
+		for _, k := range []int{2, 4, 8, 16, 32, 64} {
+			s := chainStats(t, k, p)
+			est, err := EstimateStandardCell(s, p, SCOptions{Rows: rows})
+			if err != nil {
+				t.Fatalf("rows=%d k=%d: %v", rows, k, err)
+			}
+			if est.Area < prev {
+				t.Fatalf("rows=%d: area dropped from %.1f to %.1f when gates grew to %d",
+					rows, prev, est.Area, k)
+			}
+			prev = est.Area
+		}
+	}
+}
+
+// TestSCAreaMonotoneInNets holds devices fixed and adds routable
+// nets to the §4 histogram directly: track demand (Eqs. 2–3) and the
+// feed-through count (Eq. 11) both grow with H, so area must not
+// shrink.  Sharing on or off, the direction is the same.
+func TestSCAreaMonotoneInNets(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chainStats(t, 24, p)
+	for _, sharing := range []bool{false, true} {
+		for _, rows := range []int{2, 4, 6} {
+			prev := -1.0
+			for extra := 0; extra <= 24; extra += 4 {
+				s := copyStats(base)
+				s.H += extra
+				s.DegreeCount[2] += extra
+				est, err := EstimateStandardCell(s, p, SCOptions{Rows: rows, TrackSharing: sharing})
+				if err != nil {
+					t.Fatalf("sharing=%v rows=%d extra=%d: %v", sharing, rows, extra, err)
+				}
+				if est.Area < prev {
+					t.Fatalf("sharing=%v rows=%d: area dropped from %.1f to %.1f at %d extra nets",
+						sharing, rows, prev, est.Area, extra)
+				}
+				prev = est.Area
+			}
+		}
+	}
+}
+
+// TestFeedThroughRowDecreasesWithRows pins the Eq. 4/5 geometry: a
+// net must cross row i for row i to need a feed-through, and once the
+// module has spread past that row (n ≥ 2i keeps the row at or below
+// the centre), adding further rows only moves components apart —
+// row i's expected feed-through count is non-increasing in n.
+func TestFeedThroughRowDecreasesWithRows(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := gen.StandardCellSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range suite {
+		s, err := netlist.Gather(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range []int{1, 2, 3} {
+			prev := -1.0
+			for n := 2 * i; n <= 2*i+12; n++ {
+				prof, err := FeedThroughRowProfile(s, n)
+				if err != nil {
+					t.Fatalf("%s n=%d: %v", c.Name, n, err)
+				}
+				got := prof.PerRow[i-1]
+				if prev >= 0 && got > prev+1e-9 {
+					t.Fatalf("%s row %d: E[feed-throughs] rose from %.6f to %.6f at n=%d",
+						c.Name, i, prev, got, n)
+				}
+				prev = got
+			}
+		}
+	}
+}
+
+// TestEstimateDeterministic pins reproducibility end to end: the
+// same seeded random circuit estimated twice yields byte-identical
+// results (maps in Stats iterate in sorted order inside the
+// estimator, so nothing may depend on traversal order).
+func TestEstimateDeterministic(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gen.RandomConfig{Name: "det", Gates: 40, Inputs: 6, Outputs: 5, Seed: 7}
+	var results []*Result
+	for trial := 0; trial < 2; trial++ {
+		c, err := gen.RandomCircuit(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Estimate(c, p, SCOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatalf("same seed, different estimates:\n%+v\n%+v", results[0], results[1])
+	}
+}
+
+// TestFCExactLowerBound pins Eq. 13's structure: the estimated
+// Full-Custom area is device area plus non-negative wire area, so it
+// can never fall below the exact silicon the devices themselves need.
+func TestFCExactLowerBound(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := gen.FullCustomSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range suite {
+		s, err := netlist.Gather(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := EstimateFullCustom(c, p, FCExactAreas)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if fc.WireArea < 0 {
+			t.Fatalf("%s: negative wire area %.1f", c.Name, fc.WireArea)
+		}
+		if lb := float64(s.ExactDeviceArea); fc.Area < lb {
+			t.Fatalf("%s: estimated area %.1f below device-area lower bound %.1f",
+				c.Name, fc.Area, lb)
+		}
+	}
+}

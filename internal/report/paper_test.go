@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"maest/internal/core"
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// TestPaperTables is the paper-anchored regression net: it runs the
+// reconstructed Table 1 and Table 2 module suites through the
+// estimator alone (no layout engine, so it stays fast enough for
+// every test run) and pins the full numeric output as a golden file.
+// Every quantity the paper derives flows into these numbers — the
+// row-span expectation (Eqs. 2–3), the feed-through probabilities
+// (Eqs. 4–11), the Standard-Cell area and aspect ratio (Eqs. 12/14),
+// and the Full-Custom bound (Eq. 13) — so perturbing any constant in
+// that chain shifts a cell and fails the diff.  Regenerate with
+// `go test ./internal/report -run TestPaperTables -update` after
+// intentional model changes.
+func TestPaperTables(t *testing.T) {
+	p := tech.NMOS25()
+	var buf bytes.Buffer
+
+	fcSuite, err := gen.FullCustomSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &Table{
+		Title: "Full-Custom estimates (Eq. 13), nmos25",
+		Header: []string{"module", "devices", "nets", "mode",
+			"device area", "wire area", "area", "width", "height", "aspect"},
+	}
+	for _, c := range fcSuite {
+		s, err := netlist.Gather(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []core.FCMode{core.FCExactAreas, core.FCAverageAreas} {
+			est, err := core.EstimateFullCustom(c, p, mode)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			fc.AddRow(c.Name, s.N, s.H, est.Mode.String(),
+				est.DeviceArea, est.WireArea, est.Area,
+				est.Width, est.Height, est.AspectRatio)
+		}
+	}
+	if err := fc.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n")
+
+	scSuite, err := gen.StandardCellSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scSuite) != len(Table2RowCounts) {
+		t.Fatalf("suite has %d modules, row-count plan has %d",
+			len(scSuite), len(Table2RowCounts))
+	}
+	sc := &Table{
+		Title: "Standard-Cell estimates (Eqs. 2-12, 14), nmos25",
+		Header: []string{"module", "gates", "nets", "rows", "sharing",
+			"tracks", "feeds", "width", "height", "area", "aspect"},
+	}
+	for i, c := range scSuite {
+		s, err := netlist.Gather(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range Table2RowCounts[i] {
+			for _, sharing := range []bool{false, true} {
+				est, err := core.EstimateStandardCell(s, p,
+					core.SCOptions{Rows: n, TrackSharing: sharing})
+				if err != nil {
+					t.Fatalf("%s rows=%d: %v", c.Name, n, err)
+				}
+				sc.AddRow(c.Name, s.N, s.H, est.Rows, est.TrackSharing,
+					est.Tracks, est.FeedThroughs,
+					est.Width, est.Height, est.Area, est.AspectRatio)
+			}
+		}
+	}
+	if err := sc.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	checkGolden(t, "paper_estimates.txt", buf.Bytes())
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchBody(b *testing.B, name string) string {
+	b.Helper()
+	body, err := json.Marshal(EstimateRequest{Netlist: benchNetlist(name, 40)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return string(body)
+}
+
+func benchNetlist(name string, stages int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\nport in a\n", name)
+	prev := "a"
+	for i := 0; i < stages; i++ {
+		next := fmt.Sprintf("n%d", i)
+		fmt.Fprintf(&sb, "device g%d INV %s %s\n", i, prev, next)
+		prev = next
+	}
+	fmt.Fprintf(&sb, "port out %s\nend\n", prev)
+	return sb.String()
+}
+
+func post(b *testing.B, s *Server, body string) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkEstimateCacheHit measures the hot serving path: identical
+// request, answer straight from the content-addressed cache.
+func BenchmarkEstimateCacheHit(b *testing.B) {
+	s := New(Options{})
+	body := benchBody(b, "hot")
+	post(b, s, body) // warm the entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(b, s, body)
+	}
+}
+
+// BenchmarkEstimateCacheMiss measures the cold path — full decode →
+// parse → estimate → encode — by disabling the cache so every request
+// recomputes.
+func BenchmarkEstimateCacheMiss(b *testing.B) {
+	s := New(Options{CacheSize: -1})
+	body := benchBody(b, "cold")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(b, s, body)
+	}
+}

@@ -1,0 +1,164 @@
+// Package serve is the long-lived estimation service: the Fig. 1
+// pipeline (circuit schematic + process database in, estimate record
+// out) behind an HTTP/JSON API, with a content-addressed result cache
+// and the production robustness — concurrency limiting, per-request
+// timeouts, request-size limits, graceful shutdown — that the
+// floorplanner-in-a-loop workload needs.  Floorplanning search loops
+// re-evaluate the same module netlists thousands of times per design
+// iteration; the cache turns every repeat into a hash lookup.
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"maest/internal/core"
+	"maest/internal/netlist"
+	"maest/internal/obs"
+)
+
+// Cache metrics: the hit ratio is the serving layer's headline number
+// — it is what separates "estimator CLI behind a socket" from a
+// result store amortizing the floorplanner's repeated queries.
+var (
+	mCacheHits    = obs.DefCounter("maest_serve_cache_hits_total", "estimate cache hits")
+	mCacheMisses  = obs.DefCounter("maest_serve_cache_misses_total", "estimate cache misses")
+	mCacheEvicted = obs.DefCounter("maest_serve_cache_evictions_total", "estimate cache LRU evictions")
+	mCacheEntries = obs.DefGauge("maest_serve_cache_entries", "estimate cache resident entries")
+)
+
+// Key is the content address of one estimate: SHA-256 over the
+// canonical form of the circuit plus the process name and estimator
+// options.  Two requests with the same key are guaranteed the same
+// Result, so the cache can serve either from the other's work.
+type Key [sha256.Size]byte
+
+// String returns the key in hex, for logs and debugging.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// CacheKey computes the content address of an estimate request.  The
+// circuit is canonicalized before hashing — ports and devices are
+// serialized sorted by name — so the key is invariant under comments,
+// whitespace, and declaration order in the source netlist (the
+// estimators themselves are order-invariant, so order-insensitive
+// keys are safe and catch strictly more repeats).
+func CacheKey(c *netlist.Circuit, processName string, opts core.SCOptions) Key {
+	h := sha256.New()
+	writeCanonical(h, c)
+	fmt.Fprintf(h, "process %s\nrows %d\nsharing %t\n", processName, opts.Rows, opts.TrackSharing)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// writeCanonical emits a deterministic, order-normalized rendering of
+// the circuit.  It is close to .mnet but not identical: generated "$"
+// names are allowed (they hash fine even though WriteMnet refuses to
+// emit them) and entries are sorted rather than in declaration order.
+func writeCanonical(w io.Writer, c *netlist.Circuit) {
+	fmt.Fprintf(w, "module %s\n", c.Name)
+	ports := make([]*netlist.Port, len(c.Ports))
+	copy(ports, c.Ports)
+	sort.Slice(ports, func(i, j int) bool { return ports[i].Name < ports[j].Name })
+	for _, p := range ports {
+		fmt.Fprintf(w, "port %s %s %s\n", p.Name, p.Dir, p.Net.Name)
+	}
+	devices := make([]*netlist.Device, len(c.Devices))
+	copy(devices, c.Devices)
+	sort.Slice(devices, func(i, j int) bool { return devices[i].Name < devices[j].Name })
+	for _, d := range devices {
+		fmt.Fprintf(w, "device %s %s", d.Name, d.Type)
+		for _, n := range d.Pins {
+			if n == nil {
+				io.WriteString(w, " -")
+			} else {
+				fmt.Fprintf(w, " %s", n.Name)
+			}
+		}
+		io.WriteString(w, "\n")
+	}
+}
+
+// Cache is a fixed-capacity LRU map from content address to estimate
+// result.  All methods are safe for concurrent use.  Stored Results
+// are shared between callers and must be treated as immutable.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *cacheEntry
+	entries  map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key Key
+	res *core.Result
+}
+
+// NewCache returns an LRU cache holding at most capacity results;
+// capacity < 1 returns a nil cache, on which every method is a
+// well-defined no-op (lookups miss, stores are dropped).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		return nil
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result for k, marking it most recently used.
+func (c *Cache) Get(k Key) (*core.Result, bool) {
+	if c == nil {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		mCacheMisses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	mCacheHits.Inc()
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under k, evicting the least recently used entry when
+// the cache is full.  Storing an existing key refreshes its recency.
+func (c *Cache) Put(k Key, res *core.Result) {
+	if c == nil || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		mCacheEvicted.Inc()
+	}
+	mCacheEntries.Set(float64(c.order.Len()))
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

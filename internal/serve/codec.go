@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"maest/internal/core"
+	"maest/internal/hdl"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// The wire format.  Field names are snake_case and stable: clients
+// (floorplanner loops, load generators) pin against this shape.
+
+// EstimateRequest is the POST /v1/estimate payload: one circuit as
+// netlist source text plus the estimator knobs.
+type EstimateRequest struct {
+	// Format selects the netlist language: "mnet" (default), "bench",
+	// or "verilog".
+	Format string `json:"format,omitempty"`
+	// Name is the module name for .bench inputs (which carry none).
+	Name string `json:"name,omitempty"`
+	// Netlist is the circuit source text.
+	Netlist string `json:"netlist"`
+	// Process is a built-in process name ("nmos25", "cmos30"); empty
+	// selects the server's default.
+	Process string `json:"process,omitempty"`
+	// Rows fixes the standard-cell row count (0 = §5 automatic).
+	Rows int `json:"rows,omitempty"`
+	// TrackSharing enables the §7 routing-track-sharing extension.
+	TrackSharing bool `json:"track_sharing,omitempty"`
+}
+
+// BatchRequest is the POST /v1/estimate/batch payload: a chip's worth
+// of modules fanned out through the estimation worker pool.  The
+// estimator knobs apply to every module.
+type BatchRequest struct {
+	Process      string `json:"process,omitempty"`
+	Rows         int    `json:"rows,omitempty"`
+	TrackSharing bool   `json:"track_sharing,omitempty"`
+	// Workers sizes the worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Modules are the circuits to estimate, answered in order.
+	Modules []ModuleInput `json:"modules"`
+}
+
+// ModuleInput is one circuit of a batch.
+type ModuleInput struct {
+	Format  string `json:"format,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Netlist string `json:"netlist"`
+}
+
+// SCBody is the standard-cell half of an estimate answer (Eq. 12/14).
+type SCBody struct {
+	Rows         int     `json:"rows"`
+	Tracks       int     `json:"tracks"`
+	FeedThroughs int     `json:"feed_throughs"`
+	Width        float64 `json:"width_lambda"`
+	Height       float64 `json:"height_lambda"`
+	Area         float64 `json:"area_lambda2"`
+	AspectRatio  float64 `json:"aspect_ratio"`
+	PortFeasible bool    `json:"port_feasible"`
+}
+
+// FCBody is one full-custom estimate (Eq. 13) in an answer.
+type FCBody struct {
+	Mode        string  `json:"mode"`
+	DeviceArea  float64 `json:"device_area_lambda2"`
+	WireArea    float64 `json:"wire_area_lambda2"`
+	Area        float64 `json:"area_lambda2"`
+	Width       float64 `json:"width_lambda"`
+	Height      float64 `json:"height_lambda"`
+	AspectRatio float64 `json:"aspect_ratio"`
+}
+
+// StatsBody summarizes the §4 estimator inputs of a module.
+type StatsBody struct {
+	Devices int `json:"devices"`
+	Nets    int `json:"routable_nets"`
+	Ports   int `json:"ports"`
+}
+
+// EstimateResponse is one module's answer.
+type EstimateResponse struct {
+	Module   string    `json:"module"`
+	Process  string    `json:"process"`
+	CacheHit bool      `json:"cache_hit"`
+	Key      string    `json:"key"`
+	Stats    StatsBody `json:"stats"`
+	SC       *SCBody   `json:"standard_cell,omitempty"`
+	SCShapes []SCBody  `json:"standard_cell_candidates,omitempty"`
+	FCExact  *FCBody   `json:"full_custom_exact,omitempty"`
+	FCAvg    *FCBody   `json:"full_custom_average,omitempty"`
+}
+
+// BatchResponse answers a batch, modules in request order.
+type BatchResponse struct {
+	Process   string             `json:"process"`
+	CacheHits int                `json:"cache_hits"`
+	Modules   []EstimateResponse `json:"modules"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// errBadRequest marks client-side failures that map to HTTP 4xx; its
+// absence means a server-side 5xx.
+var errBadRequest = errors.New("serve: bad request")
+
+func reqErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
+}
+
+// decodeJSON strictly decodes one JSON document from r into v,
+// rejecting trailing garbage.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		// Both %w verbs matter: errBadRequest classifies the failure
+		// as 4xx while the original chain keeps http.MaxBytesError
+		// reachable for the 413 mapping.
+		return fmt.Errorf("%w: decode: %w", errBadRequest, err)
+	}
+	if dec.More() {
+		return reqErr("decode: trailing data after JSON document")
+	}
+	return nil
+}
+
+// parseCircuit turns one module input into a circuit through the
+// requested front end.
+func parseCircuit(format, name, source string, p *tech.Process) (*netlist.Circuit, error) {
+	if strings.TrimSpace(source) == "" {
+		return nil, reqErr("empty netlist")
+	}
+	r := strings.NewReader(source)
+	switch format {
+	case "", "mnet":
+		c, err := hdl.ParseMnet(r)
+		if err != nil {
+			return nil, reqErr("%v", err)
+		}
+		return c, nil
+	case "bench":
+		if name == "" {
+			name = "module"
+		}
+		c, err := hdl.ParseBench(r, name, p)
+		if err != nil {
+			return nil, reqErr("%v", err)
+		}
+		return c, nil
+	case "verilog":
+		c, err := hdl.ParseVerilog(r, p)
+		if err != nil {
+			return nil, reqErr("%v", err)
+		}
+		return c, nil
+	default:
+		return nil, reqErr("unknown format %q (want mnet, bench or verilog)", format)
+	}
+}
+
+// lookupProcess resolves a request's process name against the
+// built-in database, falling back to the server default.
+func lookupProcess(name, fallback string) (*tech.Process, string, error) {
+	if name == "" {
+		name = fallback
+	}
+	p, err := tech.Lookup(name)
+	if err != nil {
+		return nil, "", reqErr("%v", err)
+	}
+	return p, name, nil
+}
+
+// encodeResult converts an estimate into its wire shape.
+func encodeResult(res *core.Result, process string, key Key, hit bool) EstimateResponse {
+	out := EstimateResponse{
+		Module:   res.Module,
+		Process:  process,
+		CacheHit: hit,
+		Key:      key.String(),
+		Stats: StatsBody{
+			Devices: res.Stats.N,
+			Nets:    res.Stats.H,
+			Ports:   res.Stats.NumPorts,
+		},
+	}
+	if res.SC != nil {
+		sc := encodeSC(res.SC)
+		out.SC = &sc
+		for _, c := range res.SCCandidates {
+			out.SCShapes = append(out.SCShapes, encodeSC(c))
+		}
+	}
+	if res.FCExact != nil {
+		out.FCExact = encodeFC(res.FCExact)
+	}
+	if res.FCAverage != nil {
+		out.FCAvg = encodeFC(res.FCAverage)
+	}
+	return out
+}
+
+func encodeSC(sc *core.SCEstimate) SCBody {
+	return SCBody{
+		Rows:         sc.Rows,
+		Tracks:       sc.Tracks,
+		FeedThroughs: sc.FeedThroughs,
+		Width:        sc.Width,
+		Height:       sc.Height,
+		Area:         sc.Area,
+		AspectRatio:  sc.AspectRatio,
+		PortFeasible: sc.PortFeasible,
+	}
+}
+
+func encodeFC(fc *core.FCEstimate) *FCBody {
+	return &FCBody{
+		Mode:        fc.Mode.String(),
+		DeviceArea:  fc.DeviceArea,
+		WireArea:    fc.WireArea,
+		Area:        fc.Area,
+		Width:       fc.Width,
+		Height:      fc.Height,
+		AspectRatio: fc.AspectRatio,
+	}
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"time"
+
+	"maest/internal/core"
+	"maest/internal/netlist"
+	"maest/internal/obs"
+	"maest/internal/tech"
+)
+
+// Request metrics.  Rejections and timeouts get their own counters:
+// under overload they are the difference between "the service is
+// slow" and "the service is shedding load as designed".
+var (
+	mRequests  = obs.DefCounter("maest_serve_requests_total", "estimate requests received")
+	mErrors    = obs.DefCounter("maest_serve_request_errors_total", "estimate requests answered with an error")
+	mRejected  = obs.DefCounter("maest_serve_rejected_total", "estimate requests shed with 429 under overload")
+	mTimeouts  = obs.DefCounter("maest_serve_timeouts_total", "estimate requests that exceeded their deadline")
+	mInflight  = obs.DefGauge("maest_serve_inflight", "estimate requests currently holding a concurrency slot")
+	mServeSec  = obs.DefHistogram("maest_serve_request_seconds", "estimate request latency", obs.DefBuckets)
+	mBatchSize = obs.DefHistogram("maest_serve_batch_modules", "modules per batch request", obs.CountBuckets)
+)
+
+// Options configures a Server.  The zero value serves with sensible
+// production defaults (nmos25, 1024-entry cache, 2×GOMAXPROCS
+// concurrent estimates, 30 s deadline, 8 MiB request bodies).
+type Options struct {
+	// Process is the default built-in process for requests that do
+	// not name one.  Empty means "nmos25".
+	Process string
+	// CacheSize is the result cache capacity in entries; 0 selects
+	// 1024, negative disables caching.
+	CacheSize int
+	// MaxConcurrent bounds the estimate requests running at once;
+	// excess requests are shed with 429.  0 selects 2×GOMAXPROCS.
+	MaxConcurrent int
+	// Timeout is the per-request estimation deadline; 0 selects 30 s.
+	Timeout time.Duration
+	// MaxRequestBytes bounds request bodies; 0 selects 8 MiB.
+	MaxRequestBytes int64
+	// Workers sizes the batch endpoint's default worker pool
+	// (overridable per request); 0 selects GOMAXPROCS.
+	Workers int
+	// EstimateHook, when non-nil, runs while a request holds its
+	// concurrency slot, before estimation begins.  It exists so
+	// end-to-end tests can hold a slot open deterministically; leave
+	// nil in production.
+	EstimateHook func()
+}
+
+// withDefaults resolves the zero-value knobs.
+func (o Options) withDefaults() Options {
+	if o.Process == "" {
+		o.Process = "nmos25"
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MaxRequestBytes == 0 {
+		o.MaxRequestBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the estimation service.  It implements http.Handler:
+//
+//	POST /v1/estimate        one circuit
+//	POST /v1/estimate/batch  a chip's worth of circuits
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus text exposition
+//
+// The health and metrics endpoints bypass the concurrency limiter so
+// they stay responsive under overload.
+type Server struct {
+	opts  Options
+	cache *Cache
+	slots chan struct{}
+	mux   *http.ServeMux
+}
+
+// New returns a Server ready to mount on an http.Server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		cache: NewCache(opts.CacheSize),
+		slots: make(chan struct{}, opts.MaxConcurrent),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/estimate/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the service routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache returns the server's result cache (nil when disabled).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// acquire claims a concurrency slot without blocking; callers that
+// fail to acquire must answer 429.
+func (s *Server) acquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		mInflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.slots
+	mInflight.Add(-1)
+}
+
+// writeJSON answers with a JSON body; encoding failures are already
+// committed (headers sent) so they are deliberately dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError maps an error to its HTTP status and JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	mErrors.Inc()
+	status := http.StatusInternalServerError
+	var maxErr *http.MaxBytesError
+	switch {
+	case errors.As(err, &maxErr):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, core.ErrEstimate),
+		errors.Is(err, netlist.ErrInvalidCircuit):
+		// The request was well-formed but the circuit cannot be
+		// estimated (unknown device, mixed methodologies, …).
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		mTimeouts.Inc()
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// reject sheds one request with 429 and a Retry-After hint.
+func (s *Server) reject(w http.ResponseWriter) {
+	mRejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests,
+		ErrorResponse{Error: "serve: concurrency limit reached, retry later"})
+}
+
+// handleEstimate answers POST /v1/estimate: decode → cache → estimate
+// → encode, the Fig. 1 flow as a request/response pipeline.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	t0 := time.Now()
+	defer func() { mServeSec.Observe(time.Since(t0).Seconds()) }()
+
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+	if s.opts.EstimateHook != nil {
+		s.opts.EstimateHook()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+
+	var req EstimateRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	proc, procName, err := lookupProcess(req.Process, s.opts.Process)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	circ, err := parseCircuit(req.Format, req.Name, req.Netlist, proc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := core.SCOptions{Rows: req.Rows, TrackSharing: req.TrackSharing}
+	key := CacheKey(circ, procName, opts)
+	if res, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, encodeResult(res, procName, key, true))
+		return
+	}
+
+	res, err := s.estimateWithDeadline(ctx, circ, proc, opts, key)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResult(res, procName, key, false))
+}
+
+// estimateWithDeadline runs one estimate honoring ctx.  The estimator
+// itself is not preemptible, so on timeout the answer is 504 while
+// the computation finishes on its goroutine and still populates the
+// cache — an immediate retry of the same request becomes a hit.
+func (s *Server) estimateWithDeadline(ctx context.Context, circ *netlist.Circuit, proc *tech.Process, opts core.SCOptions, key Key) (*core.Result, error) {
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := core.EstimateCtx(ctx, circ, proc, opts)
+		if err == nil {
+			s.cache.Put(key, res)
+		}
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handleBatch answers POST /v1/estimate/batch: cache-check every
+// module, fan the misses out through the EstimateChipCtx worker pool,
+// and merge, preserving request order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	t0 := time.Now()
+	defer func() { mServeSec.Observe(time.Since(t0).Seconds()) }()
+
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+	if s.opts.EstimateHook != nil {
+		s.opts.EstimateHook()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+
+	var req BatchRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Modules) == 0 {
+		writeError(w, reqErr("batch has no modules"))
+		return
+	}
+	mBatchSize.Observe(float64(len(req.Modules)))
+	proc, procName, err := lookupProcess(req.Process, s.opts.Process)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := core.SCOptions{Rows: req.Rows, TrackSharing: req.TrackSharing}
+
+	keys := make([]Key, len(req.Modules))
+	results := make([]*core.Result, len(req.Modules))
+	cached := make([]bool, len(req.Modules))
+	hits := 0
+	var missCircs []*netlist.Circuit
+	var missIdx []int
+	for i, m := range req.Modules {
+		c, err := parseCircuit(m.Format, m.Name, m.Netlist, proc)
+		if err != nil {
+			writeError(w, reqErr("module %d: %v", i, err))
+			return
+		}
+		keys[i] = CacheKey(c, procName, opts)
+		if res, ok := s.cache.Get(keys[i]); ok {
+			results[i] = res
+			cached[i] = true
+			hits++
+		} else {
+			missCircs = append(missCircs, c)
+			missIdx = append(missIdx, i)
+		}
+	}
+
+	if len(missCircs) > 0 {
+		workers := req.Workers
+		if workers <= 0 {
+			workers = s.opts.Workers
+		}
+		fresh, err := core.EstimateChipCtx(ctx, missCircs, proc, opts, workers)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		for j, res := range fresh {
+			i := missIdx[j]
+			results[i] = res
+			s.cache.Put(keys[i], res)
+		}
+	}
+
+	resp := BatchResponse{Process: procName, CacheHits: hits}
+	for i, res := range results {
+		resp.Modules = append(resp.Modules, encodeResult(res, procName, keys[i], cached[i]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.Default.WritePrometheus(w)
+}

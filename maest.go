@@ -50,6 +50,7 @@ import (
 	"maest/internal/place"
 	"maest/internal/prob"
 	"maest/internal/route"
+	"maest/internal/serve"
 	"maest/internal/sim"
 	"maest/internal/tech"
 )
@@ -588,4 +589,44 @@ func PlanChipCtx(ctx context.Context, d *EstimateDB) (*FloorPlan, error) {
 // PlanChipOptCtx is PlanChipOpt with observability.
 func PlanChipOptCtx(ctx context.Context, d *EstimateDB, opts PlanOptions) (*FloorPlan, error) {
 	return floorplan.PlanChipOptCtx(ctx, d, opts)
+}
+
+// Serving: the estimator behind an HTTP/JSON API (cmd/maest-serve)
+// with a content-addressed result cache, concurrency limiting,
+// per-request deadlines, and graceful shutdown.  The handler is
+// exported so the service can be embedded in a larger mux.
+type (
+	// ServeOptions configures the estimation service handler.
+	ServeOptions = serve.Options
+	// EstimateServer is the HTTP handler serving /v1/estimate,
+	// /v1/estimate/batch, /healthz, and /metrics.
+	EstimateServer = serve.Server
+	// EstimateCache is the content-addressed LRU result cache.
+	EstimateCache = serve.Cache
+	// EstimateCacheKey is the SHA-256 identity of one estimation
+	// question (canonicalized circuit + process + options).
+	EstimateCacheKey = serve.Key
+	// EstimateRequest is the POST /v1/estimate wire payload.
+	EstimateRequest = serve.EstimateRequest
+	// EstimateResponse is one module's wire answer.
+	EstimateResponse = serve.EstimateResponse
+	// BatchEstimateRequest is the POST /v1/estimate/batch payload.
+	BatchEstimateRequest = serve.BatchRequest
+	// BatchEstimateResponse answers a batch in request order.
+	BatchEstimateResponse = serve.BatchResponse
+)
+
+// NewEstimateServer returns the estimation service handler.
+func NewEstimateServer(opts ServeOptions) *EstimateServer { return serve.New(opts) }
+
+// NewEstimateCache returns a content-addressed result cache holding
+// up to capacity entries (capacity < 1 disables caching).
+func NewEstimateCache(capacity int) *EstimateCache { return serve.NewCache(capacity) }
+
+// CacheKeyFor computes the content-addressed identity of one
+// estimation question: the same circuit (however its source text was
+// ordered or commented), process, and options always map to the same
+// key.
+func CacheKeyFor(c *Circuit, processName string, opts SCOptions) EstimateCacheKey {
+	return serve.CacheKey(c, processName, opts)
 }

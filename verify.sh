@@ -14,4 +14,7 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# Bench smoke: every benchmark must still compile and survive one
+# iteration (catches bit-rot in the perf harness without timing it).
+go test -run=NONE -bench=. -benchtime=1x ./...
 echo "verify.sh: all checks passed"
