@@ -7,13 +7,14 @@
 //
 //	maest-serve [-addr :8080] [-proc nmos25] [-cache N]
 //	            [-concurrency N] [-timeout 30s] [-max-bytes N]
-//	            [-workers N] [-drain 10s]
+//	            [-workers N] [-retry-after 1] [-drain 10s]
 //	            [-trace out.jsonl] [-pprof out.cpu]
 //
 // Endpoints:
 //
 //	POST /v1/estimate        {"netlist": "...", "format": "mnet|bench|verilog", ...}
 //	POST /v1/estimate/batch  {"modules": [{"netlist": "..."}, ...]}
+//	POST /v1/congestion      {"netlist": "...", "model": "occupancy|crossing", ...}
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus text exposition
 //
@@ -47,6 +48,7 @@ type options struct {
 	timeout     time.Duration
 	maxBytes    int64
 	workers     int
+	retryAfter  int
 	drain       time.Duration
 	trace       string
 	pprof       string
@@ -61,6 +63,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request estimation deadline")
 	flag.Int64Var(&o.maxBytes, "max-bytes", 8<<20, "request body size limit in bytes")
 	flag.IntVar(&o.workers, "workers", 0, "batch estimation worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.retryAfter, "retry-after", 1, "Retry-After hint in seconds on 429 responses when load is shed")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget for in-flight estimates")
 	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr on exit")
 	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
@@ -111,6 +114,7 @@ func startServer(ctx context.Context, o options, hook func()) (*http.Server, str
 		Timeout:         o.timeout,
 		MaxRequestBytes: o.maxBytes,
 		Workers:         o.workers,
+		RetryAfter:      o.retryAfter,
 		EstimateHook:    hook,
 	})
 	ln, err := net.Listen("tcp", o.addr)

@@ -151,7 +151,7 @@ func TestServeOverloadSheds429(t *testing.T) {
 	acquired := make(chan struct{})
 	gate := make(chan struct{})
 	var once sync.Once
-	base := startTestServer(t, options{concurrency: 1}, func() {
+	base := startTestServer(t, options{concurrency: 1, retryAfter: 3}, func() {
 		once.Do(func() {
 			close(acquired)
 			<-gate
@@ -178,8 +178,8 @@ func TestServeOverloadSheds429(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("batch under overload: %d %s", code, body)
 	}
-	if hdr.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	if got := hdr.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want the configured -retry-after value 3", got)
 	}
 	close(gate)
 	wg.Wait()
@@ -196,6 +196,54 @@ func TestServeOverloadSheds429(t *testing.T) {
 	// The held single-module estimate already populated the cache.
 	if br.CacheHits != 1 {
 		t.Fatalf("batch cache hits = %d, want 1", br.CacheHits)
+	}
+}
+
+// TestServeCongestionEndToEnd drives POST /v1/congestion over the
+// socket: deterministic answers, with the repeat served from the
+// congestion cache and its hit visible on /metrics.
+func TestServeCongestionEndToEnd(t *testing.T) {
+	base := startTestServer(t, options{}, nil)
+	netlist, err := os.ReadFile(filepath.Join(repoTestdata, "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := serve.CongestionRequest{Netlist: string(netlist), Rows: 3, Model: "crossing"}
+	hits0 := scrapeCounter(t, base, "maest_serve_congest_cache_hits_total")
+	misses0 := scrapeCounter(t, base, "maest_serve_congest_cache_misses_total")
+
+	code, _, first := postJSON(t, base+"/v1/congestion", req)
+	if code != http.StatusOK {
+		t.Fatalf("first congestion: %d %s", code, first)
+	}
+	code, _, second := postJSON(t, base+"/v1/congestion", req)
+	if code != http.StatusOK {
+		t.Fatalf("second congestion: %d %s", code, second)
+	}
+	var r1, r2 serve.CongestionResponse
+	if err := json.Unmarshal(first, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit || !r2.CacheHit {
+		t.Fatalf("cache flags: first=%v second=%v", r1.CacheHit, r2.CacheHit)
+	}
+	if r1.Model != "crossing" || r1.Rows != 3 || len(r1.Channels) != 4 {
+		t.Fatalf("unexpected map header: %+v", r1)
+	}
+	r2.CacheHit = false
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("answers differ:\n%s\n%s", b1, b2)
+	}
+	if hits := scrapeCounter(t, base, "maest_serve_congest_cache_hits_total") - hits0; hits != 1 {
+		t.Fatalf("congest cache hits delta = %d, want 1", hits)
+	}
+	if misses := scrapeCounter(t, base, "maest_serve_congest_cache_misses_total") - misses0; misses != 1 {
+		t.Fatalf("congest cache misses delta = %d, want 1", misses)
 	}
 }
 

@@ -7,13 +7,21 @@
 //
 //	maest [-proc nmos25|cmos30|@file] [-rows N] [-sharing] [-db] circuit.mnet
 //	maest -bench -name c17 circuit.bench
+//	maest -congest [-model occupancy|crossing] [-grid] circuit.mnet
 //	maest -trace out.jsonl -metrics -pprof out.cpu circuit.mnet
 //
-// With no positional argument the circuit is read from stdin.  The
-// observability flags: -trace streams a JSONL span trace to the file
-// ("-" = stdout) and prints the span summary tree to stderr; -metrics
-// dumps the Prometheus-style metrics to stderr; -pprof writes a CPU
-// profile to the file and a heap snapshot to FILE.heap.
+// With no positional argument the circuit is read from stdin.
+//
+// -congest renders the module's congestion map (per-channel demand
+// vs. capacity, overflow probabilities, feed-through pressure, ranked
+// hotspots) instead of the area estimate; combined with -db it
+// attaches the map's summary to the database record.  -grid selects
+// the gridded full-custom variant.
+//
+// The observability flags: -trace streams a JSONL span trace to the
+// file ("-" = stdout) and prints the span summary tree to stderr;
+// -metrics dumps the Prometheus-style metrics to stderr; -pprof
+// writes a CPU profile to the file and a heap snapshot to FILE.heap.
 package main
 
 import (
@@ -38,6 +46,9 @@ type options struct {
 	name    string
 	asDB    bool
 	stats   bool
+	congest bool
+	model   string
+	grid    bool
 	trace   string
 	metrics bool
 	pprof   string
@@ -53,6 +64,9 @@ func main() {
 	flag.StringVar(&o.name, "name", "module", "module name for .bench inputs")
 	flag.BoolVar(&o.asDB, "db", false, "emit a floor-planner database record instead of text")
 	flag.BoolVar(&o.stats, "stats", false, "also print interconnect-complexity statistics")
+	flag.BoolVar(&o.congest, "congest", false, "render the congestion map instead of the area estimate (with -db: attach its summary to the record)")
+	flag.StringVar(&o.model, "model", "", "congestion demand model: occupancy (default) or crossing")
+	flag.BoolVar(&o.grid, "grid", false, "analyze congestion on the gridded full-custom model (-rows fixes the grid rows, 0 = ⌈√N⌉)")
 	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr")
 	flag.BoolVar(&o.metrics, "metrics", false, "dump pipeline metrics (Prometheus text format) to stderr on exit")
 	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
@@ -98,12 +112,25 @@ func run(o options, args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	var cm *maest.CongestMap
+	if o.congest {
+		if cm, err = analyzeCongestion(ctx, o, circ, proc); err != nil {
+			return err
+		}
+		if !o.asDB {
+			return cm.Render(os.Stdout)
+		}
+	}
 	res, err := maest.EstimateCtx(ctx, circ, proc, maest.SCOptions{Rows: o.rows, TrackSharing: o.sharing})
 	if err != nil {
 		return err
 	}
 	if o.asDB {
-		d := &maest.EstimateDB{Chip: res.Module, Modules: []maest.ModuleRecord{maest.ModuleRecordFromResult(res)}}
+		rec := maest.ModuleRecordFromResult(res)
+		if cm != nil {
+			rec.Congestion = cm.DBSummary()
+		}
+		d := &maest.EstimateDB{Chip: res.Module, Modules: []maest.ModuleRecord{rec}}
 		return maest.WriteEstimateDB(os.Stdout, d)
 	}
 	printResult(res, proc)
@@ -111,6 +138,29 @@ func run(o options, args []string) (err error) {
 		printStats(circ)
 	}
 	return nil
+}
+
+// analyzeCongestion runs the -congest analysis: the standard-cell map
+// at the fixed or §5-automatic row count, or the gridded full-custom
+// variant under -grid.
+func analyzeCongestion(ctx context.Context, o options, circ *maest.Circuit, proc *maest.Process) (*maest.CongestMap, error) {
+	model, err := maest.ParseCongestModel(o.model)
+	if err != nil {
+		return nil, err
+	}
+	s, err := maest.GatherStats(circ, proc)
+	if err != nil {
+		return nil, err
+	}
+	opts := maest.CongestOptions{Model: model}
+	if o.grid {
+		return maest.AnalyzeGridCongestionCtx(ctx, s, o.rows, opts)
+	}
+	rows := o.rows
+	if rows == 0 {
+		rows = maest.InitialRowCount(s, proc)
+	}
+	return maest.AnalyzeCongestionCtx(ctx, s, rows, opts)
 }
 
 func printStats(circ *maest.Circuit) {

@@ -3,8 +3,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"maest"
@@ -31,6 +33,63 @@ func TestRunDBOutput(t *testing.T) {
 		[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestRunCongest(t *testing.T) {
+	demo := filepath.Join(repoTestdata, "demo.mnet")
+	for _, o := range []options{
+		{proc: "nmos25", name: "module", congest: true},
+		{proc: "nmos25", name: "module", congest: true, rows: 3, model: "crossing"},
+		{proc: "nmos25", name: "module", congest: true, grid: true},
+	} {
+		if err := run(o, []string{demo}); err != nil {
+			t.Errorf("%+v: %v", o, err)
+		}
+	}
+	if err := run(options{proc: "nmos25", name: "module", congest: true, model: "psychic"},
+		[]string{demo}); err == nil {
+		t.Error("unknown congestion model accepted")
+	}
+}
+
+// -congest -db attaches the map summary to the database record, and
+// the emitted record must parse back with it intact.
+func TestRunCongestDB(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run(options{proc: "nmos25", name: "module", congest: true, asDB: true, rows: 3, model: "crossing"},
+			[]string{filepath.Join(repoTestdata, "demo.mnet")}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	d, err := maest.ReadEstimateDB(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out)
+	}
+	c := d.Modules[0].Congestion
+	if c == nil {
+		t.Fatalf("record carries no congestion summary:\n%s", out)
+	}
+	if c.Model != "crossing" || c.Rows != 3 {
+		t.Fatalf("summary = %+v", c)
+	}
+}
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 func TestRunProcessFile(t *testing.T) {

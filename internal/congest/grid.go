@@ -1,0 +1,61 @@
+package congest
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"maest/internal/netlist"
+	"maest/internal/obs"
+)
+
+// The gridded full-custom variant of the Eq. 13 model.  The paper's
+// Full-Custom estimator charges each net of degree D > 2 a
+// two-row/one-track channel (Aⱼ = pitch × ⌈D/2⌉ × w̄) and charges
+// two-component nets nothing (the devices abut).  To localize that
+// demand, the module's N devices are viewed as a virtual grid of g
+// rows (g ≈ √N, the §5 1:1 aspect-ratio assumption), the nets scatter
+// over the grid rows under the same Eq. 2 uniform model, and each
+// inter-row gutter becomes a channel of the standard machinery — with
+// D = 2 nets excluded, matching the Eq. 13 footnote.
+
+// GridRows returns the default virtual row count of the gridded
+// full-custom model: ⌈√N⌉, at least 1 — the §5 unit-aspect-ratio grid.
+func GridRows(s *netlist.Stats) int {
+	g := int(math.Ceil(math.Sqrt(float64(s.N))))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// AnalyzeGrid builds the congestion map of a full-custom module on a
+// virtual grid of gridRows rows (0 selects GridRows(s)).  The
+// resulting map carries no feed-through pressure — full-custom layouts
+// have no feed-through cells — and excludes two-component nets from
+// demand, like Eq. 13 itself.
+func AnalyzeGrid(s *netlist.Stats, gridRows int, opts Options) (*Map, error) {
+	return AnalyzeGridCtx(context.Background(), s, gridRows, opts)
+}
+
+// AnalyzeGridCtx is AnalyzeGrid with observability under a
+// "congest.grid" span.
+func AnalyzeGridCtx(ctx context.Context, s *netlist.Stats, gridRows int, opts Options) (m *Map, err error) {
+	_, sp := obs.Start(ctx, "congest.grid")
+	sp.SetString("module", s.CircuitName)
+	defer func(t0 time.Time) {
+		mAnalyzeSec.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			mAnalyzeErr.Inc()
+		} else {
+			mAnalyses.Inc()
+			sp.SetInt("grid_rows", int64(m.Rows))
+			sp.SetFloat("expected_tracks", m.TotalExpectedTracks)
+		}
+		sp.EndErr(err)
+	}(time.Now())
+	if gridRows == 0 {
+		gridRows = GridRows(s)
+	}
+	return analyze(s, gridRows, true, opts)
+}

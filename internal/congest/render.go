@@ -1,0 +1,69 @@
+package congest
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the congestion map as a fixed-width text report: the
+// per-channel utilization table, the per-row feed-through pressure,
+// and the ranked hotspot list.  The output is deterministic so golden
+// tests can pin it.
+func (m *Map) Render(w io.Writer) error {
+	kind := "standard-cell"
+	rowsName := "rows"
+	if m.Gridded {
+		kind = "full-custom grid"
+		rowsName = "grid rows"
+	}
+	if _, err := fmt.Fprintf(w, "congestion map: %s  (%s, %s model, %d %s, %d nets)\n",
+		m.Module, kind, m.Model, m.Rows, rowsName, m.Nets); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "expected tracks %.2f", m.TotalExpectedTracks)
+	if !m.Gridded {
+		fmt.Fprintf(w, "   expected feed-throughs %.2f", m.TotalExpectedFeeds)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%-8s %9s %4s %6s %8s\n", "channel", "E[tracks]", "cap", "util", "P(over)")
+	for _, ch := range m.Channels {
+		fmt.Fprintf(w, "%-8d %9.3f %4d %6.2f %8.4f  %s\n",
+			ch.Index, ch.Expected, ch.Capacity, ch.Utilization, ch.POverflow, bar(ch.Utilization))
+	}
+	if len(m.Feeds) > 0 {
+		fmt.Fprintf(w, "%-8s %9s %4s %8s\n", "row", "E[feeds]", "bud", "P(over)")
+		for _, rf := range m.Feeds {
+			fmt.Fprintf(w, "%-8d %9.3f %4d %8.4f  %s\n",
+				rf.Index, rf.Expected, rf.Budget, rf.POverBudget, bar(rf.POverBudget))
+		}
+	}
+	if len(m.Hotspots) > 0 {
+		fmt.Fprintln(w, "hotspots:")
+		top := m.Hotspots
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for i, h := range top {
+			if _, err := fmt.Fprintf(w, "  %d. %-7s %-3d  score %.4f  expected %.2f\n",
+				i+1, h.Kind, h.Index, h.Score, h.Expected); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bar renders v in [0,1+] as a 20-cell utilization bar; values past
+// 1.0 saturate.
+func bar(v float64) string {
+	cells := int(v*20 + 0.5)
+	if cells > 20 {
+		cells = 20
+	}
+	if cells < 0 {
+		cells = 0
+	}
+	return strings.Repeat("#", cells) + strings.Repeat(".", 20-cells)
+}

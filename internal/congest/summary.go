@@ -1,0 +1,16 @@
+package congest
+
+import "maest/internal/db"
+
+// DBSummary condenses the map into the floor-planner database's
+// congestion record (the `congest` directive of the db text format).
+func (m *Map) DBSummary() *db.Congestion {
+	return &db.Congestion{
+		Model:         m.Model.String(),
+		Rows:          m.Rows,
+		PeakUtil:      m.MaxUtilization(),
+		PeakOverflow:  m.MaxOverflow(),
+		HotChannel:    m.HottestChannel(),
+		ExpectedFeeds: m.TotalExpectedFeeds,
+	}
+}

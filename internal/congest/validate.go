@@ -1,0 +1,57 @@
+package congest
+
+import (
+	"math"
+
+	"maest/internal/route"
+)
+
+// Validation scores a predicted congestion map against the channel
+// assignments an actual routing produced — the congestion analogue of
+// the paper's Tables 1–2, which score predicted area against real
+// layouts.
+type Validation struct {
+	Module string
+	// Predicted[c] is the map's expected track demand in channel c;
+	// Actual[c] is the router's track count there.
+	Predicted []float64
+	Actual    []int
+	// MAE is the mean absolute per-channel track error.
+	MAE float64
+	// Bias is the mean signed error (predicted − actual): positive
+	// means the model overestimates, as the paper's assumption 3
+	// predicts it should.
+	Bias float64
+	// PredictedTotal and ActualTotal are the summed track counts.
+	PredictedTotal float64
+	ActualTotal    int
+}
+
+// ValidateRoute compares a congestion map's expected per-channel
+// demand with a routed module's channel track counts.  The map and the
+// routing must describe the same row count (the channel vectors must
+// line up index-for-index).
+func ValidateRoute(m *Map, routed *route.Result) (*Validation, error) {
+	if len(m.Channels) != len(routed.ChannelTracks) {
+		return nil, anaErr("module %q: map has %d channels, routing has %d",
+			m.Module, len(m.Channels), len(routed.ChannelTracks))
+	}
+	v := &Validation{
+		Module:    m.Module,
+		Predicted: make([]float64, len(m.Channels)),
+		Actual:    append([]int(nil), routed.ChannelTracks...),
+	}
+	sumAbs, sumSigned := 0.0, 0.0
+	for c, ch := range m.Channels {
+		v.Predicted[c] = ch.Expected
+		v.PredictedTotal += ch.Expected
+		v.ActualTotal += routed.ChannelTracks[c]
+		diff := ch.Expected - float64(routed.ChannelTracks[c])
+		sumAbs += math.Abs(diff)
+		sumSigned += diff
+	}
+	n := float64(len(m.Channels))
+	v.MAE = sumAbs / n
+	v.Bias = sumSigned / n
+	return v, nil
+}

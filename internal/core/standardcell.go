@@ -172,6 +172,11 @@ func spanFraction(d, n int) float64 {
 	return (k - 1) / (k + 1)
 }
 
+// InitialRows exposes the §5 row-count initialization for callers that
+// analyze a module without running a full estimate (the congestion
+// endpoint's automatic row selection).
+func InitialRows(s *netlist.Stats, p *tech.Process) int { return initialRows(s, p) }
+
 // initialRows implements the §5 row-count initialization: start with
 // i = 2, set n = ⌈√(activeCellArea)/(i·rowHeight)⌉, and shrink n
 // (by incrementing i) until the active-cell row length accommodates

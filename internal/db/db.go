@@ -49,6 +49,27 @@ type Module struct {
 	Nets    int
 	Ports   int
 	Shapes  []Shape
+	// Congestion optionally summarizes the module's congestion map
+	// (internal/congest) for the floor planner: a planner packing
+	// modules can keep high-overflow modules away from each other and
+	// from the chip's routing-dense regions.
+	Congestion *Congestion
+}
+
+// Congestion is the floor-planner-facing summary of a congestion map.
+type Congestion struct {
+	// Model names the demand accounting ("occupancy" or "crossing").
+	Model string
+	// Rows is the row (or grid-row) count the map was analyzed at.
+	Rows int
+	// PeakUtil is the highest channel demand/capacity ratio.
+	PeakUtil float64
+	// PeakOverflow is the highest channel P(tracks > capacity).
+	PeakOverflow float64
+	// HotChannel is the hottest channel index (-1 when demand-free).
+	HotChannel int
+	// ExpectedFeeds is the total expected feed-through count.
+	ExpectedFeeds float64
 }
 
 // GlobalNet is a chip-level net connecting module ports.
@@ -123,6 +144,10 @@ func Write(w io.Writer, d *Database) error {
 		for _, s := range m.Shapes {
 			fmt.Fprintf(bw, "shape %s %d %.3f %.3f\n", s.Label, s.Rows, s.W, s.H)
 		}
+		if c := m.Congestion; c != nil {
+			fmt.Fprintf(bw, "congest %s %d %.4f %.4f %d %.3f\n",
+				c.Model, c.Rows, c.PeakUtil, c.PeakOverflow, c.HotChannel, c.ExpectedFeeds)
+		}
 	}
 	for _, n := range d.Nets {
 		fmt.Fprintf(bw, "net %s", n.Name)
@@ -195,6 +220,29 @@ func Read(r io.Reader) (*Database, error) {
 			}
 			mod := &d.Modules[len(d.Modules)-1]
 			mod.Shapes = append(mod.Shapes, Shape{Label: fields[1], Rows: rows, W: wv, H: hv})
+		case "congest":
+			if len(d.Modules) == 0 {
+				return nil, fmt.Errorf("%w: line %d: congest before any module", ErrDB, line)
+			}
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("%w: line %d: want 'congest <model> <rows> <peakutil> <peakoverflow> <hotchannel> <expfeeds>'", ErrDB, line)
+			}
+			rows, err1 := strconv.Atoi(fields[2])
+			hot, err2 := strconv.Atoi(fields[5])
+			util, err3 := strconv.ParseFloat(fields[3], 64)
+			over, err4 := strconv.ParseFloat(fields[4], 64)
+			feeds, err5 := strconv.ParseFloat(fields[6], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+				return nil, fmt.Errorf("%w: line %d: bad congest fields", ErrDB, line)
+			}
+			mod := &d.Modules[len(d.Modules)-1]
+			if mod.Congestion != nil {
+				return nil, fmt.Errorf("%w: line %d: duplicate congest for module %q", ErrDB, line, mod.Name)
+			}
+			mod.Congestion = &Congestion{
+				Model: fields[1], Rows: rows, PeakUtil: util,
+				PeakOverflow: over, HotChannel: hot, ExpectedFeeds: feeds,
+			}
 		case "net":
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("%w: line %d: want 'net <name> <mod.port>...'", ErrDB, line)
@@ -241,6 +289,20 @@ func Validate(d *Database) error {
 		for _, s := range m.Shapes {
 			if s.W <= 0 || s.H <= 0 {
 				return fmt.Errorf("%w: module %q shape %q has non-positive size", ErrDB, m.Name, s.Label)
+			}
+		}
+		if c := m.Congestion; c != nil {
+			if c.Rows < 1 {
+				return fmt.Errorf("%w: module %q congest rows %d < 1", ErrDB, m.Name, c.Rows)
+			}
+			if c.PeakOverflow < 0 || c.PeakOverflow > 1 {
+				return fmt.Errorf("%w: module %q congest overflow %g outside [0,1]", ErrDB, m.Name, c.PeakOverflow)
+			}
+			if c.PeakUtil < 0 {
+				return fmt.Errorf("%w: module %q congest utilization %g < 0", ErrDB, m.Name, c.PeakUtil)
+			}
+			if c.HotChannel < -1 {
+				return fmt.Errorf("%w: module %q congest hot channel %d", ErrDB, m.Name, c.HotChannel)
 			}
 		}
 	}

@@ -22,6 +22,10 @@ func sample() *Database {
 					{Label: "sc-rows3", Rows: 3, W: 280, H: 260},
 					{Label: "fc-exact", W: 310, H: 310},
 				},
+				Congestion: &Congestion{
+					Model: "crossing", Rows: 3, PeakUtil: 1.25,
+					PeakOverflow: 0.375, HotChannel: 2, ExpectedFeeds: 4.5,
+				},
 			},
 			{
 				Name: "ctl", Devices: 40, Nets: 30, Ports: 8,
@@ -88,6 +92,13 @@ func TestReadRejectsMalformed(t *testing.T) {
 		{"moduleless net", "chip a\nmodule m 1 1 1\nshape s 1 1 1\nnet n m.a q.b\nend\n"},
 		{"single pin net", "chip a\nmodule m 1 1 1\nshape s 1 1 1\nnet n m.a\nend\n"},
 		{"shapeless module", "chip a\nmodule m 1 1 1\nend\n"},
+		{"orphan congest", "chip a\ncongest occupancy 2 0.5 0.1 0 1.0\nend\n"},
+		{"short congest", "chip a\nmodule m 1 1 1\nshape s 1 1 1\ncongest occupancy 2 0.5\nend\n"},
+		{"bad congest rows", "chip a\nmodule m 1 1 1\nshape s 1 1 1\ncongest occupancy x 0.5 0.1 0 1.0\nend\n"},
+		{"bad congest float", "chip a\nmodule m 1 1 1\nshape s 1 1 1\ncongest occupancy 2 x 0.1 0 1.0\nend\n"},
+		{"dup congest", "chip a\nmodule m 1 1 1\nshape s 1 1 1\ncongest occupancy 2 0.5 0.1 0 1.0\ncongest occupancy 2 0.5 0.1 0 1.0\nend\n"},
+		{"congest overflow > 1", "chip a\nmodule m 1 1 1\nshape s 1 1 1\ncongest occupancy 2 0.5 1.5 0 1.0\nend\n"},
+		{"congest rows < 1", "chip a\nmodule m 1 1 1\nshape s 1 1 1\ncongest occupancy 0 0.5 0.1 0 1.0\nend\n"},
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c.in)); err == nil {
@@ -106,6 +117,23 @@ func TestValidateDuplicateModule(t *testing.T) {
 	d2.Modules[0].Shapes[0].W = -1
 	if err := Validate(d2); err == nil {
 		t.Fatal("negative shape accepted")
+	}
+}
+
+func TestValidateCongestionBounds(t *testing.T) {
+	mut := []func(c *Congestion){
+		func(c *Congestion) { c.Rows = 0 },
+		func(c *Congestion) { c.PeakOverflow = -0.1 },
+		func(c *Congestion) { c.PeakOverflow = 1.1 },
+		func(c *Congestion) { c.PeakUtil = -1 },
+		func(c *Congestion) { c.HotChannel = -2 },
+	}
+	for i, f := range mut {
+		d := sample()
+		f(d.Modules[0].Congestion)
+		if err := Validate(d); err == nil {
+			t.Errorf("mutation %d: invalid congestion record accepted", i)
+		}
 	}
 }
 

@@ -1,0 +1,161 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file extends the §4.1 machinery from single expectations to the
+// primitives a congestion analysis needs: where a net's demand lands,
+// not just how much of it there is.  Two placement-marginal
+// probabilities (row occupancy and boundary crossing) and a
+// distribution convolution turn the Eq. 2–3 / Eq. 10 expectation math
+// into full per-channel demand distributions (see internal/congest).
+
+// RowOccupancyProb returns the probability that one fixed row receives
+// at least one of a net's D components under the paper's
+// uniform-placement model over n rows:
+//
+//	P(occupied) = 1 − ((n−1)/n)ᵏ,   k = min(n, D),
+//
+// with the same exponent cap Eq. 2 applies.  Summed over the n rows
+// this equals Eq. 3's expected row span E(i) exactly (linearity of
+// expectation over row-occupancy indicators); the property tests pin
+// that identity against the Eq. 2 recurrence.
+func RowOccupancyProb(n, D int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("prob: RowOccupancyProb needs n ≥ 1, got %d", n)
+	}
+	if D < 1 {
+		return 0, fmt.Errorf("prob: RowOccupancyProb needs D ≥ 1, got %d", D)
+	}
+	return 1 - math.Pow(float64(n-1)/float64(n), float64(capExp(n, D))), nil
+}
+
+// capExp is Eq. 2's exponent cap k = min(n, D): beyond n components
+// the paper's scatter model saturates.
+func capExp(n, D int) int {
+	if D < n {
+		return D
+	}
+	return n
+}
+
+// CrossingProb returns the probability that a net of D components
+// crosses the channel boundary with c rows above it (c in 1..n−1):
+// at least one component in the top c rows and at least one in the
+// bottom n−c rows,
+//
+//	P(cross c) = 1 − (c/n)ᵏ − ((n−c)/n)ᵏ,   k = min(n, D),
+//
+// the two-sided analogue of the Eq. 5 feed-through event, with Eq. 2's
+// exponent cap.  For n = 1 there are no interior boundaries and every
+// c is rejected.
+func CrossingProb(n, D, c int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("prob: CrossingProb needs n ≥ 1, got %d", n)
+	}
+	if D < 1 {
+		return 0, fmt.Errorf("prob: CrossingProb needs D ≥ 1, got %d", D)
+	}
+	if c < 1 || c > n-1 {
+		return 0, fmt.Errorf("prob: boundary %d outside 1..%d", c, n-1)
+	}
+	fn, k := float64(n), float64(capExp(n, D))
+	p := 1 - math.Pow(float64(c)/fn, k) - math.Pow(float64(n-c)/fn, k)
+	if p < 0 {
+		p = 0 // cancellation residue for D = 1
+	}
+	return p, nil
+}
+
+// SingleRowProb returns the probability that all D components of a net
+// land in one fixed row: (1/n)ᵏ with k = min(n, D).  Such a net is
+// still wired through the adjacent channel ("even when all
+// Standard-Cells attached to a net are placed in one row, they are
+// usually wired through a routing channel"), so it contributes channel
+// demand without crossing any boundary.
+func SingleRowProb(n, D int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("prob: SingleRowProb needs n ≥ 1, got %d", n)
+	}
+	if D < 1 {
+		return 0, fmt.Errorf("prob: SingleRowProb needs D ≥ 1, got %d", D)
+	}
+	return math.Pow(1/float64(n), float64(capExp(n, D))), nil
+}
+
+// convolveTailEps is the probability mass below which trailing
+// distribution entries are trimmed after a convolution.  Trimming
+// keeps Poisson-binomial convolutions over many net classes from
+// growing past the support that carries any usable mass.
+const convolveTailEps = 1e-15
+
+// Convolve returns the distribution of X+Y for independent X ~ a and
+// Y ~ b (index = value, starting at 0).  Either operand may be nil or
+// empty, meaning the point mass at 0.  Trailing entries whose total
+// mass is below 1e-15 are trimmed.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 {
+		a = []float64{1}
+	}
+	if len(b) == 0 {
+		b = []float64{1}
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, pa := range a {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b {
+			out[i+j] += pa * pb
+		}
+	}
+	return trimTail(out)
+}
+
+// trimTail drops trailing entries carrying negligible total mass,
+// always keeping index 0.
+func trimTail(dist []float64) []float64 {
+	tail := 0.0
+	end := len(dist)
+	for end > 1 {
+		if tail+dist[end-1] > convolveTailEps {
+			break
+		}
+		tail += dist[end-1]
+		end--
+	}
+	return dist[:end]
+}
+
+// TailProb returns P(X > k) for X ~ dist (index = value).  Negative k
+// returns 1; k beyond the support returns 0.  The sum runs from the
+// high end so the many tiny tail terms accumulate before the large
+// ones subtract — the result is clamped to [0,1] regardless.
+func TailProb(dist []float64, k int) float64 {
+	if k < 0 {
+		return 1
+	}
+	p := 0.0
+	for i := len(dist) - 1; i > k; i-- {
+		p += dist[i]
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// DistMean returns Σ i·dist[i], the expectation of a distribution over
+// 0..len−1.
+func DistMean(dist []float64) float64 {
+	e := 0.0
+	for i, p := range dist {
+		e += float64(i) * p
+	}
+	return e
+}

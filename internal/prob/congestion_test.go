@@ -1,0 +1,179 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+// The occupancy identity: summing the row-occupancy probability over
+// the n rows must reproduce Eq. 3's expected row span from the Eq. 2
+// recurrence, for every (n, D) — linearity of expectation over
+// occupancy indicators.
+func TestRowOccupancyMatchesExpectedRowSpan(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for _, D := range []int{1, 2, 3, 5, 8, 13, 40, 200} {
+			occ, err := RowOccupancyProb(n, D)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ExpectedRowSpan(n, D)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := float64(n) * occ
+			if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+				t.Errorf("n=%d D=%d: n·P(occupied) = %g, E(i) = %g", n, D, got, want)
+			}
+		}
+	}
+}
+
+func TestCrossingProb(t *testing.T) {
+	// Symmetry: crossing with c rows above equals crossing with c
+	// rows below.
+	for n := 2; n <= 10; n++ {
+		for D := 1; D <= 20; D++ {
+			for c := 1; c < n; c++ {
+				p, err := CrossingProb(n, D, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q, err := CrossingProb(n, D, n-c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(p-q) > 1e-12 {
+					t.Fatalf("n=%d D=%d: cross(%d)=%g != cross(%d)=%g", n, D, c, p, n-c, q)
+				}
+				if p < 0 || p > 1 {
+					t.Fatalf("n=%d D=%d c=%d: probability %g outside [0,1]", n, D, c, p)
+				}
+			}
+		}
+	}
+	// A one-component net crosses nothing.
+	if p, err := CrossingProb(5, 1, 2); err != nil || p != 0 {
+		t.Fatalf("CrossingProb(5,1,2) = %g, %v; want 0, nil", p, err)
+	}
+	// n = 1 has no interior boundary at all.
+	if _, err := CrossingProb(1, 3, 1); err == nil {
+		t.Fatal("CrossingProb(1,3,1) accepted a boundary that does not exist")
+	}
+	// Two components over two rows land on opposite sides half the
+	// time: 1 − 2·(1/2)² = 1/2.
+	p, err := CrossingProb(2, 2, 1)
+	if err != nil || math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("CrossingProb(2,2,1) = %g, %v; want 0.5", p, err)
+	}
+}
+
+func TestSingleRowProb(t *testing.T) {
+	p, err := SingleRowProb(4, 3)
+	if err != nil || math.Abs(p-1.0/64) > 1e-15 {
+		t.Fatalf("SingleRowProb(4,3) = %g, %v; want 1/64", p, err)
+	}
+	// With one row everything is single-row.
+	p, err = SingleRowProb(1, 7)
+	if err != nil || p != 1 {
+		t.Fatalf("SingleRowProb(1,7) = %g, %v; want 1", p, err)
+	}
+}
+
+// Convolving two binomials with the same success probability must give
+// the binomial over the summed trial count.
+func TestConvolveBinomialIdentity(t *testing.T) {
+	const p = 0.37
+	a, err := FeedThroughCountDist(5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FeedThroughCountDist(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FeedThroughCountDist(13, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Convolve(a, b)
+	if len(got) != len(want) {
+		t.Fatalf("convolution support %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("P(%d) = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmptyIsPointMass(t *testing.T) {
+	d := []float64{0.25, 0.75}
+	for _, got := range [][]float64{Convolve(nil, d), Convolve(d, nil)} {
+		if len(got) != 2 || got[0] != 0.25 || got[1] != 0.75 {
+			t.Fatalf("convolution with point mass changed the distribution: %v", got)
+		}
+	}
+}
+
+func TestTailProb(t *testing.T) {
+	dist := []float64{0.5, 0.3, 0.2}
+	cases := []struct {
+		k    int
+		want float64
+	}{{-1, 1}, {0, 0.5}, {1, 0.2}, {2, 0}, {10, 0}}
+	for _, c := range cases {
+		if got := TailProb(dist, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("TailProb(%d) = %g, want %g", c.k, got, c.want)
+		}
+	}
+}
+
+func TestDistMean(t *testing.T) {
+	if got := DistMean([]float64{0.5, 0.3, 0.2}); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("DistMean = %g, want 0.7", got)
+	}
+}
+
+// Satellite regression: the Eq. 2–3 machinery and the new marginals
+// must stay well-defined (no NaN, no panic, normalized) for the
+// degenerate corners a congestion caller can feed them — a single row
+// (no channels between rows) and D far beyond the row count.
+func TestDegenerateInputsStayFinite(t *testing.T) {
+	cases := []struct{ n, D int }{
+		{1, 1}, {1, 2}, {1, 1000},
+		{3, 10000}, {7, 99999},
+		{200, 12345},
+	}
+	for _, c := range cases {
+		dist, err := RowSpanDist(c.n, c.D)
+		if err != nil {
+			t.Fatalf("RowSpanDist(%d,%d): %v", c.n, c.D, err)
+		}
+		sum := 0.0
+		for i, p := range dist {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1+1e-9 {
+				t.Fatalf("RowSpanDist(%d,%d)[%d] = %g", c.n, c.D, i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("RowSpanDist(%d,%d) sums to %g", c.n, c.D, sum)
+		}
+		e, err := ExpectedRowSpan(c.n, c.D)
+		if err != nil || math.IsNaN(e) || e < 1-1e-9 || e > float64(c.n)+1e-9 {
+			t.Errorf("ExpectedRowSpan(%d,%d) = %g, %v", c.n, c.D, e, err)
+		}
+		occ, err := RowOccupancyProb(c.n, c.D)
+		if err != nil || math.IsNaN(occ) || occ < 0 || occ > 1 {
+			t.Errorf("RowOccupancyProb(%d,%d) = %g, %v", c.n, c.D, occ, err)
+		}
+	}
+	// A single row admits no feed-throughs: the Eq. 5 closed form must
+	// return exactly zero, not NaN.
+	for _, D := range []int{2, 3, 50} {
+		p, err := FeedThroughProb(1, D, 1)
+		if err != nil || p != 0 {
+			t.Errorf("FeedThroughProb(1,%d,1) = %g, %v; want 0", D, p, err)
+		}
+	}
+}

@@ -46,11 +46,18 @@ func Binomial(n, k int) float64 {
 // i = 1..min(n, D), under the paper's uniform-placement model with
 // exponent k = min(n, D).
 //
-// The recurrence is computed in normalized form q[i] = b[i]/nᵏ, i.e.
+// Eq. 2's printed form is the alternating inclusion–exclusion sum
+// P(i) = C(n,i)·[(i/n)ᵏ − Σ_{j<i} C(i,j)·q_j], whose terms grow like
+// C(n,i) while the result stays in [0,1] — catastrophic cancellation
+// for n beyond a few dozen rows (probabilities in the hundreds were
+// observed at n = 200).  The same distribution is therefore evaluated
+// by the forward occupancy chain — drop the k components one at a
+// time; each lands in an already-occupied row with probability i/n —
 //
-//	q[i] = (i/n)ᵏ − Σ_{j<i} C(i,j)·q[j],   P(i) = C(n,i)·q[i],
+//	P_{t+1}(i) = P_t(i)·i/n + P_t(i−1)·(n−i+1)/n,
 //
-// which stays in [0,1] for any D and avoids overflowing b[i] = iᵏ.
+// whose terms are all positive, so it is unconditionally stable at
+// any scale and agrees with Eq. 2 exactly in exact arithmetic.
 func RowSpanDist(n, D int) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("prob: RowSpanDist needs n ≥ 1, got %d", n)
@@ -62,21 +69,27 @@ func RowSpanDist(n, D int) ([]float64, error) {
 	if D < n {
 		k = D
 	}
-	imax := k // a net cannot span more rows than min(n, D)
-	q := make([]float64, imax+1)
-	dist := make([]float64, imax)
-	for i := 1; i <= imax; i++ {
-		qi := math.Pow(float64(i)/float64(n), float64(k))
-		for j := 1; j < i; j++ {
-			qi -= Binomial(i, j) * q[j]
+	// cur[i] = P(exactly i rows occupied after t components placed).
+	cur := make([]float64, k+1)
+	next := make([]float64, k+1)
+	cur[0] = 1
+	fn := float64(n)
+	for t := 0; t < k; t++ {
+		for i := range next {
+			next[i] = 0
 		}
-		if qi < 0 {
-			qi = 0 // guard against cancellation residue
+		for i, p := range cur {
+			if p == 0 {
+				continue
+			}
+			next[i] += p * float64(i) / fn
+			if i < k {
+				next[i+1] += p * float64(n-i) / fn
+			}
 		}
-		q[i] = qi
-		dist[i-1] = Binomial(n, i) * qi
+		cur, next = next, cur
 	}
-	return dist, nil
+	return cur[1:], nil
 }
 
 // ExpectedRowSpan returns Eq. 3's expectation E(i) = Σ i·P_rows(i),

@@ -1,0 +1,34 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"maest/internal/tech"
+)
+
+// The congestion validation is deterministic (seeded suites, seeded
+// placement); the golden file pins the per-channel MAE of the crossing
+// model against the spine router on both experiment suites.
+func TestCongestValidationGolden(t *testing.T) {
+	rows, err := RunCongestValidation(tech.NMOS25(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("validation produced no rows")
+	}
+	for _, r := range rows {
+		if r.MAE < 0 || r.PeakOverflow < 0 || r.PeakOverflow > 1 {
+			t.Fatalf("row out of range: %+v", r)
+		}
+		if r.ActualTracks < 0 || r.PredictedTracks < 0 {
+			t.Fatalf("negative track totals: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := CongestTable(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "congest_validation.txt", buf.Bytes())
+}

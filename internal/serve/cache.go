@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"maest/internal/congest"
 	"maest/internal/core"
 	"maest/internal/netlist"
 	"maest/internal/obs"
@@ -23,13 +24,29 @@ import (
 
 // Cache metrics: the hit ratio is the serving layer's headline number
 // — it is what separates "estimator CLI behind a socket" from a
-// result store amortizing the floorplanner's repeated queries.
+// result store amortizing the floorplanner's repeated queries.  The
+// estimate and congestion caches are separate LRUs with separate
+// counters so their hit ratios can be monitored independently.
 var (
-	mCacheHits    = obs.DefCounter("maest_serve_cache_hits_total", "estimate cache hits")
-	mCacheMisses  = obs.DefCounter("maest_serve_cache_misses_total", "estimate cache misses")
-	mCacheEvicted = obs.DefCounter("maest_serve_cache_evictions_total", "estimate cache LRU evictions")
-	mCacheEntries = obs.DefGauge("maest_serve_cache_entries", "estimate cache resident entries")
+	estimateCacheMetrics = cacheMetrics{
+		hits:     obs.DefCounter("maest_serve_cache_hits_total", "estimate cache hits"),
+		misses:   obs.DefCounter("maest_serve_cache_misses_total", "estimate cache misses"),
+		evicted:  obs.DefCounter("maest_serve_cache_evictions_total", "estimate cache LRU evictions"),
+		resident: obs.DefGauge("maest_serve_cache_entries", "estimate cache resident entries"),
+	}
+	congestCacheMetrics = cacheMetrics{
+		hits:     obs.DefCounter("maest_serve_congest_cache_hits_total", "congestion cache hits"),
+		misses:   obs.DefCounter("maest_serve_congest_cache_misses_total", "congestion cache misses"),
+		evicted:  obs.DefCounter("maest_serve_congest_cache_evictions_total", "congestion cache LRU evictions"),
+		resident: obs.DefGauge("maest_serve_congest_cache_entries", "congestion cache resident entries"),
+	}
 )
+
+// cacheMetrics is the counter set one lru instance reports to.
+type cacheMetrics struct {
+	hits, misses, evicted *obs.Counter
+	resident              *obs.Gauge
+}
 
 // Key is the content address of one estimate: SHA-256 over the
 // canonical form of the circuit plus the process name and estimator
@@ -50,6 +67,20 @@ func CacheKey(c *netlist.Circuit, processName string, opts core.SCOptions) Key {
 	h := sha256.New()
 	writeCanonical(h, c)
 	fmt.Fprintf(h, "process %s\nrows %d\nsharing %t\n", processName, opts.Rows, opts.TrackSharing)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// CongestKey computes the content address of a congestion analysis:
+// the same canonical circuit rendering as CacheKey plus every knob the
+// map depends on (process, row count, grid variant, demand model,
+// capacity and feed budget).
+func CongestKey(c *netlist.Circuit, processName string, rows int, gridded bool, opts congest.Options) Key {
+	h := sha256.New()
+	writeCanonical(h, c)
+	fmt.Fprintf(h, "congest %s\nrows %d\ngridded %t\nmodel %s\ncapacity %d\nfeedbudget %d\n",
+		processName, rows, gridded, opts.Model, opts.Capacity, opts.FeedBudget)
 	var k Key
 	h.Sum(k[:0])
 	return k
@@ -83,82 +114,104 @@ func writeCanonical(w io.Writer, c *netlist.Circuit) {
 	}
 }
 
-// Cache is a fixed-capacity LRU map from content address to estimate
-// result.  All methods are safe for concurrent use.  Stored Results
-// are shared between callers and must be treated as immutable.
-type Cache struct {
+// lru is a fixed-capacity LRU map from content address to a value.
+// All methods are safe for concurrent use, and a nil *lru is a
+// well-defined disabled cache (lookups miss, stores are dropped).
+// Stored values are shared between callers and must be treated as
+// immutable.
+type lru[V any] struct {
 	mu       sync.Mutex
 	capacity int
-	order    *list.List // front = most recent; values are *cacheEntry
+	order    *list.List // front = most recent; values are *lruEntry[V]
 	entries  map[Key]*list.Element
+	metrics  cacheMetrics
 }
 
-type cacheEntry struct {
+type lruEntry[V any] struct {
 	key Key
-	res *core.Result
+	val V
 }
 
-// NewCache returns an LRU cache holding at most capacity results;
-// capacity < 1 returns a nil cache, on which every method is a
-// well-defined no-op (lookups miss, stores are dropped).
-func NewCache(capacity int) *Cache {
+// newLRU returns an LRU cache holding at most capacity values,
+// reporting to the given counter set; capacity < 1 returns nil.
+func newLRU[V any](capacity int, metrics cacheMetrics) *lru[V] {
 	if capacity < 1 {
 		return nil
 	}
-	return &Cache{
+	return &lru[V]{
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[Key]*list.Element, capacity),
+		metrics:  metrics,
 	}
 }
 
-// Get returns the cached result for k, marking it most recently used.
-func (c *Cache) Get(k Key) (*core.Result, bool) {
+// Get returns the cached value for k, marking it most recently used.
+func (c *lru[V]) Get(k Key) (V, bool) {
+	var zero V
 	if c == nil {
-		mCacheMisses.Inc()
-		return nil, false
+		return zero, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		mCacheMisses.Inc()
-		return nil, false
+		c.metrics.misses.Inc()
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	mCacheHits.Inc()
-	return el.Value.(*cacheEntry).res, true
+	c.metrics.hits.Inc()
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// Put stores res under k, evicting the least recently used entry when
+// Put stores v under k, evicting the least recently used entry when
 // the cache is full.  Storing an existing key refreshes its recency.
-func (c *Cache) Put(k Key, res *core.Result) {
-	if c == nil || res == nil {
+func (c *lru[V]) Put(k Key, v V) {
+	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*lruEntry[V]).val = v
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
+	c.entries[k] = c.order.PushFront(&lruEntry[V]{key: k, val: v})
 	if c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		mCacheEvicted.Inc()
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+		c.metrics.evicted.Inc()
 	}
-	mCacheEntries.Set(float64(c.order.Len()))
+	c.metrics.resident.Set(float64(c.order.Len()))
 }
 
 // Len returns the number of resident entries.
-func (c *Cache) Len() int {
+func (c *lru[V]) Len() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Cache is the estimate result cache: a fixed-capacity LRU from
+// content address to *core.Result.
+type Cache = lru[*core.Result]
+
+// CongestCache is the congestion map cache, keyed by CongestKey.
+type CongestCache = lru[*congest.Map]
+
+// NewCache returns an estimate LRU cache holding at most capacity
+// results; capacity < 1 returns a nil cache, on which every method is
+// a well-defined no-op (lookups miss, stores are dropped).
+func NewCache(capacity int) *Cache {
+	return newLRU[*core.Result](capacity, estimateCacheMetrics)
+}
+
+// NewCongestCache is NewCache for congestion maps.
+func NewCongestCache(capacity int) *CongestCache {
+	return newLRU[*congest.Map](capacity, congestCacheMetrics)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 
+	"maest/internal/congest"
 	"maest/internal/core"
 	"maest/internal/hdl"
 	"maest/internal/netlist"
@@ -103,6 +104,70 @@ type BatchResponse struct {
 	Process   string             `json:"process"`
 	CacheHits int                `json:"cache_hits"`
 	Modules   []EstimateResponse `json:"modules"`
+}
+
+// CongestionRequest is the POST /v1/congestion payload: one circuit
+// plus the congestion-analysis knobs.
+type CongestionRequest struct {
+	Format  string `json:"format,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Netlist string `json:"netlist"`
+	Process string `json:"process,omitempty"`
+	// Rows fixes the row count (0 = §5 automatic; for gridded maps 0
+	// selects the ⌈√N⌉ default grid).
+	Rows int `json:"rows,omitempty"`
+	// Gridded selects the full-custom grid variant of the analysis.
+	Gridded bool `json:"gridded,omitempty"`
+	// Model selects the demand accounting: "occupancy" (default) or
+	// "crossing".
+	Model string `json:"model,omitempty"`
+	// Capacity overrides the per-channel track capacity (0 = derived).
+	Capacity int `json:"capacity,omitempty"`
+	// FeedBudget overrides the per-row feed-through budget (0 =
+	// derived).
+	FeedBudget int `json:"feed_budget,omitempty"`
+}
+
+// ChannelBody is one channel of a congestion answer.
+type ChannelBody struct {
+	Index       int     `json:"index"`
+	Expected    float64 `json:"expected_tracks"`
+	Capacity    int     `json:"capacity"`
+	Utilization float64 `json:"utilization"`
+	POverflow   float64 `json:"p_overflow"`
+}
+
+// RowFeedsBody is one row's feed-through pressure in an answer.
+type RowFeedsBody struct {
+	Index       int     `json:"index"`
+	Expected    float64 `json:"expected_feeds"`
+	Budget      int     `json:"budget"`
+	POverBudget float64 `json:"p_over_budget"`
+}
+
+// HotspotBody is one ranked congestion risk in an answer.
+type HotspotBody struct {
+	Kind     string  `json:"kind"`
+	Index    int     `json:"index"`
+	Score    float64 `json:"score"`
+	Expected float64 `json:"expected"`
+}
+
+// CongestionResponse is one module's congestion map.
+type CongestionResponse struct {
+	Module         string         `json:"module"`
+	Process        string         `json:"process"`
+	CacheHit       bool           `json:"cache_hit"`
+	Key            string         `json:"key"`
+	Model          string         `json:"model"`
+	Rows           int            `json:"rows"`
+	Gridded        bool           `json:"gridded,omitempty"`
+	Nets           int            `json:"nets"`
+	ExpectedTracks float64        `json:"expected_tracks"`
+	ExpectedFeeds  float64        `json:"expected_feeds"`
+	Channels       []ChannelBody  `json:"channels"`
+	Feeds          []RowFeedsBody `json:"feeds,omitempty"`
+	Hotspots       []HotspotBody  `json:"hotspots,omitempty"`
 }
 
 // ErrorResponse is every non-2xx body.
@@ -221,6 +286,47 @@ func encodeSC(sc *core.SCEstimate) SCBody {
 		AspectRatio:  sc.AspectRatio,
 		PortFeasible: sc.PortFeasible,
 	}
+}
+
+// encodeMap converts a congestion map into its wire shape.  The full
+// per-channel distributions stay server-side; clients get the derived
+// risk numbers, which is what floorplanner loops consume.
+func encodeMap(m *congest.Map, process string, key Key, hit bool) CongestionResponse {
+	out := CongestionResponse{
+		Module:         m.Module,
+		Process:        process,
+		CacheHit:       hit,
+		Key:            key.String(),
+		Model:          m.Model.String(),
+		Rows:           m.Rows,
+		Gridded:        m.Gridded,
+		Nets:           m.Nets,
+		ExpectedTracks: m.TotalExpectedTracks,
+		ExpectedFeeds:  m.TotalExpectedFeeds,
+	}
+	for _, ch := range m.Channels {
+		out.Channels = append(out.Channels, ChannelBody{
+			Index:       ch.Index,
+			Expected:    ch.Expected,
+			Capacity:    ch.Capacity,
+			Utilization: ch.Utilization,
+			POverflow:   ch.POverflow,
+		})
+	}
+	for _, rf := range m.Feeds {
+		out.Feeds = append(out.Feeds, RowFeedsBody{
+			Index:       rf.Index,
+			Expected:    rf.Expected,
+			Budget:      rf.Budget,
+			POverBudget: rf.POverBudget,
+		})
+	}
+	for _, h := range m.Hotspots {
+		out.Hotspots = append(out.Hotspots, HotspotBody{
+			Kind: h.Kind, Index: h.Index, Score: h.Score, Expected: h.Expected,
+		})
+	}
+	return out
 }
 
 func encodeFC(fc *core.FCEstimate) *FCBody {

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
+	"maest/internal/congest"
 	"maest/internal/core"
 	"maest/internal/netlist"
 	"maest/internal/obs"
@@ -47,6 +49,10 @@ type Options struct {
 	// Workers sizes the batch endpoint's default worker pool
 	// (overridable per request); 0 selects GOMAXPROCS.
 	Workers int
+	// RetryAfter is the Retry-After hint, in seconds, sent with 429
+	// responses when load is shed; 0 selects 1 s.  Operators running
+	// aggressive floorplanner loops raise it to spread retry storms.
+	RetryAfter int
 	// EstimateHook, when non-nil, runs while a request holds its
 	// concurrency slot, before estimation begins.  It exists so
 	// end-to-end tests can hold a slot open deterministically; leave
@@ -71,6 +77,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRequestBytes == 0 {
 		o.MaxRequestBytes = 8 << 20
 	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = 1
+	}
 	return o
 }
 
@@ -78,29 +87,33 @@ func (o Options) withDefaults() Options {
 //
 //	POST /v1/estimate        one circuit
 //	POST /v1/estimate/batch  a chip's worth of circuits
+//	POST /v1/congestion      one circuit's congestion map
 //	GET  /healthz            liveness
 //	GET  /metrics            Prometheus text exposition
 //
 // The health and metrics endpoints bypass the concurrency limiter so
 // they stay responsive under overload.
 type Server struct {
-	opts  Options
-	cache *Cache
-	slots chan struct{}
-	mux   *http.ServeMux
+	opts     Options
+	cache    *Cache
+	congests *CongestCache
+	slots    chan struct{}
+	mux      *http.ServeMux
 }
 
 // New returns a Server ready to mount on an http.Server.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		cache: NewCache(opts.CacheSize),
-		slots: make(chan struct{}, opts.MaxConcurrent),
-		mux:   http.NewServeMux(),
+		opts:     opts,
+		cache:    NewCache(opts.CacheSize),
+		congests: NewCongestCache(opts.CacheSize),
+		slots:    make(chan struct{}, opts.MaxConcurrent),
+		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/estimate/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/congestion", s.handleCongestion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -111,6 +124,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Cache returns the server's result cache (nil when disabled).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// CongestCache returns the congestion map cache (nil when disabled).
+func (s *Server) CongestCache() *CongestCache { return s.congests }
 
 // acquire claims a concurrency slot without blocking; callers that
 // fail to acquire must answer 429.
@@ -149,6 +165,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errBadRequest):
 		status = http.StatusBadRequest
 	case errors.Is(err, core.ErrEstimate),
+		errors.Is(err, congest.ErrCongest),
 		errors.Is(err, netlist.ErrInvalidCircuit):
 		// The request was well-formed but the circuit cannot be
 		// estimated (unknown device, mixed methodologies, …).
@@ -160,10 +177,11 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// reject sheds one request with 429 and a Retry-After hint.
+// reject sheds one request with 429 and the configured Retry-After
+// hint.
 func (s *Server) reject(w http.ResponseWriter) {
 	mRejected.Inc()
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfter))
 	writeJSON(w, http.StatusTooManyRequests,
 		ErrorResponse{Error: "serve: concurrency limit reached, retry later"})
 }
@@ -324,6 +342,89 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Modules = append(resp.Modules, encodeResult(res, procName, keys[i], cached[i]))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCongestion answers POST /v1/congestion: decode → cache →
+// analyze → encode.  The congestion map is deterministic in the
+// request content, so answers are cached under the same
+// content-addressed key scheme as estimates (CongestKey folds in the
+// analysis knobs the estimate key does not have).
+func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
+	mRequests.Inc()
+	t0 := time.Now()
+	defer func() { mServeSec.Observe(time.Since(t0).Seconds()) }()
+
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+	if s.opts.EstimateHook != nil {
+		s.opts.EstimateHook()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+
+	var req CongestionRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	model, err := congest.ParseModel(req.Model)
+	if err != nil {
+		writeError(w, reqErr("%v", err))
+		return
+	}
+	if req.Rows < 0 {
+		writeError(w, reqErr("negative rows %d", req.Rows))
+		return
+	}
+	proc, procName, err := lookupProcess(req.Process, s.opts.Process)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	circ, err := parseCircuit(req.Format, req.Name, req.Netlist, proc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	stats, err := netlist.Gather(circ, proc)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Resolve the row count up front so the cache key names the map
+	// that is actually built: §5 automatic rows for standard cells,
+	// the ⌈√N⌉ grid for full custom.
+	rows := req.Rows
+	if rows == 0 {
+		if req.Gridded {
+			rows = congest.GridRows(stats)
+		} else {
+			rows = core.InitialRows(stats, proc)
+		}
+	}
+	opts := congest.Options{Model: model, Capacity: req.Capacity, FeedBudget: req.FeedBudget}
+	key := CongestKey(circ, procName, rows, req.Gridded, opts)
+	if m, ok := s.congests.Get(key); ok {
+		writeJSON(w, http.StatusOK, encodeMap(m, procName, key, true))
+		return
+	}
+
+	var m *congest.Map
+	if req.Gridded {
+		m, err = congest.AnalyzeGridCtx(ctx, stats, rows, opts)
+	} else {
+		m, err = congest.AnalyzeCtx(ctx, stats, rows, opts)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.congests.Put(key, m)
+	writeJSON(w, http.StatusOK, encodeMap(m, procName, key, false))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

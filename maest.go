@@ -36,6 +36,7 @@ import (
 
 	"maest/internal/baseline"
 	"maest/internal/cells"
+	"maest/internal/congest"
 	"maest/internal/core"
 	"maest/internal/db"
 	"maest/internal/floorplan"
@@ -295,6 +296,9 @@ type (
 	ModuleRecord = db.Module
 	// ShapeRecord is one candidate module shape.
 	ShapeRecord = db.Shape
+	// CongestionRecord is a module's congestion-map summary in the
+	// database (the `congest` directive).
+	CongestionRecord = db.Congestion
 	// GlobalNet is a chip-level net between module ports.
 	GlobalNet = db.GlobalNet
 	// GlobalPin is one endpoint of a global net.
@@ -629,4 +633,84 @@ func NewEstimateCache(capacity int) *EstimateCache { return serve.NewCache(capac
 // key.
 func CacheKeyFor(c *Circuit, processName string, opts SCOptions) EstimateCacheKey {
 	return serve.CacheKey(c, processName, opts)
+}
+
+// Congestion analysis: the probabilistic routability subsystem
+// (internal/congest).  It refines the Eq. 2–3 / Eq. 4–11 expectations
+// into per-channel track-demand distributions and emits a congestion
+// map — utilization, overflow probability, feed-through pressure, and
+// ranked hotspots — for standard-cell rows and the gridded
+// full-custom variant of the Eq. 13 model.
+type (
+	// CongestModel selects the per-channel demand accounting.
+	CongestModel = congest.Model
+	// CongestOptions configures a congestion analysis.
+	CongestOptions = congest.Options
+	// CongestMap is one module's congestion map.
+	CongestMap = congest.Map
+	// CongestChannel is one routing channel's demand picture.
+	CongestChannel = congest.Channel
+	// CongestRowFeeds is one row's feed-through pressure.
+	CongestRowFeeds = congest.RowFeeds
+	// CongestHotspot is one ranked congestion risk.
+	CongestHotspot = congest.Hotspot
+	// CongestValidation scores a predicted map against a routed
+	// layout's channel assignments.
+	CongestValidation = congest.Validation
+	// CongestionRequest is the POST /v1/congestion wire payload.
+	CongestionRequest = serve.CongestionRequest
+	// CongestionResponse is one module's congestion wire answer.
+	CongestionResponse = serve.CongestionResponse
+)
+
+// The congestion demand models: CongestOccupancy is the paper's own
+// Eq. 2–3 accounting (total expected demand equals the Eq. 3 track
+// expectation); CongestCrossing matches the spine router's channel
+// usage and is the model validated against routed layouts.
+const (
+	CongestOccupancy = congest.ModelOccupancy
+	CongestCrossing  = congest.ModelCrossing
+)
+
+// ParseCongestModel resolves a demand-model name ("occupancy",
+// "crossing", or empty for the default) for flags and request fields.
+func ParseCongestModel(s string) (CongestModel, error) { return congest.ParseModel(s) }
+
+// AnalyzeCongestion builds the congestion map of a module's gathered
+// statistics over rows standard-cell rows.
+func AnalyzeCongestion(s *Stats, rows int, opts CongestOptions) (*CongestMap, error) {
+	return congest.Analyze(s, rows, opts)
+}
+
+// AnalyzeCongestionCtx is AnalyzeCongestion with observability.
+func AnalyzeCongestionCtx(ctx context.Context, s *Stats, rows int, opts CongestOptions) (*CongestMap, error) {
+	return congest.AnalyzeCtx(ctx, s, rows, opts)
+}
+
+// AnalyzeGridCongestion builds the gridded full-custom congestion map
+// (gridRows 0 selects the ⌈√N⌉ default).
+func AnalyzeGridCongestion(s *Stats, gridRows int, opts CongestOptions) (*CongestMap, error) {
+	return congest.AnalyzeGrid(s, gridRows, opts)
+}
+
+// AnalyzeGridCongestionCtx is AnalyzeGridCongestion with
+// observability.
+func AnalyzeGridCongestionCtx(ctx context.Context, s *Stats, gridRows int, opts CongestOptions) (*CongestMap, error) {
+	return congest.AnalyzeGridCtx(ctx, s, gridRows, opts)
+}
+
+// ValidateCongestion scores a predicted congestion map against the
+// channel assignments of a routed layout.
+func ValidateCongestion(m *CongestMap, routed *RouteResult) (*CongestValidation, error) {
+	return congest.ValidateRoute(m, routed)
+}
+
+// InitialRowCount exposes the §5 row-count initialization, the row
+// count the estimator would pick automatically for a module.
+func InitialRowCount(s *Stats, p *Process) int { return core.InitialRows(s, p) }
+
+// CongestKeyFor computes the content-addressed identity of one
+// congestion question, the /v1/congestion analogue of CacheKeyFor.
+func CongestKeyFor(c *Circuit, processName string, rows int, gridded bool, opts CongestOptions) EstimateCacheKey {
+	return serve.CongestKey(c, processName, rows, gridded, opts)
 }

@@ -13,6 +13,9 @@ fi
 
 go vet ./...
 go build ./...
+# The examples tree is built explicitly: example programs have no
+# tests, so only a build catches API drift there.
+go build ./examples/...
 go test -race ./...
 # Bench smoke: every benchmark must still compile and survive one
 # iteration (catches bit-rot in the perf harness without timing it).
