@@ -1,0 +1,269 @@
+// Command maest-bench is the continuous accuracy/perf observatory: it
+// reruns the paper's Table 1 and Table 2 experiments against the
+// checked-in goldens, times the estimator over the generated suites,
+// drives the serving pipeline end-to-end over a real socket, and
+// emits everything as a schema-versioned BENCH_<label>.json snapshot.
+//
+// Usage:
+//
+//	maest-bench [-label local] [-o BENCH_local.json]
+//	            [-golden testdata/golden] [-proc nmos25] [-seed 1]
+//	            [-requests 60] [-estimate-iters 3]
+//	            [-compare ref.json] [-tol 0.5] [-perf-tol 0]
+//
+// With -compare the fresh snapshot is diffed against a reference:
+// accuracy drift beyond -tol percentage points (or a vanished module)
+// exits 2, so CI can gate on it.  Perf comparison is machine-
+// dependent and therefore opt-in: it only runs when -perf-tol is
+// positive (0.25 allows +25% on estimator ns/op and endpoint p99).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"maest/internal/core"
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/report"
+	"maest/internal/serve"
+	"maest/internal/tech"
+)
+
+type options struct {
+	label         string
+	out           string
+	goldenDir     string
+	proc          string
+	seed          int64
+	requests      int
+	estimateIters int
+	compare       string
+	tolPP         float64
+	perfTol       float64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.label, "label", "local", "snapshot label (written into the file and its default name)")
+	flag.StringVar(&o.out, "o", "", "output path (default BENCH_<label>.json)")
+	flag.StringVar(&o.goldenDir, "golden", "testdata/golden", "directory holding the golden table1.txt/table2.txt")
+	flag.StringVar(&o.proc, "proc", "nmos25", "builtin process to benchmark")
+	flag.Int64Var(&o.seed, "seed", 1, "layout-synthesis seed (must match the goldens')")
+	flag.IntVar(&o.requests, "requests", 60, "serve-pipeline requests to fire for the latency quantiles")
+	flag.IntVar(&o.estimateIters, "estimate-iters", 3, "full-suite estimation passes to time")
+	flag.StringVar(&o.compare, "compare", "", "reference BENCH_*.json to diff against; regressions exit 2")
+	flag.Float64Var(&o.tolPP, "tol", 0.5, "allowed accuracy drift growth vs the reference, percentage points")
+	flag.Float64Var(&o.perfTol, "perf-tol", 0, "allowed perf growth vs the reference as a fraction (0 disables perf compare)")
+	flag.Parse()
+
+	regressions, err := run(&o, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maest-bench:", err)
+		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		os.Exit(2)
+	}
+}
+
+// run builds the snapshot, writes it, and (with -compare) diffs it
+// against the reference, returning the regression messages.
+func run(o *options, w io.Writer) ([]string, error) {
+	p, err := tech.Lookup(o.proc)
+	if err != nil {
+		return nil, err
+	}
+	if o.out == "" {
+		o.out = "BENCH_" + o.label + ".json"
+	}
+
+	snap := &report.BenchSnapshot{
+		Schema:    report.BenchSchema,
+		Label:     o.label,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+
+	fmt.Fprintf(w, "maest-bench: accuracy vs %s goldens (seed %d)\n", o.goldenDir, o.seed)
+	snap.Accuracy, err = report.BuildAccuracy(o.goldenDir, p, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "maest-bench: %d module configs, max drift %.3fpp\n",
+		len(snap.Accuracy.Modules), snap.Accuracy.MaxDriftPP)
+
+	snap.Perf.EstimateNsPerOp, snap.Perf.EstimateOps, err = timeEstimator(p, o.estimateIters)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "maest-bench: estimator %d ns/op over %d full-suite passes\n",
+		snap.Perf.EstimateNsPerOp, snap.Perf.EstimateOps)
+
+	snap.Perf.Endpoints, err = timeServePipeline(o.requests)
+	if err != nil {
+		return nil, err
+	}
+	for _, ep := range snap.Perf.Endpoints {
+		fmt.Fprintf(w, "maest-bench: %-18s n=%-3d p50=%.0fus p90=%.0fus p99=%.0fus\n",
+			ep.Endpoint, ep.Count, ep.P50Micros, ep.P90Micros, ep.P99Micros)
+	}
+
+	if err := report.WriteBenchSnapshot(o.out, snap); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "maest-bench: wrote %s\n", o.out)
+
+	if o.compare == "" {
+		return nil, nil
+	}
+	ref, err := report.ReadBenchSnapshot(o.compare)
+	if err != nil {
+		return nil, fmt.Errorf("reference: %w", err)
+	}
+	regressions := report.CompareBench(ref, snap, o.tolPP, o.perfTol)
+	if len(regressions) == 0 {
+		fmt.Fprintf(w, "maest-bench: no regressions vs %s (tol %.2fpp)\n", o.compare, o.tolPP)
+	}
+	return regressions, nil
+}
+
+// timeEstimator measures one "op" = estimating every module of both
+// generated suites (Full-Custom exact+average, Standard-Cell at the
+// paper's row counts), without the layout-synthesis ground truth.
+func timeEstimator(p *tech.Process, iters int) (int64, int, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	fc, err := gen.FullCustomSuite(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	sc, err := gen.StandardCellSuite(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, c := range fc {
+			if _, err := core.EstimateFullCustom(c, p, core.FCExactAreas); err != nil {
+				return 0, 0, err
+			}
+			if _, err := core.EstimateFullCustom(c, p, core.FCAverageAreas); err != nil {
+				return 0, 0, err
+			}
+		}
+		for j, c := range sc {
+			s, err := netlist.Gather(c, p)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, n := range report.Table2RowCounts[j] {
+				if _, err := core.EstimateStandardCell(s, p, core.SCOptions{Rows: n}); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(iters), iters, nil
+}
+
+// timeServePipeline boots the real HTTP service on a loopback socket,
+// fires n requests across the three endpoints, and reads the latency
+// quantiles back from the per-endpoint histograms.
+func timeServePipeline(n int) ([]report.EndpointPerf, error) {
+	if n < 3 {
+		n = 3
+	}
+	handler := serve.New(serve.Options{FlightSize: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	single, err := json.Marshal(serve.EstimateRequest{Netlist: chainNetlist("bench-single", 24)})
+	if err != nil {
+		return nil, err
+	}
+	batch, err := json.Marshal(serve.BatchRequest{Modules: []serve.ModuleInput{
+		{Netlist: chainNetlist("bench-b0", 8)},
+		{Netlist: chainNetlist("bench-b1", 12)},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	congest, err := json.Marshal(serve.CongestionRequest{Netlist: chainNetlist("bench-cg", 16), Rows: 3})
+	if err != nil {
+		return nil, err
+	}
+
+	plan := []struct {
+		path string
+		body []byte
+	}{
+		{"/v1/estimate", single},
+		{"/v1/estimate/batch", batch},
+		{"/v1/congestion", congest},
+	}
+	for i := 0; i < n; i++ {
+		req := plan[i%len(plan)]
+		resp, err := http.Post(base+req.path, "application/json", bytes.NewReader(req.body))
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %d %s", req.path, resp.StatusCode, body)
+		}
+	}
+
+	var out []report.EndpointPerf
+	for _, ep := range serve.LatencySummary() {
+		if ep.Count == 0 {
+			continue
+		}
+		out = append(out, report.EndpointPerf{
+			Endpoint:  ep.Endpoint,
+			Count:     ep.Count,
+			MeanUs:    ep.MeanSecs * 1e6,
+			P50Micros: ep.P50Seconds * 1e6,
+			P90Micros: ep.P90Seconds * 1e6,
+			P99Micros: ep.P99Seconds * 1e6,
+		})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("serve pipeline produced no latency samples")
+	}
+	return out, nil
+}
+
+// chainNetlist emits a deterministic inverter chain in mnet format.
+func chainNetlist(name string, stages int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "module %s\nport in a\n", name)
+	prev := "a"
+	for i := 0; i < stages; i++ {
+		next := fmt.Sprintf("n%d", i)
+		fmt.Fprintf(&b, "device g%d INV %s %s\n", i, prev, next)
+		prev = next
+	}
+	fmt.Fprintf(&b, "port out %s\nend\n", prev)
+	return b.String()
+}

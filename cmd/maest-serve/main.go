@@ -1,13 +1,15 @@
 // Command maest-serve is the long-lived estimation service: the
 // Fig. 1 pipeline behind an HTTP/JSON API with a content-addressed
-// result cache, concurrency limiting, per-request deadlines, and
-// graceful shutdown.
+// result cache, concurrency limiting, per-request deadlines, request
+// telemetry (flight recorder + structured access log), and graceful
+// shutdown.
 //
 // Usage:
 //
 //	maest-serve [-addr :8080] [-proc nmos25] [-cache N]
 //	            [-concurrency N] [-timeout 30s] [-max-bytes N]
 //	            [-workers N] [-retry-after 1] [-drain 10s]
+//	            [-flight N] [-access-log FILE] [-debug-addr ADDR]
 //	            [-trace out.jsonl] [-pprof out.cpu]
 //
 // Endpoints:
@@ -18,6 +20,13 @@
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus text exposition
 //
+// With -debug-addr the observatory listener additionally serves (on a
+// separate socket, so request payloads never leave the debug network):
+//
+//	GET /debug/flight?n=N    recent request records + latency quantiles
+//	GET /debug/slowest?k=K   top-K requests by duration, span breakdown
+//	GET /metrics             the same exposition, for sidecar scrapers
+//
 // SIGINT/SIGTERM drain in-flight estimates for up to -drain before
 // the listener closes hard.
 package main
@@ -27,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -50,6 +60,9 @@ type options struct {
 	workers     int
 	retryAfter  int
 	drain       time.Duration
+	flight      int
+	accessLog   string
+	debugAddr   string
 	trace       string
 	pprof       string
 }
@@ -65,6 +78,9 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "batch estimation worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&o.retryAfter, "retry-after", 1, "Retry-After hint in seconds on 429 responses when load is shed")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget for in-flight estimates")
+	flag.IntVar(&o.flight, "flight", 256, "flight-recorder capacity in request records (0 disables)")
+	flag.StringVar(&o.accessLog, "access-log", "", "write a JSON access log line per request to this file ('-' = stdout, empty disables)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve the observatory debug endpoints (/debug/flight, /debug/slowest, /metrics) on this extra address (empty disables)")
 	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr on exit")
 	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
 	flag.Parse()
@@ -88,25 +104,60 @@ func run(o options) (err error) {
 		}
 	}()
 
-	srv, addr, err := startServer(ctx, o, nil)
+	accessLog, closeLog, err := openAccessLog(o.accessLog)
 	if err != nil {
 		return err
 	}
-	log.Printf("maest-serve: listening on %s (process %s, cache %d, drain %s)",
-		addr, o.proc, o.cacheSize, o.drain)
+	defer closeLog()
+
+	rt, err := startServer(ctx, o, accessLog, nil)
+	if err != nil {
+		return err
+	}
+	log.Printf("maest-serve: listening on %s (process %s, cache %d, flight %d, drain %s)",
+		rt.apiAddr, o.proc, o.cacheSize, o.flight, o.drain)
+	if rt.debug != nil {
+		log.Printf("maest-serve: observatory on %s", rt.debugAddr)
+	}
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-sigCtx.Done()
 	log.Printf("maest-serve: shutting down, draining for up to %s", o.drain)
-	return shutdown(srv, o.drain)
+	return rt.shutdown(o.drain)
 }
 
-// startServer validates the options, binds the listener, and serves
-// in the background, returning the bound address (the tests listen on
-// port 0).  hook is threaded into serve.Options for deterministic
+// openAccessLog resolves the -access-log flag into a writer: empty
+// disables, '-' selects stdout, anything else appends to the file.
+func openAccessLog(path string) (io.Writer, func() error, error) {
+	switch path {
+	case "":
+		return nil, func() error { return nil }, nil
+	case "-":
+		return os.Stdout, func() error { return nil }, nil
+	default:
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f.Close, nil
+	}
+}
+
+// running holds the bound listeners of one maest-serve instance: the
+// API server and, when -debug-addr is set, the observatory sidecar.
+type running struct {
+	api       *http.Server
+	apiAddr   string
+	debug     *http.Server // nil when -debug-addr is empty
+	debugAddr string
+}
+
+// startServer validates the options, binds the listeners, and serves
+// in the background, returning the bound addresses (the tests listen
+// on port 0).  hook is threaded into serve.Options for deterministic
 // end-to-end overload tests; production passes nil.
-func startServer(ctx context.Context, o options, hook func()) (*http.Server, string, error) {
+func startServer(ctx context.Context, o options, accessLog io.Writer, hook func()) (*running, error) {
 	handler := serve.New(serve.Options{
 		Process:         o.proc,
 		CacheSize:       o.cacheSize,
@@ -116,34 +167,60 @@ func startServer(ctx context.Context, o options, hook func()) (*http.Server, str
 		Workers:         o.workers,
 		RetryAfter:      o.retryAfter,
 		EstimateHook:    hook,
+		FlightSize:      o.flight,
+		AccessLog:       accessLog,
 	})
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	srv := &http.Server{
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-		// Estimate requests carry their own deadline; pad the write
-		// timeout past it so the 504 body still reaches the client.
-		WriteTimeout: o.timeout + 5*time.Second,
-		BaseContext:  func(net.Listener) context.Context { return ctx },
+	rt := &running{
+		api: &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 10 * time.Second,
+			// Estimate requests carry their own deadline; pad the write
+			// timeout past it so the 504 body still reaches the client.
+			WriteTimeout: o.timeout + 5*time.Second,
+			BaseContext:  func(net.Listener) context.Context { return ctx },
+		},
+		apiAddr: ln.Addr().String(),
 	}
-	go func() {
-		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
-			log.Printf("maest-serve: %v", serr)
+	go serveListener(rt.api, ln)
+
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("debug listener: %w", err)
 		}
-	}()
-	return srv, ln.Addr().String(), nil
+		rt.debug = &http.Server{
+			Handler:           handler.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return ctx },
+		}
+		rt.debugAddr = dln.Addr().String()
+		go serveListener(rt.debug, dln)
+	}
+	return rt, nil
+}
+
+func serveListener(srv *http.Server, ln net.Listener) {
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("maest-serve: %v", err)
+	}
 }
 
 // shutdown drains in-flight estimates for up to the drain budget,
-// then closes the listener hard.
-func shutdown(srv *http.Server, drain time.Duration) error {
+// then closes the listeners hard.  The debug listener has no
+// long-running requests and closes immediately.
+func (rt *running) shutdown(drain time.Duration) error {
+	if rt.debug != nil {
+		rt.debug.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		srv.Close()
+	if err := rt.api.Shutdown(ctx); err != nil {
+		rt.api.Close()
 		return fmt.Errorf("drain incomplete after %s: %w", drain, err)
 	}
 	return nil

@@ -23,6 +23,18 @@ const repoTestdata = "../../testdata"
 // startTestServer boots the real service on an ephemeral port and
 // tears it down through the production drain path.
 func startTestServer(t *testing.T, o options, hook func()) string {
+	return startTestRunning(t, o, nil, hook).api
+}
+
+// testBase holds the base URLs of a running test instance.
+type testBase struct {
+	api   string
+	debug string // empty unless o.debugAddr was set
+}
+
+// startTestRunning is startTestServer with access to the observatory
+// listener and the access-log writer.
+func startTestRunning(t *testing.T, o options, accessLog io.Writer, hook func()) testBase {
 	t.Helper()
 	if o.addr == "" {
 		o.addr = "127.0.0.1:0"
@@ -39,16 +51,20 @@ func startTestServer(t *testing.T, o options, hook func()) string {
 	if o.maxBytes == 0 {
 		o.maxBytes = 8 << 20
 	}
-	srv, addr, err := startServer(context.Background(), o, hook)
+	rt, err := startServer(context.Background(), o, accessLog, hook)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		if err := shutdown(srv, 5*time.Second); err != nil {
+		if err := rt.shutdown(5 * time.Second); err != nil {
 			t.Errorf("shutdown: %v", err)
 		}
 	})
-	return "http://" + addr
+	base := testBase{api: "http://" + rt.apiAddr}
+	if rt.debug != nil {
+		base.debug = "http://" + rt.debugAddr
+	}
+	return base
 }
 
 func postJSON(t *testing.T, url string, v any) (int, http.Header, []byte) {
@@ -298,10 +314,10 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	acquired := make(chan struct{})
 	gate := make(chan struct{})
 	var once sync.Once
-	srv, addr, err := startServer(context.Background(), options{
+	rt, err := startServer(context.Background(), options{
 		addr: "127.0.0.1:0", proc: "nmos25", cacheSize: 16,
 		timeout: 30 * time.Second, maxBytes: 8 << 20,
-	}, func() {
+	}, nil, func() {
 		once.Do(func() {
 			close(acquired)
 			<-gate
@@ -316,7 +332,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		code, _, body := postJSON(t, "http://"+addr+"/v1/estimate",
+		code, _, body := postJSON(t, "http://"+rt.apiAddr+"/v1/estimate",
 			serve.EstimateRequest{Netlist: string(netlist)})
 		if code != http.StatusOK {
 			done <- fmt.Errorf("in-flight request: %d %s", code, body)
@@ -327,7 +343,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	<-acquired
 
 	shutdownErr := make(chan error, 1)
-	go func() { shutdownErr <- shutdown(srv, 10*time.Second) }()
+	go func() { shutdownErr <- rt.shutdown(10 * time.Second) }()
 	// Give Shutdown a moment to close the listener, then let the
 	// in-flight estimate finish inside the drain window.
 	time.Sleep(50 * time.Millisecond)
@@ -337,5 +353,145 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	}
 	if err := <-shutdownErr; err != nil {
 		t.Errorf("drain failed: %v", err)
+	}
+}
+
+// TestDebugListenerEndToEnd is the observatory acceptance test over
+// real sockets: after a batch of mixed estimate/batch/congestion
+// calls, GET /debug/flight on the -debug-addr listener returns the
+// last N requests with per-stage durations and latency quantiles,
+// while the service port keeps the debug surface unreachable.
+func TestDebugListenerEndToEnd(t *testing.T) {
+	var logBuf bytes.Buffer
+	base := startTestRunning(t, options{
+		flight:    64,
+		debugAddr: "127.0.0.1:0",
+	}, &logBuf, nil)
+	if base.debug == "" {
+		t.Fatal("debug listener did not start")
+	}
+
+	netlist, err := os.ReadFile(filepath.Join(repoTestdata, "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := serve.EstimateRequest{Netlist: string(netlist)}
+	if code, hdr, body := postJSON(t, base.api+"/v1/estimate", est); code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", code, body)
+	} else if hdr.Get("X-Request-Id") == "" {
+		t.Fatal("estimate response missing X-Request-Id")
+	}
+	if code, _, body := postJSON(t, base.api+"/v1/estimate", est); code != http.StatusOK { // cache hit
+		t.Fatalf("repeat estimate: %d %s", code, body)
+	}
+	batch := serve.BatchRequest{Modules: []serve.ModuleInput{{Netlist: string(netlist)}}}
+	if code, _, body := postJSON(t, base.api+"/v1/estimate/batch", batch); code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	cong := serve.CongestionRequest{Netlist: string(netlist), Rows: 3}
+	if code, _, body := postJSON(t, base.api+"/v1/congestion", cong); code != http.StatusOK {
+		t.Fatalf("congestion: %d %s", code, body)
+	}
+
+	resp, err := http.Get(base.debug + "/debug/flight?n=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/flight: %d %s", resp.StatusCode, body)
+	}
+	var flight serve.FlightResponse
+	if err := json.Unmarshal(body, &flight); err != nil {
+		t.Fatalf("debug/flight not JSON: %v\n%s", err, body)
+	}
+	if !flight.Enabled || flight.Total != 4 || len(flight.Requests) != 4 {
+		t.Fatalf("flight header: enabled=%v total=%d n=%d",
+			flight.Enabled, flight.Total, len(flight.Requests))
+	}
+	endpoints := make(map[string]int)
+	for _, r := range flight.Requests {
+		endpoints[r.Endpoint]++
+		if r.Status != http.StatusOK || r.ID == "" || r.Micros <= 0 {
+			t.Fatalf("record incomplete: %+v", r)
+		}
+		if len(r.Stages) == 0 {
+			t.Fatalf("record %s has no per-stage durations", r.ID)
+		}
+	}
+	if endpoints["/v1/estimate"] != 2 || endpoints["/v1/estimate/batch"] != 1 || endpoints["/v1/congestion"] != 1 {
+		t.Fatalf("endpoint mix: %v", endpoints)
+	}
+	if len(flight.Latency) != 3 {
+		t.Fatalf("latency section has %d endpoints, want 3", len(flight.Latency))
+	}
+
+	// /debug/slowest ranks by duration and carries span breakdowns.
+	resp, err = http.Get(base.debug + "/debug/slowest?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slowest serve.SlowestResponse
+	if err := json.Unmarshal(body, &slowest); err != nil {
+		t.Fatalf("debug/slowest not JSON: %v\n%s", err, body)
+	}
+	if !slowest.Enabled || len(slowest.Requests) != 2 {
+		t.Fatalf("slowest: enabled=%v n=%d", slowest.Enabled, len(slowest.Requests))
+	}
+
+	// The debug surface must not leak onto the service port.
+	resp, err = http.Get(base.api + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug surface reachable on the API port: %d", resp.StatusCode)
+	}
+
+	// The access log saw all four API requests as JSON lines.
+	lines := bytes.Split(bytes.TrimSpace(logBuf.Bytes()), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("access log has %d lines, want 4:\n%s", len(lines), logBuf.String())
+	}
+	for i, line := range lines {
+		var e map[string]any
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("access line %d not JSON: %v\n%s", i, err, line)
+		}
+	}
+}
+
+// TestOpenAccessLog covers the flag's three shapes.
+func TestOpenAccessLog(t *testing.T) {
+	if w, _, err := openAccessLog(""); err != nil || w != nil {
+		t.Fatalf("empty: %v %v", w, err)
+	}
+	if w, _, err := openAccessLog("-"); err != nil || w != os.Stdout {
+		t.Fatalf("stdout: %v %v", w, err)
+	}
+	path := filepath.Join(t.TempDir(), "access.log")
+	w, closeLog, err := openAccessLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeLog(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "{}\n" {
+		t.Fatalf("file log round-trip: %q %v", b, err)
 	}
 }

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var buildInfoOnce sync.Once
+
+// RegisterBuildInfo registers the maest_build_info gauge into the
+// Default registry: the standard Prometheus info-metric convention — a
+// constant 1 whose labels carry the Go runtime version and the module
+// version from the embedded build metadata.  Safe to call from every
+// entry point; registration happens once.
+func RegisterBuildInfo() {
+	buildInfoOnce.Do(func() {
+		version := "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		name := fmt.Sprintf("maest_build_info{goversion=%q,version=%q}",
+			runtime.Version(), version)
+		DefGauge(name, "build information about this maest binary (value is constant 1)").Set(1)
+	})
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The flight recorder is the request-level black box of the serving
+// stack: a fixed-size ring of the most recent request records, cheap
+// enough to stay on for every request.  Each record carries what an
+// operator needs to reconstruct one request after the fact — input
+// digest, per-stage durations, a bounded span-tree summary, outcome,
+// and cache disposition — without holding the full trace stream that
+// a JSONL sink would.
+//
+// Recording is one short mutex-guarded copy into a pre-allocated
+// slot: it never blocks on I/O, never grows, and performs no
+// allocations of its own, so it cannot stall the request loop it
+// observes.  A nil *Flight is the disabled recorder: every method is
+// a no-op, the same convention as the nil *Span fast path.
+
+// FlightStage is one coarse handler-measured stage of a request
+// (decode, parse, estimate, …) with its duration.
+type FlightStage struct {
+	Name   string `json:"stage"`
+	Micros int64  `json:"us"`
+}
+
+// FlightSpan is one line of a request's span-tree summary: the spans
+// the pipeline recorded while answering, flattened with their nesting
+// depth.
+type FlightSpan struct {
+	Name   string `json:"span"`
+	Micros int64  `json:"us"`
+	Depth  int    `json:"depth,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// FlightRecord is one request in the flight recorder.
+type FlightRecord struct {
+	// Seq is the record's position in the recorder's total intake:
+	// strictly increasing, so eviction order is checkable and gaps
+	// reveal how much history the ring has dropped.
+	Seq uint64 `json:"seq"`
+	// ID is the request ID echoed to the client in X-Request-Id.
+	ID       string    `json:"id,omitempty"`
+	Time     time.Time `json:"time"`
+	Method   string    `json:"method,omitempty"`
+	Endpoint string    `json:"endpoint"`
+	Status   int       `json:"status"`
+	Micros   int64     `json:"us"`
+	// Digest is the content address of the request's input (the cache
+	// key), linking the record to cache entries and repeat requests.
+	Digest   string        `json:"digest,omitempty"`
+	CacheHit bool          `json:"cache_hit"`
+	Err      string        `json:"err,omitempty"`
+	Stages   []FlightStage `json:"stages,omitempty"`
+	Spans    []FlightSpan  `json:"spans,omitempty"`
+}
+
+// Flight is the fixed-capacity request ring.  All methods are safe
+// for concurrent use; a nil *Flight is a valid disabled recorder.
+type Flight struct {
+	mu    sync.Mutex
+	buf   []FlightRecord
+	total uint64 // records ever accepted; next Seq
+}
+
+// NewFlight returns a recorder keeping the most recent capacity
+// records; capacity < 1 returns nil (disabled).
+func NewFlight(capacity int) *Flight {
+	if capacity < 1 {
+		return nil
+	}
+	return &Flight{buf: make([]FlightRecord, capacity)}
+}
+
+// Record stamps r with the next sequence number and stores it,
+// evicting the oldest record once the ring is full.  It returns the
+// assigned sequence number (0 on a nil recorder).
+func (f *Flight) Record(r FlightRecord) uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	r.Seq = f.total
+	f.buf[f.total%uint64(len(f.buf))] = r
+	f.total++
+	f.mu.Unlock()
+	return r.Seq
+}
+
+// Cap returns the ring capacity (0 when disabled).
+func (f *Flight) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.buf)
+}
+
+// Len returns the number of resident records.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < uint64(len(f.buf)) {
+		return int(f.total)
+	}
+	return len(f.buf)
+}
+
+// Total returns the number of records ever accepted, evicted or not.
+func (f *Flight) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the resident records oldest first (ascending Seq).
+func (f *Flight) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := uint64(len(f.buf))
+	if f.total < n {
+		out := make([]FlightRecord, f.total)
+		copy(out, f.buf[:f.total])
+		return out
+	}
+	out := make([]FlightRecord, n)
+	start := f.total % n
+	copy(out, f.buf[start:])
+	copy(out[n-start:], f.buf[:start])
+	return out
+}
+
+// Slowest returns up to k resident records ordered by descending
+// duration — the ring's own top-K, no global state.
+func (f *Flight) Slowest(k int) []FlightRecord {
+	recs := f.Snapshot()
+	if k < 0 {
+		k = 0
+	}
+	// Selection sort of the head: k is small (a debug page), records
+	// are few (the ring), so O(k·n) beats pulling in sort for clarity
+	// of the tie-break (earlier Seq wins on equal durations).
+	if k > len(recs) {
+		k = len(recs)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(recs); j++ {
+			if recs[j].Micros > recs[best].Micros {
+				best = j
+			}
+		}
+		recs[i], recs[best] = recs[best], recs[i]
+	}
+	return recs[:k]
+}
+
+// Collect is a bounded span sink summarizing one request's span tree
+// for its flight record: the first capacity spans are kept (in
+// completion order), the rest only counted.  Safe for concurrent use.
+type Collect struct {
+	mu      sync.Mutex
+	cap     int
+	spans   []FlightSpan
+	dropped int
+}
+
+// NewCollect returns a collector keeping at most capacity spans
+// (capacity < 1 selects a small default).
+func NewCollect(capacity int) *Collect {
+	if capacity < 1 {
+		capacity = 16
+	}
+	return &Collect{cap: capacity}
+}
+
+// Record implements Sink.
+func (c *Collect) Record(d *SpanData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) >= c.cap {
+		c.dropped++
+		return
+	}
+	c.spans = append(c.spans, FlightSpan{
+		Name:   d.Name,
+		Micros: d.Duration.Microseconds(),
+		Depth:  d.Depth,
+		Err:    d.Err,
+	})
+}
+
+// Spans returns the collected summary (shared slice; callers treat it
+// as immutable once the request is over).
+func (c *Collect) Spans() []FlightSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans
+}
+
+// Dropped returns how many spans exceeded the summary capacity.
+func (c *Collect) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}

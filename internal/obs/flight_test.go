@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightBasics(t *testing.T) {
+	f := NewFlight(4)
+	if f.Cap() != 4 || f.Len() != 0 || f.Total() != 0 {
+		t.Fatalf("fresh recorder: cap=%d len=%d total=%d", f.Cap(), f.Len(), f.Total())
+	}
+	for i := 0; i < 3; i++ {
+		f.Record(FlightRecord{Endpoint: "/v1/estimate", Micros: int64(i)})
+	}
+	if f.Len() != 3 || f.Total() != 3 {
+		t.Fatalf("after 3 records: len=%d total=%d", f.Len(), f.Total())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	for i, r := range snap {
+		if r.Seq != uint64(i) || r.Micros != int64(i) {
+			t.Fatalf("snapshot[%d] = seq %d us %d", i, r.Seq, r.Micros)
+		}
+	}
+}
+
+func TestFlightEvictsOldestInOrder(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(FlightRecord{Micros: int64(i)})
+	}
+	if f.Len() != 4 || f.Total() != 10 {
+		t.Fatalf("len=%d total=%d, want 4/10", f.Len(), f.Total())
+	}
+	snap := f.Snapshot()
+	// The ring holds exactly the newest 4 records, oldest first, with
+	// contiguous sequence numbers — eviction happened in intake order.
+	for i, r := range snap {
+		wantSeq := uint64(6 + i)
+		if r.Seq != wantSeq || r.Micros != int64(wantSeq) {
+			t.Fatalf("snapshot[%d] = seq %d us %d, want seq %d", i, r.Seq, r.Micros, wantSeq)
+		}
+	}
+}
+
+func TestFlightSlowest(t *testing.T) {
+	f := NewFlight(8)
+	durations := []int64{30, 10, 50, 20, 40}
+	for _, d := range durations {
+		f.Record(FlightRecord{Micros: d})
+	}
+	top := f.Slowest(3)
+	if len(top) != 3 || top[0].Micros != 50 || top[1].Micros != 40 || top[2].Micros != 30 {
+		t.Fatalf("slowest = %+v", top)
+	}
+	if got := f.Slowest(100); len(got) != 5 {
+		t.Fatalf("over-asking returned %d records, want all 5", len(got))
+	}
+	if got := f.Slowest(-1); len(got) != 0 {
+		t.Fatalf("negative k returned %d records", len(got))
+	}
+}
+
+func TestFlightDisabled(t *testing.T) {
+	var f *Flight = NewFlight(0)
+	if f != nil {
+		t.Fatal("capacity 0 should return the nil disabled recorder")
+	}
+	if seq := f.Record(FlightRecord{}); seq != 0 {
+		t.Fatalf("nil Record returned seq %d", seq)
+	}
+	if f.Len() != 0 || f.Cap() != 0 || f.Total() != 0 || f.Snapshot() != nil || len(f.Slowest(3)) != 0 {
+		t.Fatal("nil recorder is not a clean no-op")
+	}
+}
+
+// TestFlightRecordZeroAllocs pins the recording cost: both the
+// disabled (nil) path and the enabled path copy into pre-allocated
+// storage without allocating, so the recorder can stay on in the
+// request hot loop.
+func TestFlightRecordZeroAllocs(t *testing.T) {
+	var disabled *Flight
+	rec := FlightRecord{Endpoint: "/v1/estimate", Status: 200, Micros: 12}
+	if allocs := testing.AllocsPerRun(1000, func() { disabled.Record(rec) }); allocs != 0 {
+		t.Fatalf("disabled Record allocates %.1f objects per op, want 0", allocs)
+	}
+	enabled := NewFlight(64)
+	if allocs := testing.AllocsPerRun(1000, func() { enabled.Record(rec) }); allocs != 0 {
+		t.Fatalf("enabled Record allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestFlightConcurrentHammer drives the ring from many goroutines
+// (with concurrent snapshot readers) under the race detector: every
+// record is accepted, nothing blocks, and the survivors are exactly
+// the newest capacity records in eviction order.
+func TestFlightConcurrentHammer(t *testing.T) {
+	const (
+		writers = 8
+		per     = 2000
+		cap     = 128
+	)
+	f := NewFlight(cap)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f.Snapshot()
+					f.Slowest(10)
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(FlightRecord{Endpoint: "/v1/estimate", Status: 200, Micros: int64(w*per + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("hammer took %s — recording is blocking the request path", elapsed)
+	}
+	if f.Total() != writers*per {
+		t.Fatalf("total = %d, want %d (records were dropped or double-counted)", f.Total(), writers*per)
+	}
+	snap := f.Snapshot()
+	if len(snap) != cap {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), cap)
+	}
+	for i, r := range snap {
+		want := uint64(writers*per - cap + i)
+		if r.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d — eviction order broken", i, r.Seq, want)
+		}
+	}
+}
+
+func TestCollectSummarizesSpanTree(t *testing.T) {
+	c := NewCollect(4)
+	ctx := WithSink(context.Background(), c)
+	ctx, root := Start(ctx, "request")
+	_, child := Start(ctx, "parse")
+	child.End()
+	_, failing := Start(ctx, "estimate")
+	failing.EndErr(context.DeadlineExceeded)
+	root.End()
+
+	spans := c.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(spans))
+	}
+	// Completion order: children end before the root.
+	if spans[0].Name != "parse" || spans[0].Depth != 1 {
+		t.Fatalf("spans[0] = %+v", spans[0])
+	}
+	if spans[1].Name != "estimate" || spans[1].Err == "" {
+		t.Fatalf("spans[1] = %+v (error not captured)", spans[1])
+	}
+	if spans[2].Name != "request" || spans[2].Depth != 0 {
+		t.Fatalf("spans[2] = %+v", spans[2])
+	}
+}
+
+func TestCollectBoundsCapacity(t *testing.T) {
+	c := NewCollect(2)
+	ctx := WithSink(context.Background(), c)
+	for i := 0; i < 5; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	if len(c.Spans()) != 2 || c.Dropped() != 3 {
+		t.Fatalf("kept %d dropped %d, want 2/3", len(c.Spans()), c.Dropped())
+	}
+}

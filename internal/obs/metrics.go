@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -83,6 +84,38 @@ func (h *Histogram) Mean() float64 {
 		return h.Sum() / float64(n)
 	}
 	return 0
+}
+
+// Quantile estimates the p-quantile (p clamped to [0, 1]) of the
+// observed distribution by linear interpolation within the bucket
+// containing the target rank — the same estimate Prometheus's
+// histogram_quantile computes server-side, available here without a
+// scrape.  The first bucket interpolates from 0 (the histograms all
+// record non-negative quantities); ranks landing in the +Inf bucket
+// return the largest finite upper bound.  An empty histogram returns
+// 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	p = math.Min(math.Max(p, 0), 1)
+	rank := p * float64(total)
+	cum, lower := 0.0, 0.0
+	for i, upper := range h.uppers {
+		c := float64(counts[i])
+		if c > 0 && cum+c >= rank {
+			return lower + (upper-lower)*(rank-cum)/c
+		}
+		cum += c
+		lower = upper
+	}
+	return lower
 }
 
 // DefBuckets suit second-scale latencies: the paper's per-module CPU
@@ -200,7 +233,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 
 	for _, c := range counters {
-		if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+		if err := writeHeader(w, familyName(c.name), c.help, "counter"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
@@ -208,7 +241,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, g := range gauges {
-		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+		if err := writeHeader(w, familyName(g.name), g.help, "gauge"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", g.name, g.Value()); err != nil {
@@ -235,6 +268,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// familyName strips a baked-in Prometheus label set from a metric
+// name: counters and gauges may be registered as `name{k="v",…}`
+// (info-style metrics such as maest_build_info), and the HELP/TYPE
+// headers must name the family, not the labeled series.
+func familyName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 func writeHeader(w io.Writer, name, help, typ string) error {

@@ -63,6 +63,85 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 5, 10})
+	// 100 observations spread uniformly inside (0, 1]: every quantile
+	// interpolates inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	cases := []struct{ p, want float64 }{
+		{0.5, 0.5},
+		{0.9, 0.9},
+		{0.99, 0.99},
+		{1, 1},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+
+	// Multi-bucket interpolation: 10 obs ≤1, 10 in (1,2], none in
+	// (2,5], 10 in (5,10].  p50 is the upper edge of bucket 2; p75
+	// lands 25% into the (5,10] bucket.
+	h2 := r.Histogram("q2", "", []float64{1, 2, 5, 10})
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.5)
+		h2.Observe(1.5)
+		h2.Observe(7)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %g, want 1.5 (midpoint of (1,2] at rank 15)", got)
+	}
+	if got := h2.Quantile(0.75); math.Abs(got-6.25) > 1e-9 {
+		t.Errorf("p75 = %g, want 6.25 (25%% into (5,10])", got)
+	}
+
+	// Monotone in p.
+	for p := 0.0; p < 1; p += 0.05 {
+		if h2.Quantile(p) > h2.Quantile(p+0.05)+1e-12 {
+			t.Fatalf("Quantile not monotone at p=%g", p)
+		}
+	}
+
+	// Ranks in the +Inf bucket clamp to the largest finite bound.
+	h3 := r.Histogram("q3", "", []float64{1})
+	h3.Observe(50)
+	if got := h3.Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket quantile = %g, want 1 (largest finite bound)", got)
+	}
+
+	// Empty histogram and clamped p.
+	h4 := r.Histogram("q4", "", []float64{1})
+	if got := h4.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	if got := h2.Quantile(2); got != h2.Quantile(1) {
+		t.Errorf("p>1 not clamped: %g vs %g", got, h2.Quantile(1))
+	}
+}
+
+func TestBuildInfoMetric(t *testing.T) {
+	RegisterBuildInfo()
+	RegisterBuildInfo() // idempotent
+	var buf bytes.Buffer
+	if err := Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE maest_build_info gauge") {
+		t.Errorf("exposition missing unlabeled TYPE header for maest_build_info:\n%s", out)
+	}
+	if !strings.Contains(out, `maest_build_info{goversion="go`) {
+		t.Errorf("exposition missing labeled maest_build_info series:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Errorf("maest_build_info value is not the constant 1:\n%s", out)
+	}
+}
+
 func TestWritePrometheusFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("maest_b_total", "second").Inc()

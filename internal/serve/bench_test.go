@@ -66,3 +66,30 @@ func BenchmarkEstimateCacheMiss(b *testing.B) {
 		post(b, s, body)
 	}
 }
+
+// benchInstrument measures the telemetry wrapper around a no-op
+// handler, isolating the observatory's own cost from the estimator's.
+func benchInstrument(b *testing.B, opts Options) {
+	s := New(opts)
+	h := s.instrument("/v1/estimate", func(http.ResponseWriter, *http.Request, *reqInfo) {})
+	req := httptest.NewRequest("POST", "/v1/estimate", nil)
+	var w nullResponseWriter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h(&w, req)
+	}
+}
+
+// BenchmarkInstrumentDisabled is the acceptance benchmark: with the
+// flight recorder and access log off, the per-request instrumentation
+// must report 0 allocs/op.
+func BenchmarkInstrumentDisabled(b *testing.B) {
+	benchInstrument(b, Options{})
+}
+
+// BenchmarkInstrumentFlight prices the enabled path (request ID, span
+// collection, ring write) for comparison.
+func BenchmarkInstrumentFlight(b *testing.B) {
+	benchInstrument(b, Options{FlightSize: 256})
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"maest/internal/obs"
+)
+
+// The observatory debug surface.  It is a separate handler (not part
+// of ServeHTTP) so operators mount it on a loopback-only listener
+// (`maest-serve -debug-addr`) and never expose request payloads or
+// digests on the service port.
+
+// FlightResponse answers GET /debug/flight.
+type FlightResponse struct {
+	Enabled  bool `json:"enabled"`
+	Capacity int  `json:"capacity"`
+	// Total counts every request ever recorded; Total - len(Requests)
+	// is how much history the ring has dropped.
+	Total    uint64             `json:"total"`
+	Requests []obs.FlightRecord `json:"requests"` // newest first
+	Latency  []EndpointLatency  `json:"latency"`
+}
+
+// SlowestResponse answers GET /debug/slowest.
+type SlowestResponse struct {
+	Enabled  bool               `json:"enabled"`
+	Requests []obs.FlightRecord `json:"requests"` // slowest first
+}
+
+// DebugHandler returns the observatory endpoints:
+//
+//	GET /debug/flight?n=N   the last N (default all resident) request
+//	                        records, newest first, plus per-endpoint
+//	                        latency quantiles
+//	GET /debug/slowest?k=K  the top K (default 10) resident requests
+//	                        by duration, with span breakdowns
+//	GET /metrics            Prometheus text exposition (convenience,
+//	                        so one debug listener serves everything)
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/flight", s.handleDebugFlight)
+	mux.HandleFunc("GET /debug/slowest", s.handleDebugSlowest)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// queryInt parses a positive integer query parameter, falling back to
+// def when absent or malformed.
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	resp := FlightResponse{
+		Enabled:  s.flight != nil,
+		Capacity: s.flight.Cap(),
+		Total:    s.flight.Total(),
+		Latency:  LatencySummary(),
+	}
+	recs := s.flight.Snapshot()
+	// Newest first: the page answers "what just happened".
+	for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+		recs[i], recs[j] = recs[j], recs[i]
+	}
+	if n := queryInt(r, "n", len(recs)); n < len(recs) {
+		recs = recs[:n]
+	}
+	resp.Requests = recs
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDebugSlowest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SlowestResponse{
+		Enabled:  s.flight != nil,
+		Requests: s.flight.Slowest(queryInt(r, "k", 10)),
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -58,6 +59,14 @@ type Options struct {
 	// end-to-end tests can hold a slot open deterministically; leave
 	// nil in production.
 	EstimateHook func()
+	// FlightSize is the flight-recorder capacity: the number of recent
+	// request records kept for the /debug/flight and /debug/slowest
+	// observatory endpoints.  0 disables the recorder (the telemetry
+	// adds nothing to the request path then).
+	FlightSize int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (method, path, status, duration, request ID, cache hit).
+	AccessLog io.Writer
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -99,21 +108,28 @@ type Server struct {
 	congests *CongestCache
 	slots    chan struct{}
 	mux      *http.ServeMux
+	flight   *obs.Flight   // nil when the recorder is disabled
+	access   *accessLogger // nil when access logging is disabled
 }
 
 // New returns a Server ready to mount on an http.Server.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	obs.RegisterBuildInfo()
 	s := &Server{
 		opts:     opts,
 		cache:    NewCache(opts.CacheSize),
 		congests: NewCongestCache(opts.CacheSize),
 		slots:    make(chan struct{}, opts.MaxConcurrent),
 		mux:      http.NewServeMux(),
+		flight:   obs.NewFlight(opts.FlightSize),
 	}
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/estimate/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/congestion", s.handleCongestion)
+	if opts.AccessLog != nil {
+		s.access = newAccessLogger(opts.AccessLog)
+	}
+	s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
+	s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.handleCongestion))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -127,6 +143,9 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // CongestCache returns the congestion map cache (nil when disabled).
 func (s *Server) CongestCache() *CongestCache { return s.congests }
+
+// Flight returns the server's flight recorder (nil when disabled).
+func (s *Server) Flight() *obs.Flight { return s.flight }
 
 // acquire claims a concurrency slot without blocking; callers that
 // fail to acquire must answer 429.
@@ -179,22 +198,26 @@ func writeError(w http.ResponseWriter, err error) {
 
 // reject sheds one request with 429 and the configured Retry-After
 // hint.
-func (s *Server) reject(w http.ResponseWriter) {
+func (s *Server) reject(w http.ResponseWriter, info *reqInfo) {
 	mRejected.Inc()
+	info.fail(errors.New("serve: concurrency limit reached"))
 	w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfter))
 	writeJSON(w, http.StatusTooManyRequests,
 		ErrorResponse{Error: "serve: concurrency limit reached, retry later"})
 }
 
+// fail records the outcome on the request's telemetry and renders the
+// error response — the handlers' single error exit.
+func (s *Server) fail(w http.ResponseWriter, info *reqInfo, err error) {
+	info.fail(err)
+	writeError(w, err)
+}
+
 // handleEstimate answers POST /v1/estimate: decode → cache → estimate
 // → encode, the Fig. 1 flow as a request/response pipeline.
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	mRequests.Inc()
-	t0 := time.Now()
-	defer func() { mServeSec.Observe(time.Since(t0).Seconds()) }()
-
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *reqInfo) {
 	if !s.acquire() {
-		s.reject(w)
+		s.reject(w, info)
 		return
 	}
 	defer s.release()
@@ -207,31 +230,38 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	var req EstimateRequest
 	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("decode")
 	proc, procName, err := lookupProcess(req.Process, s.opts.Process)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
 	circ, err := parseCircuit(req.Format, req.Name, req.Netlist, proc)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("parse")
 	opts := core.SCOptions{Rows: req.Rows, TrackSharing: req.TrackSharing}
 	key := CacheKey(circ, procName, opts)
+	info.setDigest(key)
 	if res, ok := s.cache.Get(key); ok {
+		info.setCacheHit(true)
+		info.mark("cache")
 		writeJSON(w, http.StatusOK, encodeResult(res, procName, key, true))
 		return
 	}
+	info.mark("cache")
 
 	res, err := s.estimateWithDeadline(ctx, circ, proc, opts, key)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("estimate")
 	writeJSON(w, http.StatusOK, encodeResult(res, procName, key, false))
 }
 
@@ -263,13 +293,9 @@ func (s *Server) estimateWithDeadline(ctx context.Context, circ *netlist.Circuit
 // handleBatch answers POST /v1/estimate/batch: cache-check every
 // module, fan the misses out through the EstimateChipCtx worker pool,
 // and merge, preserving request order.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	mRequests.Inc()
-	t0 := time.Now()
-	defer func() { mServeSec.Observe(time.Since(t0).Seconds()) }()
-
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqInfo) {
 	if !s.acquire() {
-		s.reject(w)
+		s.reject(w, info)
 		return
 	}
 	defer s.release()
@@ -282,17 +308,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	var req BatchRequest
 	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("decode")
 	if len(req.Modules) == 0 {
-		writeError(w, reqErr("batch has no modules"))
+		s.fail(w, info, reqErr("batch has no modules"))
 		return
 	}
 	mBatchSize.Observe(float64(len(req.Modules)))
 	proc, procName, err := lookupProcess(req.Process, s.opts.Process)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
 	opts := core.SCOptions{Rows: req.Rows, TrackSharing: req.TrackSharing}
@@ -306,7 +333,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, m := range req.Modules {
 		c, err := parseCircuit(m.Format, m.Name, m.Netlist, proc)
 		if err != nil {
-			writeError(w, reqErr("module %d: %v", i, err))
+			s.fail(w, info, reqErr("module %d: %v", i, err))
 			return
 		}
 		keys[i] = CacheKey(c, procName, opts)
@@ -319,6 +346,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			missIdx = append(missIdx, i)
 		}
 	}
+	// A batch is recorded as a hit when every module came from cache;
+	// its digest is the first module's key (the batch itself has no
+	// single content address).
+	info.setCacheHit(hits == len(req.Modules))
+	info.setDigest(keys[0])
+	info.mark("parse+cache")
 
 	if len(missCircs) > 0 {
 		workers := req.Workers
@@ -327,7 +360,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		fresh, err := core.EstimateChipCtx(ctx, missCircs, proc, opts, workers)
 		if err != nil {
-			writeError(w, err)
+			s.fail(w, info, err)
 			return
 		}
 		for j, res := range fresh {
@@ -336,6 +369,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.cache.Put(keys[i], res)
 		}
 	}
+	info.mark("estimate")
 
 	resp := BatchResponse{Process: procName, CacheHits: hits}
 	for i, res := range results {
@@ -349,13 +383,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // request content, so answers are cached under the same
 // content-addressed key scheme as estimates (CongestKey folds in the
 // analysis knobs the estimate key does not have).
-func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
-	mRequests.Inc()
-	t0 := time.Now()
-	defer func() { mServeSec.Observe(time.Since(t0).Seconds()) }()
-
+func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *reqInfo) {
 	if !s.acquire() {
-		s.reject(w)
+		s.reject(w, info)
 		return
 	}
 	defer s.release()
@@ -368,33 +398,35 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 
 	var req CongestionRequest
 	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("decode")
 	model, err := congest.ParseModel(req.Model)
 	if err != nil {
-		writeError(w, reqErr("%v", err))
+		s.fail(w, info, reqErr("%v", err))
 		return
 	}
 	if req.Rows < 0 {
-		writeError(w, reqErr("negative rows %d", req.Rows))
+		s.fail(w, info, reqErr("negative rows %d", req.Rows))
 		return
 	}
 	proc, procName, err := lookupProcess(req.Process, s.opts.Process)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
 	circ, err := parseCircuit(req.Format, req.Name, req.Netlist, proc)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
 	stats, err := netlist.Gather(circ, proc)
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("parse")
 	// Resolve the row count up front so the cache key names the map
 	// that is actually built: §5 automatic rows for standard cells,
 	// the ⌈√N⌉ grid for full custom.
@@ -408,10 +440,14 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := congest.Options{Model: model, Capacity: req.Capacity, FeedBudget: req.FeedBudget}
 	key := CongestKey(circ, procName, rows, req.Gridded, opts)
+	info.setDigest(key)
 	if m, ok := s.congests.Get(key); ok {
+		info.setCacheHit(true)
+		info.mark("cache")
 		writeJSON(w, http.StatusOK, encodeMap(m, procName, key, true))
 		return
 	}
+	info.mark("cache")
 
 	var m *congest.Map
 	if req.Gridded {
@@ -420,9 +456,10 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 		m, err = congest.AnalyzeCtx(ctx, stats, rows, opts)
 	}
 	if err != nil {
-		writeError(w, err)
+		s.fail(w, info, err)
 		return
 	}
+	info.mark("analyze")
 	s.congests.Put(key, m)
 	writeJSON(w, http.StatusOK, encodeMap(m, procName, key, false))
 }

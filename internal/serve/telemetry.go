@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maest/internal/obs"
+)
+
+// Per-endpoint latency histograms.  Each endpoint is its own metric
+// family (the registry has no label dimension), which keeps the
+// exposition valid and lets Quantile answer p50/p90/p99 per endpoint
+// without a Prometheus server in the loop.
+var endpointSeconds = map[string]*obs.Histogram{
+	"/v1/estimate":       obs.DefHistogram("maest_serve_estimate_seconds", "POST /v1/estimate latency", obs.DefBuckets),
+	"/v1/estimate/batch": obs.DefHistogram("maest_serve_batch_seconds", "POST /v1/estimate/batch latency", obs.DefBuckets),
+	"/v1/congestion":     obs.DefHistogram("maest_serve_congestion_seconds", "POST /v1/congestion latency", obs.DefBuckets),
+}
+
+// EndpointLatency is one endpoint's latency distribution summary,
+// quantiles interpolated from the endpoint's histogram buckets.
+type EndpointLatency struct {
+	Endpoint   string  `json:"endpoint"`
+	Count      int64   `json:"count"`
+	MeanSecs   float64 `json:"mean_seconds"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// LatencySummary returns the process-wide per-endpoint latency
+// quantiles, endpoints sorted for stable output.  Endpoints that have
+// served no requests are included with zero counts so dashboards see
+// a fixed shape.
+func LatencySummary() []EndpointLatency {
+	out := make([]EndpointLatency, 0, len(endpointSeconds))
+	for ep, h := range endpointSeconds {
+		out = append(out, EndpointLatency{
+			Endpoint:   ep,
+			Count:      h.Count(),
+			MeanSecs:   h.Mean(),
+			P50Seconds: h.Quantile(0.50),
+			P90Seconds: h.Quantile(0.90),
+			P99Seconds: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// Request IDs: a per-process random prefix plus a sequence number —
+// unique across restarts for log correlation, cheap to mint, and easy
+// to grep.
+var (
+	reqSeq      atomic.Uint64
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+func nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqSeq.Add(1))
+}
+
+// accessLogger writes one JSON line per request.  Lines are emitted
+// whole under a mutex so concurrent handlers never interleave.
+type accessLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	return &accessLogger{enc: json.NewEncoder(w)}
+}
+
+// accessEntry is the wire form of one access-log line.
+type accessEntry struct {
+	Time     string `json:"time"`
+	ID       string `json:"id"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Status   int    `json:"status"`
+	Micros   int64  `json:"us"`
+	CacheHit bool   `json:"cache_hit"`
+	Err      string `json:"err,omitempty"`
+}
+
+func (l *accessLogger) log(e accessEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc.Encode(e) // best-effort: a broken log writer must not fail requests
+}
+
+// reqInfo accumulates one request's telemetry while its handler runs.
+// A nil *reqInfo is the disabled state — every method is a no-op — so
+// handlers annotate unconditionally and the hot path stays free when
+// neither the flight recorder nor the access log is on.
+type reqInfo struct {
+	id       string
+	method   string
+	endpoint string
+	t0       time.Time
+	lastMark time.Time
+	stages   []obs.FlightStage
+	digest   string
+	cacheHit bool
+	errMsg   string
+	spans    *obs.Collect // non-nil only when the flight recorder is on
+}
+
+// mark closes the current stage: the time since the previous mark (or
+// the request start) is recorded under name.
+func (ri *reqInfo) mark(name string) {
+	if ri == nil {
+		return
+	}
+	now := time.Now()
+	ri.stages = append(ri.stages, obs.FlightStage{Name: name, Micros: now.Sub(ri.lastMark).Microseconds()})
+	ri.lastMark = now
+}
+
+// setDigest records the request's content address.
+func (ri *reqInfo) setDigest(k Key) {
+	if ri == nil {
+		return
+	}
+	ri.digest = k.String()
+}
+
+// setCacheHit records the cache disposition.
+func (ri *reqInfo) setCacheHit(hit bool) {
+	if ri == nil {
+		return
+	}
+	ri.cacheHit = hit
+}
+
+// fail records the outcome error (writeError renders the response).
+func (ri *reqInfo) fail(err error) {
+	if ri == nil || err == nil {
+		return
+	}
+	ri.errMsg = err.Error()
+}
+
+// statusWriter captures the response status for the telemetry record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// flightSpanCap bounds one record's span-tree summary.
+const flightSpanCap = 32
+
+// instrument wraps one endpoint handler with the request telemetry:
+// aggregate and per-endpoint latency histograms always; request IDs,
+// the JSON access log, and the flight recorder when enabled.  The
+// disabled path (no flight recorder, no access log) adds zero
+// allocations on top of the wrapped handler — enforced by
+// TestInstrumentDisabledZeroAlloc.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	hist := endpointSeconds[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		t0 := time.Now()
+		if s.flight == nil && s.access == nil {
+			h(w, r, nil)
+			lat := time.Since(t0).Seconds()
+			mServeSec.Observe(lat)
+			hist.Observe(lat)
+			return
+		}
+
+		info := &reqInfo{
+			id:       nextRequestID(),
+			method:   r.Method,
+			endpoint: endpoint,
+			t0:       t0,
+			lastMark: t0,
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set("X-Request-Id", info.id)
+
+		// Thread the request through a root span carrying the request
+		// ID, fanned out to both the server's trace sink (if any) and
+		// the flight recorder's bounded per-request collector.
+		ctx := r.Context()
+		var root *obs.Span
+		if s.flight != nil {
+			info.spans = obs.NewCollect(flightSpanCap)
+			ctx = obs.WithSink(ctx, obs.Multi(obs.SinkFrom(ctx), info.spans))
+		}
+		ctx, root = obs.Start(ctx, "request")
+		root.SetString("endpoint", endpoint)
+		root.SetString("request_id", info.id)
+		h(sw, r.WithContext(ctx), info)
+		root.End()
+
+		dur := time.Since(t0)
+		lat := dur.Seconds()
+		mServeSec.Observe(lat)
+		hist.Observe(lat)
+
+		if s.flight != nil {
+			rec := obs.FlightRecord{
+				ID:       info.id,
+				Time:     t0,
+				Method:   info.method,
+				Endpoint: endpoint,
+				Status:   sw.status,
+				Micros:   dur.Microseconds(),
+				Digest:   info.digest,
+				CacheHit: info.cacheHit,
+				Err:      info.errMsg,
+				Stages:   info.stages,
+			}
+			if info.spans != nil {
+				rec.Spans = info.spans.Spans()
+			}
+			s.flight.Record(rec)
+		}
+		if s.access != nil {
+			s.access.log(accessEntry{
+				Time:     t0.UTC().Format(time.RFC3339Nano),
+				ID:       info.id,
+				Method:   info.method,
+				Path:     endpoint,
+				Status:   sw.status,
+				Micros:   dur.Microseconds(),
+				CacheHit: info.cacheHit,
+				Err:      info.errMsg,
+			})
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDHeaderAndAccessLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := New(Options{FlightSize: 16, AccessLog: &logBuf})
+	body := marshal(t, EstimateRequest{Netlist: testdata(t, "demo.mnet")})
+
+	w1 := do(s, "POST", "/v1/estimate", body)
+	w2 := do(s, "POST", "/v1/estimate", body)
+	id1, id2 := w1.Header().Get("X-Request-Id"), w2.Header().Get("X-Request-Id")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("missing X-Request-Id: %q %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Fatalf("request IDs not unique: %q", id1)
+	}
+
+	// One JSON object per line, with the logged ID matching the echoed
+	// header and the repeat marked as a cache hit.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var first, second accessEntry
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("access line 0 not JSON: %v\n%s", err, lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("access line 1 not JSON: %v\n%s", err, lines[1])
+	}
+	if first.ID != id1 || second.ID != id2 {
+		t.Fatalf("logged IDs %q/%q do not match headers %q/%q", first.ID, second.ID, id1, id2)
+	}
+	if first.Method != "POST" || first.Path != "/v1/estimate" || first.Status != 200 {
+		t.Fatalf("first access entry: %+v", first)
+	}
+	if first.CacheHit || !second.CacheHit {
+		t.Fatalf("cache flags: first=%v second=%v", first.CacheHit, second.CacheHit)
+	}
+	if first.Micros <= 0 {
+		t.Fatalf("first duration %dus, want > 0", first.Micros)
+	}
+}
+
+func TestAccessLogRecordsErrors(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := New(Options{AccessLog: &logBuf})
+	if w := do(s, "POST", "/v1/estimate", `{"netlist":""}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", w.Code)
+	}
+	var e accessEntry
+	if err := json.Unmarshal(bytes.TrimSpace(logBuf.Bytes()), &e); err != nil {
+		t.Fatalf("access line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if e.Status != http.StatusBadRequest || e.Err == "" {
+		t.Fatalf("error not logged: %+v", e)
+	}
+}
+
+func TestNoRequestIDWhenTelemetryDisabled(t *testing.T) {
+	s := New(Options{})
+	w := do(s, "POST", "/v1/estimate", marshal(t, EstimateRequest{Netlist: testdata(t, "demo.mnet")}))
+	if got := w.Header().Get("X-Request-Id"); got != "" {
+		t.Fatalf("disabled telemetry still minted request ID %q", got)
+	}
+}
+
+func TestPerEndpointLatencyHistograms(t *testing.T) {
+	s := New(Options{})
+	n0 := endpointSeconds["/v1/congestion"].Count()
+	do(s, "POST", "/v1/congestion", marshal(t, CongestionRequest{Netlist: testdata(t, "demo.mnet"), Rows: 3}))
+	if got := endpointSeconds["/v1/congestion"].Count() - n0; got != 1 {
+		t.Fatalf("congestion histogram count delta = %d, want 1", got)
+	}
+	sum := LatencySummary()
+	if len(sum) != 3 {
+		t.Fatalf("latency summary has %d endpoints, want 3", len(sum))
+	}
+	for i, ep := range sum {
+		if i > 0 && sum[i-1].Endpoint >= ep.Endpoint {
+			t.Fatalf("summary not sorted: %q before %q", sum[i-1].Endpoint, ep.Endpoint)
+		}
+		if ep.P50Seconds > ep.P90Seconds || ep.P90Seconds > ep.P99Seconds {
+			t.Fatalf("%s quantiles not monotone: %+v", ep.Endpoint, ep)
+		}
+	}
+}
+
+// TestInstrumentDisabledZeroAlloc pins the acceptance criterion that
+// the observatory adds zero allocations to the request hot loop when
+// the flight recorder and access log are off.  The wrapped handler is
+// a no-op so only the instrumentation itself is measured.
+func TestInstrumentDisabledZeroAlloc(t *testing.T) {
+	s := New(Options{})
+	h := s.instrument("/v1/estimate", func(http.ResponseWriter, *http.Request, *reqInfo) {})
+	req := httptest.NewRequest("POST", "/v1/estimate", nil)
+	var w nullResponseWriter
+	if allocs := testing.AllocsPerRun(1000, func() { h(&w, req) }); allocs != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f objects per request, want 0", allocs)
+	}
+}
+
+// nullResponseWriter is the cheapest possible ResponseWriter, so the
+// zero-alloc measurement sees only the instrumentation.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header)
+	}
+	return w.h
+}
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}

@@ -635,6 +635,39 @@ func CacheKeyFor(c *Circuit, processName string, opts SCOptions) EstimateCacheKe
 	return serve.CacheKey(c, processName, opts)
 }
 
+// Request telemetry (the observatory): a lock-cheap flight recorder
+// of recent requests, per-endpoint latency quantiles, and histogram
+// quantile estimation.  The service populates these automatically
+// (ServeOptions.FlightSize / ServeOptions.AccessLog); they are
+// exported so embedders can mount EstimateServer.DebugHandler or run
+// their own recorder.
+type (
+	// FlightRecorder is a fixed-capacity ring of recent request
+	// records; a nil recorder is a valid disabled no-op.
+	FlightRecorder = obs.Flight
+	// FlightRecord is one recorded request: identity, outcome,
+	// per-stage durations, and a span-tree summary.
+	FlightRecord = obs.FlightRecord
+	// FlightStage is one named stage duration inside a request.
+	FlightStage = obs.FlightStage
+	// FlightSpan is one summarized span of a request's trace tree.
+	FlightSpan = obs.FlightSpan
+	// MetricHistogram is a registry histogram; its Quantile method
+	// estimates p50/p90/p99 by interpolation within buckets.
+	MetricHistogram = obs.Histogram
+	// ServeEndpointLatency is one endpoint's latency distribution
+	// summary (count, mean, p50/p90/p99).
+	ServeEndpointLatency = serve.EndpointLatency
+)
+
+// NewFlightRecorder returns a flight recorder keeping the most recent
+// capacity request records (capacity < 1 returns the nil no-op).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlight(capacity) }
+
+// ServeLatencySummary reports every service endpoint's latency
+// distribution from the process-wide histograms.
+func ServeLatencySummary() []ServeEndpointLatency { return serve.LatencySummary() }
+
 // Congestion analysis: the probabilistic routability subsystem
 // (internal/congest).  It refines the Eq. 2–3 / Eq. 4–11 expectations
 // into per-channel track-demand distributions and emits a congestion

@@ -20,4 +20,11 @@ go test -race ./...
 # Bench smoke: every benchmark must still compile and survive one
 # iteration (catches bit-rot in the perf harness without timing it).
 go test -run=NONE -bench=. -benchtime=1x ./...
+# Observatory smoke: a fresh accuracy/perf snapshot must stay within
+# tolerance of the checked-in reference (perf compare stays off — it
+# is machine-dependent; only accuracy drift gates here).
+tmp=$(mktemp /tmp/BENCH_ci.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT
+go run ./cmd/maest-bench -label ci -o "$tmp" -requests 24 -estimate-iters 1 \
+    -compare testdata/bench/BENCH_reference.json
 echo "verify.sh: all checks passed"
