@@ -20,6 +20,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -31,9 +32,8 @@ import (
 	"runtime"
 	"time"
 
-	"maest/internal/core"
+	"maest/internal/engine"
 	"maest/internal/gen"
-	"maest/internal/netlist"
 	"maest/internal/report"
 	"maest/internal/serve"
 	"maest/internal/tech"
@@ -155,23 +155,31 @@ func timeEstimator(p *tech.Process, iters int) (int64, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	// Each iteration compiles fresh plans so the op keeps measuring the
+	// full pipeline (statistics gathering + kernels), not memo lookups;
+	// within an iteration the plan is reused the way real callers do.
+	ctx := context.Background()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		for _, c := range fc {
-			if _, err := core.EstimateFullCustom(c, p, core.FCExactAreas); err != nil {
+			pl, err := engine.Compile(c, p)
+			if err != nil {
 				return 0, 0, err
 			}
-			if _, err := core.EstimateFullCustom(c, p, core.FCAverageAreas); err != nil {
+			if _, err := pl.EstimateFullCustom(ctx, engine.WithFCMode(engine.FCExactAreas)); err != nil {
+				return 0, 0, err
+			}
+			if _, err := pl.EstimateFullCustom(ctx, engine.WithFCMode(engine.FCAverageAreas)); err != nil {
 				return 0, 0, err
 			}
 		}
 		for j, c := range sc {
-			s, err := netlist.Gather(c, p)
+			pl, err := engine.Compile(c, p)
 			if err != nil {
 				return 0, 0, err
 			}
 			for _, n := range report.Table2RowCounts[j] {
-				if _, err := core.EstimateStandardCell(s, p, core.SCOptions{Rows: n}); err != nil {
+				if _, err := pl.EstimateStandardCell(ctx, engine.WithRows(n)); err != nil {
 					return 0, 0, err
 				}
 			}

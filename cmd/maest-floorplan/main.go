@@ -22,8 +22,8 @@ import (
 	"fmt"
 	"os"
 
-	"maest/internal/core"
 	"maest/internal/db"
+	"maest/internal/engine"
 	"maest/internal/floorplan"
 	"maest/internal/gen"
 	"maest/internal/netlist"
@@ -142,7 +142,7 @@ func generateDB(ctx context.Context, p *tech.Process, modules int, seed int64) (
 	}
 	// The worker pool gives each module its own estimate span under
 	// one chip span and exercises the utilization metrics.
-	results, err := core.EstimateChipCtx(ctx, chip.Modules, p, core.SCOptions{TrackSharing: true}, 0)
+	results, err := engine.EstimateChip(ctx, chip.Modules, p, engine.WithTrackSharing(true))
 	if err != nil {
 		return nil, err
 	}

@@ -86,12 +86,19 @@ func run(o options, args []string) (err error) {
 		return err
 	}
 
+	// The estimate side goes through a compiled plan — the same
+	// statistics serve whichever methodology is being laid out.
+	plan, err := maest.CompileCtx(ctx, circ, proc)
+	if err != nil {
+		return err
+	}
+
 	if o.fc {
 		m, err := maest.SynthesizeFullCustomCtx(ctx, circ, proc, o.seed)
 		if err != nil {
 			return err
 		}
-		est, err := maest.EstimateFullCustom(circ, proc, maest.FCExactAreas)
+		est, err := plan.EstimateFullCustom(ctx, maest.WithFCMode(maest.FCExactAreas))
 		if err != nil {
 			return err
 		}
@@ -106,11 +113,7 @@ func run(o options, args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	s, err := maest.GatherStats(circ, proc)
-	if err != nil {
-		return err
-	}
-	est, err := maest.EstimateStandardCell(s, proc, maest.SCOptions{Rows: o.rows})
+	est, err := plan.EstimateStandardCell(ctx, maest.WithRows(o.rows))
 	if err != nil {
 		return err
 	}

@@ -112,16 +112,24 @@ func run(o options, args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	// One compile serves every question asked about the circuit: the
+	// -congest -db combination runs both a congestion analysis and the
+	// full estimate against the same plan, sharing the gathered
+	// statistics and degree classes.
+	pl, err := maest.CompileCtx(ctx, circ, proc)
+	if err != nil {
+		return err
+	}
 	var cm *maest.CongestMap
 	if o.congest {
-		if cm, err = analyzeCongestion(ctx, o, circ, proc); err != nil {
+		if cm, err = analyzeCongestion(ctx, o, pl); err != nil {
 			return err
 		}
 		if !o.asDB {
 			return cm.Render(os.Stdout)
 		}
 	}
-	res, err := maest.EstimateCtx(ctx, circ, proc, maest.SCOptions{Rows: o.rows, TrackSharing: o.sharing})
+	res, err := pl.Estimate(ctx, maest.WithRows(o.rows), maest.WithTrackSharing(o.sharing))
 	if err != nil {
 		return err
 	}
@@ -140,27 +148,16 @@ func run(o options, args []string) (err error) {
 	return nil
 }
 
-// analyzeCongestion runs the -congest analysis: the standard-cell map
-// at the fixed or §5-automatic row count, or the gridded full-custom
-// variant under -grid.
-func analyzeCongestion(ctx context.Context, o options, circ *maest.Circuit, proc *maest.Process) (*maest.CongestMap, error) {
+// analyzeCongestion runs the -congest analysis against the compiled
+// plan: the standard-cell map at the fixed or §5-automatic row count,
+// or the gridded full-custom variant under -grid.
+func analyzeCongestion(ctx context.Context, o options, pl *maest.Plan) (*maest.CongestMap, error) {
 	model, err := maest.ParseCongestModel(o.model)
 	if err != nil {
 		return nil, err
 	}
-	s, err := maest.GatherStats(circ, proc)
-	if err != nil {
-		return nil, err
-	}
-	opts := maest.CongestOptions{Model: model}
-	if o.grid {
-		return maest.AnalyzeGridCongestionCtx(ctx, s, o.rows, opts)
-	}
-	rows := o.rows
-	if rows == 0 {
-		rows = maest.InitialRowCount(s, proc)
-	}
-	return maest.AnalyzeCongestionCtx(ctx, s, rows, opts)
+	return pl.Congestion(ctx,
+		maest.WithRows(o.rows), maest.WithGridded(o.grid), maest.WithCongestModel(model))
 }
 
 func printStats(circ *maest.Circuit) {

@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -22,13 +23,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Estimate each module (Fig. 1) and collect the records.
-	d := &maest.EstimateDB{Chip: chip.Name}
-	for _, mod := range chip.Modules {
-		res, err := maest.Estimate(mod, proc, maest.SCOptions{TrackSharing: true})
-		if err != nil {
+	// Compile every module once, then estimate the plans concurrently
+	// (Fig. 1) and collect the records.
+	plans := make([]*maest.Plan, len(chip.Modules))
+	for i, mod := range chip.Modules {
+		if plans[i], err = maest.Compile(mod, proc); err != nil {
 			log.Fatal(err)
 		}
+	}
+	results, err := maest.EstimatePlans(context.Background(), plans, maest.WithTrackSharing(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &maest.EstimateDB{Chip: chip.Name}
+	for _, res := range results {
 		d.Modules = append(d.Modules, maest.ModuleRecordFromResult(res))
 	}
 	for _, gn := range chip.GlobalNets {

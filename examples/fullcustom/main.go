@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,10 +41,15 @@ func main() {
 	fmt.Printf("%s: %d gates -> %d transistors\n",
 		gates.Name, gates.NumDevices(), xtors.NumDevices())
 
-	// Estimate with both device-area modes (the two Table 1 column
-	// groups).
+	// One compile covers both device-area modes (the two Table 1
+	// column groups): the transistor statistics are gathered once.
+	ctx := context.Background()
+	plan, err := maest.Compile(xtors, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, mode := range []maest.FCMode{maest.FCExactAreas, maest.FCAverageAreas} {
-		est, err := maest.EstimateFullCustom(xtors, proc, mode)
+		est, err := plan.EstimateFullCustom(ctx, maest.WithFCMode(mode))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	est, err := maest.EstimateFullCustom(xtors, proc, maest.FCExactAreas)
+	est, err := plan.EstimateFullCustom(ctx, maest.WithFCMode(maest.FCExactAreas))
 	if err != nil {
 		log.Fatal(err)
 	}

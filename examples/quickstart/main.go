@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -32,7 +33,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := maest.Estimate(circ, proc, maest.SCOptions{})
+	// Compile once, then execute: the plan holds the gathered
+	// statistics, so every further question about this circuit
+	// (estimates at other row counts, congestion maps) is incremental.
+	plan, err := maest.Compile(circ, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := plan.Estimate(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

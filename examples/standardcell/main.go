@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,21 +23,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats, err := maest.GatherStats(circ, proc)
+	// One compile serves all eight estimator questions below; each
+	// (rows, sharing) variant is an incremental execution on the plan.
+	ctx := context.Background()
+	plan, err := maest.Compile(circ, proc)
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := plan.Stats()
 	fmt.Printf("module %q: N=%d devices, H=%d nets, %d ports, W_avg=%.1f λ\n\n",
 		circ.Name, stats.N, stats.H, stats.NumPorts, stats.AvgWidth())
 
 	fmt.Println("rows  est λ²    shared λ²  real λ²   over%  shared-over%  tracks est/real")
 	for _, rows := range []int{2, 3, 4, 5} {
-		est, err := maest.EstimateStandardCell(stats, proc, maest.SCOptions{Rows: rows})
+		est, err := plan.EstimateStandardCell(ctx, maest.WithRows(rows))
 		if err != nil {
 			log.Fatal(err)
 		}
-		shared, err := maest.EstimateStandardCell(stats, proc,
-			maest.SCOptions{Rows: rows, TrackSharing: true})
+		shared, err := plan.EstimateStandardCell(ctx,
+			maest.WithRows(rows), maest.WithTrackSharing(true))
 		if err != nil {
 			log.Fatal(err)
 		}

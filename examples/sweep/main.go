@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	proc := maest.NMOS25()
 
 	fmt.Println("sweep 1: module size (rows fixed by the §5 algorithm, sharing on)")
@@ -25,11 +27,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		stats, err := maest.GatherStats(circ, proc)
+		plan, err := maest.Compile(circ, proc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := maest.EstimateStandardCell(stats, proc, maest.SCOptions{TrackSharing: true})
+		stats := plan.Stats()
+		est, err := plan.EstimateStandardCell(ctx, maest.WithTrackSharing(true))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,12 +55,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		stats, err := maest.GatherStats(circ, proc)
+		plan, err := maest.Compile(circ, proc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := maest.EstimateStandardCell(stats, proc,
-			maest.SCOptions{Rows: 4, TrackSharing: true})
+		stats := plan.Stats()
+		est, err := plan.EstimateStandardCell(ctx,
+			maest.WithRows(4), maest.WithTrackSharing(true))
 		if err != nil {
 			log.Fatal(err)
 		}

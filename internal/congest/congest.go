@@ -219,53 +219,151 @@ func AnalyzeCtx(ctx context.Context, s *netlist.Stats, rows int, opts Options) (
 }
 
 // analyze is the shared engine behind the standard-cell and gridded
-// full-custom entry points.
+// full-custom entry points: compute the distributions, then score
+// them.  The two halves are exported separately (ComputeDistributions
+// / AnalyzeDistributions) so a compiled engine Plan can memoize the
+// expensive convolution work and re-score it under different knobs.
 func analyze(s *netlist.Stats, rows int, gridded bool, opts Options) (*Map, error) {
-	if rows < 1 {
-		return nil, anaErr("module %q: row count %d < 1", s.CircuitName, rows)
-	}
 	if opts.Capacity < 0 {
 		return nil, anaErr("module %q: negative channel capacity %d", s.CircuitName, opts.Capacity)
 	}
 	if opts.FeedBudget < 0 {
 		return nil, anaErr("module %q: negative feed-through budget %d", s.CircuitName, opts.FeedBudget)
 	}
+	d, err := ComputeDistributions(s, rows, gridded, opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	return scoreDistributions(d, opts)
+}
+
+// Distributions is the expensive, score-independent half of a
+// congestion analysis: the per-channel Poisson-binomial track-demand
+// distributions and the per-row feed-through count distributions of
+// one module at one row count under one demand model.  It depends
+// only on the net-degree histogram, so it can be computed once per
+// (rows, gridded, model) and re-scored under any capacity/budget
+// knobs.  A Distributions is immutable after ComputeDistributions
+// returns; the scoring step shares (never copies) the slices.
+type Distributions struct {
+	// Module is the module name the statistics came from.
+	Module string
+	// Rows, Gridded, and Model identify the analysis the
+	// distributions were computed for.
+	Rows    int
+	Gridded bool
+	Model   Model
+	// Nets is the number of routable nets analyzed.
+	Nets int
+	// Channels[c][t] = P(channel c demands exactly t tracks); one
+	// entry per channel 0..Rows (the last is the structurally empty
+	// channel below the bottom row, kept so indices align with
+	// route.Result.ChannelTracks).
+	Channels [][]float64
+	// Feeds[r][m] = P(row r needs exactly m feed-throughs); nil for
+	// gridded full-custom maps, which have no feed-through cells.
+	Feeds [][]float64
+}
+
+// ComputeDistributions convolves the module's degree classes into the
+// per-channel demand distributions (and, for standard-cell rows, the
+// per-row feed-through distributions) without scoring them.
+func ComputeDistributions(s *netlist.Stats, rows int, gridded bool, model Model) (*Distributions, error) {
+	if rows < 1 {
+		return nil, anaErr("module %q: row count %d < 1", s.CircuitName, rows)
+	}
 	classes := demandClasses(s, gridded)
-	m := &Map{
+	d := &Distributions{
 		Module:  s.CircuitName,
 		Rows:    rows,
 		Gridded: gridded,
-		Model:   opts.Model,
+		Model:   model,
 		Nets:    classCount(classes),
 	}
-
-	// Per-channel demand distributions.  Channel rows..rows (the one
-	// below the last row) never receives a segment under either model;
-	// it is kept so indices align with route.Result.ChannelTracks.
-	m.Channels = make([]Channel, rows+1)
-	for c := range m.Channels {
-		dist, err := channelDemandDist(classes, rows, c, opts.Model)
+	d.Channels = make([][]float64, rows+1)
+	for c := range d.Channels {
+		dist, err := channelDemandDist(classes, rows, c, model)
 		if err != nil {
 			return nil, anaErr("module %q: channel %d: %v", s.CircuitName, c, err)
 		}
-		m.Channels[c] = Channel{Index: c, Demand: dist, Expected: prob.DistMean(dist)}
-		m.TotalExpectedTracks += m.Channels[c].Expected
+		d.Channels[c] = dist
 	}
-
-	// Feed-through pressure per row (standard-cell only: a gridded
-	// full-custom module has no feed-through cells to insert).
 	if !gridded {
-		m.Feeds = make([]RowFeeds, rows)
+		d.Feeds = make([][]float64, rows)
 		for r := 0; r < rows; r++ {
 			dist, err := rowFeedDist(classes, rows, r)
 			if err != nil {
 				return nil, anaErr("module %q: row %d: %v", s.CircuitName, r, err)
 			}
+			d.Feeds[r] = dist
+		}
+	}
+	return d, nil
+}
+
+// AnalyzeDistributions scores precomputed distributions into a full
+// congestion map.  opts.Model must match the model the distributions
+// were computed under; capacity and feed-budget knobs are free.
+func AnalyzeDistributions(d *Distributions, opts Options) (*Map, error) {
+	return AnalyzeDistributionsCtx(context.Background(), d, opts)
+}
+
+// AnalyzeDistributionsCtx is AnalyzeDistributions with observability,
+// under the same span name ("congest" or "congest.grid") and metrics
+// as the from-scratch entry point it replaces.
+func AnalyzeDistributionsCtx(ctx context.Context, d *Distributions, opts Options) (m *Map, err error) {
+	name := "congest"
+	if d.Gridded {
+		name = "congest.grid"
+	}
+	_, sp := obs.Start(ctx, name)
+	sp.SetString("module", d.Module)
+	defer func(t0 time.Time) {
+		mAnalyzeSec.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			mAnalyzeErr.Inc()
+		} else {
+			mAnalyses.Inc()
+			sp.SetString("model", m.Model.String())
+			sp.SetInt("rows", int64(m.Rows))
+			sp.SetFloat("expected_tracks", m.TotalExpectedTracks)
+		}
+		sp.EndErr(err)
+	}(time.Now())
+	if opts.Capacity < 0 {
+		return nil, anaErr("module %q: negative channel capacity %d", d.Module, opts.Capacity)
+	}
+	if opts.FeedBudget < 0 {
+		return nil, anaErr("module %q: negative feed-through budget %d", d.Module, opts.FeedBudget)
+	}
+	return scoreDistributions(d, opts)
+}
+
+// scoreDistributions builds the Map view over shared distribution
+// slices and scores it.
+func scoreDistributions(d *Distributions, opts Options) (*Map, error) {
+	if opts.Model != d.Model {
+		return nil, anaErr("module %q: scoring model %s against %s distributions", d.Module, opts.Model, d.Model)
+	}
+	m := &Map{
+		Module:  d.Module,
+		Rows:    d.Rows,
+		Gridded: d.Gridded,
+		Model:   d.Model,
+		Nets:    d.Nets,
+	}
+	m.Channels = make([]Channel, len(d.Channels))
+	for c, dist := range d.Channels {
+		m.Channels[c] = Channel{Index: c, Demand: dist, Expected: prob.DistMean(dist)}
+		m.TotalExpectedTracks += m.Channels[c].Expected
+	}
+	if d.Feeds != nil {
+		m.Feeds = make([]RowFeeds, len(d.Feeds))
+		for r, dist := range d.Feeds {
 			m.Feeds[r] = RowFeeds{Index: r, Dist: dist, Expected: prob.DistMean(dist)}
 			m.TotalExpectedFeeds += m.Feeds[r].Expected
 		}
 	}
-
 	m.score(opts)
 	return m, nil
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// The strict candidate contract: every degenerate request maps to a
+// defined, branchable error class, and every class still tags the
+// generic ErrEstimate so existing errors.Is call sites (the serving
+// layer's 422 mapping) keep working.
+
+func TestCandidatesCountError(t *testing.T) {
+	s := gatherChain(t, 10)
+	p := tech.NMOS25()
+	for _, count := range []int{0, -1, -5} {
+		_, err := EstimateStandardCellCandidates(s, p, SCOptions{}, count)
+		if !errors.Is(err, ErrCandidateCount) {
+			t.Errorf("count=%d: err = %v, want ErrCandidateCount", count, err)
+		}
+		if !errors.Is(err, ErrEstimate) {
+			t.Errorf("count=%d: error not tagged ErrEstimate: %v", count, err)
+		}
+	}
+}
+
+func TestCandidatesRangeError(t *testing.T) {
+	// A 3-device module has feasible row counts 1..3: asking for more
+	// candidates than that range is a defined error, not a short or
+	// duplicated slice.
+	s := gatherChain(t, 3)
+	p := tech.NMOS25()
+	for _, count := range []int{4, 5, 100} {
+		_, err := EstimateStandardCellCandidates(s, p, SCOptions{}, count)
+		if !errors.Is(err, ErrCandidateRange) {
+			t.Errorf("count=%d: err = %v, want ErrCandidateRange", count, err)
+		}
+		if !errors.Is(err, ErrEstimate) {
+			t.Errorf("count=%d: error not tagged ErrEstimate: %v", count, err)
+		}
+	}
+	// The boundary itself is fine.
+	cands, err := EstimateStandardCellCandidates(s, p, SCOptions{}, 3)
+	if err != nil {
+		t.Fatalf("count=N rejected: %v", err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(cands))
+	}
+}
+
+func TestCandidatesPortInfeasible(t *testing.T) {
+	// Inflate the port count until no candidate shape offers enough
+	// perimeter: the strict contract returns a defined error instead
+	// of a slice of useless shapes.
+	s := gatherChain(t, 10)
+	heavy := *s
+	heavy.NumPorts = 100_000
+	p := tech.NMOS25()
+	_, err := EstimateStandardCellCandidates(&heavy, p, SCOptions{}, 5)
+	if !errors.Is(err, ErrPortInfeasible) {
+		t.Fatalf("err = %v, want ErrPortInfeasible", err)
+	}
+	if !errors.Is(err, ErrEstimate) {
+		t.Fatalf("error not tagged ErrEstimate: %v", err)
+	}
+}
+
+// The lenient sweep kernel keeps the historical pipeline behavior the
+// strict surface departs from: degenerate windows clamp instead of
+// erroring, so a bundle estimate of a tiny module still gets shapes.
+func TestSweepClampsWindow(t *testing.T) {
+	p := tech.NMOS25()
+	b := netlist.NewBuilder("tiny")
+	b.AddPort("pa", netlist.In, "a")
+	b.AddDevice("g", "INV", "a", "y")
+	b.AddPort("py", netlist.Out, "y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := netlist.Gather(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One device, five candidates: the sweep walks rows 1..5 exactly
+	// as the pipeline always has.
+	cands, err := SweepStandardCellShapes(s, p, SCOptions{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 5 {
+		t.Fatalf("got %d candidates, want 5", len(cands))
+	}
+	for i, est := range cands {
+		if est.Rows != i+1 {
+			t.Fatalf("candidate %d at rows=%d, want %d", i, est.Rows, i+1)
+		}
+	}
+	// The strict surface rejects the same request.
+	if _, err := EstimateStandardCellCandidates(s, p, SCOptions{}, 5); !errors.Is(err, ErrCandidateRange) {
+		t.Fatalf("strict surface accepted count > N: %v", err)
+	}
+}

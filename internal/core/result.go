@@ -1,0 +1,24 @@
+package core
+
+import "maest/internal/netlist"
+
+// Result bundles everything the Fig. 1 pipeline produces for one
+// module: both methodologies' area and aspect-ratio estimates, the
+// candidate shapes, and the statistics they were computed from.  It
+// is the record handed to the floor-planner database.
+//
+// Results are assembled by the engine (internal/engine), which owns
+// the orchestration that used to live here; core keeps the type so
+// the database layer can consume it without importing the engine.
+type Result struct {
+	Module string
+	Stats  *netlist.Stats
+	// SC holds the Standard-Cell estimate; nil when the circuit is
+	// transistor-level only (no standard-cell methodology applies).
+	SC *SCEstimate
+	// SCCandidates holds the §7 multi-shape output (nil when SC is).
+	SCCandidates []*SCEstimate
+	// FCExact and FCAverage are the two Table-1 device-area modes.
+	FCExact   *FCEstimate
+	FCAverage *FCEstimate
+}

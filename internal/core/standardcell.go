@@ -18,8 +18,27 @@ import (
 // ErrEstimate wraps all estimation failures.
 var ErrEstimate = errors.New("core: estimation failed")
 
+// Defined candidate-sweep failures, each also wrapping ErrEstimate so
+// existing errors.Is(err, ErrEstimate) dispatch (e.g. the serving
+// layer's 422 mapping) keeps working.
+var (
+	// ErrCandidateCount reports a non-positive candidate count.
+	ErrCandidateCount = errors.New("non-positive candidate count")
+	// ErrCandidateRange reports a candidate count larger than the
+	// feasible row range 1..N (a row needs at least one cell).
+	ErrCandidateRange = errors.New("candidate count exceeds feasible row range")
+	// ErrPortInfeasible reports that no candidate shape offers an edge
+	// long enough for the module's I/O ports (§5 control criterion).
+	ErrPortInfeasible = errors.New("ports fit no candidate perimeter")
+)
+
 func estErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrEstimate, fmt.Sprintf(format, args...))
+}
+
+// candErr wraps a defined candidate failure under ErrEstimate.
+func candErr(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%w: %w: %s", ErrEstimate, sentinel, fmt.Sprintf(format, args...))
 }
 
 // SCOptions configures the Standard-Cell estimator.
@@ -205,10 +224,46 @@ func initialRows(s *netlist.Stats, p *tech.Process) int {
 // returning several (row count, area, aspect ratio) candidates so the
 // floor planner can pick a module shape.  It evaluates `count` row
 // values centred on the §5 initial row count (or opts.Rows when
-// fixed), clamped to ≥ 1, deduplicated, in increasing row order.
+// fixed), clamped into the feasible row range 1..N, in increasing row
+// order.  Degenerate requests return defined errors rather than a
+// short or useless slice: ErrCandidateCount for count ≤ 0,
+// ErrCandidateRange when count exceeds the feasible range, and
+// ErrPortInfeasible when no candidate offers an edge long enough for
+// the module's ports.
 func EstimateStandardCellCandidates(s *netlist.Stats, p *tech.Process, opts SCOptions, count int) ([]*SCEstimate, error) {
 	if count < 1 {
-		return nil, estErr("standard-cell %q: candidate count %d < 1", s.CircuitName, count)
+		return nil, candErr(ErrCandidateCount, "standard-cell %q: candidate count %d < 1", s.CircuitName, count)
+	}
+	if s.N <= 0 {
+		return nil, estErr("standard-cell %q: no devices", s.CircuitName)
+	}
+	if count > s.N {
+		return nil, candErr(ErrCandidateRange,
+			"standard-cell %q: %d candidates over feasible rows 1..%d", s.CircuitName, count, s.N)
+	}
+	out, err := SweepStandardCellShapes(s, p, opts, count)
+	if err != nil {
+		return nil, err
+	}
+	for _, est := range out {
+		if est.PortFeasible {
+			return out, nil
+		}
+	}
+	return nil, candErr(ErrPortInfeasible,
+		"standard-cell %q: %d ports fit no edge of %d candidate shapes", s.CircuitName, s.NumPorts, count)
+}
+
+// SweepStandardCellShapes is the unchecked kernel behind
+// EstimateStandardCellCandidates: it evaluates count row values
+// centred on the §5 initial row count (or opts.Rows when fixed) with
+// the window clamped into [1, N] when the module has at least count
+// feasible rows, and clamped only at 1 otherwise.  No feasibility
+// errors are raised — degenerate modules still produce shapes, which
+// is what the bundled Result of a full estimate relies on.
+func SweepStandardCellShapes(s *netlist.Stats, p *tech.Process, opts SCOptions, count int) ([]*SCEstimate, error) {
+	if count < 1 {
+		return nil, candErr(ErrCandidateCount, "standard-cell %q: candidate count %d < 1", s.CircuitName, count)
 	}
 	if s.N <= 0 {
 		return nil, estErr("standard-cell %q: no devices", s.CircuitName)
@@ -218,6 +273,9 @@ func EstimateStandardCellCandidates(s *netlist.Stats, p *tech.Process, opts SCOp
 		base = initialRows(s, p)
 	}
 	lo := base - count/2
+	if count <= s.N && lo+count-1 > s.N {
+		lo = s.N - count + 1
+	}
 	if lo < 1 {
 		lo = 1
 	}

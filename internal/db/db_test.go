@@ -6,8 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"maest/internal/cells"
 	"maest/internal/core"
 	"maest/internal/gen"
+	"maest/internal/netlist"
 	"maest/internal/tech"
 )
 
@@ -143,9 +145,38 @@ func TestFromResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Estimate(c, p, core.SCOptions{Rows: 2})
+	// Assemble the estimate bundle from the core kernels directly:
+	// this package sits below the engine (congest depends on db), so
+	// the test cannot use engine.Estimate without an import cycle.
+	s, err := netlist.Gather(c, p)
 	if err != nil {
 		t.Fatal(err)
+	}
+	opts := core.SCOptions{Rows: 2}
+	sc, err := core.EstimateStandardCell(s, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := core.SweepStandardCellShapes(s, p, opts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, err := cells.ExpandTransistors(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcExact, err := core.EstimateFullCustom(xt, p, core.FCExactAreas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcAvg, err := core.EstimateFullCustom(xt, p, core.FCAverageAreas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.Result{
+		Module: c.Name, Stats: s,
+		SC: sc, SCCandidates: cands,
+		FCExact: fcExact, FCAverage: fcAvg,
 	}
 	m := FromResult(res)
 	if m.Name != "mod" || m.Devices != 12 {

@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"context"
@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"maest/internal/core"
 	"maest/internal/netlist"
 	"maest/internal/obs"
 	"maest/internal/tech"
@@ -16,7 +17,7 @@ import (
 // Chip-scale metrics: the worker pool is the throughput engine of the
 // "estimate every module, then floor-plan" workflow, so its
 // utilization is what tells whether the pipeline runs as fast as the
-// hardware allows.
+// hardware allows.  Metric names predate the move from internal/core.
 var (
 	mChips       = obs.DefCounter("maest_chip_estimates_total", "completed chip-level estimate runs")
 	mChipModules = obs.DefCounter("maest_chip_modules_total", "modules estimated through the chip worker pool")
@@ -25,36 +26,63 @@ var (
 	mChipUtil    = obs.DefHistogram("maest_chip_worker_utilization_ratio", "per-worker busy fraction of a chip estimate", obs.RatioBuckets)
 )
 
-// EstimateChip estimates every module of a partitioned chip
-// concurrently — the paper's workflow estimates each module
+// EstimateChip compiles and estimates every module of a partitioned
+// chip concurrently — the paper's workflow estimates each module
 // independently before floor planning, which parallelizes perfectly.
 // Results are returned in module order.  When several modules fail,
 // every failure is reported (errors.Join), each tagged with its
-// module name.  workers ≤ 0 selects GOMAXPROCS.
-func EstimateChip(modules []*netlist.Circuit, p *tech.Process, opts SCOptions, workers int) ([]*Result, error) {
-	return EstimateChipCtx(context.Background(), modules, p, opts, workers)
+// module name.  Honored options: WithRows, WithTrackSharing,
+// WithWorkers (≤ 0 selects GOMAXPROCS).
+func EstimateChip(ctx context.Context, modules []*netlist.Circuit, p *tech.Process, opts ...Option) ([]*core.Result, error) {
+	o := build(opts)
+	return chipPool(ctx, len(modules), o.Workers,
+		func(ctx context.Context, i int) (*core.Result, error) {
+			// Compile clones the process per plan, so the pool needs
+			// no per-worker clone to stay race-clean under callers
+			// that mutate theirs concurrently.
+			pl, err := CompileCtx(ctx, modules[i], p)
+			if err != nil {
+				return nil, err
+			}
+			return pl.estimate(ctx, o)
+		},
+		func(i int) string { return modules[i].Name })
 }
 
-// EstimateChipCtx is EstimateChip with observability: an
-// "estimate_chip" span parenting one "estimate" span per module, and
-// worker-pool utilization metrics.
-func EstimateChipCtx(ctx context.Context, modules []*netlist.Circuit, p *tech.Process, opts SCOptions, workers int) (res []*Result, err error) {
+// EstimatePlans is EstimateChip over already-compiled plans: the
+// serving layer's batch endpoint compiles (or cache-hits) each module
+// first, then fans the estimation out here.  Results are returned in
+// plan order.
+func EstimatePlans(ctx context.Context, plans []*Plan, opts ...Option) ([]*core.Result, error) {
+	o := build(opts)
+	return chipPool(ctx, len(plans), o.Workers,
+		func(ctx context.Context, i int) (*core.Result, error) {
+			return plans[i].estimate(ctx, o)
+		},
+		func(i int) string { return plans[i].circ.Name })
+}
+
+// chipPool is the shared worker pool: an "estimate_chip" span
+// parenting one estimate per module, prompt cancellation (modules not
+// yet started are skipped; the pool surfaces ctx.Err itself), full
+// failure aggregation, and worker-utilization metrics.
+func chipPool(ctx context.Context, n, workers int, work func(context.Context, int) (*core.Result, error), name func(int) string) (res []*core.Result, err error) {
 	ctx, sp := obs.Start(ctx, "estimate_chip")
 	defer func() { sp.EndErr(err) }()
-	if len(modules) == 0 {
+	if n == 0 {
 		return nil, estErr("chip has no modules")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(modules) {
-		workers = len(modules)
+	if workers > n {
+		workers = n
 	}
-	sp.SetInt("modules", int64(len(modules)))
+	sp.SetInt("modules", int64(n))
 	sp.SetInt("workers", int64(workers))
 
-	results := make([]*Result, len(modules))
-	errs := make([]error, len(modules))
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
 	busy := make([]time.Duration, workers)
 	idx := make(chan int)
 	t0 := time.Now()
@@ -71,18 +99,14 @@ func EstimateChipCtx(ctx context.Context, modules []*netlist.Circuit, p *tech.Pr
 				if ctx.Err() != nil {
 					continue
 				}
-				// Each worker uses its own process copy: estimation
-				// only reads the process, but a private clone keeps
-				// the API contract obvious and race-detector clean
-				// even if callers mutate theirs concurrently.
 				start := time.Now()
-				results[i], errs[i] = EstimateCtx(ctx, modules[i], p.Clone(), opts)
+				results[i], errs[i] = work(ctx, i)
 				busy[w] += time.Since(start)
 			}
 		}(w)
 	}
 feed:
-	for i := range modules {
+	for i := 0; i < n; i++ {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
@@ -101,7 +125,7 @@ feed:
 
 	wall := time.Since(t0)
 	mChips.Inc()
-	mChipModules.Add(int64(len(modules)))
+	mChipModules.Add(int64(n))
 	mChipWorkers.Set(float64(workers))
 	mChipWorkSec.Observe(wall.Seconds())
 	if wall > 0 {
@@ -119,7 +143,7 @@ feed:
 	var failures []error
 	for i, e := range errs {
 		if e != nil {
-			failures = append(failures, fmt.Errorf("%w (module %q)", e, modules[i].Name))
+			failures = append(failures, fmt.Errorf("%w (module %q)", e, name(i)))
 		}
 	}
 	if len(failures) > 0 {

@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"context"
@@ -34,7 +34,7 @@ func chipModules(t testing.TB, n int) []*netlist.Circuit {
 func TestEstimateChipMatchesSequential(t *testing.T) {
 	p := tech.NMOS25()
 	mods := chipModules(t, 6)
-	par, err := EstimateChip(mods, p, SCOptions{}, 4)
+	par, err := EstimateChip(context.Background(), mods, p, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestEstimateChipMatchesSequential(t *testing.T) {
 		t.Fatalf("results = %d", len(par))
 	}
 	for i, c := range mods {
-		seq, err := Estimate(c, p, SCOptions{})
+		seq, err := Estimate(context.Background(), c, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestEstimateChipWorkerClamping(t *testing.T) {
 	p := tech.NMOS25()
 	mods := chipModules(t, 2)
 	for _, workers := range []int{-1, 0, 1, 16} {
-		res, err := EstimateChip(mods, p, SCOptions{}, workers)
+		res, err := EstimateChip(context.Background(), mods, p, WithWorkers(workers))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -71,7 +71,7 @@ func TestEstimateChipWorkerClamping(t *testing.T) {
 
 func TestEstimateChipErrors(t *testing.T) {
 	p := tech.NMOS25()
-	if _, err := EstimateChip(nil, p, SCOptions{}, 2); err == nil {
+	if _, err := EstimateChip(context.Background(), nil, p, WithWorkers(2)); err == nil {
 		t.Error("empty chip accepted")
 	}
 	// One bad module (unknown type) fails the whole chip with its
@@ -84,7 +84,7 @@ func TestEstimateChipErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	mods := append(chipModules(t, 2), bad)
-	if _, err := EstimateChip(mods, p, SCOptions{}, 4); err == nil {
+	if _, err := EstimateChip(context.Background(), mods, p, WithWorkers(4)); err == nil {
 		t.Error("bad module accepted")
 	}
 }
@@ -108,7 +108,7 @@ func TestEstimateChipAggregatesAllErrors(t *testing.T) {
 	mods := chipModules(t, 2)
 	mods = append(mods, badModule(t, "badA"))
 	mods = append(mods, badModule(t, "badB"))
-	_, err := EstimateChip(mods, p, SCOptions{}, 4)
+	_, err := EstimateChip(context.Background(), mods, p, WithWorkers(4))
 	if err == nil {
 		t.Fatal("bad modules accepted")
 	}
@@ -120,7 +120,7 @@ func TestEstimateChipAggregatesAllErrors(t *testing.T) {
 }
 
 // cancelSink cancels a context after n "estimate" spans have
-// completed — a deterministic way to cancel EstimateChipCtx mid-pool.
+// completed — a deterministic way to cancel EstimateChip mid-pool.
 type cancelSink struct {
 	mu     sync.Mutex
 	after  int
@@ -142,7 +142,7 @@ func (s *cancelSink) Record(d *obs.SpanData) {
 
 // Cancellation mid-pool: unstarted modules are skipped and ctx.Err()
 // is surfaced, not an aggregate of per-module failures.
-func TestEstimateChipCtxCancelledMidPool(t *testing.T) {
+func TestEstimateChipCancelledMidPool(t *testing.T) {
 	p := tech.NMOS25()
 	mods := chipModules(t, 16)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -152,7 +152,7 @@ func TestEstimateChipCtxCancelledMidPool(t *testing.T) {
 
 	// One worker: after the first module's span ends the context is
 	// cancelled, so the pool must skip (nearly) all remaining work.
-	res, err := EstimateChipCtx(ctx, mods, p, SCOptions{}, 1)
+	res, err := EstimateChip(ctx, mods, p, WithWorkers(1))
 	if res != nil {
 		t.Fatal("cancelled chip estimate returned results")
 	}
@@ -170,13 +170,13 @@ func TestEstimateChipCtxCancelledMidPool(t *testing.T) {
 }
 
 // A context cancelled before the call estimates nothing.
-func TestEstimateChipCtxCancelledUpFront(t *testing.T) {
+func TestEstimateChipCancelledUpFront(t *testing.T) {
 	p := tech.NMOS25()
 	mods := chipModules(t, 4)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	count := &countSink{}
-	if _, err := EstimateChipCtx(obs.WithSink(ctx, count), mods, p, SCOptions{}, 2); !errors.Is(err, context.Canceled) {
+	if _, err := EstimateChip(obs.WithSink(ctx, count), mods, p, WithWorkers(2)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	if n := count.estimates(); n != 0 {
@@ -207,12 +207,12 @@ func (s *countSink) estimates() int {
 
 // Deadline expiry mid-pool surfaces DeadlineExceeded (the serving
 // layer maps this to 504).
-func TestEstimateChipCtxDeadline(t *testing.T) {
+func TestEstimateChipDeadline(t *testing.T) {
 	p := tech.NMOS25()
 	mods := chipModules(t, 8)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
-	if _, err := EstimateChipCtx(ctx, mods, p, SCOptions{}, 2); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := EstimateChip(ctx, mods, p, WithWorkers(2)); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"maest/internal/congest"
+	"maest/internal/core"
+	"maest/internal/obs"
+)
+
+// Estimate produces the full Result bundle — the Standard-Cell
+// estimate with its five §7 candidate shapes (cell-level modules) and
+// both Full-Custom device-area modes — exactly as the Fig. 1 pipeline
+// always has.  Honored options: WithRows, WithTrackSharing.  The
+// bundle is memoized per (rows, sharing); repeat calls are a lookup.
+func (pl *Plan) Estimate(ctx context.Context, opts ...Option) (*core.Result, error) {
+	return pl.estimate(ctx, build(opts))
+}
+
+// estimate is Estimate after option resolution — the entry EstimateChip
+// and the serving layer use to avoid re-resolving per module.
+func (pl *Plan) estimate(ctx context.Context, o Options) (res *core.Result, err error) {
+	ctx, sp := obs.Start(ctx, "estimate")
+	sp.SetString("module", pl.circ.Name)
+	defer func(t0 time.Time) {
+		observe(t0, err)
+		sp.EndErr(err)
+	}(time.Now())
+	sp.SetInt("devices", int64(pl.stats.N))
+	sp.SetInt("nets", int64(pl.stats.H))
+
+	k := scKey{rows: o.Rows, sharing: o.TrackSharing}
+	pl.mu.Lock()
+	res, ok := pl.bundle[k]
+	pl.mu.Unlock()
+	if ok {
+		sp.SetInt("plan_memo", 1)
+		return res, nil
+	}
+
+	res = &core.Result{Module: pl.circ.Name, Stats: pl.stats}
+	if pl.cellLevel {
+		if err := pl.estimateSC(ctx, res, o); err != nil {
+			return nil, err
+		}
+	}
+	if err := pl.estimateFC(ctx, res, o); err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.bundle[k] = res
+	pl.mu.Unlock()
+	return res, nil
+}
+
+// estimateSC runs the §4.1 Standard-Cell side under its own span.
+// The bundled candidate sweep is always five shapes around the chosen
+// row count (the historical pipeline contract, independent of
+// WithCandidates), and uses the unchecked kernel so degenerate
+// modules still estimate.
+func (pl *Plan) estimateSC(ctx context.Context, res *core.Result, o Options) (err error) {
+	_, sp := obs.Start(ctx, "estimate.sc")
+	defer func() { sp.EndErr(err) }()
+	sc, err := pl.standardCell(o.Rows, o.TrackSharing)
+	if err != nil {
+		return err
+	}
+	res.SC = sc
+	sp.SetInt("rows", int64(sc.Rows))
+	sp.SetInt("tracks", int64(sc.Tracks))
+	sp.SetInt("feedthroughs", int64(sc.FeedThroughs))
+	sp.SetFloat("area", sc.Area)
+	cand, err := pl.sweep(o.Rows, o.TrackSharing, 5)
+	if err != nil {
+		return err
+	}
+	res.SCCandidates = cand
+	sp.SetInt("candidates", int64(len(cand)))
+	return nil
+}
+
+// estimateFC runs the §4.2 Full-Custom side (both device-area modes)
+// under its own span.
+func (pl *Plan) estimateFC(ctx context.Context, res *core.Result, o Options) (err error) {
+	_, sp := obs.Start(ctx, "estimate.fc")
+	defer func() { sp.EndErr(err) }()
+	if res.FCExact, err = pl.fullCustom(core.FCExactAreas); err != nil {
+		return err
+	}
+	if res.FCAverage, err = pl.fullCustom(core.FCAverageAreas); err != nil {
+		return err
+	}
+	sp.SetFloat("area_exact", res.FCExact.Area)
+	sp.SetFloat("area_average", res.FCAverage.Area)
+	return nil
+}
+
+// standardCell memoizes the Eq. 12/14 kernel per (rows, sharing).
+func (pl *Plan) standardCell(rows int, sharing bool) (*core.SCEstimate, error) {
+	k := scKey{rows: rows, sharing: sharing}
+	pl.mu.Lock()
+	sc, ok := pl.sc[k]
+	pl.mu.Unlock()
+	if ok {
+		return sc, nil
+	}
+	sc, err := core.EstimateStandardCell(pl.stats, pl.proc, core.SCOptions{Rows: rows, TrackSharing: sharing})
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.sc[k] = sc
+	pl.mu.Unlock()
+	return sc, nil
+}
+
+// sweep memoizes the unchecked candidate kernel.
+func (pl *Plan) sweep(rows int, sharing bool, count int) ([]*core.SCEstimate, error) {
+	k := sweepKey{rows: rows, count: count, sharing: sharing}
+	pl.mu.Lock()
+	out, ok := pl.sweeps[k]
+	pl.mu.Unlock()
+	if ok {
+		return out, nil
+	}
+	out, err := core.SweepStandardCellShapes(pl.stats, pl.proc, core.SCOptions{Rows: rows, TrackSharing: sharing}, count)
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.sweeps[k] = out
+	pl.mu.Unlock()
+	return out, nil
+}
+
+// fullCustom memoizes the Eq. 13 kernel per device-area mode; the
+// transistor-level expansion behind it is built once per Plan.
+func (pl *Plan) fullCustom(mode core.FCMode) (*core.FCEstimate, error) {
+	pl.mu.Lock()
+	est, ok := pl.fc[mode]
+	pl.mu.Unlock()
+	if ok {
+		return est, nil
+	}
+	circ, err := pl.expanded()
+	if err != nil {
+		return nil, err
+	}
+	est, err = core.EstimateFullCustom(circ, pl.proc, mode)
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.fc[mode] = est
+	pl.mu.Unlock()
+	return est, nil
+}
+
+// EstimateStandardCell runs only the §4.1 kernel (honors WithRows,
+// WithTrackSharing), memoized.
+func (pl *Plan) EstimateStandardCell(ctx context.Context, opts ...Option) (*core.SCEstimate, error) {
+	o := build(opts)
+	return pl.standardCell(o.Rows, o.TrackSharing)
+}
+
+// EstimateFullCustom runs only the §4.2 kernel (honors WithFCMode),
+// memoized; the default mode is exact device areas.
+func (pl *Plan) EstimateFullCustom(ctx context.Context, opts ...Option) (*core.FCEstimate, error) {
+	o := build(opts)
+	return pl.fullCustom(o.FCMode)
+}
+
+// Candidates returns WithCandidates (default five) §7 shape
+// candidates around the chosen row count, with the strict feasibility
+// contract of core.EstimateStandardCellCandidates: degenerate
+// requests return defined errors rather than short or useless slices.
+func (pl *Plan) Candidates(ctx context.Context, opts ...Option) ([]*core.SCEstimate, error) {
+	o := build(opts)
+	// The memo holds unchecked sweeps (Estimate's bundle shares it),
+	// so the strict contract's preconditions run before the lookup; a
+	// memoized sweep that satisfies them is only returnable when some
+	// shape is port-feasible — otherwise delegate to the strict kernel
+	// for the defined error.
+	if o.Candidates >= 1 && pl.stats.N > 0 && o.Candidates <= pl.stats.N {
+		k := sweepKey{rows: o.Rows, count: o.Candidates, sharing: o.TrackSharing}
+		pl.mu.Lock()
+		out, ok := pl.sweeps[k]
+		pl.mu.Unlock()
+		if ok {
+			for _, est := range out {
+				if est.PortFeasible {
+					return out, nil
+				}
+			}
+		}
+	}
+	out, err := core.EstimateStandardCellCandidates(pl.stats, pl.proc, o.SCOptions(), o.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.sweeps[sweepKey{rows: o.Rows, count: o.Candidates, sharing: o.TrackSharing}] = out
+	pl.mu.Unlock()
+	return out, nil
+}
+
+// Profiled runs the Standard-Cell estimator with the per-row
+// feed-through profile refinement (full Eq. 4/5 at every row instead
+// of the central-row two-component bound), memoized.
+func (pl *Plan) Profiled(ctx context.Context, opts ...Option) (*core.SCEstimate, error) {
+	o := build(opts)
+	k := scKey{rows: o.Rows, sharing: o.TrackSharing}
+	pl.mu.Lock()
+	est, ok := pl.prof[k]
+	pl.mu.Unlock()
+	if ok {
+		return est, nil
+	}
+	est, err := core.EstimateStandardCellProfiledCtx(ctx, pl.stats, pl.proc, o.SCOptions())
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.prof[k] = est
+	pl.mu.Unlock()
+	return est, nil
+}
+
+// Distributions returns the memoized congestion distributions for the
+// resolved row count under WithRows/WithGridded/WithCongestModel —
+// the expensive Poisson-binomial convolutions every congestion map at
+// those knobs shares.
+func (pl *Plan) Distributions(ctx context.Context, opts ...Option) (*congest.Distributions, error) {
+	o := build(opts)
+	return pl.distributions(pl.congestRows(o), o.Gridded, o.CongestModel)
+}
+
+// congestRows resolves the analyzed row count: explicit rows win;
+// otherwise the ⌈√N⌉ grid (gridded) or the §5 initial rows.
+func (pl *Plan) congestRows(o Options) int {
+	if o.Rows != 0 {
+		return o.Rows
+	}
+	if o.Gridded {
+		return congest.GridRows(pl.stats)
+	}
+	return pl.initialRows
+}
+
+func (pl *Plan) distributions(rows int, gridded bool, model congest.Model) (*congest.Distributions, error) {
+	k := distKey{rows: rows, gridded: gridded, model: model}
+	pl.mu.Lock()
+	d, ok := pl.dists[k]
+	pl.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	d, err := congest.ComputeDistributions(pl.stats, rows, gridded, model)
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.dists[k] = d
+	pl.mu.Unlock()
+	return d, nil
+}
+
+// Congestion builds (or returns the memoized) congestion map under
+// WithRows, WithGridded, WithCongestModel, WithCapacity, and
+// WithFeedBudget.  The demand distributions behind the map are shared
+// across capacity/budget knob changes — only the scoring reruns.
+func (pl *Plan) Congestion(ctx context.Context, opts ...Option) (*congest.Map, error) {
+	o := build(opts)
+	rows := pl.congestRows(o)
+	k := congKey{
+		distKey:    distKey{rows: rows, gridded: o.Gridded, model: o.CongestModel},
+		capacity:   o.Capacity,
+		feedBudget: o.FeedBudget,
+	}
+	pl.mu.Lock()
+	m, ok := pl.maps[k]
+	pl.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	d, err := pl.distributions(rows, o.Gridded, o.CongestModel)
+	if err != nil {
+		return nil, err
+	}
+	m, err = congest.AnalyzeDistributionsCtx(ctx, d, o.CongestOptions())
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	pl.maps[k] = m
+	pl.mu.Unlock()
+	return m, nil
+}

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"context"
+	"io"
+
+	"maest/internal/core"
+	"maest/internal/hdl"
+	"maest/internal/netlist"
+	"maest/internal/obs"
+	"maest/internal/tech"
+)
+
+// Estimate is the one-shot convenience over Compile + Plan.Estimate
+// for callers that will not reuse the plan.  Anything answering more
+// than one question about the same circuit should Compile once and
+// hold the Plan instead.
+func Estimate(ctx context.Context, c *netlist.Circuit, p *tech.Process, opts ...Option) (*core.Result, error) {
+	pl, err := CompileCtx(ctx, c, p)
+	if err != nil {
+		return nil, err
+	}
+	return pl.estimate(ctx, build(opts))
+}
+
+// Pipeline is the end-to-end Fig. 1 flow: parse the circuit schematic
+// (.mnet) from r, compile it against the fabrication-process
+// database, and produce the estimate record for the floor planner —
+// under a "pipeline" span covering the parse, compile, and estimate
+// stages.
+func Pipeline(ctx context.Context, r io.Reader, p *tech.Process, opts ...Option) (res *core.Result, err error) {
+	ctx, sp := obs.Start(ctx, "pipeline")
+	defer func() { sp.EndErr(err) }()
+	c, err := hdl.ParseMnetCtx(ctx, r)
+	if err != nil {
+		return nil, estErr("pipeline: %v", err)
+	}
+	return Estimate(ctx, c, p, opts...)
+}

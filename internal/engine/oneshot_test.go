@@ -1,6 +1,7 @@
-package core
+package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ end
 
 func TestPipelineEndToEnd(t *testing.T) {
 	p := tech.NMOS25()
-	res, err := Pipeline(strings.NewReader(pipeMnet), p, SCOptions{Rows: 2})
+	res, err := Pipeline(context.Background(), strings.NewReader(pipeMnet), p, WithRows(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 }
 
 func TestPipelineParseFailure(t *testing.T) {
-	if _, err := Pipeline(strings.NewReader("not a module"), tech.NMOS25(), SCOptions{}); err == nil {
+	if _, err := Pipeline(context.Background(), strings.NewReader("not a module"), tech.NMOS25()); err == nil {
 		t.Fatal("expected parse error")
 	}
 }
@@ -65,7 +66,7 @@ func TestEstimateTransistorLevelCircuit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Estimate(c, tech.NMOS25(), SCOptions{})
+	res, err := Estimate(context.Background(), c, tech.NMOS25())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestEstimateRejectsMixedModule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Estimate(c, tech.NMOS25(), SCOptions{}); err == nil {
+	if _, err := Estimate(context.Background(), c, tech.NMOS25()); err == nil {
 		t.Fatal("mixed module accepted")
 	}
 }
@@ -100,7 +101,7 @@ func TestEstimateUnknownType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Estimate(c, tech.NMOS25(), SCOptions{}); err == nil {
+	if _, err := Estimate(context.Background(), c, tech.NMOS25()); err == nil {
 		t.Fatal("unknown type accepted")
 	}
 }
@@ -109,7 +110,7 @@ func TestEstimateCMOSProcess(t *testing.T) {
 	// The estimator must "deal with different chip fabrication
 	// technologies": the same RTL shape estimates under CMOS too.
 	p := tech.CMOS30()
-	res, err := Pipeline(strings.NewReader(pipeMnet), p, SCOptions{Rows: 2})
+	res, err := Pipeline(context.Background(), strings.NewReader(pipeMnet), p, WithRows(2))
 	if err != nil {
 		t.Fatal(err)
 	}

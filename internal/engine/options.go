@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"maest/internal/congest"
+	"maest/internal/core"
+)
+
+// Options is the single consolidated knob set of every execute
+// method, replacing the SCOptions / FCMode / workers / analysis-knob
+// parameter sprawl of the per-package entry points.  The zero value
+// reproduces each entry point's historical defaults: §5 automatic
+// rows, no track sharing, exact device areas, GOMAXPROCS workers, the
+// occupancy demand model with derived capacity and feed budget, and
+// five candidate shapes.
+type Options struct {
+	// Rows fixes the standard-cell row count n (0 = the §5 initial
+	// row count).  For Congestion it is the analyzed row count (0 =
+	// §5 rows, or the ⌈√N⌉ grid when Gridded).
+	Rows int
+	// TrackSharing enables the §7 track-sharing extension.
+	TrackSharing bool
+	// FCMode selects exact or average device areas for
+	// EstimateFullCustom (Table 1's two modes).
+	FCMode core.FCMode
+	// Workers sizes the chip-level worker pool (≤ 0 = GOMAXPROCS).
+	Workers int
+	// CongestModel selects the congestion demand accounting.
+	CongestModel congest.Model
+	// Capacity is the per-channel track capacity (0 = derived).
+	Capacity int
+	// FeedBudget is the per-row feed-through budget (0 = derived).
+	FeedBudget int
+	// Gridded selects the gridded full-custom congestion variant.
+	Gridded bool
+	// Candidates is the shape count Plan.Candidates returns.
+	Candidates int
+}
+
+// Option mutates one Options field; execute methods take any number.
+type Option func(*Options)
+
+// Full-Custom device-area modes, re-exported so engine callers can
+// build WithFCMode options without importing the core kernels.
+const (
+	FCExactAreas   = core.FCExactAreas
+	FCAverageAreas = core.FCAverageAreas
+)
+
+// build resolves a functional-option list over the defaults.  The
+// empty list returns the defaults without taking an address: passing
+// &o to the option closures forces o onto the heap, and the warm
+// execute path (memoized estimate behind the serving cache) must stay
+// allocation-free.
+func build(opts []Option) Options {
+	if len(opts) == 0 {
+		return Options{Candidates: 5}
+	}
+	o := Options{Candidates: 5}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithRows fixes the standard-cell (or congestion) row count.
+func WithRows(n int) Option { return func(o *Options) { o.Rows = n } }
+
+// WithTrackSharing toggles the §7 track-sharing extension.
+func WithTrackSharing(on bool) Option { return func(o *Options) { o.TrackSharing = on } }
+
+// WithFCMode selects the full-custom device-area mode.
+func WithFCMode(m core.FCMode) Option { return func(o *Options) { o.FCMode = m } }
+
+// WithWorkers sizes the chip-level worker pool.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithCongestModel selects the congestion demand model.
+func WithCongestModel(m congest.Model) Option { return func(o *Options) { o.CongestModel = m } }
+
+// WithCapacity fixes the per-channel track capacity.
+func WithCapacity(c int) Option { return func(o *Options) { o.Capacity = c } }
+
+// WithFeedBudget fixes the per-row feed-through budget.
+func WithFeedBudget(b int) Option { return func(o *Options) { o.FeedBudget = b } }
+
+// WithGridded selects the gridded full-custom congestion variant.
+func WithGridded(on bool) Option { return func(o *Options) { o.Gridded = on } }
+
+// WithCandidates sets the candidate shape count.
+func WithCandidates(n int) Option { return func(o *Options) { o.Candidates = n } }
+
+// SCOptions converts the engine knobs to the core kernel's option
+// struct.
+func (o Options) SCOptions() core.SCOptions {
+	return core.SCOptions{Rows: o.Rows, TrackSharing: o.TrackSharing}
+}
+
+// CongestOptions converts the engine knobs to the congestion
+// subsystem's option struct.
+func (o Options) CongestOptions() congest.Options {
+	return congest.Options{Model: o.CongestModel, Capacity: o.Capacity, FeedBudget: o.FeedBudget}
+}

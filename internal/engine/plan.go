@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"maest/internal/cells"
+	"maest/internal/congest"
+	"maest/internal/core"
+	"maest/internal/netlist"
+	"maest/internal/obs"
+	"maest/internal/tech"
+)
+
+// Hash is the content address of a Plan: SHA-256 over the canonical
+// circuit rendering plus the full process serialization.  Two plans
+// with equal hashes produce bit-identical results from every execute
+// method, so a cache may serve either from the other's work.
+type Hash [sha256.Size]byte
+
+// String returns the hash in hex, for logs and cache keys.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:]) }
+
+// PlanHash computes the content address Compile would assign, without
+// compiling.  Caches probe with this before paying for compilation.
+func PlanHash(c *netlist.Circuit, p *tech.Process) Hash {
+	h := sha256.New()
+	WriteCanonicalCircuit(h, c)
+	tech.Write(h, p)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// WriteCanonicalCircuit emits a deterministic, order-normalized
+// rendering of the circuit: ports and devices sorted by name, so the
+// rendering (and every hash derived from it) is invariant under
+// comments, whitespace, and declaration order in the source netlist.
+// It is close to .mnet but not identical: generated "$" names are
+// allowed even though WriteMnet refuses to emit them.
+func WriteCanonicalCircuit(w io.Writer, c *netlist.Circuit) {
+	fmt.Fprintf(w, "module %s\n", c.Name)
+	ports := make([]*netlist.Port, len(c.Ports))
+	copy(ports, c.Ports)
+	sort.Slice(ports, func(i, j int) bool { return ports[i].Name < ports[j].Name })
+	for _, p := range ports {
+		fmt.Fprintf(w, "port %s %s %s\n", p.Name, p.Dir, p.Net.Name)
+	}
+	devices := make([]*netlist.Device, len(c.Devices))
+	copy(devices, c.Devices)
+	sort.Slice(devices, func(i, j int) bool { return devices[i].Name < devices[j].Name })
+	for _, d := range devices {
+		fmt.Fprintf(w, "device %s %s", d.Name, d.Type)
+		for _, n := range d.Pins {
+			if n == nil {
+				io.WriteString(w, " -")
+			} else {
+				fmt.Fprintf(w, " %s", n.Name)
+			}
+		}
+		io.WriteString(w, "\n")
+	}
+}
+
+// Constants are the process-derived scale factors of Eq. 12–14,
+// resolved once at compile time (lengths in λ).
+type Constants struct {
+	// RowHeight is the standard-cell row height of Eq. 12's n·h term.
+	RowHeight float64
+	// TrackPitch scales routing tracks into channel height (Eq. 12)
+	// and full-custom wiring area (Eq. 13).
+	TrackPitch float64
+	// FeedThroughWidth is f_w, the width of one feed-through column.
+	FeedThroughWidth float64
+	// PortPitch spaces module ports along an edge (§5 control
+	// criterion).
+	PortPitch float64
+	// AvgDeviceWidth is W_avg, the module's mean device width.
+	AvgDeviceWidth float64
+	// AvgDeviceHeight is the module's mean device height.
+	AvgDeviceHeight float64
+}
+
+// memo keys.  Every execute result is memoized under the knobs it
+// depends on — nothing more, so e.g. a congestion map computed for
+// the estimate's row count is shared with an explicit request for the
+// same rows.
+type (
+	scKey struct {
+		rows    int
+		sharing bool
+	}
+	distKey struct {
+		rows    int
+		gridded bool
+		model   congest.Model
+	}
+	congKey struct {
+		distKey
+		capacity, feedBudget int
+	}
+	sweepKey struct {
+		rows, count int
+		sharing     bool
+	}
+)
+
+// Plan is one compiled circuit + process pair: the immutable
+// intermediates every estimate shares, plus memo tables for the
+// results of each execute method.  A Plan is safe for concurrent use;
+// the compiled inputs are never mutated after Compile returns, and
+// the memos are mutex-guarded (execute methods compute outside the
+// lock — a racing duplicate computation is idempotent because every
+// kernel is deterministic).
+type Plan struct {
+	circ        *netlist.Circuit
+	proc        *tech.Process // private clone; callers may mutate theirs freely
+	stats       *netlist.Stats
+	hash        Hash
+	cellLevel   bool // standard-cell methodology applies (library cells, not transistors)
+	initialRows int
+	consts      Constants
+
+	mu     sync.Mutex
+	fcCirc *netlist.Circuit // transistor-level expansion, built on first FC use
+	sc     map[scKey]*core.SCEstimate
+	prof   map[scKey]*core.SCEstimate
+	sweeps map[sweepKey][]*core.SCEstimate
+	fc     map[core.FCMode]*core.FCEstimate
+	bundle map[scKey]*core.Result
+	dists  map[distKey]*congest.Distributions
+	maps   map[congKey]*congest.Map
+}
+
+// Compile builds the Plan for one circuit under one process.
+func Compile(c *netlist.Circuit, p *tech.Process) (*Plan, error) {
+	return CompileCtx(context.Background(), c, p)
+}
+
+// CompileCtx is Compile with observability: a "compile" span plus the
+// compilation metrics.  Compilation validates the process, classifies
+// the module's methodology (mixing cells and transistors in one
+// module is rejected, as in the paper), gathers the §3 statistics,
+// and freezes the tech-scaled constants — all the per-circuit work no
+// execute method should ever repeat.
+func CompileCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process) (pl *Plan, err error) {
+	_, sp := obs.Start(ctx, "compile")
+	sp.SetString("module", c.Name)
+	defer func(t0 time.Time) {
+		mCompileSec.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			mCompileErr.Inc()
+		} else {
+			mCompiles.Inc()
+			sp.SetInt("devices", int64(pl.stats.N))
+			sp.SetInt("nets", int64(pl.stats.H))
+			sp.SetString("plan", pl.hash.String()[:12])
+		}
+		sp.EndErr(err)
+	}(time.Now())
+
+	if err := p.Validate(); err != nil {
+		return nil, estErr("module %q: %v", c.Name, err)
+	}
+	nCells, nTransistors := 0, 0
+	for _, d := range c.Devices {
+		dt, err := p.Device(d.Type)
+		if err != nil {
+			return nil, estErr("module %q: %v", c.Name, err)
+		}
+		if dt.Class == tech.ClassCell {
+			nCells++
+		} else {
+			nTransistors++
+		}
+	}
+	if nCells > 0 && nTransistors > 0 {
+		return nil, estErr("module %q mixes %d cells and %d transistors; estimate them as separate modules",
+			c.Name, nCells, nTransistors)
+	}
+
+	proc := p.Clone()
+	s, err := netlist.Gather(c, proc)
+	if err != nil {
+		return nil, estErr("module %q: %v", c.Name, err)
+	}
+	pl = &Plan{
+		circ:        c,
+		proc:        proc,
+		stats:       s,
+		hash:        PlanHash(c, proc),
+		cellLevel:   nCells > 0,
+		initialRows: core.InitialRows(s, proc),
+		consts: Constants{
+			RowHeight:        float64(proc.RowHeight),
+			TrackPitch:       float64(proc.TrackPitch),
+			FeedThroughWidth: float64(proc.FeedThroughWidth),
+			PortPitch:        float64(proc.PortPitch),
+			AvgDeviceWidth:   s.AvgWidth(),
+			AvgDeviceHeight:  s.AvgHeight(),
+		},
+		sc:     make(map[scKey]*core.SCEstimate),
+		prof:   make(map[scKey]*core.SCEstimate),
+		sweeps: make(map[sweepKey][]*core.SCEstimate),
+		fc:     make(map[core.FCMode]*core.FCEstimate),
+		bundle: make(map[scKey]*core.Result),
+		dists:  make(map[distKey]*congest.Distributions),
+		maps:   make(map[congKey]*congest.Map),
+	}
+	return pl, nil
+}
+
+// Hash returns the Plan's content address.
+func (pl *Plan) Hash() Hash { return pl.hash }
+
+// Circuit returns the compiled circuit.  It is shared, not copied;
+// treat it as read-only (mutating it invalidates the Plan).
+func (pl *Plan) Circuit() *netlist.Circuit { return pl.circ }
+
+// Process returns the Plan's private process clone (read-only).
+func (pl *Plan) Process() *tech.Process { return pl.proc }
+
+// Stats returns the §3 statistics gathered at compile time.
+func (pl *Plan) Stats() *netlist.Stats { return pl.stats }
+
+// Constants returns the tech-scaled Eq. 12–14 constants.
+func (pl *Plan) Constants() Constants { return pl.consts }
+
+// CellLevel reports whether the standard-cell methodology applies
+// (the module is built from library cells rather than transistors).
+func (pl *Plan) CellLevel() bool { return pl.cellLevel }
+
+// InitialRows returns the §5 initial row count frozen at compile.
+func (pl *Plan) InitialRows() int { return pl.initialRows }
+
+// expanded returns the transistor-level circuit the full-custom side
+// estimates: the module itself at transistor level, or its cell
+// expansion, built once and memoized.
+func (pl *Plan) expanded() (*netlist.Circuit, error) {
+	if !pl.cellLevel {
+		return pl.circ, nil
+	}
+	pl.mu.Lock()
+	c := pl.fcCirc
+	pl.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := cells.ExpandTransistors(pl.circ, pl.proc)
+	if err != nil {
+		return nil, estErr("module %q: %v", pl.circ.Name, err)
+	}
+	pl.mu.Lock()
+	pl.fcCirc = c
+	pl.mu.Unlock()
+	return c, nil
+}

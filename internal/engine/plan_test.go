@@ -1,0 +1,398 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maest/internal/core"
+	"maest/internal/gen"
+	"maest/internal/hdl"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+func compileMnet(t testing.TB, src string, p *tech.Process) *Plan {
+	t.Helper()
+	c, err := hdl.ParseMnet(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// The content address must be invariant under declaration order — the
+// property the serving layer's shared-compile cache rests on — and
+// sensitive to both the circuit and the process.
+func TestPlanHashCanonical(t *testing.T) {
+	p := tech.NMOS25()
+	a := compileMnet(t, `
+module m
+port in a
+port out y
+device g1 INV a n1
+device g2 INV n1 y
+end
+`, p)
+	b := compileMnet(t, `
+module m
+port out y
+port in a
+device g2 INV n1 y
+device g1 INV a n1
+end
+`, p)
+	if a.Hash() != b.Hash() {
+		t.Fatal("reordered declarations changed the plan hash")
+	}
+	if got, want := a.Hash().String(), PlanHash(a.Circuit(), p).String(); got != want {
+		t.Fatalf("Hash() = %s, PlanHash = %s", got, want)
+	}
+	other := compileMnet(t, `
+module m
+port in a
+port out y
+device g1 INV a n1
+device g2 NAND2 n1 a y
+end
+`, p)
+	if a.Hash() == other.Hash() {
+		t.Fatal("different circuits share a plan hash")
+	}
+	cmos := compileMnet(t, `
+module m
+port in a
+port out y
+device g1 INV a n1
+device g2 INV n1 y
+end
+`, tech.CMOS30())
+	if a.Hash() == cmos.Hash() {
+		t.Fatal("different processes share a plan hash")
+	}
+}
+
+// Compile freezes a private process clone: mutating the caller's
+// process afterwards must not change what the plan computes.
+func TestPlanProcessIsolation(t *testing.T) {
+	p := tech.NMOS25()
+	pl := compileMnet(t, `
+module iso
+port in a
+port out y
+device g1 INV a n1
+device g2 INV n1 y
+end
+`, p)
+	before, err := pl.EstimateStandardCell(context.Background(), WithRows(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RowHeight *= 10
+	after, err := pl.EstimateStandardCell(context.Background(), WithRows(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Area <= 0 || before.Area <= 0 {
+		t.Fatal("estimates empty")
+	}
+	if pl.Process().RowHeight == p.RowHeight {
+		t.Fatal("plan shares the caller's process")
+	}
+}
+
+// Every execute method must agree bit-for-bit with the core kernels
+// it memoizes — the refactor's zero-drift contract at the unit level.
+func TestPlanMatchesCoreKernels(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "kern", Gates: 60, Inputs: 6, Outputs: 4, Seed: 3,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s := pl.Stats()
+
+	for _, rows := range []int{0, 2, 5} {
+		for _, sharing := range []bool{false, true} {
+			got, err := pl.EstimateStandardCell(ctx, WithRows(rows), WithTrackSharing(sharing))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.EstimateStandardCell(s, p, core.SCOptions{Rows: rows, TrackSharing: sharing})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("rows=%d sharing=%v: plan and kernel estimates differ", rows, sharing)
+			}
+		}
+	}
+	for _, mode := range []core.FCMode{core.FCExactAreas, core.FCAverageAreas} {
+		got, err := pl.EstimateFullCustom(ctx, WithFCMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Area <= 0 || got.Mode != mode {
+			t.Fatalf("mode %v: bad estimate %+v", mode, got)
+		}
+	}
+	gotC, err := pl.Candidates(ctx, WithCandidates(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := core.EstimateStandardCellCandidates(s, p, core.SCOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, wantC) {
+		t.Fatal("plan and kernel candidate sweeps differ")
+	}
+}
+
+// TestEstimateDeterministic pins reproducibility end to end: the
+// same seeded random circuit estimated twice yields byte-identical
+// results (maps in Stats iterate in sorted order inside the
+// estimator, so nothing may depend on traversal order).
+func TestEstimateDeterministic(t *testing.T) {
+	p, err := tech.Lookup("nmos25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gen.RandomConfig{Name: "det", Gates: 40, Inputs: 6, Outputs: 5, Seed: 7}
+	var results []*core.Result
+	for trial := 0; trial < 2; trial++ {
+		c, err := gen.RandomCircuit(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Estimate(context.Background(), c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatalf("same seed, different estimates:\n%+v\n%+v", results[0], results[1])
+	}
+}
+
+// Memoization identity: repeat executions at the same knobs return
+// the same objects (a map lookup, not a recompute), and the estimate
+// bundle shares the kernel memos.
+func TestPlanMemoization(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.Chain("memo", 12, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	r1, err := pl.Estimate(ctx, WithRows(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pl.Estimate(ctx, WithRows(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("repeat Estimate did not hit the bundle memo")
+	}
+	sc, err := pl.EstimateStandardCell(ctx, WithRows(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != r1.SC {
+		t.Fatal("EstimateStandardCell recomputed the bundled kernel result")
+	}
+	fc, err := pl.EstimateFullCustom(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != r1.FCExact {
+		t.Fatal("EstimateFullCustom recomputed the bundled kernel result")
+	}
+	m1, err := pl.Congestion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pl.Congestion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("repeat Congestion did not hit the map memo")
+	}
+	// Changing only the scoring knobs reruns scoring but shares the
+	// distributions underneath.
+	d, err := pl.Distributions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := pl.Congestion(ctx, WithCapacity(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Fatal("capacity change returned the unscored map")
+	}
+	d2, err := pl.Distributions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != d2 {
+		t.Fatal("distributions were recomputed across scoring variants")
+	}
+}
+
+// The strict Candidates contract on the plan surface: the defined
+// error classes must survive the memo layer.
+func TestPlanCandidatesErrors(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.Chain("cand", 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := pl.Candidates(ctx, WithCandidates(0)); !errors.Is(err, core.ErrCandidateCount) {
+		t.Fatalf("count=0: err = %v, want ErrCandidateCount", err)
+	}
+	if _, err := pl.Candidates(ctx, WithCandidates(4)); !errors.Is(err, core.ErrCandidateRange) {
+		t.Fatalf("count>N: err = %v, want ErrCandidateRange", err)
+	}
+	// A full Estimate memoizes the lenient 5-shape sweep for this
+	// 3-device module; the strict surface must still reject count=5.
+	if _, err := pl.Estimate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Candidates(ctx, WithCandidates(5)); !errors.Is(err, core.ErrCandidateRange) {
+		t.Fatalf("count>N after Estimate: err = %v, want ErrCandidateRange", err)
+	}
+	if _, err := pl.Candidates(ctx, WithCandidates(2)); err != nil {
+		t.Fatalf("feasible count rejected: %v", err)
+	}
+	// Every candidate error is still an estimator error for the
+	// serving layer's 422 mapping.
+	_, err = pl.Candidates(ctx, WithCandidates(0))
+	if !errors.Is(err, core.ErrEstimate) {
+		t.Fatalf("candidate error not wrapped in ErrEstimate: %v", err)
+	}
+}
+
+// Compile rejects what the historical pipeline rejected, with the
+// error text the CLI and service surface.
+func TestCompileRejectsMixedModule(t *testing.T) {
+	b := netlist.NewBuilder("mixed")
+	b.AddDevice("g1", "INV", "a", "b")
+	b.AddDevice("m1", "ENH", "b", "", "c")
+	b.AddPort("pa", netlist.In, "a")
+	b.AddPort("pc", netlist.Out, "c")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(c, tech.NMOS25())
+	if err == nil {
+		t.Fatal("mixed module compiled")
+	}
+	if !errors.Is(err, core.ErrEstimate) {
+		t.Fatalf("compile error not wrapped in ErrEstimate: %v", err)
+	}
+	if !strings.Contains(err.Error(), "mixes") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+}
+
+// BenchmarkPlanWarmEstimate pins the warm execute path: once a plan
+// has answered a question, asking again is a mutex-guarded map lookup
+// — zero heap allocations.  A regression here means the compile/
+// execute split stopped paying for itself on the serving layer's
+// cache-hit path.
+func BenchmarkPlanWarmEstimate(b *testing.B) {
+	p := tech.NMOS25()
+	c, err := gen.Chain("warm", 16, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := pl.Estimate(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Estimate(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := pl.Estimate(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("warm Estimate allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkPlanSecondConsumer pins the tentpole's claim: the second
+// consumer of a compiled plan (an estimate followed by a congestion
+// map, the /v1/estimate → /v1/congestion repeat) skips the statistics
+// gathering and distribution convolutions entirely.
+func BenchmarkPlanSecondConsumer(b *testing.B) {
+	p := tech.NMOS25()
+	c, err := gen.Chain("second", 16, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := pl.Estimate(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pl.Congestion(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Congestion(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := pl.Congestion(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("warm Congestion allocates %.0f objects per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"maest/internal/gen"
+	"maest/internal/tech"
+)
+
+// TestPlanConcurrentHammer shares one compiled plan across many
+// goroutines mixing every execute method at overlapping knobs — the
+// serving layer's steady state, where /v1/estimate, /v1/congestion,
+// and the batch pool all hold the same cached plan.  Run under
+// -race (CI does) this pins the Plan's concurrency contract; the
+// result comparisons pin that racing duplicate computations are
+// idempotent.
+func TestPlanConcurrentHammer(t *testing.T) {
+	p := tech.NMOS25()
+	c, err := gen.RandomCircuit(gen.RandomConfig{
+		Name: "hammer", Gates: 40, Inputs: 5, Outputs: 4, Seed: 9,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Reference answers, computed single-threaded on a second plan of
+	// the same circuit.
+	ref, err := Compile(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := ref.Estimate(ctx, WithRows(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMap, err := ref.Congestion(ctx, WithRows(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 5 {
+				case 0:
+					res, err := pl.Estimate(ctx, WithRows(3))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(res, wantRes) {
+						t.Error("concurrent Estimate diverged from sequential result")
+						return
+					}
+				case 1:
+					m, err := pl.Congestion(ctx, WithRows(3))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(m, wantMap) {
+						t.Error("concurrent Congestion diverged from sequential result")
+						return
+					}
+				case 2:
+					if _, err := pl.EstimateFullCustom(ctx); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if _, err := pl.Candidates(ctx, WithRows(3), WithCandidates(5)); err != nil {
+						errs <- err
+						return
+					}
+				case 4:
+					if _, err := pl.Congestion(ctx, WithRows(3), WithGridded(false), WithCapacity(40+i%3)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

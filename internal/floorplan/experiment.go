@@ -1,12 +1,13 @@
 package floorplan
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"maest/internal/baseline"
-	"maest/internal/core"
 	"maest/internal/db"
+	"maest/internal/engine"
 	"maest/internal/gen"
 	"maest/internal/layout"
 	"maest/internal/netlist"
@@ -30,7 +31,7 @@ type ShapeSource func(c *netlist.Circuit, p *tech.Process) ([]db.Shape, error)
 // sharing router produces): standard-cell shape candidates across row
 // counts.
 func EstimatorShapes(c *netlist.Circuit, p *tech.Process) ([]db.Shape, error) {
-	res, err := core.Estimate(c, p, core.SCOptions{TrackSharing: true})
+	res, err := engine.Estimate(context.Background(), c, p, engine.WithTrackSharing(true))
 	if err != nil {
 		return nil, err
 	}

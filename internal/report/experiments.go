@@ -1,12 +1,12 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
-	"maest/internal/core"
+	"maest/internal/engine"
 	"maest/internal/gen"
 	"maest/internal/layout"
-	"maest/internal/netlist"
 	"maest/internal/tech"
 )
 
@@ -32,17 +32,21 @@ func RunTable1(p *tech.Process, seed int64) ([]FCRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	var rows []FCRow
 	for _, c := range suite {
-		s, err := netlist.Gather(c, p)
+		// One compile per module covers both device-area modes: the
+		// gathered statistics and transistor expansion are shared.
+		pl, err := engine.Compile(c, p)
 		if err != nil {
 			return nil, err
 		}
-		exact, err := core.EstimateFullCustom(c, p, core.FCExactAreas)
+		s := pl.Stats()
+		exact, err := pl.EstimateFullCustom(ctx, engine.WithFCMode(engine.FCExactAreas))
 		if err != nil {
 			return nil, err
 		}
-		avg, err := core.EstimateFullCustom(c, p, core.FCAverageAreas)
+		avg, err := pl.EstimateFullCustom(ctx, engine.WithFCMode(engine.FCAverageAreas))
 		if err != nil {
 			return nil, err
 		}
@@ -123,18 +127,23 @@ func RunTable2(p *tech.Process, seed int64) ([]SCRow, error) {
 		return nil, fmt.Errorf("report: suite size %d != row-count plan %d",
 			len(suite), len(Table2RowCounts))
 	}
+	ctx := context.Background()
 	var rows []SCRow
 	for i, c := range suite {
-		s, err := netlist.Gather(c, p)
+		// One compile per module covers every row configuration and
+		// the sharing ablation; each variant is a memoized execution
+		// against the same plan.
+		pl, err := engine.Compile(c, p)
 		if err != nil {
 			return nil, err
 		}
+		s := pl.Stats()
 		for _, n := range Table2RowCounts[i] {
-			est, err := core.EstimateStandardCell(s, p, core.SCOptions{Rows: n})
+			est, err := pl.EstimateStandardCell(ctx, engine.WithRows(n))
 			if err != nil {
 				return nil, err
 			}
-			shared, err := core.EstimateStandardCell(s, p, core.SCOptions{Rows: n, TrackSharing: true})
+			shared, err := pl.EstimateStandardCell(ctx, engine.WithRows(n), engine.WithTrackSharing(true))
 			if err != nil {
 				return nil, err
 			}

@@ -13,11 +13,11 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"maest/internal/congest"
 	"maest/internal/core"
+	"maest/internal/engine"
 	"maest/internal/netlist"
 	"maest/internal/obs"
 )
@@ -39,6 +39,12 @@ var (
 		misses:   obs.DefCounter("maest_serve_congest_cache_misses_total", "congestion cache misses"),
 		evicted:  obs.DefCounter("maest_serve_congest_cache_evictions_total", "congestion cache LRU evictions"),
 		resident: obs.DefGauge("maest_serve_congest_cache_entries", "congestion cache resident entries"),
+	}
+	planCacheMetrics = cacheMetrics{
+		hits:     obs.DefCounter("maest_serve_plan_cache_hits_total", "compiled-plan cache hits"),
+		misses:   obs.DefCounter("maest_serve_plan_cache_misses_total", "compiled-plan cache misses"),
+		evicted:  obs.DefCounter("maest_serve_plan_cache_evictions_total", "compiled-plan cache LRU evictions"),
+		resident: obs.DefGauge("maest_serve_plan_cache_entries", "compiled-plan cache resident entries"),
 	}
 )
 
@@ -86,32 +92,14 @@ func CongestKey(c *netlist.Circuit, processName string, rows int, gridded bool, 
 	return k
 }
 
-// writeCanonical emits a deterministic, order-normalized rendering of
-// the circuit.  It is close to .mnet but not identical: generated "$"
-// names are allowed (they hash fine even though WriteMnet refuses to
-// emit them) and entries are sorted rather than in declaration order.
+// writeCanonical emits the deterministic, order-normalized circuit
+// rendering every content address here builds on.  The canonical form
+// moved to the engine (plan hashes use the same rendering, which is
+// what lets an estimate and a congestion request share one compiled
+// plan); the existing key derivations delegate so their values are
+// unchanged.
 func writeCanonical(w io.Writer, c *netlist.Circuit) {
-	fmt.Fprintf(w, "module %s\n", c.Name)
-	ports := make([]*netlist.Port, len(c.Ports))
-	copy(ports, c.Ports)
-	sort.Slice(ports, func(i, j int) bool { return ports[i].Name < ports[j].Name })
-	for _, p := range ports {
-		fmt.Fprintf(w, "port %s %s %s\n", p.Name, p.Dir, p.Net.Name)
-	}
-	devices := make([]*netlist.Device, len(c.Devices))
-	copy(devices, c.Devices)
-	sort.Slice(devices, func(i, j int) bool { return devices[i].Name < devices[j].Name })
-	for _, d := range devices {
-		fmt.Fprintf(w, "device %s %s", d.Name, d.Type)
-		for _, n := range d.Pins {
-			if n == nil {
-				io.WriteString(w, " -")
-			} else {
-				fmt.Fprintf(w, " %s", n.Name)
-			}
-		}
-		io.WriteString(w, "\n")
-	}
+	engine.WriteCanonicalCircuit(w, c)
 }
 
 // lru is a fixed-capacity LRU map from content address to a value.
@@ -204,6 +192,12 @@ type Cache = lru[*core.Result]
 // CongestCache is the congestion map cache, keyed by CongestKey.
 type CongestCache = lru[*congest.Map]
 
+// PlanCache maps plan content addresses (engine.PlanHash) to compiled
+// plans, so every endpoint asking about the same circuit under the
+// same process shares one compile — the /v1/estimate →
+// /v1/congestion repeat costs a hash probe, not a re-parse/re-gather.
+type PlanCache = lru[*engine.Plan]
+
 // NewCache returns an estimate LRU cache holding at most capacity
 // results; capacity < 1 returns a nil cache, on which every method is
 // a well-defined no-op (lookups miss, stores are dropped).
@@ -214,4 +208,9 @@ func NewCache(capacity int) *Cache {
 // NewCongestCache is NewCache for congestion maps.
 func NewCongestCache(capacity int) *CongestCache {
 	return newLRU[*congest.Map](capacity, congestCacheMetrics)
+}
+
+// NewPlanCache is NewCache for compiled plans.
+func NewPlanCache(capacity int) *PlanCache {
+	return newLRU[*engine.Plan](capacity, planCacheMetrics)
 }

@@ -12,6 +12,7 @@ import (
 
 	"maest/internal/congest"
 	"maest/internal/core"
+	"maest/internal/engine"
 	"maest/internal/netlist"
 	"maest/internal/obs"
 	"maest/internal/tech"
@@ -106,6 +107,7 @@ type Server struct {
 	opts     Options
 	cache    *Cache
 	congests *CongestCache
+	plans    *PlanCache
 	slots    chan struct{}
 	mux      *http.ServeMux
 	flight   *obs.Flight   // nil when the recorder is disabled
@@ -120,6 +122,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		cache:    NewCache(opts.CacheSize),
 		congests: NewCongestCache(opts.CacheSize),
+		plans:    NewPlanCache(opts.CacheSize),
 		slots:    make(chan struct{}, opts.MaxConcurrent),
 		mux:      http.NewServeMux(),
 		flight:   obs.NewFlight(opts.FlightSize),
@@ -143,6 +146,27 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // CongestCache returns the congestion map cache (nil when disabled).
 func (s *Server) CongestCache() *CongestCache { return s.congests }
+
+// PlanCache returns the compiled-plan cache (nil when disabled).
+func (s *Server) PlanCache() *PlanCache { return s.plans }
+
+// plan returns the compiled plan for one circuit + process pair,
+// probing the plan cache by content address before paying for
+// compilation.  Every endpoint resolves plans here, which is what
+// makes an estimate followed by a congestion question on the same
+// body share one parse/gather.
+func (s *Server) plan(ctx context.Context, circ *netlist.Circuit, proc *tech.Process) (*engine.Plan, error) {
+	k := Key(engine.PlanHash(circ, proc))
+	if pl, ok := s.plans.Get(k); ok {
+		return pl, nil
+	}
+	pl, err := engine.CompileCtx(ctx, circ, proc)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.Put(k, pl)
+	return pl, nil
+}
 
 // Flight returns the server's flight recorder (nil when disabled).
 func (s *Server) Flight() *obs.Flight { return s.flight }
@@ -256,7 +280,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *re
 	}
 	info.mark("cache")
 
-	res, err := s.estimateWithDeadline(ctx, circ, proc, opts, key)
+	pl, err := s.plan(ctx, circ, proc)
+	if err != nil {
+		s.fail(w, info, err)
+		return
+	}
+	info.mark("compile")
+	res, err := s.estimateWithDeadline(ctx, pl, opts, key)
 	if err != nil {
 		s.fail(w, info, err)
 		return
@@ -265,18 +295,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *re
 	writeJSON(w, http.StatusOK, encodeResult(res, procName, key, false))
 }
 
-// estimateWithDeadline runs one estimate honoring ctx.  The estimator
-// itself is not preemptible, so on timeout the answer is 504 while
-// the computation finishes on its goroutine and still populates the
-// cache — an immediate retry of the same request becomes a hit.
-func (s *Server) estimateWithDeadline(ctx context.Context, circ *netlist.Circuit, proc *tech.Process, opts core.SCOptions, key Key) (*core.Result, error) {
+// estimateWithDeadline runs one estimate against a compiled plan,
+// honoring ctx.  The estimator itself is not preemptible, so on
+// timeout the answer is 504 while the computation finishes on its
+// goroutine and still populates the cache — an immediate retry of the
+// same request becomes a hit.
+func (s *Server) estimateWithDeadline(ctx context.Context, pl *engine.Plan, opts core.SCOptions, key Key) (*core.Result, error) {
 	type outcome struct {
 		res *core.Result
 		err error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := core.EstimateCtx(ctx, circ, proc, opts)
+		res, err := pl.Estimate(ctx, engine.WithRows(opts.Rows), engine.WithTrackSharing(opts.TrackSharing))
 		if err == nil {
 			s.cache.Put(key, res)
 		}
@@ -328,7 +359,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqIn
 	results := make([]*core.Result, len(req.Modules))
 	cached := make([]bool, len(req.Modules))
 	hits := 0
-	var missCircs []*netlist.Circuit
+	var missPlans []*engine.Plan
 	var missIdx []int
 	for i, m := range req.Modules {
 		c, err := parseCircuit(m.Format, m.Name, m.Netlist, proc)
@@ -342,7 +373,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqIn
 			cached[i] = true
 			hits++
 		} else {
-			missCircs = append(missCircs, c)
+			pl, err := s.plan(ctx, c, proc)
+			if err != nil {
+				s.fail(w, info, err)
+				return
+			}
+			missPlans = append(missPlans, pl)
 			missIdx = append(missIdx, i)
 		}
 	}
@@ -353,12 +389,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqIn
 	info.setDigest(keys[0])
 	info.mark("parse+cache")
 
-	if len(missCircs) > 0 {
+	if len(missPlans) > 0 {
 		workers := req.Workers
 		if workers <= 0 {
 			workers = s.opts.Workers
 		}
-		fresh, err := core.EstimateChipCtx(ctx, missCircs, proc, opts, workers)
+		fresh, err := engine.EstimatePlans(ctx, missPlans,
+			engine.WithRows(opts.Rows), engine.WithTrackSharing(opts.TrackSharing), engine.WithWorkers(workers))
 		if err != nil {
 			s.fail(w, info, err)
 			return
@@ -421,21 +458,22 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 		s.fail(w, info, err)
 		return
 	}
-	stats, err := netlist.Gather(circ, proc)
+	// The compiled plan supplies the gathered statistics (shared with
+	// any earlier /v1/estimate on the same body via the plan cache)
+	// and the resolved row count the cache key names: §5 automatic
+	// rows for standard cells, the ⌈√N⌉ grid for full custom.
+	pl, err := s.plan(ctx, circ, proc)
 	if err != nil {
 		s.fail(w, info, err)
 		return
 	}
 	info.mark("parse")
-	// Resolve the row count up front so the cache key names the map
-	// that is actually built: §5 automatic rows for standard cells,
-	// the ⌈√N⌉ grid for full custom.
 	rows := req.Rows
 	if rows == 0 {
 		if req.Gridded {
-			rows = congest.GridRows(stats)
+			rows = congest.GridRows(pl.Stats())
 		} else {
-			rows = core.InitialRows(stats, proc)
+			rows = pl.InitialRows()
 		}
 	}
 	opts := congest.Options{Model: model, Capacity: req.Capacity, FeedBudget: req.FeedBudget}
@@ -449,12 +487,9 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 	}
 	info.mark("cache")
 
-	var m *congest.Map
-	if req.Gridded {
-		m, err = congest.AnalyzeGridCtx(ctx, stats, rows, opts)
-	} else {
-		m, err = congest.AnalyzeCtx(ctx, stats, rows, opts)
-	}
+	m, err := pl.Congestion(ctx,
+		engine.WithRows(rows), engine.WithGridded(req.Gridded), engine.WithCongestModel(model),
+		engine.WithCapacity(req.Capacity), engine.WithFeedBudget(req.FeedBudget))
 	if err != nil {
 		s.fail(w, info, err)
 		return

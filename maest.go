@@ -39,6 +39,7 @@ import (
 	"maest/internal/congest"
 	"maest/internal/core"
 	"maest/internal/db"
+	"maest/internal/engine"
 	"maest/internal/floorplan"
 	"maest/internal/gen"
 	"maest/internal/geom"
@@ -200,14 +201,29 @@ func EstimateFullCustom(c *Circuit, p *Process, mode FCMode) (*FCEstimate, error
 
 // Estimate runs both estimators on a circuit (expanding cells to
 // transistors for the Full-Custom side).
+//
+// Deprecated: Estimate compiles and discards a plan per call.  Use
+// Compile once and Plan.Estimate for repeated questions about the
+// same circuit; this shim remains for one-shot convenience.
 func Estimate(c *Circuit, p *Process, opts SCOptions) (*Result, error) {
-	return core.Estimate(c, p, opts)
+	return engine.Estimate(context.Background(), c, p, engineOpts(opts)...)
 }
 
 // Pipeline is the end-to-end Fig. 1 flow: .mnet + process in,
 // estimate record out.
+//
+// Deprecated: use PipelineCtx, or Compile + Plan.Estimate when the
+// circuit is already parsed; this shim remains for one-shot
+// convenience.
 func Pipeline(r io.Reader, p *Process, opts SCOptions) (*Result, error) {
-	return core.Pipeline(r, p, opts)
+	return engine.Pipeline(context.Background(), r, p, engineOpts(opts)...)
+}
+
+// engineOpts translates the legacy SCOptions knobs into engine
+// options, so the deprecated shims stay bit-identical to the old
+// core entry points.
+func engineOpts(opts SCOptions) []EngineOption {
+	return []EngineOption{engine.WithRows(opts.Rows), engine.WithTrackSharing(opts.TrackSharing)}
 }
 
 // Ground-truth layout flow (the evaluation substrate).
@@ -342,8 +358,13 @@ func GlobalRoute(d *EstimateDB, plan *FloorPlan, p *Process, grid int) (*GlobalR
 
 // EstimateChip estimates all modules of a chip concurrently (workers
 // ≤ 0 selects GOMAXPROCS), preserving module order.
+//
+// Deprecated: use the engine's EstimateChipCtx, or compile the
+// modules once and fan out with EstimatePlans; this shim remains for
+// one-shot convenience.
 func EstimateChip(modules []*Circuit, p *Process, opts SCOptions, workers int) ([]*Result, error) {
-	return core.EstimateChip(modules, p, opts, workers)
+	return engine.EstimateChip(context.Background(), modules, p,
+		append(engineOpts(opts), engine.WithWorkers(workers))...)
 }
 
 // Workload generation.
@@ -527,19 +548,31 @@ func WriteHeapProfile(path string) error { return obs.WriteHeapProfile(path) }
 // the context's trace sink.
 
 // EstimateCtx is Estimate with observability.
+//
+// Deprecated: compiles and discards a plan per call; use CompileCtx
+// once and Plan.Estimate for repeated questions about the same
+// circuit.
 func EstimateCtx(ctx context.Context, c *Circuit, p *Process, opts SCOptions) (*Result, error) {
-	return core.EstimateCtx(ctx, c, p, opts)
+	return engine.Estimate(ctx, c, p, engineOpts(opts)...)
 }
 
 // EstimateChipCtx is EstimateChip with observability (per-module
 // spans under one chip span, worker utilization metrics).
+//
+// Deprecated: compile the modules once and fan out with
+// EstimatePlans when plans are reused; this shim remains for
+// one-shot convenience.
 func EstimateChipCtx(ctx context.Context, modules []*Circuit, p *Process, opts SCOptions, workers int) ([]*Result, error) {
-	return core.EstimateChipCtx(ctx, modules, p, opts, workers)
+	return engine.EstimateChip(ctx, modules, p,
+		append(engineOpts(opts), engine.WithWorkers(workers))...)
 }
 
 // PipelineCtx is Pipeline with observability.
+//
+// Deprecated: use CompileCtx + Plan.Estimate when the circuit is
+// already parsed; this shim remains for one-shot convenience.
 func PipelineCtx(ctx context.Context, r io.Reader, p *Process, opts SCOptions) (*Result, error) {
-	return core.PipelineCtx(ctx, r, p, opts)
+	return engine.Pipeline(ctx, r, p, engineOpts(opts)...)
 }
 
 // EstimateStandardCellProfiledCtx is EstimateStandardCellProfiled
@@ -747,3 +780,146 @@ func InitialRowCount(s *Stats, p *Process) int { return core.InitialRows(s, p) }
 func CongestKeyFor(c *Circuit, processName string, rows int, gridded bool, opts CongestOptions) EstimateCacheKey {
 	return serve.CongestKey(c, processName, rows, gridded, opts)
 }
+
+// The estimation engine (internal/engine): a compile/execute split
+// over the paper's estimators.  Compile runs the input-dependent work
+// once — netlist statistics, degree classes, technology constants —
+// into an immutable, content-addressed Plan; every estimator then
+// executes against the plan, memoizing per-configuration results.
+// Anything asking more than one question about the same circuit
+// (candidate sweeps, congestion after an estimate, a floorplanner
+// loop) should compile once and share the plan; the one-shot
+// Estimate/Pipeline shims above remain for single questions.
+//
+//	pl, err := maest.Compile(circ, proc)
+//	res, err := pl.Estimate(ctx, maest.WithTrackSharing(true))
+//	cmap, err := pl.Congestion(ctx)   // reuses the compiled stats
+type (
+	// Plan is an immutable compiled circuit: memoized statistics and
+	// tech constants every estimator executes against.  Safe for
+	// concurrent use.
+	Plan = engine.Plan
+	// PlanConstants are the technology-scaled constants a plan
+	// resolves at compile time.
+	PlanConstants = engine.Constants
+	// PlanHash is the SHA-256 content address of a plan (canonical
+	// circuit plus process serialization).
+	PlanHash = engine.Hash
+	// EngineOption mutates the engine's execution options.
+	EngineOption = engine.Option
+	// EngineOptions is the consolidated execution-option set behind
+	// the With* constructors.
+	EngineOptions = engine.Options
+	// CongestDistributions are a plan's per-channel demand and
+	// per-row feed-through distributions — the expensive convolution
+	// half of a congestion analysis, reusable across scoring options.
+	CongestDistributions = congest.Distributions
+	// PlanCache is the serving layer's LRU over compiled plans.
+	PlanCache = serve.PlanCache
+)
+
+// Compile compiles a circuit against a process into a Plan.
+func Compile(c *Circuit, p *Process) (*Plan, error) { return engine.Compile(c, p) }
+
+// CompileCtx is Compile with observability (a "compile" span).
+func CompileCtx(ctx context.Context, c *Circuit, p *Process) (*Plan, error) {
+	return engine.CompileCtx(ctx, c, p)
+}
+
+// PlanHashFor computes the content address a circuit/process pair
+// compiles to, without compiling.
+func PlanHashFor(c *Circuit, p *Process) PlanHash { return engine.PlanHash(c, p) }
+
+// WriteCanonicalCircuit emits the deterministic, order-normalized
+// circuit rendering plan hashes and serving-cache keys build on.
+func WriteCanonicalCircuit(w io.Writer, c *Circuit) { engine.WriteCanonicalCircuit(w, c) }
+
+// EstimatePlans estimates already-compiled plans concurrently,
+// preserving plan order — the reuse-friendly form of EstimateChip.
+func EstimatePlans(ctx context.Context, plans []*Plan, opts ...EngineOption) ([]*Result, error) {
+	return engine.EstimatePlans(ctx, plans, opts...)
+}
+
+// NewPlanCache returns an LRU over compiled plans holding up to
+// capacity entries (capacity < 1 disables caching).
+func NewPlanCache(capacity int) *PlanCache { return serve.NewPlanCache(capacity) }
+
+// Execution options for Plan methods and the engine entry points.
+
+// WithRows fixes the standard-cell row count (0 = §5 initialization).
+func WithRows(rows int) EngineOption { return engine.WithRows(rows) }
+
+// WithTrackSharing enables the Eq. 10/11 track-sharing refinement.
+func WithTrackSharing(on bool) EngineOption { return engine.WithTrackSharing(on) }
+
+// WithFCMode selects the Full-Custom device-area mode.
+func WithFCMode(mode FCMode) EngineOption { return engine.WithFCMode(mode) }
+
+// WithWorkers sets the chip-estimate worker count (≤ 0 GOMAXPROCS).
+func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// WithCongestModel selects the congestion demand model.
+func WithCongestModel(m CongestModel) EngineOption { return engine.WithCongestModel(m) }
+
+// WithCapacity sets the per-channel track capacity for congestion
+// scoring (0 = uncapacitated).
+func WithCapacity(tracks int) EngineOption { return engine.WithCapacity(tracks) }
+
+// WithFeedBudget sets the per-row feed-through budget for congestion
+// scoring (0 = unbudgeted).
+func WithFeedBudget(feeds int) EngineOption { return engine.WithFeedBudget(feeds) }
+
+// WithGridded selects the gridded full-custom congestion variant.
+func WithGridded(on bool) EngineOption { return engine.WithGridded(on) }
+
+// WithCandidates sets the candidate-shape count for Plan.Candidates.
+func WithCandidates(count int) EngineOption { return engine.WithCandidates(count) }
+
+// Estimator error taxonomy, exposed so callers can branch on failure
+// classes (the serving layer maps ErrEstimate to HTTP 422).
+var (
+	// ErrEstimate tags every estimator failure.
+	ErrEstimate = core.ErrEstimate
+	// ErrCongest tags every congestion-analysis failure.
+	ErrCongest = congest.ErrCongest
+	// ErrCandidateCount reports a non-positive candidate count.
+	ErrCandidateCount = core.ErrCandidateCount
+	// ErrCandidateRange reports a candidate count exceeding the
+	// feasible row range of the module.
+	ErrCandidateRange = core.ErrCandidateRange
+	// ErrPortInfeasible reports that no candidate shape offers the
+	// module's ports enough perimeter.
+	ErrPortInfeasible = core.ErrPortInfeasible
+)
+
+// SweepStandardCellShapes is the lenient candidate-sweep kernel
+// behind EstimateStandardCellCandidates: it clamps the row window to
+// feasible values instead of erroring, which is what a bundle
+// estimate wants.  Callers needing strict validation should use
+// EstimateStandardCellCandidates.
+func SweepStandardCellShapes(s *Stats, p *Process, opts SCOptions, count int) ([]*SCEstimate, error) {
+	return core.SweepStandardCellShapes(s, p, opts, count)
+}
+
+// ComputeCongestDistributions builds the per-channel and per-row
+// demand distributions of one congestion question — the half of the
+// analysis that depends only on (stats, rows, gridded, model).
+func ComputeCongestDistributions(s *Stats, rows int, gridded bool, model CongestModel) (*CongestDistributions, error) {
+	return congest.ComputeDistributions(s, rows, gridded, model)
+}
+
+// AnalyzeCongestDistributions scores precomputed distributions into a
+// congestion map under the given capacity/feed-budget options.
+func AnalyzeCongestDistributions(d *CongestDistributions, opts CongestOptions) (*CongestMap, error) {
+	return congest.AnalyzeDistributions(d, opts)
+}
+
+// AnalyzeCongestDistributionsCtx is AnalyzeCongestDistributions with
+// observability.
+func AnalyzeCongestDistributionsCtx(ctx context.Context, d *CongestDistributions, opts CongestOptions) (*CongestMap, error) {
+	return congest.AnalyzeDistributionsCtx(ctx, d, opts)
+}
+
+// CongestGridRows returns the default ⌈√N⌉ row count of the gridded
+// full-custom congestion model for a module's statistics.
+func CongestGridRows(s *Stats) int { return congest.GridRows(s) }

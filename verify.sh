@@ -16,15 +16,22 @@ go build ./...
 # The examples tree is built explicitly: example programs have no
 # tests, so only a build catches API drift there.
 go build ./examples/...
+# The engine and the serving layer share compiled plans across
+# goroutines; their suites run first and explicitly under the race
+# detector so a concurrency regression fails fast with a focused
+# report before the full-tree run below repeats them in bulk.
+go vet ./internal/engine ./internal/serve
+go test -race ./internal/engine ./internal/serve
 go test -race ./...
 # Bench smoke: every benchmark must still compile and survive one
 # iteration (catches bit-rot in the perf harness without timing it).
 go test -run=NONE -bench=. -benchtime=1x ./...
-# Observatory smoke: a fresh accuracy/perf snapshot must stay within
-# tolerance of the checked-in reference (perf compare stays off — it
-# is machine-dependent; only accuracy drift gates here).
+# Observatory smoke: a fresh accuracy snapshot must match the
+# checked-in reference exactly (-tol 0 — the engine refactor is
+# required to be bit-identical, so zero drift is the contract; perf
+# compare stays off, it is machine-dependent).
 tmp=$(mktemp /tmp/BENCH_ci.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT
 go run ./cmd/maest-bench -label ci -o "$tmp" -requests 24 -estimate-iters 1 \
-    -compare testdata/bench/BENCH_reference.json
+    -compare testdata/bench/BENCH_reference.json -tol 0
 echo "verify.sh: all checks passed"
