@@ -21,7 +21,6 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,8 +31,10 @@ import (
 	"runtime"
 	"time"
 
+	"maest/internal/client"
 	"maest/internal/engine"
 	"maest/internal/gen"
+	"maest/internal/obs"
 	"maest/internal/report"
 	"maest/internal/serve"
 	"maest/internal/tech"
@@ -121,6 +122,18 @@ func run(o *options, w io.Writer) ([]string, error) {
 			ep.Endpoint, ep.Count, ep.P50Micros, ep.P90Micros, ep.P99Micros)
 	}
 
+	// Runtime conditions the perf numbers were taken under: heap and GC
+	// state are the usual explanation when ns/op moves between hosts.
+	rs := obs.ReadRuntimeSummary()
+	snap.Runtime = &report.RuntimeSnapshot{
+		Goroutines:        rs.Goroutines,
+		HeapBytes:         rs.HeapBytes,
+		GCCycles:          rs.GCCycles,
+		GCPauseP50Seconds: rs.GCPauseP50Seconds,
+		GCPauseP99Seconds: rs.GCPauseP99Seconds,
+		SchedLatP99Secs:   rs.SchedLatP99Secs,
+	}
+
 	if err := report.WriteBenchSnapshot(o.out, snap); err != nil {
 		return nil, err
 	}
@@ -189,8 +202,10 @@ func timeEstimator(p *tech.Process, iters int) (int64, int, error) {
 }
 
 // timeServePipeline boots the real HTTP service on a loopback socket,
-// fires n requests across the three endpoints, and reads the latency
-// quantiles back from the per-endpoint histograms.
+// fires n requests across the three endpoints through the Go client
+// (so the measured path includes traceparent injection, exactly what
+// production callers pay), and reads the latency quantiles back from
+// the per-endpoint histograms.
 func timeServePipeline(n int) ([]report.EndpointPerf, error) {
 	if n < 3 {
 		n = 3
@@ -203,42 +218,26 @@ func timeServePipeline(n int) ([]report.EndpointPerf, error) {
 	srv := &http.Server{Handler: handler}
 	go srv.Serve(ln)
 	defer srv.Close()
-	base := "http://" + ln.Addr().String()
+	c := client.New("http://" + ln.Addr().String())
 
-	single, err := json.Marshal(serve.EstimateRequest{Netlist: chainNetlist("bench-single", 24)})
-	if err != nil {
-		return nil, err
-	}
-	batch, err := json.Marshal(serve.BatchRequest{Modules: []serve.ModuleInput{
+	single := serve.EstimateRequest{Netlist: chainNetlist("bench-single", 24)}
+	batch := serve.BatchRequest{Modules: []serve.ModuleInput{
 		{Netlist: chainNetlist("bench-b0", 8)},
 		{Netlist: chainNetlist("bench-b1", 12)},
-	}})
-	if err != nil {
-		return nil, err
-	}
-	congest, err := json.Marshal(serve.CongestionRequest{Netlist: chainNetlist("bench-cg", 16), Rows: 3})
-	if err != nil {
-		return nil, err
-	}
+	}}
+	congest := serve.CongestionRequest{Netlist: chainNetlist("bench-cg", 16), Rows: 3}
 
-	plan := []struct {
-		path string
-		body []byte
-	}{
-		{"/v1/estimate", single},
-		{"/v1/estimate/batch", batch},
-		{"/v1/congestion", congest},
+	// One root trace context for the whole run: every benchmark request
+	// hangs off it, so a -trace capture shows the suite as one tree.
+	ctx := obs.WithTraceContext(context.Background(), obs.NewTraceContext())
+	calls := []func() error{
+		func() error { _, err := c.Estimate(ctx, single); return err },
+		func() error { _, err := c.EstimateBatch(ctx, batch); return err },
+		func() error { _, err := c.Congestion(ctx, congest); return err },
 	}
 	for i := 0; i < n; i++ {
-		req := plan[i%len(plan)]
-		resp, err := http.Post(base+req.path, "application/json", bytes.NewReader(req.body))
-		if err != nil {
+		if err := calls[i%len(calls)](); err != nil {
 			return nil, err
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("%s: %d %s", req.path, resp.StatusCode, body)
 		}
 	}
 

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"maest/internal/client"
+	"maest/internal/obs"
+	"maest/internal/serve"
+)
+
+// fetchFlight reads one instance's flight recorder over its debug
+// listener.
+func fetchFlight(t *testing.T, debugBase string) []obs.FlightRecord {
+	t.Helper()
+	resp, err := http.Get(debugBase + "/debug/flight?n=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight serve.FlightResponse
+	if err := json.Unmarshal(body, &flight); err != nil {
+		t.Fatalf("debug/flight not JSON: %v\n%s", err, body)
+	}
+	return flight.Requests
+}
+
+// TestTwoProcessTraceStitch is the tentpole acceptance test: a client
+// with an explicit root trace context calls serve A (router mode),
+// which forwards to serve B (estimating), each instance bound to its
+// own sockets with its own flight recorder.  One trace id must span
+// client → A → B, with each hop's parent span pointing at the hop
+// before it.
+func TestTwoProcessTraceStitch(t *testing.T) {
+	// Process B: the estimating shard.
+	shard := startTestRunning(t, options{
+		flight:    16,
+		debugAddr: "127.0.0.1:0",
+	}, nil, nil)
+	// Process A: the forwarding router in front of it.
+	router := startTestRunning(t, options{
+		flight:    16,
+		debugAddr: "127.0.0.1:0",
+		backend:   shard.api,
+	}, nil, nil)
+
+	netlist, err := os.ReadFile(filepath.Join(repoTestdata, "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewTraceContext()
+	ctx := obs.WithTraceContext(context.Background(), root)
+	resp, err := client.New(router.api).Estimate(ctx, serve.EstimateRequest{Netlist: string(netlist)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Module != "demo" || resp.SC == nil {
+		t.Fatalf("estimate through two hops broken: %+v", resp)
+	}
+
+	routerRecs := fetchFlight(t, router.debug)
+	shardRecs := fetchFlight(t, shard.debug)
+	if len(routerRecs) != 1 || len(shardRecs) != 1 {
+		t.Fatalf("flight records router=%d shard=%d, want 1/1", len(routerRecs), len(shardRecs))
+	}
+	rr, sr := routerRecs[0], shardRecs[0]
+
+	// One trace id across both recorders, anchored at the client root.
+	want := root.TraceIDString()
+	if rr.Trace != want || sr.Trace != want {
+		t.Fatalf("trace ids diverged: client %s router %s shard %s", want, rr.Trace, sr.Trace)
+	}
+	// The chain of custody: client span → router span → shard span.
+	if rr.ParentSpan != root.SpanIDString() {
+		t.Fatalf("router parent %s, want client span %s", rr.ParentSpan, root.SpanIDString())
+	}
+	if sr.ParentSpan != rr.Span {
+		t.Fatalf("shard parent %s, want router span %s", sr.ParentSpan, rr.Span)
+	}
+	if rr.Span == sr.Span || rr.Span == "" || sr.Span == "" {
+		t.Fatalf("hop spans must be distinct and non-empty: router %q shard %q", rr.Span, sr.Span)
+	}
+	// The shard did the actual work; the router only forwarded.
+	if sr.Endpoint != "/v1/estimate" || sr.Status != http.StatusOK {
+		t.Fatalf("shard record %+v", sr)
+	}
+	if sr.CacheHit {
+		t.Fatal("first estimate must be a miss")
+	}
+}
+
+// TestRuntimeMetricsExposed boots the service with the runtime
+// sampler on and asserts the Go runtime gauges reach /metrics.
+func TestRuntimeMetricsExposed(t *testing.T) {
+	base := startTestServer(t, options{runtimeMetrics: 10 * time.Millisecond}, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(b)
+		if strings.Contains(text, "maest_runtime_goroutines") &&
+			strings.Contains(text, "maest_runtime_heap_bytes") &&
+			strings.Contains(text, "maest_runtime_gc_pause_p99_seconds") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("runtime gauges never appeared in /metrics:\n%s", text)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchdogFlagEndToEnd boots the service with the accuracy
+// watchdog enabled and waits for the first probe to publish its drift
+// gauge and a healthy /healthz watchdog block.
+func TestWatchdogFlagEndToEnd(t *testing.T) {
+	base := startTestServer(t, options{
+		watchdog:       time.Hour, // the immediate startup probe is enough
+		watchdogGolden: filepath.Join(repoTestdata, "golden"),
+		watchdogRef:    filepath.Join(repoTestdata, "bench", "BENCH_reference.json"),
+		watchdogTol:    0.5,
+	}, nil)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h serve.HealthResponse
+		if err := json.Unmarshal(b, &h); err != nil {
+			t.Fatalf("healthz not JSON: %v\n%s", err, b)
+		}
+		if h.Watchdog == nil {
+			t.Fatalf("healthz missing watchdog block: %s", b)
+		}
+		if h.Watchdog.Probes > 0 {
+			if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Watchdog.Degraded {
+				t.Fatalf("watchdog unhealthy on pristine goldens: %d %s", resp.StatusCode, b)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never probed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The drift gauge is exposed (gauges print with %g, so scrape the
+	// raw text rather than the integer-counter helper).
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "maest_serve_accuracy_drift_pp") {
+		t.Fatal("metrics exposition missing maest_serve_accuracy_drift_pp")
+	}
+	if !strings.Contains(string(b), "maest_serve_accuracy_degraded 0") {
+		t.Fatal("degraded gauge not 0 on pristine goldens")
+	}
+}

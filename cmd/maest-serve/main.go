@@ -11,6 +11,17 @@
 //	            [-workers N] [-retry-after 1] [-drain 10s]
 //	            [-flight N] [-access-log FILE] [-debug-addr ADDR]
 //	            [-trace out.jsonl] [-pprof out.cpu]
+//	            [-backend URL] [-runtime-metrics 15s]
+//	            [-watchdog 0] [-watchdog-golden DIR] [-watchdog-ref FILE]
+//	            [-watchdog-tol 0.5] [-watchdog-seed N]
+//
+// -backend turns the instance into a forwarding hop (the maest-router
+// building block): /v1/* relays to the backend with the W3C
+// traceparent re-injected, so one trace id spans client → router →
+// shard.  -watchdog starts the accuracy watchdog: every interval the
+// golden circuit set replays through the live plan cache and /healthz
+// degrades (503) when any module drifts beyond -watchdog-tol
+// percentage points from the pinned reference.
 //
 // Endpoints:
 //
@@ -65,6 +76,14 @@ type options struct {
 	debugAddr   string
 	trace       string
 	pprof       string
+
+	backend        string
+	runtimeMetrics time.Duration
+	watchdog       time.Duration
+	watchdogGolden string
+	watchdogRef    string
+	watchdogTol    float64
+	watchdogSeed   int64
 }
 
 func main() {
@@ -83,6 +102,13 @@ func main() {
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve the observatory debug endpoints (/debug/flight, /debug/slowest, /metrics) on this extra address (empty disables)")
 	flag.StringVar(&o.trace, "trace", "", "write a JSONL span trace to this file ('-' = stdout) and a summary tree to stderr on exit")
 	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
+	flag.StringVar(&o.backend, "backend", "", "forward /v1/* to this maest-serve base URL instead of estimating locally (router mode; traceparent is re-injected per hop)")
+	flag.DurationVar(&o.runtimeMetrics, "runtime-metrics", 15*time.Second, "Go runtime telemetry sampling interval for /metrics (0 disables)")
+	flag.DurationVar(&o.watchdog, "watchdog", 0, "accuracy watchdog probe interval; replays the golden set through the live plan cache and degrades /healthz on drift (0 disables)")
+	flag.StringVar(&o.watchdogGolden, "watchdog-golden", "testdata/golden", "golden tables directory for the accuracy watchdog")
+	flag.StringVar(&o.watchdogRef, "watchdog-ref", "testdata/bench/BENCH_reference.json", "pinned bench snapshot the watchdog diffs against")
+	flag.Float64Var(&o.watchdogTol, "watchdog-tol", 0.5, "allowed drift growth beyond the reference, in percentage points")
+	flag.Int64Var(&o.watchdogSeed, "watchdog-seed", 0, "layout-synthesis seed for watchdog probes (0 = the reference snapshot's seed)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "maest-serve:", err)
@@ -151,6 +177,8 @@ type running struct {
 	apiAddr   string
 	debug     *http.Server // nil when -debug-addr is empty
 	debugAddr string
+	handler   *serve.Server
+	sampler   *obs.RuntimeSampler // nil when -runtime-metrics is 0
 }
 
 // startServer validates the options, binds the listeners, and serves
@@ -169,6 +197,14 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		EstimateHook:    hook,
 		FlightSize:      o.flight,
 		AccessLog:       accessLog,
+		Backend:         o.backend,
+		Watchdog: serve.WatchdogOptions{
+			Interval:  o.watchdog,
+			GoldenDir: o.watchdogGolden,
+			Reference: o.watchdogRef,
+			TolPP:     o.watchdogTol,
+			Seed:      o.watchdogSeed,
+		},
 	})
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -184,7 +220,11 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 			BaseContext:  func(net.Listener) context.Context { return ctx },
 		},
 		apiAddr: ln.Addr().String(),
+		handler: handler,
+		sampler: obs.NewRuntimeSampler(o.runtimeMetrics),
 	}
+	rt.sampler.Start()
+	rt.handler.Watchdog().Start()
 	go serveListener(rt.api, ln)
 
 	if o.debugAddr != "" {
@@ -214,6 +254,8 @@ func serveListener(srv *http.Server, ln net.Listener) {
 // then closes the listeners hard.  The debug listener has no
 // long-running requests and closes immediately.
 func (rt *running) shutdown(drain time.Duration) error {
+	rt.handler.Watchdog().Stop()
+	rt.sampler.Stop()
 	if rt.debug != nil {
 		rt.debug.Close()
 	}

@@ -43,19 +43,35 @@ type FlightRecord struct {
 	// reveal how much history the ring has dropped.
 	Seq uint64 `json:"seq"`
 	// ID is the request ID echoed to the client in X-Request-Id.
-	ID       string    `json:"id,omitempty"`
-	Time     time.Time `json:"time"`
-	Method   string    `json:"method,omitempty"`
-	Endpoint string    `json:"endpoint"`
-	Status   int       `json:"status"`
-	Micros   int64     `json:"us"`
+	ID string `json:"id,omitempty"`
+	// Trace, Span, and ParentSpan stitch this hop into a distributed
+	// trace (W3C trace context): Trace is shared by every hop, Span is
+	// this hop's own id, ParentSpan is the caller's span id from the
+	// incoming traceparent header (empty for trace roots).  Matching
+	// Trace values across two processes' flight recorders reconstruct
+	// one request's journey through a serve fleet.
+	Trace      string    `json:"trace,omitempty"`
+	Span       string    `json:"span,omitempty"`
+	ParentSpan string    `json:"parent_span,omitempty"`
+	Time       time.Time `json:"time"`
+	Method     string    `json:"method,omitempty"`
+	Endpoint   string    `json:"endpoint"`
+	Status     int       `json:"status"`
+	Micros     int64     `json:"us"`
 	// Digest is the content address of the request's input (the cache
 	// key), linking the record to cache entries and repeat requests.
-	Digest   string        `json:"digest,omitempty"`
-	CacheHit bool          `json:"cache_hit"`
-	Err      string        `json:"err,omitempty"`
-	Stages   []FlightStage `json:"stages,omitempty"`
-	Spans    []FlightSpan  `json:"spans,omitempty"`
+	Digest   string `json:"digest,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	// AllocBytes and GCAssistMicros are the process-wide allocation
+	// and GC-mark-assist deltas over the request window (see
+	// obs.RequestCosts) — the "was this request fighting the GC?"
+	// signal.  Under concurrency they include neighbouring requests'
+	// work.
+	AllocBytes     int64         `json:"alloc_bytes,omitempty"`
+	GCAssistMicros int64         `json:"gc_assist_us,omitempty"`
+	Err            string        `json:"err,omitempty"`
+	Stages         []FlightStage `json:"stages,omitempty"`
+	Spans          []FlightSpan  `json:"spans,omitempty"`
 }
 
 // Flight is the fixed-capacity request ring.  All methods are safe

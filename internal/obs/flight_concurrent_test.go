@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFlightConcurrentWraparound hammers a small ring with concurrent
+// writers while readers snapshot across the wrap boundary.  Every
+// snapshot must be internally consistent: sequences strictly ascending
+// with no duplicates, each record's payload matching the writer that
+// produced its sequence number, and length never exceeding capacity.
+// Run under -race in verify.sh.
+func TestFlightConcurrentWraparound(t *testing.T) {
+	const (
+		capacity = 8
+		writers  = 4
+		perW     = 500
+		readers  = 3
+	)
+	f := NewFlight(capacity)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := f.Snapshot()
+				if len(snap) > capacity {
+					errs <- fmt.Errorf("snapshot longer than capacity: %d", len(snap))
+					return
+				}
+				for i, rec := range snap {
+					if i > 0 && rec.Seq != snap[i-1].Seq+1 {
+						errs <- fmt.Errorf("snapshot seqs not contiguous: %d after %d",
+							rec.Seq, snap[i-1].Seq)
+						return
+					}
+					// Each writer stamps its records with its own
+					// endpoint; the record stored under a Seq must be
+					// whole (no torn copy mixing two writers' fields).
+					if rec.Endpoint != rec.ID {
+						errs <- fmt.Errorf("torn record at seq %d: endpoint %q id %q",
+							rec.Seq, rec.Endpoint, rec.ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			tag := fmt.Sprintf("writer-%d", w)
+			for i := 0; i < perW; i++ {
+				f.Record(FlightRecord{ID: tag, Endpoint: tag, Status: 200})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := f.Total(); got != writers*perW {
+		t.Fatalf("total = %d, want %d", got, writers*perW)
+	}
+	if got := f.Len(); got != capacity {
+		t.Fatalf("len = %d, want full ring %d", got, capacity)
+	}
+	snap := f.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("final snapshot %d records, want %d", len(snap), capacity)
+	}
+	if snap[len(snap)-1].Seq != writers*perW-1 {
+		t.Fatalf("final snapshot newest seq = %d, want %d",
+			snap[len(snap)-1].Seq, writers*perW-1)
+	}
+}
+
+// TestFlightSnapshotMidWrap pins the wraparound arithmetic: capacity
+// crossed mid-stream must keep snapshots oldest-first with the evicted
+// prefix gone.
+func TestFlightSnapshotMidWrap(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 6; i++ { // 2 past capacity
+		f.Record(FlightRecord{Endpoint: fmt.Sprintf("r%d", i)})
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len = %d, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		wantSeq := uint64(2 + i)
+		if rec.Seq != wantSeq || rec.Endpoint != fmt.Sprintf("r%d", wantSeq) {
+			t.Fatalf("snap[%d] = seq %d endpoint %q, want seq %d", i, rec.Seq, rec.Endpoint, wantSeq)
+		}
+	}
+}

@@ -59,8 +59,13 @@ type Histogram struct {
 	count      atomic.Int64
 }
 
-// Observe records one value.
+// Observe records one value.  Non-finite values are dropped: a NaN or
+// ±Inf observation would poison the sum (and through it Mean and the
+// /debug JSON, which cannot encode non-finite numbers) forever.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	i := sort.SearchFloat64s(h.uppers, v) // first upper ≥ v
 	h.counts[i].Add(1)
 	h.count.Add(1)
@@ -92,9 +97,14 @@ func (h *Histogram) Mean() float64 {
 // histogram_quantile computes server-side, available here without a
 // scrape.  The first bucket interpolates from 0 (the histograms all
 // record non-negative quantities); ranks landing in the +Inf bucket
-// return the largest finite upper bound.  An empty histogram returns
-// 0.
+// return the largest finite upper bound.  An empty histogram — and a
+// NaN p — returns 0.  The answer is always finite: a registered +Inf
+// bucket bound is treated as the overflow bucket, so NaN/∞ never leak
+// into the /debug JSON (which cannot encode them).
 func (h *Histogram) Quantile(p float64) float64 {
+	if math.IsNaN(p) {
+		return 0
+	}
 	counts := make([]int64, len(h.counts))
 	var total int64
 	for i := range h.counts {
@@ -110,10 +120,15 @@ func (h *Histogram) Quantile(p float64) float64 {
 	for i, upper := range h.uppers {
 		c := float64(counts[i])
 		if c > 0 && cum+c >= rank {
+			if math.IsInf(upper, 1) {
+				return lower // caller registered an explicit +Inf bound
+			}
 			return lower + (upper-lower)*(rank-cum)/c
 		}
 		cum += c
-		lower = upper
+		if !math.IsInf(upper, 1) {
+			lower = upper
+		}
 	}
 	return lower
 }

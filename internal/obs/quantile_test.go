@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", DefBuckets)
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", []float64{10})
+		h.Observe(5)
+		h.Observe(7)
+		for _, tt := range []struct{ q, want float64 }{{0, 0}, {0.5, 5}, {1, 10}} {
+			if got := h.Quantile(tt.q); got != tt.want {
+				t.Fatalf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+			}
+		}
+	})
+
+	t.Run("q clamped", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", []float64{1, 2})
+		h.Observe(0.5)
+		if got := h.Quantile(-3); got != h.Quantile(0) {
+			t.Fatalf("Quantile(-3) = %g, want clamp to Quantile(0)", got)
+		}
+		if got := h.Quantile(42); got != h.Quantile(1) {
+			t.Fatalf("Quantile(42) = %g, want clamp to Quantile(1)", got)
+		}
+	})
+
+	t.Run("nan q", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", []float64{1})
+		h.Observe(0.5)
+		if got := h.Quantile(math.NaN()); got != 0 {
+			t.Fatalf("Quantile(NaN) = %g, want 0", got)
+		}
+	})
+
+	t.Run("overflow bucket stays finite", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", []float64{1, 2})
+		h.Observe(100) // lands in the implicit +Inf bucket
+		got := h.Quantile(0.99)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Quantile(0.99) = %g, want finite", got)
+		}
+		if got != 2 {
+			t.Fatalf("Quantile(0.99) = %g, want largest finite upper 2", got)
+		}
+	})
+
+	t.Run("explicit +Inf bound stays finite", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", []float64{1, math.Inf(1)})
+		h.Observe(100)
+		got := h.Quantile(0.99)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Quantile(0.99) = %g, want finite", got)
+		}
+	})
+
+	t.Run("interpolation", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", []float64{1, 2, 4})
+		for i := 0; i < 4; i++ {
+			h.Observe(1.5) // 4 observations in the (1, 2] bucket
+		}
+		if got := h.Quantile(0.5); got != 1.5 {
+			t.Fatalf("Quantile(0.5) = %g, want 1.5 (midpoint of bucket)", got)
+		}
+	})
+}
+
+func TestHistogramObserveRejectsNonFinite(t *testing.T) {
+	h := NewRegistry().Histogram("h", "", []float64{1, 2})
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 0 {
+		t.Fatalf("non-finite observations counted: %d", h.Count())
+	}
+	h.Observe(1.5)
+	if h.Count() != 1 || h.Sum() != 1.5 || h.Mean() != 1.5 {
+		t.Fatalf("count=%d sum=%g mean=%g after poisoning attempt, want 1/1.5/1.5",
+			h.Count(), h.Sum(), h.Mean())
+	}
+	if got := h.Quantile(0.5); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Quantile leaked non-finite %g", got)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() || !tc.Sampled() {
+		t.Fatalf("fresh context invalid or unsampled: %+v", tc)
+	}
+	hdr := tc.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") {
+		t.Fatalf("rendered header %q", hdr)
+	}
+	got, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+	if got.TraceIDString() != hdr[3:35] || got.SpanIDString() != hdr[36:52] {
+		t.Fatalf("id strings do not match header: %q vs %q", got.TraceIDString(), hdr)
+	}
+}
+
+func TestParseTraceparentSpec(t *testing.T) {
+	const valid = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name  string
+		in    string
+		valid bool
+	}{
+		{"canonical", valid, true},
+		{"unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true},
+		{"future version", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true},
+		{"empty", "", false},
+		{"truncated", valid[:54], false},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"version 00 with trailer", valid + "-extra", false},
+		{"future version bad separator", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", false},
+		{"uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},
+		{"zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false},
+		{"bad dash position", "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g", false},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473z-00f067aa0ba902b7-01", false},
+	}
+	for _, tt := range cases {
+		tc, err := ParseTraceparent(tt.in)
+		if tt.valid && err != nil {
+			t.Errorf("%s: unexpected error %v", tt.name, err)
+		}
+		if !tt.valid && err == nil {
+			t.Errorf("%s: parsed %q as %+v, want error", tt.name, tt.in, tc)
+		}
+		if !tt.valid && tc.Valid() {
+			t.Errorf("%s: error path returned valid context %+v", tt.name, tc)
+		}
+	}
+}
+
+func TestTraceContextChild(t *testing.T) {
+	root := NewTraceContext()
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatalf("child changed trace id: %x vs %x", child.TraceID, root.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatalf("child reused parent span id %x", child.SpanID)
+	}
+	if child.Flags != root.Flags {
+		t.Fatalf("child changed flags: %x vs %x", child.Flags, root.Flags)
+	}
+}
+
+func TestTraceContextCtxRoundTrip(t *testing.T) {
+	if _, ok := TraceContextFrom(context.Background()); ok {
+		t.Fatal("empty context reported a trace context")
+	}
+	tc := NewTraceContext()
+	ctx := WithTraceContext(context.Background(), tc)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got != tc {
+		t.Fatalf("ctx round trip: got %+v ok=%v", got, ok)
+	}
+	// An invalid (zero) context stored in ctx must read back as absent.
+	if _, ok := TraceContextFrom(WithTraceContext(context.Background(), TraceContext{})); ok {
+		t.Fatal("zero trace context reported as present")
+	}
+}
+
+func TestNewTraceContextUnique(t *testing.T) {
+	a, b := NewTraceContext(), NewTraceContext()
+	if a.TraceID == b.TraceID || a.SpanID == b.SpanID {
+		t.Fatalf("consecutive roots collided: %+v %+v", a, b)
+	}
+}

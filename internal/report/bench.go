@@ -2,6 +2,7 @@ package report
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -32,6 +33,21 @@ type BenchSnapshot struct {
 	GoVersion string           `json:"go_version"`
 	Accuracy  AccuracySnapshot `json:"accuracy"`
 	Perf      PerfSnapshot     `json:"perf"`
+	// Runtime captures the Go runtime's state at snapshot time.  It is
+	// informational context for perf numbers (a run with heavy GC
+	// pressure reads differently), optional so older references stay
+	// comparable under the same schema, and ignored by CompareBench.
+	Runtime *RuntimeSnapshot `json:"runtime,omitempty"`
+}
+
+// RuntimeSnapshot is the runtime-telemetry block of a bench snapshot.
+type RuntimeSnapshot struct {
+	Goroutines        uint64  `json:"goroutines"`
+	HeapBytes         uint64  `json:"heap_bytes"`
+	GCCycles          uint64  `json:"gc_cycles"`
+	GCPauseP50Seconds float64 `json:"gc_pause_p50_seconds"`
+	GCPauseP99Seconds float64 `json:"gc_pause_p99_seconds"`
+	SchedLatP99Secs   float64 `json:"sched_latency_p99_seconds"`
 }
 
 // AccuracySnapshot records per-module estimation error alongside the
@@ -82,6 +98,14 @@ type EndpointPerf struct {
 // each module's error percentage against the golden tables under
 // goldenDir (testdata/golden/table{1,2}.txt).
 func BuildAccuracy(goldenDir string, p *tech.Process, seed int64) (AccuracySnapshot, error) {
+	return BuildAccuracyCtx(context.Background(), goldenDir, p, seed, nil)
+}
+
+// BuildAccuracyCtx is BuildAccuracy with a caller context and an
+// optional plan resolver (nil = engine.CompileCtx) — the serve
+// accuracy watchdog passes its live plan cache here so every probe
+// exercises the serving stack's own compilation path.
+func BuildAccuracyCtx(ctx context.Context, goldenDir string, p *tech.Process, seed int64, compile CompileFunc) (AccuracySnapshot, error) {
 	snap := AccuracySnapshot{Seed: seed, Process: p.Name}
 
 	golden1, err := parseGoldenTable1(filepath.Join(goldenDir, "table1.txt"))
@@ -93,7 +117,7 @@ func BuildAccuracy(goldenDir string, p *tech.Process, seed int64) (AccuracySnaps
 		return snap, err
 	}
 
-	rows1, err := RunTable1(p, seed)
+	rows1, err := RunTable1Ctx(ctx, p, seed, compile)
 	if err != nil {
 		return snap, fmt.Errorf("bench: table 1: %w", err)
 	}
@@ -108,7 +132,7 @@ func BuildAccuracy(goldenDir string, p *tech.Process, seed int64) (AccuracySnaps
 			ErrPct: r.ErrAverage * 100, GoldenPct: g.errAverage})
 	}
 
-	rows2, err := RunTable2(p, seed)
+	rows2, err := RunTable2Ctx(ctx, p, seed, compile)
 	if err != nil {
 		return snap, fmt.Errorf("bench: table 2: %w", err)
 	}
@@ -243,38 +267,11 @@ func ReadBenchSnapshot(path string) (*BenchSnapshot, error) {
 // estimator ns/op and every endpoint p99 may grow by at most the
 // given fraction (0.25 = +25%).
 func CompareBench(old, new *BenchSnapshot, tolPP, perfTol float64) []string {
-	var regressions []string
 	if old.Schema != new.Schema {
 		return []string{fmt.Sprintf("schema mismatch: reference %d vs new %d (regenerate the reference)",
 			old.Schema, new.Schema)}
 	}
-
-	newModules := make(map[string]ModuleAccuracy, len(new.Accuracy.Modules))
-	for _, m := range new.Accuracy.Modules {
-		newModules[m.Module+"/"+m.Config] = m
-	}
-	var keys []string
-	oldModules := make(map[string]ModuleAccuracy, len(old.Accuracy.Modules))
-	for _, m := range old.Accuracy.Modules {
-		k := m.Module + "/" + m.Config
-		oldModules[k] = m
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		om := oldModules[k]
-		nm, ok := newModules[k]
-		if !ok {
-			regressions = append(regressions,
-				fmt.Sprintf("accuracy: %s missing from new snapshot", k))
-			continue
-		}
-		if nm.DriftPP > om.DriftPP+tolPP {
-			regressions = append(regressions, fmt.Sprintf(
-				"accuracy: %s drifted to %.2fpp from golden (reference %.2fpp, tolerance %.2fpp): err %+.2f%% vs golden %+.2f%%",
-				k, nm.DriftPP, om.DriftPP, tolPP, nm.ErrPct, nm.GoldenPct))
-		}
-	}
+	regressions := CompareAccuracy(&old.Accuracy, &new.Accuracy, tolPP)
 
 	if perfTol > 0 {
 		if old.Perf.EstimateNsPerOp > 0 {
@@ -299,6 +296,43 @@ func CompareBench(old, new *BenchSnapshot, tolPP, perfTol float64) []string {
 					"perf: %s p99 %.0fus exceeds reference %.0fus by more than %.0f%%",
 					ep.Endpoint, ep.P99Micros, ref.P99Micros, perfTol*100))
 			}
+		}
+	}
+	return regressions
+}
+
+// CompareAccuracy diffs a fresh accuracy snapshot against a reference
+// and returns one message per regression (empty = clean): a module
+// whose drift from golden grew by more than tolPP percentage points
+// beyond the reference drift, or a reference module missing from the
+// fresh snapshot.  CompareBench and the serve accuracy watchdog share
+// this judgement.
+func CompareAccuracy(old, new *AccuracySnapshot, tolPP float64) []string {
+	var regressions []string
+	newModules := make(map[string]ModuleAccuracy, len(new.Modules))
+	for _, m := range new.Modules {
+		newModules[m.Module+"/"+m.Config] = m
+	}
+	var keys []string
+	oldModules := make(map[string]ModuleAccuracy, len(old.Modules))
+	for _, m := range old.Modules {
+		k := m.Module + "/" + m.Config
+		oldModules[k] = m
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		om := oldModules[k]
+		nm, ok := newModules[k]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("accuracy: %s missing from new snapshot", k))
+			continue
+		}
+		if nm.DriftPP > om.DriftPP+tolPP {
+			regressions = append(regressions, fmt.Sprintf(
+				"accuracy: %s drifted to %.2fpp from golden (reference %.2fpp, tolerance %.2fpp): err %+.2f%% vs golden %+.2f%%",
+				k, nm.DriftPP, om.DriftPP, tolPP, nm.ErrPct, nm.GoldenPct))
 		}
 	}
 	return regressions

@@ -170,14 +170,41 @@ type CongestionResponse struct {
 	Hotspots       []HotspotBody  `json:"hotspots,omitempty"`
 }
 
-// ErrorResponse is every non-2xx body.
+// ErrorResponse is every non-2xx body.  RequestID and TraceID are
+// present whenever request telemetry is enabled, so a client seeing a
+// 429/400/500 can quote the exact identifiers an operator needs to
+// find the request in the access log and flight recorder — the error
+// path is where correlation matters most.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+}
+
+// HealthResponse is the GET /healthz body.  Status is "ok" or
+// "degraded"; the watchdog block appears when the accuracy watchdog is
+// running.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	Watchdog *WatchdogHealth `json:"watchdog,omitempty"`
+}
+
+// WatchdogHealth is the accuracy watchdog's view in /healthz.
+type WatchdogHealth struct {
+	Degraded    bool    `json:"degraded"`
+	Probes      int64   `json:"probes"`
+	ProbeErrors int64   `json:"probe_errors"`
+	MaxDriftPP  float64 `json:"max_drift_pp"`
+	Regressions int     `json:"regressions"`
+	LastError   string  `json:"last_error,omitempty"`
 }
 
 // errBadRequest marks client-side failures that map to HTTP 4xx; its
 // absence means a server-side 5xx.
 var errBadRequest = errors.New("serve: bad request")
+
+// errBadGateway marks proxy failures reaching the backend (502).
+var errBadGateway = errors.New("serve: backend unreachable")
 
 func reqErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))

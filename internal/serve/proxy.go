@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"maest/internal/obs"
+)
+
+// Forwarding mode: a Server configured with Options.Backend answers
+// the /v1/* endpoints by relaying them to another maest-serve instance
+// instead of estimating locally.  This is the maest-router building
+// block — a front hop that will grow sharding and replica selection —
+// and the vehicle proving that a trace survives the process boundary:
+// the hop re-injects its own span id as the outgoing traceparent
+// parent, so the backend's flight record stitches under this hop's.
+
+var (
+	mProxyRequests = obs.DefCounter("maest_serve_proxy_requests_total", "requests forwarded to the backend")
+	mProxyErrors   = obs.DefCounter("maest_serve_proxy_errors_total", "forwards that failed to reach the backend")
+	mProxySec      = obs.DefHistogram("maest_serve_proxy_seconds", "backend round-trip latency", obs.DefBuckets)
+)
+
+// proxyTo returns an instrumented handler forwarding one endpoint to
+// the configured backend.
+func (s *Server) proxyTo(endpoint string) func(http.ResponseWriter, *http.Request, *reqInfo) {
+	target := s.opts.Backend + endpoint
+	return func(w http.ResponseWriter, r *http.Request, info *reqInfo) {
+		mProxyRequests.Inc()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes))
+		if err != nil {
+			s.fail(w, info, fmt.Errorf("%w: read body: %w", errBadRequest, err))
+			return
+		}
+		info.mark("read")
+
+		ctx := r.Context()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			s.fail(w, info, fmt.Errorf("%w: %v", errBadGateway, err))
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// Continue the trace: the hop's own context (installed in ctx by
+		// instrument) becomes the outgoing traceparent, making this
+		// hop's span id the backend's parent.  When telemetry is
+		// disabled here, fall back to relaying the caller's header so
+		// the ends of the chain still stitch.
+		if tc, ok := obs.TraceContextFrom(ctx); ok {
+			req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+		} else if hdr := r.Header.Get(obs.TraceparentHeader); hdr != "" {
+			req.Header.Set(obs.TraceparentHeader, hdr)
+		}
+
+		_, span := obs.Start(ctx, "proxy")
+		span.SetString("backend", s.opts.Backend)
+		t0 := time.Now()
+		resp, err := s.proxy.Do(req)
+		mProxySec.Observe(time.Since(t0).Seconds())
+		span.EndErr(err)
+		if err != nil {
+			mProxyErrors.Inc()
+			s.fail(w, info, fmt.Errorf("%w: %v", errBadGateway, err))
+			return
+		}
+		defer resp.Body.Close()
+		info.mark("backend")
+
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		if resp.StatusCode >= 400 {
+			info.fail(fmt.Errorf("serve: backend answered %d", resp.StatusCode))
+		}
+	}
+}

@@ -68,6 +68,16 @@ type Options struct {
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// request (method, path, status, duration, request ID, cache hit).
 	AccessLog io.Writer
+	// Backend, when non-empty, turns the server into a forwarding hop:
+	// the /v1/* endpoints proxy to this base URL (e.g.
+	// "http://shard0:8080") instead of estimating locally, re-injecting
+	// the W3C traceparent so the trace survives the extra hop.  This is
+	// the maest-router building block; health, metrics, and the debug
+	// observatory stay local.
+	Backend string
+	// Watchdog configures the accuracy watchdog; the zero value (or an
+	// Interval of 0) disables it.
+	Watchdog WatchdogOptions
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -112,6 +122,8 @@ type Server struct {
 	mux      *http.ServeMux
 	flight   *obs.Flight   // nil when the recorder is disabled
 	access   *accessLogger // nil when access logging is disabled
+	proxy    *http.Client  // non-nil only in Backend (forwarding) mode
+	watchdog *Watchdog     // nil when the accuracy watchdog is disabled
 }
 
 // New returns a Server ready to mount on an http.Server.
@@ -130,13 +142,26 @@ func New(opts Options) *Server {
 	if opts.AccessLog != nil {
 		s.access = newAccessLogger(opts.AccessLog)
 	}
-	s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
-	s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.handleBatch))
-	s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.handleCongestion))
+	if opts.Backend != "" {
+		s.proxy = &http.Client{Timeout: opts.Timeout}
+		s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.proxyTo("/v1/estimate")))
+		s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.proxyTo("/v1/estimate/batch")))
+		s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.proxyTo("/v1/congestion")))
+	} else {
+		s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
+		s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.handleBatch))
+		s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.handleCongestion))
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Watchdog.Interval > 0 {
+		s.watchdog = newWatchdog(s, opts.Watchdog)
+	}
 	return s
 }
+
+// Watchdog returns the server's accuracy watchdog (nil when disabled).
+func (s *Server) Watchdog() *Watchdog { return s.watchdog }
 
 // ServeHTTP dispatches to the service routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -197,8 +222,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError maps an error to its HTTP status and JSON body.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps an error to its HTTP status and JSON body.  The
+// body carries the request and trace IDs (when telemetry is enabled)
+// so the client of a failed request can quote the identifiers that
+// find it in the access log and flight recorder.
+func writeError(w http.ResponseWriter, info *reqInfo, err error) {
 	mErrors.Inc()
 	status := http.StatusInternalServerError
 	var maxErr *http.MaxBytesError
@@ -213,11 +241,17 @@ func writeError(w http.ResponseWriter, err error) {
 		// The request was well-formed but the circuit cannot be
 		// estimated (unknown device, mixed methodologies, …).
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, errBadGateway):
+		status = http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		mTimeouts.Inc()
 		status = http.StatusGatewayTimeout
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{
+		Error:     err.Error(),
+		RequestID: info.requestID(),
+		TraceID:   info.traceID(),
+	})
 }
 
 // reject sheds one request with 429 and the configured Retry-After
@@ -226,15 +260,18 @@ func (s *Server) reject(w http.ResponseWriter, info *reqInfo) {
 	mRejected.Inc()
 	info.fail(errors.New("serve: concurrency limit reached"))
 	w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfter))
-	writeJSON(w, http.StatusTooManyRequests,
-		ErrorResponse{Error: "serve: concurrency limit reached, retry later"})
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error:     "serve: concurrency limit reached, retry later",
+		RequestID: info.requestID(),
+		TraceID:   info.traceID(),
+	})
 }
 
 // fail records the outcome on the request's telemetry and renders the
 // error response — the handlers' single error exit.
 func (s *Server) fail(w http.ResponseWriter, info *reqInfo, err error) {
 	info.fail(err)
-	writeError(w, err)
+	writeError(w, info, err)
 }
 
 // handleEstimate answers POST /v1/estimate: decode → cache → estimate
@@ -500,7 +537,20 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{Status: "ok"}
+	status := http.StatusOK
+	if wd := s.watchdog; wd != nil {
+		h := wd.Health()
+		resp.Watchdog = &h
+		if h.Degraded {
+			// Degraded accuracy is a health failure: a load balancer
+			// should stop routing floorplanner traffic to a shard whose
+			// estimates have drifted off the golden set.
+			resp.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

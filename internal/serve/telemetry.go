@@ -89,6 +89,7 @@ func newAccessLogger(w io.Writer) *accessLogger {
 type accessEntry struct {
 	Time     string `json:"time"`
 	ID       string `json:"id"`
+	Trace    string `json:"trace,omitempty"`
 	Method   string `json:"method"`
 	Path     string `json:"path"`
 	Status   int    `json:"status"`
@@ -118,6 +119,30 @@ type reqInfo struct {
 	cacheHit bool
 	errMsg   string
 	spans    *obs.Collect // non-nil only when the flight recorder is on
+
+	// trace is this hop's own W3C trace context (minted fresh for trace
+	// roots, a Child of the incoming traceparent otherwise); parentSpan
+	// is the caller's span id from the incoming header, empty at roots.
+	trace      obs.TraceContext
+	parentSpan string
+}
+
+// requestID returns the request id for error bodies ("" when
+// telemetry is disabled).
+func (ri *reqInfo) requestID() string {
+	if ri == nil {
+		return ""
+	}
+	return ri.id
+}
+
+// traceID returns the hop's trace id for error bodies ("" when
+// telemetry is disabled).
+func (ri *reqInfo) traceID() string {
+	if ri == nil || !ri.trace.Valid() {
+		return ""
+	}
+	return ri.trace.TraceIDString()
 }
 
 // mark closes the current stage: the time since the previous mark (or
@@ -195,13 +220,30 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 			t0:       t0,
 			lastMark: t0,
 		}
+		// W3C trace context: an incoming traceparent roots this hop in
+		// the caller's trace (the caller's span id becomes our parent);
+		// otherwise this hop is a trace root.  Either way the hop gets
+		// its own span id, installed in ctx so outbound calls (the
+		// proxy, internal/client) can continue the chain.
+		if tc, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); err == nil {
+			info.parentSpan = tc.SpanIDString()
+			info.trace = tc.Child()
+		} else {
+			info.trace = obs.NewTraceContext()
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		sw.Header().Set("X-Request-Id", info.id)
+		sw.Header().Set("X-Trace-Id", info.trace.TraceIDString())
+
+		var startCosts obs.RequestCosts
+		if s.flight != nil {
+			startCosts = obs.ReadRequestCosts()
+		}
 
 		// Thread the request through a root span carrying the request
 		// ID, fanned out to both the server's trace sink (if any) and
 		// the flight recorder's bounded per-request collector.
-		ctx := r.Context()
+		ctx := obs.WithTraceContext(r.Context(), info.trace)
 		var root *obs.Span
 		if s.flight != nil {
 			info.spans = obs.NewCollect(flightSpanCap)
@@ -210,6 +252,7 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		ctx, root = obs.Start(ctx, "request")
 		root.SetString("endpoint", endpoint)
 		root.SetString("request_id", info.id)
+		root.SetString("trace_id", info.trace.TraceIDString())
 		h(sw, r.WithContext(ctx), info)
 		root.End()
 
@@ -219,17 +262,23 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		hist.Observe(lat)
 
 		if s.flight != nil {
+			costs := obs.ReadRequestCosts().Since(startCosts)
 			rec := obs.FlightRecord{
-				ID:       info.id,
-				Time:     t0,
-				Method:   info.method,
-				Endpoint: endpoint,
-				Status:   sw.status,
-				Micros:   dur.Microseconds(),
-				Digest:   info.digest,
-				CacheHit: info.cacheHit,
-				Err:      info.errMsg,
-				Stages:   info.stages,
+				ID:             info.id,
+				Trace:          info.trace.TraceIDString(),
+				Span:           info.trace.SpanIDString(),
+				ParentSpan:     info.parentSpan,
+				Time:           t0,
+				Method:         info.method,
+				Endpoint:       endpoint,
+				Status:         sw.status,
+				Micros:         dur.Microseconds(),
+				Digest:         info.digest,
+				CacheHit:       info.cacheHit,
+				AllocBytes:     int64(costs.AllocBytes),
+				GCAssistMicros: int64(costs.GCAssistSeconds * 1e6),
+				Err:            info.errMsg,
+				Stages:         info.stages,
 			}
 			if info.spans != nil {
 				rec.Spans = info.spans.Spans()
@@ -240,6 +289,7 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 			s.access.log(accessEntry{
 				Time:     t0.UTC().Format(time.RFC3339Nano),
 				ID:       info.id,
+				Trace:    info.trace.TraceIDString(),
 				Method:   info.method,
 				Path:     endpoint,
 				Status:   sw.status,

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	wdGoldenDir = "../../testdata/golden"
+	wdReference = "../../testdata/bench/BENCH_reference.json"
+)
+
+func wdOptions() WatchdogOptions {
+	return WatchdogOptions{
+		Interval:  time.Hour, // tests call Probe directly
+		GoldenDir: wdGoldenDir,
+		Reference: wdReference,
+		TolPP:     0.5,
+	}
+}
+
+func TestWatchdogCleanProbe(t *testing.T) {
+	s := New(Options{Watchdog: wdOptions()})
+	wd := s.Watchdog()
+	if wd == nil {
+		t.Fatal("watchdog not constructed")
+	}
+	regs := wd.Probe(context.Background())
+	if len(regs) != 0 {
+		t.Fatalf("clean probe found regressions: %v", regs)
+	}
+	if wd.Degraded() {
+		t.Fatal("clean probe degraded the service")
+	}
+	h := wd.Health()
+	if h.Probes != 1 || h.ProbeErrors != 0 {
+		t.Fatalf("health counters %+v, want 1 probe 0 errors", h)
+	}
+	if h.MaxDriftPP < 0 || h.MaxDriftPP > 0.5 {
+		t.Fatalf("max drift %.3fpp out of expected band", h.MaxDriftPP)
+	}
+
+	// The probe ran through the live plan cache: every golden circuit's
+	// plan is now resident, which is the "warms the serving path"
+	// property the watchdog promises.
+	if s.PlanCache().Len() == 0 {
+		t.Fatal("probe did not populate the plan cache")
+	}
+
+	// /healthz reports ok with the watchdog block.
+	w := do(s, "GET", "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz %d: %s", w.Code, w.Body.String())
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Watchdog == nil || hr.Watchdog.Degraded {
+		t.Fatalf("healthz body %+v, want ok with healthy watchdog", hr)
+	}
+
+	// The drift gauge is visible in the exposition.
+	w = do(s, "GET", "/metrics", "")
+	if !strings.Contains(w.Body.String(), "maest_serve_accuracy_drift_pp") {
+		t.Fatal("metrics exposition missing maest_serve_accuracy_drift_pp")
+	}
+}
+
+// TestWatchdogInjectedDriftDegrades perturbs one golden error column
+// in a copied golden dir, so the freshly measured estimates appear to
+// have drifted ~10pp from "golden" — the watchdog must flip /healthz
+// to degraded, and recover when the real goldens return.
+func TestWatchdogInjectedDriftDegrades(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"table1.txt", "table2.txt"} {
+		b, err := os.ReadFile(filepath.Join(wdGoldenDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shift fc-rslatch_xtor's golden Err(ex)% by 10 points: the live
+	// estimator still produces its real error, so its drift from this
+	// doctored golden explodes past tolerance.
+	path := filepath.Join(dir, "table1.txt")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(b), "-25.9", "-15.9", 1)
+	if doctored == string(b) {
+		t.Fatal("golden perturbation found nothing to replace; update the test")
+	}
+	if err := os.WriteFile(path, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := wdOptions()
+	opts.GoldenDir = dir
+	s := New(Options{Watchdog: opts})
+	wd := s.Watchdog()
+	regs := wd.Probe(context.Background())
+	if len(regs) == 0 {
+		t.Fatal("injected drift not detected")
+	}
+	if !wd.Degraded() {
+		t.Fatal("drift beyond tolerance did not degrade the watchdog")
+	}
+	w := do(s, "GET", "/healthz", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d, want 503 when degraded (%s)", w.Code, w.Body.String())
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "degraded" || hr.Watchdog == nil || !hr.Watchdog.Degraded || hr.Watchdog.Regressions == 0 {
+		t.Fatalf("healthz body %+v, want degraded watchdog with regressions", hr)
+	}
+	if mAccuracyDegraded.Value() != 1 {
+		t.Fatalf("degraded gauge = %g, want 1", mAccuracyDegraded.Value())
+	}
+
+	// Recovery: point back at the true goldens and the next clean probe
+	// restores /healthz.
+	wd.opts.GoldenDir = wdGoldenDir
+	if regs := wd.Probe(context.Background()); len(regs) != 0 {
+		t.Fatalf("recovery probe still regressed: %v", regs)
+	}
+	if wd.Degraded() {
+		t.Fatal("watchdog did not recover after a clean probe")
+	}
+	if w := do(s, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz %d after recovery, want 200", w.Code)
+	}
+}
+
+func TestWatchdogMissingReferenceDegrades(t *testing.T) {
+	opts := wdOptions()
+	opts.Reference = filepath.Join(t.TempDir(), "nope.json")
+	s := New(Options{Watchdog: opts})
+	wd := s.Watchdog()
+	wd.Probe(context.Background())
+	if !wd.Degraded() {
+		t.Fatal("unverifiable accuracy must degrade the service")
+	}
+	h := wd.Health()
+	if h.ProbeErrors != 1 || h.LastError == "" {
+		t.Fatalf("health %+v, want 1 probe error with a message", h)
+	}
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	opts := wdOptions()
+	opts.Interval = time.Hour
+	s := New(Options{Watchdog: opts})
+	wd := s.Watchdog()
+	wd.Start()
+	wd.Start() // idempotent
+	deadline := time.Now().Add(30 * time.Second)
+	for wd.Health().Probes == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if wd.Health().Probes == 0 {
+		t.Fatal("started watchdog never probed")
+	}
+	wd.Stop()
+	wd.Stop() // idempotent
+
+	var nilWD *Watchdog
+	nilWD.Start()
+	nilWD.Stop()
+	if nilWD.Degraded() || nilWD.Probe(context.Background()) != nil {
+		t.Fatal("nil watchdog must be inert")
+	}
+}

@@ -17,12 +17,18 @@ go build ./...
 # tests, so only a build catches API drift there.
 go build ./examples/...
 # The engine and the serving layer share compiled plans across
-# goroutines; their suites run first and explicitly under the race
-# detector so a concurrency regression fails fast with a focused
-# report before the full-tree run below repeats them in bulk.
-go vet ./internal/engine ./internal/serve
-go test -race ./internal/engine ./internal/serve
+# goroutines, and the obs flight recorder is a lock-striped ring
+# hammered by every request; their suites run first and explicitly
+# under the race detector so a concurrency regression fails fast with
+# a focused report before the full-tree run below repeats them in
+# bulk.
+go vet ./internal/engine ./internal/serve ./internal/obs
+go test -race ./internal/engine ./internal/serve ./internal/obs
 go test -race ./...
+# Distributed-trace e2e: two full serve instances (router + shard) on
+# real sockets must stitch one W3C trace id from the client through
+# both flight recorders.
+go test -race -run TestTwoProcessTraceStitch ./cmd/maest-serve
 # Bench smoke: every benchmark must still compile and survive one
 # iteration (catches bit-rot in the perf harness without timing it).
 go test -run=NONE -bench=. -benchtime=1x ./...
