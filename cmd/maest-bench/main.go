@@ -33,7 +33,9 @@ import (
 
 	"maest/internal/client"
 	"maest/internal/engine"
+	"maest/internal/engine/distmemo"
 	"maest/internal/gen"
+	"maest/internal/netlist"
 	"maest/internal/obs"
 	"maest/internal/report"
 	"maest/internal/serve"
@@ -51,6 +53,8 @@ type options struct {
 	compare       string
 	tolPP         float64
 	perfTol       float64
+	ecoEdits      int
+	ecoMinSpeedup float64
 }
 
 func main() {
@@ -65,6 +69,8 @@ func main() {
 	flag.StringVar(&o.compare, "compare", "", "reference BENCH_*.json to diff against; regressions exit 2")
 	flag.Float64Var(&o.tolPP, "tol", 0.5, "allowed accuracy drift growth vs the reference, percentage points")
 	flag.Float64Var(&o.perfTol, "perf-tol", 0, "allowed perf growth vs the reference as a fraction (0 disables perf compare)")
+	flag.IntVar(&o.ecoEdits, "eco", 0, "ECO edits per module for the incremental-reestimation benchmark (0 disables it)")
+	flag.Float64Var(&o.ecoMinSpeedup, "eco-min-speedup", 0, "minimum delta-vs-recompile speedup the -eco benchmark must reach; below it exits 2 (0 disables the gate)")
 	flag.Parse()
 
 	regressions, err := run(&o, os.Stdout)
@@ -122,6 +128,18 @@ func run(o *options, w io.Writer) ([]string, error) {
 			ep.Endpoint, ep.Count, ep.P50Micros, ep.P90Micros, ep.P99Micros)
 	}
 
+	if o.ecoEdits > 0 {
+		snap.Eco, err = timeEco(p, o.ecoEdits)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "maest-bench: eco %d modules x %d edits: full %d ns/edit, delta %d ns/edit, %.1fx\n",
+			snap.Eco.Modules, snap.Eco.Edits, snap.Eco.FullNsPerEdit, snap.Eco.DeltaNsPerEdit, snap.Eco.Speedup)
+		if snap.Eco.HashMismatches > 0 {
+			return nil, fmt.Errorf("eco: %d edit steps diverged from the recompile route", snap.Eco.HashMismatches)
+		}
+	}
+
 	// Runtime conditions the perf numbers were taken under: heap and GC
 	// state are the usual explanation when ns/op moves between hosts.
 	rs := obs.ReadRuntimeSummary()
@@ -139,18 +157,32 @@ func run(o *options, w io.Writer) ([]string, error) {
 	}
 	fmt.Fprintf(w, "maest-bench: wrote %s\n", o.out)
 
+	regressions := checkEcoGate(o, snap)
 	if o.compare == "" {
-		return nil, nil
+		return regressions, nil
 	}
 	ref, err := report.ReadBenchSnapshot(o.compare)
 	if err != nil {
 		return nil, fmt.Errorf("reference: %w", err)
 	}
-	regressions := report.CompareBench(ref, snap, o.tolPP, o.perfTol)
+	regressions = append(regressions, report.CompareBench(ref, snap, o.tolPP, o.perfTol)...)
 	if len(regressions) == 0 {
 		fmt.Fprintf(w, "maest-bench: no regressions vs %s (tol %.2fpp)\n", o.compare, o.tolPP)
 	}
 	return regressions, nil
+}
+
+// checkEcoGate applies the -eco-min-speedup floor to a snapshot.
+func checkEcoGate(o *options, snap *report.BenchSnapshot) []string {
+	if o.ecoMinSpeedup <= 0 || snap.Eco == nil {
+		return nil
+	}
+	if snap.Eco.Speedup < o.ecoMinSpeedup {
+		return []string{fmt.Sprintf(
+			"eco: delta route is only %.1fx faster than recompiling; the gate requires %.1fx",
+			snap.Eco.Speedup, o.ecoMinSpeedup)}
+	}
+	return nil
 }
 
 // timeEstimator measures one "op" = estimating every module of both
@@ -199,6 +231,118 @@ func timeEstimator(p *tech.Process, iters int) (int64, int, error) {
 		}
 	}
 	return time.Since(start).Nanoseconds() / int64(iters), iters, nil
+}
+
+// timeEco measures the ECO loop both ways.  One edit step is a pin
+// toggle (connect, then disconnect, a hot net) applied to a generated
+// standard-cell module, followed by the re-estimate an interactive
+// floorplanner asks for: the Eq. 12 standard-cell estimate plus the
+// Eq. 2–11 congestion analysis — the convolution-heavy path the
+// incremental machinery exists for.  (The full-custom transistor
+// expansion is deliberately not part of the op: it is identical
+// O(N) work on both routes, independent of how the plan was derived,
+// so it only dilutes the measurement; the differential harness covers
+// its bit-identity separately.)  The from-scratch route pays what a
+// pre-delta caller paid — apply the edit, recompile, estimate, with
+// the distribution memo purged so nothing carries over between
+// "independent" estimates — and the delta route chains Plan.Delta
+// children off a warm memo the way an incremental caller does.  Every
+// step cross-checks the two routes' plan content addresses; a
+// mismatch is a correctness failure.
+func timeEco(p *tech.Process, edits int) (*report.EcoSnapshot, error) {
+	ctx := context.Background()
+	var circs []*netlist.Circuit
+	for i, gates := range []int{96, 160, 240} {
+		c, err := gen.RandomCircuit(gen.RandomConfig{
+			Name: fmt.Sprintf("eco%d", i), Gates: gates, Inputs: 5, Outputs: 4, Seed: int64(21 + i),
+		}, p)
+		if err != nil {
+			return nil, err
+		}
+		circs = append(circs, c)
+	}
+	editFor := func(c *netlist.Circuit, step int) engine.Edit {
+		dev := c.Devices[step/2%2].Name
+		if step%2 == 0 {
+			return engine.ConnectPin(dev, "eco_hot")
+		}
+		return engine.DisconnectPin(dev, "eco_hot")
+	}
+
+	// From-scratch route, cold memo per step.
+	var fullNs int64
+	hashes := make([][]engine.Hash, len(circs))
+	for m, c := range circs {
+		cur := c
+		for s := 0; s < edits; s++ {
+			distmemo.Purge()
+			t0 := time.Now()
+			next, err := engine.ApplyEdits(cur, editFor(c, s))
+			if err != nil {
+				return nil, err
+			}
+			pl, err := engine.Compile(next, p)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := pl.EstimateStandardCell(ctx); err != nil {
+				return nil, err
+			}
+			if _, err := pl.Congestion(ctx); err != nil {
+				return nil, err
+			}
+			fullNs += time.Since(t0).Nanoseconds()
+			cur = next
+			hashes[m] = append(hashes[m], pl.Hash())
+		}
+	}
+
+	// Delta route, chained children, warm memo.
+	var deltaNs int64
+	mismatches := 0
+	for m, c := range circs {
+		pl, err := engine.Compile(c, p)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pl.EstimateStandardCell(ctx); err != nil {
+			return nil, err
+		}
+		if _, err := pl.Congestion(ctx); err != nil {
+			return nil, err
+		}
+		for s := 0; s < edits; s++ {
+			t0 := time.Now()
+			child, err := pl.Delta(editFor(c, s))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := child.EstimateStandardCell(ctx); err != nil {
+				return nil, err
+			}
+			if _, err := child.Congestion(ctx); err != nil {
+				return nil, err
+			}
+			deltaNs += time.Since(t0).Nanoseconds()
+			if child.Hash() != hashes[m][s] {
+				mismatches++
+			}
+			pl = child
+		}
+	}
+
+	n := int64(len(circs) * edits)
+	snap := &report.EcoSnapshot{
+		Modules:        len(circs),
+		Edits:          edits,
+		FullNsPerEdit:  fullNs / n,
+		DeltaNsPerEdit: deltaNs / n,
+		HashMismatches: mismatches,
+	}
+	if deltaNs > 0 {
+		snap.Speedup = float64(fullNs) / float64(deltaNs)
+	}
+	return snap, nil
 }
 
 // timeServePipeline boots the real HTTP service on a loopback socket,

@@ -426,8 +426,10 @@ func TestDebugListenerEndToEnd(t *testing.T) {
 	if endpoints["/v1/estimate"] != 2 || endpoints["/v1/estimate/batch"] != 1 || endpoints["/v1/congestion"] != 1 {
 		t.Fatalf("endpoint mix: %v", endpoints)
 	}
-	if len(flight.Latency) != 3 {
-		t.Fatalf("latency section has %d endpoints, want 3", len(flight.Latency))
+	// The latency section has a fixed shape: every registered endpoint
+	// histogram, zero-count ones included (/v1/estimate/delta here).
+	if len(flight.Latency) != 4 {
+		t.Fatalf("latency section has %d endpoints, want 4", len(flight.Latency))
 	}
 
 	// /debug/slowest ranks by duration and carries span breakdowns.

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,6 +75,27 @@ func (c *Client) Estimate(ctx context.Context, req serve.EstimateRequest) (*serv
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// EstimateDelta answers POST /v1/estimate/delta: an ECO edit script
+// against a plan a prior answer named in its "plan" field.  When the
+// parent has aged out of the server's plan cache the call fails with
+// a 404 (see IsUnknownParent); the fallback is a full Estimate, whose
+// answer mints a fresh plan key to chain from.
+func (c *Client) EstimateDelta(ctx context.Context, req serve.DeltaRequest) (*serve.EstimateResponse, error) {
+	var resp serve.EstimateResponse
+	if err := c.post(ctx, "/v1/estimate/delta", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// IsUnknownParent reports whether err is the service's "parent plan
+// not found" answer to EstimateDelta — the one error an ECO loop
+// handles specially, by re-estimating in full.
+func IsUnknownParent(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
 }
 
 // EstimateBatch answers POST /v1/estimate/batch for a chip's worth of

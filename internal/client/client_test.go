@@ -97,6 +97,47 @@ func TestBatchAndCongestion(t *testing.T) {
 	}
 }
 
+// TestEstimateDeltaChain walks the ECO loop an estimator client runs:
+// full estimate once, then chain edits plan-key to plan-key, falling
+// back to a full estimate when the parent is unknown.
+func TestEstimateDeltaChain(t *testing.T) {
+	_, c := startServe(t, serve.Options{})
+	ctx := context.Background()
+	base, err := c.Estimate(ctx, serve.EstimateRequest{Netlist: testdata(t, "demo.mnet")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Plan == "" {
+		t.Fatal("estimate answer carries no plan key to chain from")
+	}
+	d1, err := c.EstimateDelta(ctx, serve.DeltaRequest{
+		Parent: base.Plan,
+		Edits:  []serve.EditBody{{Op: "remove_cell", Name: "g2"}, {Op: "connect_pin", Device: "g4", Net: "n1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.EstimateDelta(ctx, serve.DeltaRequest{
+		Parent: d1.Plan,
+		Edits:  []serve.EditBody{{Op: "add_cell", Name: "g9", Type: "INV", Nets: []string{"n2", "y"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Plan == d1.Plan || d2.SC == nil || d2.SC.Area <= 0 {
+		t.Fatalf("chained delta answered %+v", d2)
+	}
+
+	// An aged-out parent is the one failure the loop handles specially.
+	_, err = c.EstimateDelta(ctx, serve.DeltaRequest{Parent: strings.Repeat("00", 32)})
+	if !IsUnknownParent(err) {
+		t.Fatalf("unknown parent answered %v, want the 404 fallback signal", err)
+	}
+	if IsUnknownParent(nil) {
+		t.Fatal("IsUnknownParent(nil)")
+	}
+}
+
 func TestAPIErrorCarriesIDs(t *testing.T) {
 	_, c := startServe(t, serve.Options{FlightSize: 16})
 	_, err := c.Estimate(context.Background(), serve.EstimateRequest{Netlist: "not a netlist"})

@@ -53,6 +53,43 @@ type SCOptions struct {
 	// each segment's expected horizontal span so disjoint segments
 	// share tracks.
 	TrackSharing bool
+	// Spans optionally overrides where the Eq. 2–3 row-span quantities
+	// come from.  An implementation must return exactly what
+	// internal/prob computes for the same (n, D) — the engine's
+	// process-wide distribution memo qualifies, since it caches prob's
+	// own outputs.  nil computes directly.
+	Spans RowSpans
+}
+
+// RowSpans supplies the Eq. 2–3 row-span quantities the Standard-Cell
+// track model is built on: E(i), the expected number of rows a
+// degree-D net spans over n rows, and its per-net track round-up.
+// Implementations must be bit-identical to prob.ExpectedRowSpan /
+// prob.TracksForNet; the interface exists so a caller can memoize
+// those computations across modules and edit states.
+type RowSpans interface {
+	ExpectedRowSpan(n, d int) (float64, error)
+	TracksForNet(n, d int) (int, error)
+}
+
+// FeedThroughMemo is an optional extension of RowSpans: a Spans
+// implementation that also provides it overrides where Eq. 11's
+// rounded feed-through expectation comes from, under the same
+// contract — the result must be bit-identical to
+// prob.FeedThroughsCeil(h, p).  Eq. 11 honors the paper's derivation
+// by summing the full Eq. 10 binomial law, which is the costliest
+// term of a warm estimate and a pure function of (H, p) — ideal memo
+// material.
+type FeedThroughMemo interface {
+	FeedThroughsCeil(h int, p float64) (int, error)
+}
+
+// feedThroughsCeil resolves Eq. 11 through the optional memo.
+func feedThroughsCeil(spans RowSpans, h int, p float64) (int, error) {
+	if m, ok := spans.(FeedThroughMemo); ok {
+		return m.FeedThroughsCeil(h, p)
+	}
+	return prob.FeedThroughsCeil(h, p)
 }
 
 // SCEstimate is the Standard-Cell estimation result.  Lengths are in
@@ -101,15 +138,15 @@ func EstimateStandardCell(s *netlist.Stats, p *tech.Process, opts SCOptions) (*S
 	if n == 0 {
 		n = initialRows(s, p)
 	}
-	return estimateSCForRows(s, p, n, opts.TrackSharing)
+	return estimateSCForRows(s, p, n, opts.TrackSharing, opts.Spans)
 }
 
 // estimateSCForRows evaluates Eq. 12 for a fixed row count.
-func estimateSCForRows(s *netlist.Stats, p *tech.Process, n int, sharing bool) (*SCEstimate, error) {
+func estimateSCForRows(s *netlist.Stats, p *tech.Process, n int, sharing bool, spans RowSpans) (*SCEstimate, error) {
 	if n < 1 {
 		return nil, estErr("standard-cell %q: row count %d < 1", s.CircuitName, n)
 	}
-	tracks, err := expectedTracks(s, n, sharing)
+	tracks, err := expectedTracks(s, n, sharing, spans)
 	if err != nil {
 		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
 	}
@@ -117,7 +154,7 @@ func estimateSCForRows(s *netlist.Stats, p *tech.Process, n int, sharing bool) (
 	if err != nil {
 		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
 	}
-	m, err := prob.FeedThroughsCeil(s.H, pFT)
+	m, err := feedThroughsCeil(spans, s.H, pFT)
 	if err != nil {
 		return nil, estErr("standard-cell %q: %v", s.CircuitName, err)
 	}
@@ -153,11 +190,11 @@ func estimateSCForRows(s *netlist.Stats, p *tech.Process, n int, sharing bool) (
 // class's track demand is discounted by the expected horizontal span
 // fraction of its segments before the final round-up, modelling
 // multiple disjoint segments sharing one physical track.
-func expectedTracks(s *netlist.Stats, n int, sharing bool) (int, error) {
+func expectedTracks(s *netlist.Stats, n int, sharing bool, spans RowSpans) (int, error) {
 	if !sharing {
 		total := 0
 		for _, d := range s.Degrees() {
-			t, err := prob.TracksForNet(n, d)
+			t, err := tracksForNet(spans, n, d)
 			if err != nil {
 				return 0, err
 			}
@@ -167,13 +204,29 @@ func expectedTracks(s *netlist.Stats, n int, sharing bool) (int, error) {
 	}
 	demand := 0.0
 	for _, d := range s.Degrees() {
-		e, err := prob.ExpectedRowSpan(n, d)
+		e, err := expectedRowSpan(spans, n, d)
 		if err != nil {
 			return 0, err
 		}
 		demand += float64(s.DegreeCount[d]) * e * spanFraction(d, n)
 	}
 	return int(math.Ceil(demand - 1e-9)), nil
+}
+
+// tracksForNet and expectedRowSpan route one row-span lookup through
+// the optional provider, defaulting to the direct prob computation.
+func tracksForNet(spans RowSpans, n, d int) (int, error) {
+	if spans != nil {
+		return spans.TracksForNet(n, d)
+	}
+	return prob.TracksForNet(n, d)
+}
+
+func expectedRowSpan(spans RowSpans, n, d int) (float64, error) {
+	if spans != nil {
+		return spans.ExpectedRowSpan(n, d)
+	}
+	return prob.ExpectedRowSpan(n, d)
 }
 
 // spanFraction estimates what fraction of a row's length one channel
@@ -281,7 +334,7 @@ func SweepStandardCellShapes(s *netlist.Stats, p *tech.Process, opts SCOptions, 
 	}
 	var out []*SCEstimate
 	for n := lo; len(out) < count; n++ {
-		est, err := estimateSCForRows(s, p, n, opts.TrackSharing)
+		est, err := estimateSCForRows(s, p, n, opts.TrackSharing, opts.Spans)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,157 @@
+package engine
+
+// FuzzPlanDelta drives Plan.Delta with fuzzer-chosen netlists and
+// byte-encoded edit scripts.  The invariants are Delta's whole
+// contract, checked on every input: never panic, agree with the
+// recompile route on whether the script errors, and — when it
+// succeeds without a process swap — produce the recompile's exact
+// content address and statistics.
+//
+// Seed corpus: every golden netlist under testdata (.bench and .mnet)
+// paired with hand-written scripts covering each opcode.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"maest/internal/hdl"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// decodeScript interprets fuzz bytes as an edit script against the
+// base circuit: 3-byte opcodes indexing into the circuit's device,
+// net, and type vocabularies, with out-of-vocabulary probes (bogus
+// names, bogus types, zero rows, nil process) mixed in by the byte
+// values themselves.
+func decodeScript(data []byte, base *netlist.Circuit) []Edit {
+	devName := func(b byte) string {
+		if int(b)%7 == 6 {
+			return "fz_ghost"
+		}
+		return base.Devices[int(b)%len(base.Devices)].Name
+	}
+	netName := func(b byte) string {
+		if len(base.Nets) == 0 || int(b)%5 == 4 {
+			return fmt.Sprintf("fz_n%d", b)
+		}
+		return base.Nets[int(b)%len(base.Nets)].Name
+	}
+	var types []string
+	seen := map[string]bool{}
+	for _, d := range base.Devices {
+		if !seen[d.Type] {
+			seen[d.Type] = true
+			types = append(types, d.Type)
+		}
+	}
+
+	var script []Edit
+	for i := 0; i+2 < len(data) && len(script) < 8; i += 3 {
+		op, x, y := data[i], data[i+1], data[i+2]
+		switch op % 8 {
+		case 0:
+			script = append(script, ConnectPin(devName(x), netName(y)))
+		case 1:
+			script = append(script, DisconnectPin(devName(x), netName(y)))
+		case 2:
+			typ := "BOGUS_TYPE"
+			if int(x)%4 != 3 {
+				typ = types[int(x)%len(types)]
+			}
+			script = append(script, AddCell(fmt.Sprintf("fz_d%d", i), typ, netName(y)))
+		case 3:
+			script = append(script, RemoveCell(devName(x)))
+		case 4:
+			script = append(script, AddNet(fmt.Sprintf("fz_n%d_%d", i, x), devName(y)))
+		case 5:
+			script = append(script, RemoveNet(netName(x)))
+		case 6:
+			script = append(script, ResizeRows(int(x)%7)) // 0 is the invalid probe
+		case 7:
+			switch x % 3 {
+			case 0:
+				script = append(script, SwapProcess(tech.CMOS30()))
+			case 1:
+				script = append(script, SwapProcess(tech.NMOS25()))
+			default:
+				script = append(script, SwapProcess(nil))
+			}
+		}
+	}
+	return script
+}
+
+func FuzzPlanDelta(f *testing.F) {
+	var sources [][]byte
+	for _, file := range []string{"c17.bench", "rand180.bench", "demo.mnet", "ladder.mnet"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "testdata", file))
+		if err != nil {
+			f.Fatal(err)
+		}
+		sources = append(sources, src)
+	}
+	scripts := [][]byte{
+		{0, 1, 2},                            // connect
+		{1, 0, 0, 0, 0, 1},                   // disconnect then connect
+		{2, 0, 1, 3, 6, 0},                   // add cell, remove ghost
+		{4, 9, 0, 5, 2, 0},                   // add net, remove net
+		{6, 3, 0},                            // resize rows
+		{6, 0, 0},                            // resize to 0 (invalid)
+		{7, 0, 0},                            // swap process (fallback)
+		{7, 2, 0},                            // swap to nil (invalid)
+		{2, 3, 1},                            // bogus device type
+		{0, 6, 1, 3, 0, 0, 5, 1, 0, 6, 2, 0}, // mixed script
+	}
+	for _, src := range sources {
+		for _, sc := range scripts {
+			f.Add(src, sc)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src, raw []byte) {
+		p := tech.NMOS25()
+		base, err := hdl.ParseMnet(bytes.NewReader(src))
+		if err != nil {
+			if base, err = hdl.ParseBench(bytes.NewReader(src), "fz", p); err != nil {
+				return // not a parseable netlist; nothing to check
+			}
+		}
+		pl, err := Compile(base, p)
+		if err != nil {
+			return
+		}
+		script := decodeScript(raw, base)
+
+		a, errA := pl.Delta(script...)
+		edited, errB := ApplyEdits(pl.Circuit(), script...)
+		var b *Plan
+		if errB == nil {
+			b, errB = Compile(edited, scriptProc(script, p))
+		}
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error parity broken for [%s]:\n  Delta:     %v\n  recompile: %v",
+				scriptString(script), errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("content address diverged for [%s]:\n  delta:     %s\n  recompile: %s",
+				scriptString(script), a.Hash(), b.Hash())
+		}
+		if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+			t.Fatalf("stats diverged for [%s]:\n  delta:     %+v\n  recompile: %+v",
+				scriptString(script), a.Stats(), b.Stats())
+		}
+		if g, err := netlist.Gather(a.Circuit(), a.Process()); err != nil {
+			t.Fatalf("Gather over delta circuit: %v", err)
+		} else if !reflect.DeepEqual(a.Stats(), g) {
+			t.Fatalf("incremental stats diverged from Gather for [%s]", scriptString(script))
+		}
+	})
+}

@@ -1,0 +1,373 @@
+// Package distmemo is the process-wide memo of the estimator's
+// probability distributions: the per-channel Poisson-binomial /
+// per-row feed-through shape sets of internal/congest, keyed by the
+// net-degree histogram they are convolved from, and the §4.1 row-span
+// quantities of internal/prob, keyed by (n, D).
+//
+// The paper's Eq. 2–11 machinery depends on remarkably little — a
+// channel-demand distribution is a function of the degree histogram,
+// the row count, the grid variant, and the demand model; a row-span
+// distribution is a function of (n, D) alone.  Different modules (and
+// different edit states of one module in an ECO loop) therefore
+// recompute identical convolutions constantly.  This package shares
+// them across every compiled plan in the process.
+//
+// The memo is sharded (16 ways, hashed by key) so concurrent plans do
+// not serialize on one lock, size-bounded per shard (oldest-first
+// eviction) so a long-lived service cannot grow it without bound, and
+// collision-proof: a shape entry stores the exact degree classes it
+// was computed from and a lookup verifies them, so a 64-bit histogram
+// hash collision degrades to a miss, never to a wrong distribution.
+//
+// Every value handed out is shared and must be treated as immutable
+// by callers — the same discipline congest.Distributions already
+// documents for its slices.
+package distmemo
+
+import (
+	"math"
+	"sync"
+
+	"maest/internal/obs"
+	"maest/internal/prob"
+)
+
+// Memo metrics.  The hit ratio is the ECO loop's headline number: a
+// re-estimate after an edit that preserves the degree histogram
+// should be all hits.
+var (
+	mShapeHits    = obs.DefCounter("maest_distmemo_shape_hits_total", "congestion shape-set memo hits")
+	mShapeMisses  = obs.DefCounter("maest_distmemo_shape_misses_total", "congestion shape-set memo misses")
+	mShapeEvicted = obs.DefCounter("maest_distmemo_shape_evictions_total", "congestion shape-set memo evictions")
+	mSpanHits     = obs.DefCounter("maest_distmemo_rowspan_hits_total", "row-span memo hits")
+	mSpanMisses   = obs.DefCounter("maest_distmemo_rowspan_misses_total", "row-span memo misses")
+	mSpanEvicted  = obs.DefCounter("maest_distmemo_rowspan_evictions_total", "row-span memo evictions")
+	mFeedHits     = obs.DefCounter("maest_distmemo_feedthrough_hits_total", "feed-through count memo hits")
+	mFeedMisses   = obs.DefCounter("maest_distmemo_feedthrough_misses_total", "feed-through count memo misses")
+	mFeedEvicted  = obs.DefCounter("maest_distmemo_feedthrough_evictions_total", "feed-through count memo evictions")
+)
+
+// Class is one net-degree class of the §3 histogram: Count nets of
+// degree Degree.  Shape keys are derived from the ordered class list
+// (ascending degree, as netlist.Stats.Degrees yields it).
+type Class struct {
+	Degree, Count int
+}
+
+// HashClasses folds an ordered class list into the 64-bit histogram
+// hash shape keys carry (FNV-1a over the degree/count pairs).  Equal
+// histograms hash equal; the reverse is enforced by the stored-class
+// verification on lookup, not by the hash.
+func HashClasses(classes []Class) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, c := range classes {
+		mix(uint64(c.Degree))
+		mix(uint64(c.Count))
+	}
+	return h
+}
+
+// ShapeKey identifies one congestion shape-set computation: the
+// histogram hash plus every knob the distributions depend on.  The
+// module name is deliberately absent — the shapes are name-free, so
+// differently-named modules with equal histograms share one entry.
+type ShapeKey struct {
+	Hist    uint64
+	Rows    int
+	Gridded bool
+	Model   int
+}
+
+// Shape is the name-free payload of one congestion distribution set:
+// exactly the slices congest.Distributions carries, minus the module
+// identity.  Channels and Feeds are shared; treat them as immutable.
+type Shape struct {
+	// Nets is the number of routable nets the classes sum to.
+	Nets int
+	// Channels[c][t] = P(channel c demands exactly t tracks).
+	Channels [][]float64
+	// Feeds[r][m] = P(row r needs exactly m feed-throughs); nil for
+	// gridded variants.
+	Feeds [][]float64
+}
+
+// shapeEntry pairs a stored shape with the exact classes it was
+// computed from, for collision-proof verification.
+type shapeEntry struct {
+	classes []Class
+	shape   *Shape
+}
+
+const (
+	numShards = 16
+	// shapeShardCap bounds each shard to 64 shape sets (1024 process-
+	// wide); a shape set for a 200-net module is ~100 KiB, so the memo
+	// tops out around 100 MiB in the worst case and far less in
+	// practice (most modules share far smaller shapes).
+	shapeShardCap = 64
+	// spanShardCap bounds each shard to 512 row-span entries (8192
+	// process-wide); an entry is O(n) floats, a few KiB at most.
+	spanShardCap = 512
+	// feedShardCap bounds each shard to 512 feed-through expectations
+	// (8192 process-wide); an entry is a single int.
+	feedShardCap = 512
+)
+
+// shard is one lock-striped slice of a memo table: a map plus the
+// insertion-ordered key list oldest-first eviction walks.
+type shard[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]V
+	order   []K
+	cap     int
+	evicted *obs.Counter
+}
+
+func (s *shard[K, V]) get(k K) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.entries[k]
+	return v, ok
+}
+
+func (s *shard[K, V]) put(k K, v V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[K]V, s.cap)
+	}
+	if _, dup := s.entries[k]; dup {
+		// A racing duplicate computation: keep the resident value so
+		// every caller that already holds it stays consistent.
+		return
+	}
+	if len(s.order) >= s.cap {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+		s.evicted.Inc()
+	}
+	s.entries[k] = v
+	s.order = append(s.order, k)
+}
+
+func (s *shard[K, V]) purge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = nil
+	s.order = nil
+}
+
+var (
+	shapeShards [numShards]shard[ShapeKey, *shapeEntry]
+	spanShards  [numShards]shard[spanKey, *spanEntry]
+	feedShards  [numShards]shard[feedKey, int]
+)
+
+func init() {
+	for i := range shapeShards {
+		shapeShards[i].cap = shapeShardCap
+		shapeShards[i].evicted = mShapeEvicted
+	}
+	for i := range spanShards {
+		spanShards[i].cap = spanShardCap
+		spanShards[i].evicted = mSpanEvicted
+	}
+	for i := range feedShards {
+		feedShards[i].cap = feedShardCap
+		feedShards[i].evicted = mFeedEvicted
+	}
+}
+
+func shapeShard(k ShapeKey) *shard[ShapeKey, *shapeEntry] {
+	h := k.Hist ^ uint64(k.Rows)<<32 ^ uint64(k.Model)<<16
+	if k.Gridded {
+		h ^= 1 << 8
+	}
+	return &shapeShards[h%numShards]
+}
+
+// classesEqual verifies a candidate entry against the exact histogram
+// a lookup carries.
+func classesEqual(a, b []Class) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LookupShape returns the memoized shape set for one (histogram,
+// rows, gridded, model) computation, verifying the stored classes
+// match exactly (a hash collision is a miss, never a wrong answer).
+func LookupShape(k ShapeKey, classes []Class) (*Shape, bool) {
+	e, ok := shapeShard(k).get(k)
+	if !ok || !classesEqual(e.classes, classes) {
+		mShapeMisses.Inc()
+		return nil, false
+	}
+	mShapeHits.Inc()
+	return e.shape, true
+}
+
+// StoreShape records a freshly computed shape set.  The classes slice
+// is copied; the shape's payload slices are shared from here on and
+// must never be mutated.
+func StoreShape(k ShapeKey, classes []Class, sh *Shape) {
+	cp := make([]Class, len(classes))
+	copy(cp, classes)
+	shapeShard(k).put(k, &shapeEntry{classes: cp, shape: sh})
+}
+
+// spanKey identifies one row-span computation.
+type spanKey struct {
+	n, d int
+}
+
+// spanEntry memoizes every derived quantity of one RowSpanDist call
+// together, so TracksForNet / ExpectedRowSpan lookups after a RowSpan
+// lookup are free.
+type spanEntry struct {
+	dist   []float64
+	e      float64
+	tracks int
+}
+
+func spanShard(k spanKey) *shard[spanKey, *spanEntry] {
+	return &spanShards[(uint64(k.n)*31+uint64(k.d))%numShards]
+}
+
+// rowSpanEntry resolves (and memoizes) the full row-span quantity set
+// for one (n, D).  Errors are never cached: the defined-error paths
+// of internal/prob are cheap and callers expect fresh wrapping.
+func rowSpanEntry(n, d int) (*spanEntry, error) {
+	k := spanKey{n: n, d: d}
+	if e, ok := spanShard(k).get(k); ok {
+		mSpanHits.Inc()
+		return e, nil
+	}
+	mSpanMisses.Inc()
+	dist, err := prob.RowSpanDist(n, d)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := prob.ExpectedRowSpan(n, d)
+	if err != nil {
+		return nil, err
+	}
+	tracks, err := prob.TracksForNet(n, d)
+	if err != nil {
+		return nil, err
+	}
+	e := &spanEntry{dist: dist, e: ev, tracks: tracks}
+	spanShard(k).put(k, e)
+	return e, nil
+}
+
+// RowSpan returns prob.RowSpanDist(n, D), memoized.  The returned
+// slice is shared; treat it as immutable.
+func RowSpan(n, d int) ([]float64, error) {
+	e, err := rowSpanEntry(n, d)
+	if err != nil {
+		return nil, err
+	}
+	return e.dist, nil
+}
+
+// ExpectedRowSpan returns prob.ExpectedRowSpan(n, D), memoized.  The
+// value is the one prob computed — bit-identical to calling prob
+// directly.
+func ExpectedRowSpan(n, d int) (float64, error) {
+	e, err := rowSpanEntry(n, d)
+	if err != nil {
+		return 0, err
+	}
+	return e.e, nil
+}
+
+// TracksForNet returns prob.TracksForNet(n, D), memoized.
+func TracksForNet(n, d int) (int, error) {
+	e, err := rowSpanEntry(n, d)
+	if err != nil {
+		return 0, err
+	}
+	return e.tracks, nil
+}
+
+// feedKey identifies one Eq. 11 feed-through expectation: the
+// routable-net count H and the exact bits of the central-row
+// probability p (a pure function of the row count, but keying on the
+// float keeps the memo correct for any caller-supplied p).
+type feedKey struct {
+	h     int
+	pBits uint64
+}
+
+func feedShard(k feedKey) *shard[feedKey, int] {
+	return &feedShards[(uint64(k.h)*31^k.pBits)%numShards]
+}
+
+// FeedThroughsCeil returns prob.FeedThroughsCeil(h, p), memoized.
+// Eq. 11 sums the full Eq. 10 binomial law — O(H) Lgamma/Exp calls —
+// to honor the paper's derivation, which makes it the costliest term
+// of a warm standard-cell estimate; an ECO loop revisits the same
+// (H, p) pairs constantly.
+func FeedThroughsCeil(h int, p float64) (int, error) {
+	k := feedKey{h: h, pBits: math.Float64bits(p)}
+	if v, ok := feedShard(k).get(k); ok {
+		mFeedHits.Inc()
+		return v, nil
+	}
+	mFeedMisses.Inc()
+	v, err := prob.FeedThroughsCeil(h, p)
+	if err != nil {
+		// Errors are never cached, as elsewhere in this package.
+		return 0, err
+	}
+	feedShard(k).put(k, v)
+	return v, nil
+}
+
+// Purge empties every memo table.  Tests and benchmarks use it to
+// measure cold paths; production code never needs it (the tables are
+// size-bounded).
+func Purge() {
+	for i := range shapeShards {
+		shapeShards[i].purge()
+	}
+	for i := range spanShards {
+		spanShards[i].purge()
+	}
+	for i := range feedShards {
+		feedShards[i].purge()
+	}
+}
+
+// Metrics reports the cumulative hit/miss/eviction counters of the
+// shape and row-span tables (shape set first), for tests and
+// debugging; the same numbers are exported as maest_distmemo_*
+// Prometheus counters.
+func Metrics() (shapeHits, shapeMisses, shapeEvictions, spanHits, spanMisses, spanEvictions int64) {
+	return mShapeHits.Value(), mShapeMisses.Value(), mShapeEvicted.Value(),
+		mSpanHits.Value(), mSpanMisses.Value(), mSpanEvicted.Value()
+}
+
+// FeedMetrics reports the feed-through table's counters.
+func FeedMetrics() (hits, misses, evictions int64) {
+	return mFeedHits.Value(), mFeedMisses.Value(), mFeedEvicted.Value()
+}

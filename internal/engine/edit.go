@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// Edit is one step of the ECO edit algebra Plan.Delta consumes: a
+// typed, validated description of a netlist change (add/remove net,
+// change net degree via connect/disconnect, add/remove cell), an
+// execute-knob change (resize rows), or a process swap.  Values are
+// built with the constructor functions below; the interface is sealed
+// so Delta's incremental-invalidation analysis is exhaustive.
+//
+// Edits are applied in order.  Structural edits operate on a clone of
+// the plan's circuit — the parent plan is never mutated.
+type Edit interface {
+	fmt.Stringer
+	isEdit()
+}
+
+// effects accumulates what a structural edit script touched, for
+// Delta's incremental statistics update: the nets whose degree may
+// have changed and the signed per-type device count changes.
+type effects struct {
+	nets    []string
+	netSeen map[string]bool
+	devs    []deviceDelta
+}
+
+// deviceDelta is one signed device-population change: sign +1 for an
+// added instance of the type, -1 for a removed one.
+type deviceDelta struct {
+	typ  string
+	sign int
+}
+
+func (e *effects) touchNet(name string) {
+	if e.netSeen == nil {
+		e.netSeen = make(map[string]bool)
+	}
+	if e.netSeen[name] {
+		return
+	}
+	e.netSeen[name] = true
+	e.nets = append(e.nets, name)
+}
+
+// circuitEdit is the structural subset of the algebra: edits that
+// mutate the cloned circuit and report what they touched.
+type circuitEdit interface {
+	Edit
+	apply(c *netlist.Circuit, eff *effects) error
+}
+
+type addNetEdit struct {
+	name    string
+	devices []string
+}
+
+func (e addNetEdit) isEdit() {}
+func (e addNetEdit) String() string {
+	return fmt.Sprintf("add net %q (%d pins)", e.name, len(e.devices))
+}
+func (e addNetEdit) apply(c *netlist.Circuit, eff *effects) error {
+	if _, err := c.AddNet(e.name, e.devices...); err != nil {
+		return err
+	}
+	eff.touchNet(e.name)
+	return nil
+}
+
+// AddNet creates a new net connecting the named devices (one pin per
+// listed device; a device listed twice gains two pins but counts once
+// toward the degree D).  At least one device is required.
+func AddNet(name string, devices ...string) Edit { return addNetEdit{name: name, devices: devices} }
+
+type removeNetEdit struct{ name string }
+
+func (e removeNetEdit) isEdit()        {}
+func (e removeNetEdit) String() string { return fmt.Sprintf("remove net %q", e.name) }
+func (e removeNetEdit) apply(c *netlist.Circuit, eff *effects) error {
+	if err := c.RemoveNet(e.name); err != nil {
+		return err
+	}
+	eff.touchNet(e.name)
+	return nil
+}
+
+// RemoveNet deletes the named net and every device pin on it.  Nets
+// reaching a module port cannot be removed.
+func RemoveNet(name string) Edit { return removeNetEdit{name: name} }
+
+type connectPinEdit struct{ device, net string }
+
+func (e connectPinEdit) isEdit() {}
+func (e connectPinEdit) String() string {
+	return fmt.Sprintf("connect %q to net %q", e.device, e.net)
+}
+func (e connectPinEdit) apply(c *netlist.Circuit, eff *effects) error {
+	if err := c.ConnectPin(e.device, e.net); err != nil {
+		return err
+	}
+	eff.touchNet(e.net)
+	return nil
+}
+
+// ConnectPin adds one pin connecting the named device to the named
+// net (created when absent) — the degree-raising half of a "change
+// net degree" edit.
+func ConnectPin(device, net string) Edit { return connectPinEdit{device: device, net: net} }
+
+type disconnectPinEdit struct{ device, net string }
+
+func (e disconnectPinEdit) isEdit() {}
+func (e disconnectPinEdit) String() string {
+	return fmt.Sprintf("disconnect %q from net %q", e.device, e.net)
+}
+func (e disconnectPinEdit) apply(c *netlist.Circuit, eff *effects) error {
+	if err := c.DisconnectPin(e.device, e.net); err != nil {
+		return err
+	}
+	eff.touchNet(e.net)
+	return nil
+}
+
+// DisconnectPin removes the named device's last pin on the named net
+// — the degree-lowering half of a "change net degree" edit.  A net
+// left with no pins and no ports is pruned.
+func DisconnectPin(device, net string) Edit { return disconnectPinEdit{device: device, net: net} }
+
+type addCellEdit struct {
+	name, typ string
+	nets      []string
+}
+
+func (e addCellEdit) isEdit() {}
+func (e addCellEdit) String() string {
+	return fmt.Sprintf("add cell %q type %q (%d pins)", e.name, e.typ, len(e.nets))
+}
+func (e addCellEdit) apply(c *netlist.Circuit, eff *effects) error {
+	if _, err := c.AddDevice(e.name, e.typ, e.nets...); err != nil {
+		return err
+	}
+	for _, n := range e.nets {
+		if n != "" {
+			eff.touchNet(n)
+		}
+	}
+	eff.devs = append(eff.devs, deviceDelta{typ: e.typ, sign: +1})
+	return nil
+}
+
+// AddCell adds a device instance of the given type connected to the
+// named nets in pin order (nets are created as needed; an empty name
+// leaves the pin unconnected).  "Cell" is the ECO vocabulary — the
+// edit works identically for transistor-level modules, and Delta
+// re-checks the cell/transistor methodology split either way.
+func AddCell(name, typ string, nets ...string) Edit {
+	return addCellEdit{name: name, typ: typ, nets: nets}
+}
+
+type removeCellEdit struct{ name string }
+
+func (e removeCellEdit) isEdit()        {}
+func (e removeCellEdit) String() string { return fmt.Sprintf("remove cell %q", e.name) }
+func (e removeCellEdit) apply(c *netlist.Circuit, eff *effects) error {
+	// Capture the type and the attached nets before the device goes:
+	// the incremental statistics need the type's dimensions debited and
+	// every touched net's degree re-bucketed.
+	d := c.DeviceByName(e.name)
+	if d != nil {
+		for _, n := range d.Pins {
+			if n != nil {
+				eff.touchNet(n.Name)
+			}
+		}
+	}
+	if err := c.RemoveDevice(e.name); err != nil {
+		return err
+	}
+	eff.devs = append(eff.devs, deviceDelta{typ: d.Type, sign: -1})
+	return nil
+}
+
+// RemoveCell deletes the named device instance and every pin it
+// contributed; nets left with no pins and no ports are pruned.
+// Removing the last device of a module is rejected.
+func RemoveCell(name string) Edit { return removeCellEdit{name: name} }
+
+type resizeRowsEdit struct{ rows int }
+
+func (e resizeRowsEdit) isEdit()        {}
+func (e resizeRowsEdit) String() string { return fmt.Sprintf("resize to %d rows", e.rows) }
+
+// ResizeRows overrides the §5 initial row count of the child plan: it
+// changes no circuit structure, only the row count the child's
+// execute methods default to, so Delta(ResizeRows(n)) is equivalent
+// to a full recompile with WithRows(n) passed to every default-row
+// call.  The row-dependent Eq. 2–11 terms re-resolve through the
+// shared distribution memo.  Rows must be at least 1; the last
+// ResizeRows in a script wins.
+func ResizeRows(rows int) Edit { return resizeRowsEdit{rows: rows} }
+
+type swapProcessEdit struct{ proc *tech.Process }
+
+func (e swapProcessEdit) isEdit() {}
+func (e swapProcessEdit) String() string {
+	name := "<nil>"
+	if e.proc != nil {
+		name = e.proc.Name
+	}
+	return fmt.Sprintf("swap process to %q", name)
+}
+
+// SwapProcess retargets the module at a different process.  A process
+// swap invalidates every device dimension, Eq. 12–14 constant, and
+// distribution at once, so it is outside the incremental algebra:
+// Delta falls back to a full recompile (the result is still correct
+// and content-addressed, just not incremental).
+func SwapProcess(p *tech.Process) Edit { return swapProcessEdit{proc: p} }
+
+// ApplyEdits applies a script's structural edits, in order, to a
+// clone of the circuit and returns the result; c itself is never
+// mutated.  ResizeRows and SwapProcess edits carry no structural
+// change and are validated only.  This is the reference route the
+// differential tests compare Plan.Delta against: Delta(c, script) is
+// bit-identical to Compile(ApplyEdits(c, script)).
+func ApplyEdits(c *netlist.Circuit, edits ...Edit) (*netlist.Circuit, error) {
+	out, _, err := applyScript(c, edits)
+	return out, err
+}
+
+// applyScript is ApplyEdits plus the touched-net/device-delta effects
+// Delta's incremental statistics update consumes.
+func applyScript(c *netlist.Circuit, edits []Edit) (*netlist.Circuit, *effects, error) {
+	out := c.Clone()
+	eff := &effects{}
+	for _, e := range edits {
+		switch e := e.(type) {
+		case resizeRowsEdit:
+			if e.rows < 1 {
+				return nil, nil, estErr("module %q: resize to %d rows; need at least 1", c.Name, e.rows)
+			}
+		case swapProcessEdit:
+			if e.proc == nil {
+				return nil, nil, estErr("module %q: swap to nil process", c.Name)
+			}
+		case circuitEdit:
+			if err := e.apply(out, eff); err != nil {
+				return nil, nil, err
+			}
+		default:
+			// Unreachable while the interface stays sealed; kept so a
+			// future edit kind fails loudly instead of silently no-oping.
+			return nil, nil, estErr("module %q: unsupported edit %v", c.Name, e)
+		}
+	}
+	return out, eff, nil
+}

@@ -30,6 +30,7 @@ func (pl *Plan) estimate(ctx context.Context, o Options) (res *core.Result, err 
 	sp.SetInt("devices", int64(pl.stats.N))
 	sp.SetInt("nets", int64(pl.stats.H))
 
+	o.Rows = pl.rowsFor(o.Rows)
 	k := scKey{rows: o.Rows, sharing: o.TrackSharing}
 	pl.mu.Lock()
 	res, ok := pl.bundle[k]
@@ -105,7 +106,7 @@ func (pl *Plan) standardCell(rows int, sharing bool) (*core.SCEstimate, error) {
 	if ok {
 		return sc, nil
 	}
-	sc, err := core.EstimateStandardCell(pl.stats, pl.proc, core.SCOptions{Rows: rows, TrackSharing: sharing})
+	sc, err := core.EstimateStandardCell(pl.stats, pl.proc, core.SCOptions{Rows: rows, TrackSharing: sharing, Spans: memoSpans{}})
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +125,7 @@ func (pl *Plan) sweep(rows int, sharing bool, count int) ([]*core.SCEstimate, er
 	if ok {
 		return out, nil
 	}
-	out, err := core.SweepStandardCellShapes(pl.stats, pl.proc, core.SCOptions{Rows: rows, TrackSharing: sharing}, count)
+	out, err := core.SweepStandardCellShapes(pl.stats, pl.proc, core.SCOptions{Rows: rows, TrackSharing: sharing, Spans: memoSpans{}}, count)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +162,7 @@ func (pl *Plan) fullCustom(mode core.FCMode) (*core.FCEstimate, error) {
 // WithTrackSharing), memoized.
 func (pl *Plan) EstimateStandardCell(ctx context.Context, opts ...Option) (*core.SCEstimate, error) {
 	o := build(opts)
-	return pl.standardCell(o.Rows, o.TrackSharing)
+	return pl.standardCell(pl.rowsFor(o.Rows), o.TrackSharing)
 }
 
 // EstimateFullCustom runs only the §4.2 kernel (honors WithFCMode),
@@ -177,6 +178,7 @@ func (pl *Plan) EstimateFullCustom(ctx context.Context, opts ...Option) (*core.F
 // requests return defined errors rather than short or useless slices.
 func (pl *Plan) Candidates(ctx context.Context, opts ...Option) ([]*core.SCEstimate, error) {
 	o := build(opts)
+	o.Rows = pl.rowsFor(o.Rows)
 	// The memo holds unchecked sweeps (Estimate's bundle shares it),
 	// so the strict contract's preconditions run before the lookup; a
 	// memoized sweep that satisfies them is only returnable when some
@@ -210,6 +212,7 @@ func (pl *Plan) Candidates(ctx context.Context, opts ...Option) ([]*core.SCEstim
 // of the central-row two-component bound), memoized.
 func (pl *Plan) Profiled(ctx context.Context, opts ...Option) (*core.SCEstimate, error) {
 	o := build(opts)
+	o.Rows = pl.rowsFor(o.Rows)
 	k := scKey{rows: o.Rows, sharing: o.TrackSharing}
 	pl.mu.Lock()
 	est, ok := pl.prof[k]
@@ -236,11 +239,15 @@ func (pl *Plan) Distributions(ctx context.Context, opts ...Option) (*congest.Dis
 	return pl.distributions(pl.congestRows(o), o.Gridded, o.CongestModel)
 }
 
-// congestRows resolves the analyzed row count: explicit rows win;
-// otherwise the ⌈√N⌉ grid (gridded) or the §5 initial rows.
+// congestRows resolves the analyzed row count: explicit rows win,
+// then a ResizeRows default; otherwise the ⌈√N⌉ grid (gridded) or the
+// §5 initial rows.
 func (pl *Plan) congestRows(o Options) int {
 	if o.Rows != 0 {
 		return o.Rows
+	}
+	if pl.defaultRows != 0 {
+		return pl.defaultRows
 	}
 	if o.Gridded {
 		return congest.GridRows(pl.stats)

@@ -90,9 +90,10 @@ func WithGridded(on bool) Option { return func(o *Options) { o.Gridded = on } }
 func WithCandidates(n int) Option { return func(o *Options) { o.Candidates = n } }
 
 // SCOptions converts the engine knobs to the core kernel's option
-// struct.
+// struct, routing the kernel's row-span lookups through the
+// process-wide distribution memo.
 func (o Options) SCOptions() core.SCOptions {
-	return core.SCOptions{Rows: o.Rows, TrackSharing: o.TrackSharing}
+	return core.SCOptions{Rows: o.Rows, TrackSharing: o.TrackSharing, Spans: memoSpans{}}
 }
 
 // CongestOptions converts the engine knobs to the congestion

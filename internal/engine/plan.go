@@ -29,13 +29,34 @@ func (h Hash) String() string { return fmt.Sprintf("%x", h[:]) }
 // PlanHash computes the content address Compile would assign, without
 // compiling.  Caches probe with this before paying for compilation.
 func PlanHash(c *netlist.Circuit, p *tech.Process) Hash {
-	h := sha256.New()
-	WriteCanonicalCircuit(h, c)
-	tech.Write(h, p)
-	var out Hash
-	h.Sum(out[:0])
+	return hashWithProcBlob(c, tech.Append(nil, p))
+}
+
+// hashWithProcBlob is PlanHash with the process serialization already
+// rendered.  The process is invariant across a whole Delta chain, so
+// every child hash reuses the parent's rendered bytes instead of
+// re-serializing the device library per edit.
+func hashWithProcBlob(c *netlist.Circuit, procBlob []byte) Hash {
+	ports, devs := canonOrders(c)
+	return hashOrdered(c, procBlob, ports, devs)
+}
+
+// hashOrdered is the innermost hash: canonical orders and process
+// bytes already known, one pooled rendering buffer, one SHA-256.
+func hashOrdered(c *netlist.Circuit, procBlob []byte, ports, devs []int32) Hash {
+	buf := hashBufPool.Get().(*[]byte)
+	b := appendCanonicalOrdered((*buf)[:0], c, ports, devs)
+	b = append(b, procBlob...)
+	out := Hash(sha256.Sum256(b))
+	*buf = b
+	hashBufPool.Put(buf)
 	return out
 }
+
+// hashBufPool recycles the rendering buffers behind hashWithProcBlob:
+// the ECO loop hashes one circuit per edit, and growing a fresh
+// multi-KB buffer each time dominated the delta profile.
+var hashBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // WriteCanonicalCircuit emits a deterministic, order-normalized
 // rendering of the circuit: ports and devices sorted by name, so the
@@ -44,27 +65,71 @@ func PlanHash(c *netlist.Circuit, p *tech.Process) Hash {
 // It is close to .mnet but not identical: generated "$" names are
 // allowed even though WriteMnet refuses to emit them.
 func WriteCanonicalCircuit(w io.Writer, c *netlist.Circuit) {
-	fmt.Fprintf(w, "module %s\n", c.Name)
-	ports := make([]*netlist.Port, len(c.Ports))
-	copy(ports, c.Ports)
-	sort.Slice(ports, func(i, j int) bool { return ports[i].Name < ports[j].Name })
-	for _, p := range ports {
-		fmt.Fprintf(w, "port %s %s %s\n", p.Name, p.Dir, p.Net.Name)
+	w.Write(AppendCanonicalCircuit(nil, c))
+}
+
+// AppendCanonicalCircuit appends the canonical rendering to dst and
+// returns the extended slice.  This is the form the content-hash hot
+// paths use; the bytes are identical to WriteCanonicalCircuit's.
+func AppendCanonicalCircuit(dst []byte, c *netlist.Circuit) []byte {
+	ports, devs := canonOrders(c)
+	return appendCanonicalOrdered(dst, c, ports, devs)
+}
+
+// canonOrders computes the canonical (name-sorted) visit order of a
+// circuit's ports and devices, as positions into the respective
+// slices.  Names are unique, so each permutation is unique — which is
+// what lets a Delta child reuse its parent's orders whenever the edit
+// script left the element sets alone (the common ECO case: the edit
+// algebra never touches ports, and pin rewires never touch the device
+// list), skipping the O(N log N) re-sort per edit.
+func canonOrders(c *netlist.Circuit) (ports, devs []int32) {
+	ports = make([]int32, len(c.Ports))
+	for i := range ports {
+		ports[i] = int32(i)
 	}
-	devices := make([]*netlist.Device, len(c.Devices))
-	copy(devices, c.Devices)
-	sort.Slice(devices, func(i, j int) bool { return devices[i].Name < devices[j].Name })
-	for _, d := range devices {
-		fmt.Fprintf(w, "device %s %s", d.Name, d.Type)
+	sort.Slice(ports, func(i, j int) bool { return c.Ports[ports[i]].Name < c.Ports[ports[j]].Name })
+	devs = make([]int32, len(c.Devices))
+	for i := range devs {
+		devs[i] = int32(i)
+	}
+	sort.Slice(devs, func(i, j int) bool { return c.Devices[devs[i]].Name < c.Devices[devs[j]].Name })
+	return ports, devs
+}
+
+// appendCanonicalOrdered is AppendCanonicalCircuit with the sorted
+// orders already known.
+func appendCanonicalOrdered(dst []byte, c *netlist.Circuit, ports, devs []int32) []byte {
+	dst = append(dst, "module "...)
+	dst = append(dst, c.Name...)
+	dst = append(dst, '\n')
+	for _, i := range ports {
+		p := c.Ports[i]
+		dst = append(dst, "port "...)
+		dst = append(dst, p.Name...)
+		dst = append(dst, ' ')
+		dst = append(dst, p.Dir.String()...)
+		dst = append(dst, ' ')
+		dst = append(dst, p.Net.Name...)
+		dst = append(dst, '\n')
+	}
+	for _, i := range devs {
+		d := c.Devices[i]
+		dst = append(dst, "device "...)
+		dst = append(dst, d.Name...)
+		dst = append(dst, ' ')
+		dst = append(dst, d.Type...)
 		for _, n := range d.Pins {
 			if n == nil {
-				io.WriteString(w, " -")
+				dst = append(dst, " -"...)
 			} else {
-				fmt.Fprintf(w, " %s", n.Name)
+				dst = append(dst, ' ')
+				dst = append(dst, n.Name...)
 			}
 		}
-		io.WriteString(w, "\n")
+		dst = append(dst, '\n')
 	}
+	return dst
 }
 
 // Constants are the process-derived scale factors of Eq. 12–14,
@@ -118,13 +183,25 @@ type (
 // lock — a racing duplicate computation is idempotent because every
 // kernel is deterministic).
 type Plan struct {
-	circ        *netlist.Circuit
-	proc        *tech.Process // private clone; callers may mutate theirs freely
-	stats       *netlist.Stats
-	hash        Hash
-	cellLevel   bool // standard-cell methodology applies (library cells, not transistors)
-	initialRows int
-	consts      Constants
+	circ     *netlist.Circuit
+	proc     *tech.Process // private clone; callers may mutate theirs freely
+	procBlob []byte        // proc rendered once (tech.Append); reused by every Delta child hash
+	stats    *netlist.Stats
+	hash     Hash
+	// canonPorts/canonDevs are the canonical (name-sorted) visit
+	// orders behind hash; a Delta child whose script leaves the
+	// element sets alone inherits them instead of re-sorting.
+	canonPorts, canonDevs []int32
+	cellLevel             bool // standard-cell methodology applies (library cells, not transistors)
+	initialRows           int
+	consts                Constants
+	// nCells/nTransistors record the methodology classification so
+	// Delta can re-derive it incrementally after add/remove edits.
+	nCells, nTransistors int
+	// defaultRows, when non-zero, overrides the row count execute
+	// methods default to (the ResizeRows edit); an explicit WithRows
+	// always wins.  Zero on every compiled-from-scratch plan.
+	defaultRows int
 
 	mu     sync.Mutex
 	fcCirc *netlist.Circuit // transistor-level expansion, built on first FC use
@@ -189,13 +266,20 @@ func CompileCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process) (pl *P
 	if err != nil {
 		return nil, estErr("module %q: %v", c.Name, err)
 	}
+	procBlob := tech.Append(nil, proc)
+	canonPorts, canonDevs := canonOrders(c)
 	pl = &Plan{
-		circ:        c,
-		proc:        proc,
-		stats:       s,
-		hash:        PlanHash(c, proc),
-		cellLevel:   nCells > 0,
-		initialRows: core.InitialRows(s, proc),
+		circ:         c,
+		proc:         proc,
+		procBlob:     procBlob,
+		stats:        s,
+		hash:         hashOrdered(c, procBlob, canonPorts, canonDevs),
+		canonPorts:   canonPorts,
+		canonDevs:    canonDevs,
+		cellLevel:    nCells > 0,
+		nCells:       nCells,
+		nTransistors: nTransistors,
+		initialRows:  core.InitialRows(s, proc),
 		consts: Constants{
 			RowHeight:        float64(proc.RowHeight),
 			TrackPitch:       float64(proc.TrackPitch),
@@ -204,15 +288,31 @@ func CompileCtx(ctx context.Context, c *netlist.Circuit, p *tech.Process) (pl *P
 			AvgDeviceWidth:   s.AvgWidth(),
 			AvgDeviceHeight:  s.AvgHeight(),
 		},
-		sc:     make(map[scKey]*core.SCEstimate),
-		prof:   make(map[scKey]*core.SCEstimate),
-		sweeps: make(map[sweepKey][]*core.SCEstimate),
-		fc:     make(map[core.FCMode]*core.FCEstimate),
-		bundle: make(map[scKey]*core.Result),
-		dists:  make(map[distKey]*congest.Distributions),
-		maps:   make(map[congKey]*congest.Map),
 	}
+	pl.initMemos()
 	return pl, nil
+}
+
+// initMemos allocates the (empty) execute-result memo tables; shared
+// by Compile and the incremental Delta constructor.
+func (pl *Plan) initMemos() {
+	pl.sc = make(map[scKey]*core.SCEstimate)
+	pl.prof = make(map[scKey]*core.SCEstimate)
+	pl.sweeps = make(map[sweepKey][]*core.SCEstimate)
+	pl.fc = make(map[core.FCMode]*core.FCEstimate)
+	pl.bundle = make(map[scKey]*core.Result)
+	pl.dists = make(map[distKey]*congest.Distributions)
+	pl.maps = make(map[congKey]*congest.Map)
+}
+
+// rowsFor resolves a row knob against the plan's ResizeRows default:
+// an explicit row count always wins; otherwise a Delta(ResizeRows(n))
+// child defaults to n the way a WithRows(n) call would.
+func (pl *Plan) rowsFor(rows int) int {
+	if rows != 0 || pl.defaultRows == 0 {
+		return rows
+	}
+	return pl.defaultRows
 }
 
 // Hash returns the Plan's content address.
@@ -237,6 +337,13 @@ func (pl *Plan) CellLevel() bool { return pl.cellLevel }
 
 // InitialRows returns the §5 initial row count frozen at compile.
 func (pl *Plan) InitialRows() int { return pl.initialRows }
+
+// DefaultRows returns the row count a Delta(ResizeRows(n)) child
+// defaults its execute calls to, or 0 when the plan carries no
+// override.  Callers that content-address execute results (the serving
+// layer) fold this in so a resized child and an explicit WithRows call
+// share one cache entry.
+func (pl *Plan) DefaultRows() int { return pl.defaultRows }
 
 // expanded returns the transistor-level circuit the full-custom side
 // estimates: the module itself at transistor level, or its cell

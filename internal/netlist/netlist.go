@@ -108,19 +108,56 @@ type Circuit struct {
 	Nets    []*Net
 	Ports   []*Port
 
+	// The by-name interning maps are an optional index: the Builder
+	// populates them, but Clone leaves them nil and every lookup falls
+	// back to a linear scan.  An ECO edit resolves a handful of names
+	// per script, so rebuilding three maps per clone cost more than
+	// every scan it saved; leaving clones unindexed is also what keeps
+	// lookups on shared (read-only) circuits race-free.  When non-nil,
+	// a map is complete and exact — the mutators keep it so.
 	deviceByName map[string]*Device
 	netByName    map[string]*Net
 	portByName   map[string]*Port
 }
 
 // DeviceByName returns the named device instance, or nil.
-func (c *Circuit) DeviceByName(name string) *Device { return c.deviceByName[name] }
+func (c *Circuit) DeviceByName(name string) *Device {
+	if c.deviceByName != nil {
+		return c.deviceByName[name]
+	}
+	for _, d := range c.Devices {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
 
 // NetByName returns the named net, or nil.
-func (c *Circuit) NetByName(name string) *Net { return c.netByName[name] }
+func (c *Circuit) NetByName(name string) *Net {
+	if c.netByName != nil {
+		return c.netByName[name]
+	}
+	for _, n := range c.Nets {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
 
 // PortByName returns the named port, or nil.
-func (c *Circuit) PortByName(name string) *Port { return c.portByName[name] }
+func (c *Circuit) PortByName(name string) *Port {
+	if c.portByName != nil {
+		return c.portByName[name]
+	}
+	for _, p := range c.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
 
 // NumDevices returns N.
 func (c *Circuit) NumDevices() int { return len(c.Devices) }

@@ -38,6 +38,26 @@ type BenchSnapshot struct {
 	// pressure reads differently), optional so older references stay
 	// comparable under the same schema, and ignored by CompareBench.
 	Runtime *RuntimeSnapshot `json:"runtime,omitempty"`
+	// Eco records the incremental (ECO) re-estimation benchmark —
+	// present when the run asked for it, optional so references
+	// without it stay comparable.
+	Eco *EcoSnapshot `json:"eco,omitempty"`
+}
+
+// EcoSnapshot is the incremental-re-estimation benchmark block: the
+// same edit sequence replayed through the from-scratch route (parse-
+// equivalent circuit, cold distribution memo, full compile) and the
+// Plan.Delta route (shared §3 statistics, warm process-wide memo).
+// HashMismatches counts edit steps where the two routes disagreed on
+// the child plan's content address — any nonzero value is a
+// correctness failure, not a perf number.
+type EcoSnapshot struct {
+	Modules        int     `json:"modules"`
+	Edits          int     `json:"edits_per_module"`
+	FullNsPerEdit  int64   `json:"full_ns_per_edit"`
+	DeltaNsPerEdit int64   `json:"delta_ns_per_edit"`
+	Speedup        float64 `json:"speedup"`
+	HashMismatches int     `json:"hash_mismatches"`
 }
 
 // RuntimeSnapshot is the runtime-telemetry block of a bench snapshot.
@@ -296,6 +316,20 @@ func CompareBench(old, new *BenchSnapshot, tolPP, perfTol float64) []string {
 					"perf: %s p99 %.0fus exceeds reference %.0fus by more than %.0f%%",
 					ep.Endpoint, ep.P99Micros, ref.P99Micros, perfTol*100))
 			}
+		}
+	}
+	if new.Eco != nil {
+		// Bit-identity is a hard gate regardless of perf tolerances.
+		if new.Eco.HashMismatches > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"eco: %d edit steps diverged from the recompile route (bit-identity broken)",
+				new.Eco.HashMismatches))
+		}
+		if perfTol > 0 && old.Eco != nil && old.Eco.Speedup > 0 &&
+			new.Eco.Speedup < old.Eco.Speedup*(1-perfTol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"eco: speedup %.1fx fell below reference %.1fx by more than %.0f%%",
+				new.Eco.Speedup, old.Eco.Speedup, perfTol*100))
 		}
 	}
 	return regressions

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,10 +11,14 @@ import (
 
 // TestBuildAccuracyMatchesGoldens reruns both table experiments at
 // the golden seed and checks the measured errors land on the golden
-// values (within print precision of the rendered tables).
+// values (within print precision of the rendered tables).  It shares
+// the golden tests' plan cache: the suites are identical, so every
+// module here is a cache hit exercising plan reuse rather than a
+// duplicate compile.
 func TestBuildAccuracyMatchesGoldens(t *testing.T) {
 	p := tech.NMOS25()
-	snap, err := BuildAccuracy(filepath.Join("..", "..", "testdata", "golden"), p, 1)
+	snap, err := BuildAccuracyCtx(context.Background(),
+		filepath.Join("..", "..", "testdata", "golden"), p, 1, testCompile)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -37,9 +38,11 @@ func checkGolden(t *testing.T, name string, got []byte) {
 
 // The rendered evaluation tables are fully deterministic (seeded
 // generators, seeded annealing); golden files pin them so model or
-// engine regressions surface as diffs.
+// engine regressions surface as diffs.  Both tests resolve plans
+// through the package's shared testCompile cache — the accuracy test
+// reruns the same suites, so recompiling here would be pure waste.
 func TestTable1Golden(t *testing.T) {
-	rows, err := RunTable1(tech.NMOS25(), 1)
+	rows, err := RunTable1Ctx(context.Background(), tech.NMOS25(), 1, testCompile)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +54,7 @@ func TestTable1Golden(t *testing.T) {
 }
 
 func TestTable2Golden(t *testing.T) {
-	rows, err := RunTable2(tech.NMOS25(), 1)
+	rows, err := RunTable2Ctx(context.Background(), tech.NMOS25(), 1, testCompile)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"maest/internal/engine"
+	"maest/internal/gen"
+	"maest/internal/netlist"
+	"maest/internal/tech"
+)
+
+// testCompile is the package's shared plan resolver: the golden-table
+// and accuracy tests all estimate the same generated suites, and each
+// used to recompile every module from scratch.  Caching by plan hash
+// compiles each (circuit, process) once per `go test` run and serves
+// the rest from the same *Plan — the exact reuse path the serving
+// layer's plan cache exercises, so the second consumer's memoized
+// executions get test traffic too.
+var (
+	testPlansMu sync.Mutex
+	testPlans   = map[engine.Hash]*engine.Plan{}
+)
+
+func testCompile(ctx context.Context, c *netlist.Circuit, p *tech.Process) (*engine.Plan, error) {
+	h := engine.PlanHash(c, p)
+	testPlansMu.Lock()
+	pl, ok := testPlans[h]
+	testPlansMu.Unlock()
+	if ok {
+		return pl, nil
+	}
+	pl, err := engine.CompileCtx(ctx, c, p)
+	if err != nil {
+		return nil, err
+	}
+	testPlansMu.Lock()
+	testPlans[h] = pl
+	testPlansMu.Unlock()
+	return pl, nil
+}
+
+// The cache must hand back the identical plan for a recompile of the
+// same circuit — otherwise the tests above silently stop exercising
+// plan reuse.
+func TestSharedPlanCacheReuses(t *testing.T) {
+	p := tech.NMOS25()
+	suite, err := gen.FullCustomSuite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first, err := testCompile(ctx, suite[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := testCompile(ctx, suite[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("shared cache recompiled an identical circuit")
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 
 	"maest/internal/congest"
 	"maest/internal/core"
+	"maest/internal/engine"
 	"maest/internal/hdl"
 	"maest/internal/netlist"
 	"maest/internal/tech"
@@ -34,6 +36,47 @@ type EstimateRequest struct {
 	Rows int `json:"rows,omitempty"`
 	// TrackSharing enables the §7 routing-track-sharing extension.
 	TrackSharing bool `json:"track_sharing,omitempty"`
+}
+
+// DeltaRequest is the POST /v1/estimate/delta payload: an ECO-style
+// edit script against a previously compiled plan, named by the "plan"
+// key a prior /v1/estimate or /v1/estimate/delta answer carried.  The
+// service replays the edits through the incremental Delta route —
+// bit-identical to re-estimating the edited netlist from scratch —
+// without re-sending or re-parsing the netlist source.
+type DeltaRequest struct {
+	// Parent is the hex plan key of the base plan.  An unknown parent
+	// (aged out of the plan cache) answers 404; the caller falls back
+	// to a full /v1/estimate.
+	Parent string `json:"parent"`
+	// Edits is the ECO script, applied in order.  Empty re-estimates
+	// the parent at the given knobs.
+	Edits []EditBody `json:"edits,omitempty"`
+	// Rows fixes the standard-cell row count (0 = the script's
+	// resize_rows default, else §5 automatic).
+	Rows int `json:"rows,omitempty"`
+	// TrackSharing enables the §7 routing-track-sharing extension.
+	TrackSharing bool `json:"track_sharing,omitempty"`
+}
+
+// EditBody is one edit of a delta script.  Op selects the edit;
+// the other fields are its operands:
+//
+//	add_net        name, devices   remove_net      name
+//	connect_pin    device, net     disconnect_pin  device, net
+//	add_cell       name, type, nets
+//	remove_cell    name
+//	resize_rows    rows            swap_process    process
+type EditBody struct {
+	Op      string   `json:"op"`
+	Name    string   `json:"name,omitempty"`
+	Device  string   `json:"device,omitempty"`
+	Net     string   `json:"net,omitempty"`
+	Type    string   `json:"type,omitempty"`
+	Nets    []string `json:"nets,omitempty"`
+	Devices []string `json:"devices,omitempty"`
+	Rows    int      `json:"rows,omitempty"`
+	Process string   `json:"process,omitempty"`
 }
 
 // BatchRequest is the POST /v1/estimate/batch payload: a chip's worth
@@ -88,10 +131,15 @@ type StatsBody struct {
 
 // EstimateResponse is one module's answer.
 type EstimateResponse struct {
-	Module   string    `json:"module"`
-	Process  string    `json:"process"`
-	CacheHit bool      `json:"cache_hit"`
-	Key      string    `json:"key"`
+	Module   string `json:"module"`
+	Process  string `json:"process"`
+	CacheHit bool   `json:"cache_hit"`
+	Key      string `json:"key"`
+	// Plan is the compiled plan's content address, present on
+	// /v1/estimate and /v1/estimate/delta answers.  It is the handle
+	// a subsequent DeltaRequest names as Parent, so an ECO loop chains
+	// edit upon edit without ever re-sending netlist source.
+	Plan     string    `json:"plan,omitempty"`
 	Stats    StatsBody `json:"stats"`
 	SC       *SCBody   `json:"standard_cell,omitempty"`
 	SCShapes []SCBody  `json:"standard_cell_candidates,omitempty"`
@@ -206,6 +254,11 @@ var errBadRequest = errors.New("serve: bad request")
 // errBadGateway marks proxy failures reaching the backend (502).
 var errBadGateway = errors.New("serve: backend unreachable")
 
+// errUnknownParent marks a delta request whose parent plan is not in
+// the plan cache (404): the plan aged out, or the client is talking to
+// a different shard.  The defined fallback is a full /v1/estimate.
+var errUnknownParent = errors.New("serve: unknown parent plan")
+
 func reqErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))
 }
@@ -271,6 +324,71 @@ func lookupProcess(name, fallback string) (*tech.Process, string, error) {
 		return nil, "", reqErr("%v", err)
 	}
 	return p, name, nil
+}
+
+// parseKey decodes a hex content address from the wire.
+func parseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, reqErr("malformed plan key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// decodeEdits turns a wire edit script into the engine's typed edit
+// algebra.  Shape errors (unknown op, missing operands, unknown
+// process) are 400s; semantic errors (ghost devices, methodology
+// mixing, zero rows) are left for Plan.Delta so the delta route
+// answers exactly what a full estimate of the edited netlist would.
+func decodeEdits(bodies []EditBody) ([]engine.Edit, error) {
+	edits := make([]engine.Edit, 0, len(bodies))
+	for i, e := range bodies {
+		switch e.Op {
+		case "add_net":
+			if e.Name == "" {
+				return nil, reqErr("edit %d: add_net needs a name", i)
+			}
+			edits = append(edits, engine.AddNet(e.Name, e.Devices...))
+		case "remove_net":
+			if e.Name == "" {
+				return nil, reqErr("edit %d: remove_net needs a name", i)
+			}
+			edits = append(edits, engine.RemoveNet(e.Name))
+		case "connect_pin":
+			if e.Device == "" || e.Net == "" {
+				return nil, reqErr("edit %d: connect_pin needs device and net", i)
+			}
+			edits = append(edits, engine.ConnectPin(e.Device, e.Net))
+		case "disconnect_pin":
+			if e.Device == "" || e.Net == "" {
+				return nil, reqErr("edit %d: disconnect_pin needs device and net", i)
+			}
+			edits = append(edits, engine.DisconnectPin(e.Device, e.Net))
+		case "add_cell":
+			if e.Name == "" || e.Type == "" {
+				return nil, reqErr("edit %d: add_cell needs name and type", i)
+			}
+			edits = append(edits, engine.AddCell(e.Name, e.Type, e.Nets...))
+		case "remove_cell":
+			if e.Name == "" {
+				return nil, reqErr("edit %d: remove_cell needs a name", i)
+			}
+			edits = append(edits, engine.RemoveCell(e.Name))
+		case "resize_rows":
+			edits = append(edits, engine.ResizeRows(e.Rows))
+		case "swap_process":
+			p, err := tech.Lookup(e.Process)
+			if err != nil {
+				return nil, reqErr("edit %d: %v", i, err)
+			}
+			edits = append(edits, engine.SwapProcess(p))
+		default:
+			return nil, reqErr("edit %d: unknown op %q", i, e.Op)
+		}
+	}
+	return edits, nil
 }
 
 // encodeResult converts an estimate into its wire shape.

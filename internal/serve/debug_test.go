@@ -80,7 +80,7 @@ func TestDebugFlightAfterMixedTraffic(t *testing.T) {
 	}
 
 	// Per-endpoint latency quantiles ride along.
-	if len(resp.Latency) != 3 {
+	if len(resp.Latency) != 4 {
 		t.Fatalf("latency section has %d endpoints, want 3", len(resp.Latency))
 	}
 	for _, ep := range resp.Latency {
@@ -131,7 +131,7 @@ func TestDebugDisabledFlight(t *testing.T) {
 	if resp.Enabled || resp.Capacity != 0 || len(resp.Requests) != 0 {
 		t.Fatalf("disabled flight: %+v", resp)
 	}
-	if len(resp.Latency) != 3 {
+	if len(resp.Latency) != 4 {
 		t.Fatalf("latency section should still render: %+v", resp.Latency)
 	}
 	body := doDebug(t, s, "/debug/slowest")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -107,6 +108,7 @@ func (o Options) withDefaults() Options {
 //
 //	POST /v1/estimate        one circuit
 //	POST /v1/estimate/batch  a chip's worth of circuits
+//	POST /v1/estimate/delta  ECO edits against a cached plan
 //	POST /v1/congestion      one circuit's congestion map
 //	GET  /healthz            liveness
 //	GET  /metrics            Prometheus text exposition
@@ -146,10 +148,12 @@ func New(opts Options) *Server {
 		s.proxy = &http.Client{Timeout: opts.Timeout}
 		s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.proxyTo("/v1/estimate")))
 		s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.proxyTo("/v1/estimate/batch")))
+		s.mux.HandleFunc("POST /v1/estimate/delta", s.instrument("/v1/estimate/delta", s.proxyTo("/v1/estimate/delta")))
 		s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.proxyTo("/v1/congestion")))
 	} else {
 		s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 		s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.handleBatch))
+		s.mux.HandleFunc("POST /v1/estimate/delta", s.instrument("/v1/estimate/delta", s.handleDelta))
 		s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.handleCongestion))
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -181,7 +185,13 @@ func (s *Server) PlanCache() *PlanCache { return s.plans }
 // makes an estimate followed by a congestion question on the same
 // body share one parse/gather.
 func (s *Server) plan(ctx context.Context, circ *netlist.Circuit, proc *tech.Process) (*engine.Plan, error) {
-	k := Key(engine.PlanHash(circ, proc))
+	return s.planWithKey(ctx, Key(engine.PlanHash(circ, proc)), circ, proc)
+}
+
+// planWithKey is plan with the content address already computed —
+// handlers that also answer the plan key to the client avoid hashing
+// the circuit twice.
+func (s *Server) planWithKey(ctx context.Context, k Key, circ *netlist.Circuit, proc *tech.Process) (*engine.Plan, error) {
 	if pl, ok := s.plans.Get(k); ok {
 		return pl, nil
 	}
@@ -241,6 +251,11 @@ func writeError(w http.ResponseWriter, info *reqInfo, err error) {
 		// The request was well-formed but the circuit cannot be
 		// estimated (unknown device, mixed methodologies, …).
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, errUnknownParent):
+		// The named parent plan aged out of the plan cache (or belongs
+		// to another shard); the client's defined fallback is a full
+		// /v1/estimate, whose answer mints a fresh plan key.
+		status = http.StatusNotFound
 	case errors.Is(err, errBadGateway):
 		status = http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -308,16 +323,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *re
 	info.mark("parse")
 	opts := core.SCOptions{Rows: req.Rows, TrackSharing: req.TrackSharing}
 	key := CacheKey(circ, procName, opts)
+	planKey := Key(engine.PlanHash(circ, proc))
 	info.setDigest(key)
 	if res, ok := s.cache.Get(key); ok {
 		info.setCacheHit(true)
 		info.mark("cache")
-		writeJSON(w, http.StatusOK, encodeResult(res, procName, key, true))
+		resp := encodeResult(res, procName, key, true)
+		resp.Plan = planKey.String()
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	info.mark("cache")
 
-	pl, err := s.plan(ctx, circ, proc)
+	pl, err := s.planWithKey(ctx, planKey, circ, proc)
 	if err != nil {
 		s.fail(w, info, err)
 		return
@@ -329,7 +347,100 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *re
 		return
 	}
 	info.mark("estimate")
-	writeJSON(w, http.StatusOK, encodeResult(res, procName, key, false))
+	resp := encodeResult(res, procName, key, false)
+	resp.Plan = planKey.String()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDelta answers POST /v1/estimate/delta: the ECO loop's fast
+// path.  The request names a previously compiled plan by content
+// address and carries a typed edit script; the engine's incremental
+// Delta route produces the child plan — bit-identical to recompiling
+// the edited netlist — and the answer is cached under the same key a
+// full /v1/estimate of the edited circuit would use, so the two routes
+// share cache entries in both directions.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, info *reqInfo) {
+	if !s.acquire() {
+		s.reject(w, info)
+		return
+	}
+	defer s.release()
+	if s.opts.EstimateHook != nil {
+		s.opts.EstimateHook()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+
+	var req DeltaRequest
+	if err := decodeJSON(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes), &req); err != nil {
+		s.fail(w, info, err)
+		return
+	}
+	info.mark("decode")
+	parentKey, err := parseKey(req.Parent)
+	if err != nil {
+		s.fail(w, info, err)
+		return
+	}
+	edits, err := decodeEdits(req.Edits)
+	if err != nil {
+		s.fail(w, info, err)
+		return
+	}
+	parent, ok := s.plans.Get(parentKey)
+	if !ok {
+		s.fail(w, info, fmt.Errorf("%w: %s", errUnknownParent, req.Parent))
+		return
+	}
+	child, err := parent.DeltaCtx(ctx, edits...)
+	if err != nil {
+		s.fail(w, info, err)
+		return
+	}
+	childKey := Key(child.Hash())
+	if childKey != parentKey {
+		// A rows-only script keeps the parent's content address (rows
+		// are an execute knob, not plan identity); storing that child
+		// would replace the parent with one carrying a hidden row
+		// default.  The plan cache only ever maps a key to the plain
+		// compile of that content.
+		s.plans.Put(childKey, child)
+	}
+	info.mark("delta")
+
+	// The child's process name came through the plan (the parent's, or
+	// the swap_process target); its row default came through any
+	// resize_rows edit.  Folding both into the result key is what makes
+	// a delta answer and a full estimate of the same edited circuit the
+	// same cache entry — and keeps a resized child from colliding with
+	// the same circuit at §5 automatic rows.
+	procName := child.Process().Name
+	rows := req.Rows
+	if rows == 0 {
+		rows = child.DefaultRows()
+	}
+	opts := core.SCOptions{Rows: rows, TrackSharing: req.TrackSharing}
+	key := CacheKey(child.Circuit(), procName, opts)
+	info.setDigest(key)
+	if res, ok := s.cache.Get(key); ok {
+		info.setCacheHit(true)
+		info.mark("cache")
+		resp := encodeResult(res, procName, key, true)
+		resp.Plan = childKey.String()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	info.mark("cache")
+	res, err := s.estimateWithDeadline(ctx, child, opts, key)
+	if err != nil {
+		s.fail(w, info, err)
+		return
+	}
+	info.mark("estimate")
+	resp := encodeResult(res, procName, key, false)
+	resp.Plan = childKey.String()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // estimateWithDeadline runs one estimate against a compiled plan,

@@ -22,6 +22,7 @@ import (
 var endpointSeconds = map[string]*obs.Histogram{
 	"/v1/estimate":       obs.DefHistogram("maest_serve_estimate_seconds", "POST /v1/estimate latency", obs.DefBuckets),
 	"/v1/estimate/batch": obs.DefHistogram("maest_serve_batch_seconds", "POST /v1/estimate/batch latency", obs.DefBuckets),
+	"/v1/estimate/delta": obs.DefHistogram("maest_serve_delta_seconds", "POST /v1/estimate/delta latency", obs.DefBuckets),
 	"/v1/congestion":     obs.DefHistogram("maest_serve_congestion_seconds", "POST /v1/congestion latency", obs.DefBuckets),
 }
 

@@ -834,6 +834,13 @@ func PlanHashFor(c *Circuit, p *Process) PlanHash { return engine.PlanHash(c, p)
 // circuit rendering plan hashes and serving-cache keys build on.
 func WriteCanonicalCircuit(w io.Writer, c *Circuit) { engine.WriteCanonicalCircuit(w, c) }
 
+// AppendCanonicalCircuit appends the same canonical rendering to a
+// byte slice — the allocation-free form for callers hashing many
+// circuits through one reused buffer.
+func AppendCanonicalCircuit(dst []byte, c *Circuit) []byte {
+	return engine.AppendCanonicalCircuit(dst, c)
+}
+
 // EstimatePlans estimates already-compiled plans concurrently,
 // preserving plan order — the reuse-friendly form of EstimateChip.
 func EstimatePlans(ctx context.Context, plans []*Plan, opts ...EngineOption) ([]*Result, error) {
@@ -874,6 +881,66 @@ func WithGridded(on bool) EngineOption { return engine.WithGridded(on) }
 
 // WithCandidates sets the candidate-shape count for Plan.Candidates.
 func WithCandidates(count int) EngineOption { return engine.WithCandidates(count) }
+
+// ECO re-estimation: the typed edit algebra behind Plan.Delta.
+// Plan.Delta(edits...) produces the plan for the edited circuit while
+// reusing every compiled intermediate the edits provably do not touch
+// — bit-identical to recompiling from scratch, at a fraction of the
+// cost.
+//
+//	child, err := pl.Delta(maest.ConnectPin("g7", "net3"))
+//	res, err := child.Estimate(ctx) // mostly memo hits
+type (
+	// Edit is one step of the ECO edit algebra; build values with
+	// AddNet, RemoveNet, ConnectPin, DisconnectPin, AddCell,
+	// RemoveCell, ResizeRows, and SwapProcess.
+	Edit = engine.Edit
+	// RowSpans optionally overrides where the standard-cell kernel's
+	// Eq. 2–3 row-span quantities come from; implementations must be
+	// bit-identical to the direct computation.
+	RowSpans = core.RowSpans
+	// FeedThroughMemo is the optional second interface a RowSpans
+	// implementation may provide to also serve the Eq. 11 feed-through
+	// expectation (the engine's memoSpans does, through distmemo);
+	// results must be bit-identical to the direct computation.
+	FeedThroughMemo = core.FeedThroughMemo
+)
+
+// AddNet creates a new net connecting the named devices.
+func AddNet(name string, devices ...string) Edit { return engine.AddNet(name, devices...) }
+
+// RemoveNet deletes the named net and every device pin on it; nets
+// reaching a module port cannot be removed.
+func RemoveNet(name string) Edit { return engine.RemoveNet(name) }
+
+// ConnectPin adds one pin connecting the named device to the named
+// net (created when absent).
+func ConnectPin(device, net string) Edit { return engine.ConnectPin(device, net) }
+
+// DisconnectPin removes the named device's last pin on the named net.
+func DisconnectPin(device, net string) Edit { return engine.DisconnectPin(device, net) }
+
+// AddCell adds a device instance of the given type connected to the
+// named nets in pin order.
+func AddCell(name, typ string, nets ...string) Edit { return engine.AddCell(name, typ, nets...) }
+
+// RemoveCell deletes the named device instance and its pins.
+func RemoveCell(name string) Edit { return engine.RemoveCell(name) }
+
+// ResizeRows overrides the row count the child plan's execute methods
+// default to — equivalent to passing WithRows to every call.
+func ResizeRows(rows int) Edit { return engine.ResizeRows(rows) }
+
+// SwapProcess retargets the module at a different process; Delta
+// falls back to a full recompile for it.
+func SwapProcess(p *Process) Edit { return engine.SwapProcess(p) }
+
+// ApplyEdits applies a script's structural edits to a clone of the
+// circuit — the reference semantics Plan.Delta is differentially
+// tested against.
+func ApplyEdits(c *Circuit, edits ...Edit) (*Circuit, error) {
+	return engine.ApplyEdits(c, edits...)
+}
 
 // Estimator error taxonomy, exposed so callers can branch on failure
 // classes (the serving layer maps ErrEstimate to HTTP 422).

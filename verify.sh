@@ -22,9 +22,42 @@ go build ./examples/...
 # under the race detector so a concurrency regression fails fast with
 # a focused report before the full-tree run below repeats them in
 # bulk.
-go vet ./internal/engine ./internal/serve ./internal/obs
-go test -race ./internal/engine ./internal/serve ./internal/obs
+go vet ./internal/engine/... ./internal/serve ./internal/obs
+go test -race ./internal/engine/... ./internal/serve ./internal/obs
 go test -race ./...
+# Coverage ratchet: the packages carrying the incremental (ECO)
+# re-estimation machinery must not lose test coverage.  Floors live in
+# testdata/coverage_floor.txt, about a point under the measured figure
+# — raise them when a package's coverage durably improves.
+go test -cover $(awk '!/^#/ && NF { print $1 }' testdata/coverage_floor.txt) |
+    awk -v floors=testdata/coverage_floor.txt '
+    BEGIN {
+        while ((getline line < floors) > 0) {
+            if (line ~ /^#/ || line !~ /[^ ]/) continue
+            split(line, f, " ")
+            floor[f[1]] = f[2] + 0
+        }
+    }
+    {
+        print
+        if ($1 == "ok" && match($0, /coverage: [0-9.]+%/)) {
+            pct = substr($0, RSTART + 10, RLENGTH - 11) + 0
+            if ($2 in floor) {
+                seen[$2] = 1
+                if (pct < floor[$2]) {
+                    printf "coverage ratchet: %s at %.1f%% is below its %.1f%% floor\n", $2, pct, floor[$2] > "/dev/stderr"
+                    bad = 1
+                }
+            }
+        }
+    }
+    END {
+        for (p in floor) if (!(p in seen)) {
+            printf "coverage ratchet: no coverage figure for %s\n", p > "/dev/stderr"
+            bad = 1
+        }
+        exit bad
+    }'
 # Distributed-trace e2e: two full serve instances (router + shard) on
 # real sockets must stitch one W3C trace id from the client through
 # both flight recorders.
@@ -35,9 +68,14 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 # Observatory smoke: a fresh accuracy snapshot must match the
 # checked-in reference exactly (-tol 0 — the engine refactor is
 # required to be bit-identical, so zero drift is the contract; perf
-# compare stays off, it is machine-dependent).
+# compare stays off, it is machine-dependent).  The -eco pass replays
+# randomized edit scripts down both the full-recompile and Plan.Delta
+# routes, hard-fails on any plan-hash divergence, and gates the
+# incremental path at >= 5x the full route per edit (the ratio is
+# machine-independent even though the raw timings are not).
 tmp=$(mktemp /tmp/BENCH_ci.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT
 go run ./cmd/maest-bench -label ci -o "$tmp" -requests 24 -estimate-iters 1 \
+    -eco 40 -eco-min-speedup 5 \
     -compare testdata/bench/BENCH_reference.json -tol 0
 echo "verify.sh: all checks passed"
