@@ -8,7 +8,7 @@
 //
 //	maest-bench [-label local] [-o BENCH_local.json]
 //	            [-golden testdata/golden] [-proc nmos25] [-seed 1]
-//	            [-requests 60] [-estimate-iters 3]
+//	            [-requests 60] [-estimate-iters 3] [-store]
 //	            [-compare ref.json] [-tol 0.5] [-perf-tol 0]
 //
 // With -compare the fresh snapshot is diffed against a reference:
@@ -39,6 +39,7 @@ import (
 	"maest/internal/obs"
 	"maest/internal/report"
 	"maest/internal/serve"
+	"maest/internal/store"
 	"maest/internal/tech"
 )
 
@@ -55,6 +56,7 @@ type options struct {
 	perfTol       float64
 	ecoEdits      int
 	ecoMinSpeedup float64
+	store         bool
 }
 
 func main() {
@@ -71,6 +73,7 @@ func main() {
 	flag.Float64Var(&o.perfTol, "perf-tol", 0, "allowed perf growth vs the reference as a fraction (0 disables perf compare)")
 	flag.IntVar(&o.ecoEdits, "eco", 0, "ECO edits per module for the incremental-reestimation benchmark (0 disables it)")
 	flag.Float64Var(&o.ecoMinSpeedup, "eco-min-speedup", 0, "minimum delta-vs-recompile speedup the -eco benchmark must reach; below it exits 2 (0 disables the gate)")
+	flag.BoolVar(&o.store, "store", false, "benchmark the persistent store: cold vs warm time-to-first-hit and the hit ratio over a replayed request log")
 	flag.Parse()
 
 	regressions, err := run(&o, os.Stdout)
@@ -137,6 +140,19 @@ func run(o *options, w io.Writer) ([]string, error) {
 			snap.Eco.Modules, snap.Eco.Edits, snap.Eco.FullNsPerEdit, snap.Eco.DeltaNsPerEdit, snap.Eco.Speedup)
 		if snap.Eco.HashMismatches > 0 {
 			return nil, fmt.Errorf("eco: %d edit steps diverged from the recompile route", snap.Eco.HashMismatches)
+		}
+	}
+
+	if o.store {
+		snap.Store, err = timeStore(o.requests)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "maest-bench: store cold first-hit %.0fus, warm %.0fus (%.1fx), hit ratio %.2f over %d requests\n",
+			snap.Store.ColdFirstHitUs, snap.Store.WarmFirstHitUs, snap.Store.WarmSpeedup,
+			snap.Store.HitRatio, snap.Store.Requests)
+		if snap.Store.StoreMisses > 0 {
+			return nil, fmt.Errorf("store: %d misses replaying a log the cold pass fully persisted", snap.Store.StoreMisses)
 		}
 	}
 
@@ -403,6 +419,92 @@ func timeServePipeline(n int) ([]report.EndpointPerf, error) {
 		return nil, errors.New("serve pipeline produced no latency samples")
 	}
 	return out, nil
+}
+
+// timeStore measures the persistent store's serving value: the same
+// request log replayed against the real HTTP service twice over one
+// store directory.  Pass one starts cold (empty store — every answer
+// is computed and persisted write-behind); the service is then torn
+// down, which flushes and seals the store, and booted fresh against
+// the populated directory, so pass two's first request times the
+// disk-hit path an operator sees after a restart.
+func timeStore(n int) (*report.StoreSnapshot, error) {
+	if n < 4 {
+		n = 4
+	}
+	dir, err := os.MkdirTemp("", "maest-bench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The replay log round-robins a handful of distinct modules, so
+	// the log revisits each one several times the way a floorplanner
+	// iterating on a chip does.
+	var reqs []serve.EstimateRequest
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, serve.EstimateRequest{
+			Netlist: chainNetlist(fmt.Sprintf("bench-store-%d", i), 8+6*i),
+		})
+	}
+	ctx := obs.WithTraceContext(context.Background(), obs.NewTraceContext())
+
+	replay := func() (firstHit time.Duration, stats store.Stats, err error) {
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			return 0, store.Stats{}, err
+		}
+		handler := serve.New(serve.Options{Store: st})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.Close()
+			return 0, store.Stats{}, err
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		defer func() {
+			srv.Close()
+			handler.FlushStore()
+			if cerr := st.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		c := client.New("http://" + ln.Addr().String())
+		t0 := time.Now()
+		if _, err := c.Estimate(ctx, reqs[0]); err != nil {
+			return 0, store.Stats{}, err
+		}
+		firstHit = time.Since(t0)
+		for i := 1; i < n; i++ {
+			if _, err := c.Estimate(ctx, reqs[i%len(reqs)]); err != nil {
+				return 0, store.Stats{}, err
+			}
+		}
+		return firstHit, st.Stats(), nil
+	}
+
+	coldFirst, _, err := replay()
+	if err != nil {
+		return nil, err
+	}
+	warmFirst, stats, err := replay()
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &report.StoreSnapshot{
+		Requests:       n,
+		Modules:        len(reqs),
+		ColdFirstHitUs: float64(coldFirst.Nanoseconds()) / 1e3,
+		WarmFirstHitUs: float64(warmFirst.Nanoseconds()) / 1e3,
+		StoreHits:      stats.Hits,
+		StoreMisses:    stats.Misses,
+		HitRatio:       float64(stats.Hits) / float64(n),
+	}
+	if warmFirst > 0 {
+		snap.WarmSpeedup = float64(coldFirst) / float64(warmFirst)
+	}
+	return snap, nil
 }
 
 // chainNetlist emits a deterministic inverter chain in mnet format.

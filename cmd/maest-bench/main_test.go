@@ -146,3 +146,44 @@ func TestBenchCompareAgainstCheckedInReference(t *testing.T) {
 		t.Fatalf("regressions vs checked-in reference: %v", regressions)
 	}
 }
+
+// TestBenchStoreMode runs the -store benchmark and validates the
+// store block: every replayed request in the warm pass is answered
+// without a store miss, and the cold/warm timings are real.
+func TestBenchStoreMode(t *testing.T) {
+	o := benchOptions(t, "store")
+	o.store = true
+	var out bytes.Buffer
+	if _, err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := report.ReadBenchSnapshot(o.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := snap.Store
+	if st == nil {
+		t.Fatal("snapshot has no store block with -store set")
+	}
+	if st.Requests != o.requests || st.Modules <= 0 {
+		t.Fatalf("store block shape: %+v", st)
+	}
+	if st.ColdFirstHitUs <= 0 || st.WarmFirstHitUs <= 0 || st.WarmSpeedup <= 0 {
+		t.Fatalf("store timings missing: %+v", st)
+	}
+	if st.StoreMisses != 0 {
+		t.Fatalf("warm replay missed the store %d times: %+v", st.StoreMisses, st)
+	}
+	// Each distinct module hits the store exactly once in the warm
+	// pass; repeats land in the rehydrated LRU.
+	want := st.Modules
+	if o.requests < want {
+		want = o.requests
+	}
+	if st.StoreHits != int64(want) {
+		t.Fatalf("store hits %d, want %d: %+v", st.StoreHits, want, st)
+	}
+	if !strings.Contains(out.String(), "store cold first-hit") {
+		t.Fatalf("run output missing the store line:\n%s", out.String())
+	}
+}

@@ -12,13 +12,18 @@
 //	            [-flight N] [-access-log FILE] [-debug-addr ADDR]
 //	            [-trace out.jsonl] [-pprof out.cpu]
 //	            [-backend URL] [-runtime-metrics 15s]
+//	            [-store-dir DIR] [-store-max-bytes N]
 //	            [-watchdog 0] [-watchdog-golden DIR] [-watchdog-ref FILE]
 //	            [-watchdog-tol 0.5] [-watchdog-seed N]
 //
 // -backend turns the instance into a forwarding hop (the maest-router
 // building block): /v1/* relays to the backend with the W3C
 // traceparent re-injected, so one trace id spans client → router →
-// shard.  -watchdog starts the accuracy watchdog: every interval the
+// shard.  -store-dir mounts the persistent plan store: results and
+// congestion maps persist across restarts under their content
+// addresses, so a restarted instance answers repeat requests from disk
+// instead of re-paying compile+execute (-store-max-bytes caps the
+// store; the oldest segments are evicted beyond it).  -watchdog starts the accuracy watchdog: every interval the
 // golden circuit set replays through the live plan cache and /healthz
 // degrades (503) when any module drifts beyond -watchdog-tol
 // percentage points from the pinned reference.
@@ -36,6 +41,7 @@
 //
 //	GET /debug/flight?n=N    recent request records + latency quantiles
 //	GET /debug/slowest?k=K   top-K requests by duration, span breakdown
+//	GET /debug/store         persistent-store statistics snapshot
 //	GET /metrics             the same exposition, for sidecar scrapers
 //
 // SIGINT/SIGTERM drain in-flight estimates for up to -drain before
@@ -58,6 +64,7 @@ import (
 
 	"maest/internal/obs"
 	"maest/internal/serve"
+	"maest/internal/store"
 )
 
 // options carries the parsed flag values into run.
@@ -79,6 +86,8 @@ type options struct {
 
 	backend        string
 	runtimeMetrics time.Duration
+	storeDir       string
+	storeMaxBytes  int64
 	watchdog       time.Duration
 	watchdogGolden string
 	watchdogRef    string
@@ -104,6 +113,8 @@ func main() {
 	flag.StringVar(&o.pprof, "pprof", "", "write a CPU profile to this file (and a heap snapshot to FILE.heap)")
 	flag.StringVar(&o.backend, "backend", "", "forward /v1/* to this maest-serve base URL instead of estimating locally (router mode; traceparent is re-injected per hop)")
 	flag.DurationVar(&o.runtimeMetrics, "runtime-metrics", 15*time.Second, "Go runtime telemetry sampling interval for /metrics (0 disables)")
+	flag.StringVar(&o.storeDir, "store-dir", "", "mount the persistent plan store in this directory: results persist across restarts and warm-start the caches (empty disables)")
+	flag.Int64Var(&o.storeMaxBytes, "store-max-bytes", 1<<30, "persistent store size budget in bytes; the oldest segments are evicted beyond it (negative disables eviction)")
 	flag.DurationVar(&o.watchdog, "watchdog", 0, "accuracy watchdog probe interval; replays the golden set through the live plan cache and degrades /healthz on drift (0 disables)")
 	flag.StringVar(&o.watchdogGolden, "watchdog-golden", "testdata/golden", "golden tables directory for the accuracy watchdog")
 	flag.StringVar(&o.watchdogRef, "watchdog-ref", "testdata/bench/BENCH_reference.json", "pinned bench snapshot the watchdog diffs against")
@@ -145,6 +156,11 @@ func run(o options) (err error) {
 	if rt.debug != nil {
 		log.Printf("maest-serve: observatory on %s", rt.debugAddr)
 	}
+	if rt.store != nil {
+		st := rt.store.Stats()
+		log.Printf("maest-serve: persistent store at %s (%d segments, %d records, %d bytes)",
+			o.storeDir, st.Segments, st.Records, st.Bytes)
+	}
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,6 +195,7 @@ type running struct {
 	debugAddr string
 	handler   *serve.Server
 	sampler   *obs.RuntimeSampler // nil when -runtime-metrics is 0
+	store     *store.Store        // nil when -store-dir is empty
 }
 
 // startServer validates the options, binds the listeners, and serves
@@ -186,6 +203,14 @@ type running struct {
 // on port 0).  hook is threaded into serve.Options for deterministic
 // end-to-end overload tests; production passes nil.
 func startServer(ctx context.Context, o options, accessLog io.Writer, hook func()) (*running, error) {
+	var st *store.Store
+	if o.storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: o.storeDir, MaxBytes: o.storeMaxBytes})
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
 	handler := serve.New(serve.Options{
 		Process:         o.proc,
 		CacheSize:       o.cacheSize,
@@ -198,6 +223,7 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		FlightSize:      o.flight,
 		AccessLog:       accessLog,
 		Backend:         o.backend,
+		Store:           st,
 		Watchdog: serve.WatchdogOptions{
 			Interval:  o.watchdog,
 			GoldenDir: o.watchdogGolden,
@@ -208,6 +234,9 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 	})
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	rt := &running{
@@ -222,6 +251,7 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		apiAddr: ln.Addr().String(),
 		handler: handler,
 		sampler: obs.NewRuntimeSampler(o.runtimeMetrics),
+		store:   st,
 	}
 	rt.sampler.Start()
 	rt.handler.Watchdog().Start()
@@ -231,6 +261,9 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		dln, err := net.Listen("tcp", o.debugAddr)
 		if err != nil {
 			ln.Close()
+			if st != nil {
+				st.Close()
+			}
 			return nil, fmt.Errorf("debug listener: %w", err)
 		}
 		rt.debug = &http.Server{
@@ -259,6 +292,15 @@ func (rt *running) shutdown(drain time.Duration) error {
 	if rt.debug != nil {
 		rt.debug.Close()
 	}
+	// The store outlives the listeners: results computed by the last
+	// in-flight requests still flush through the write-behind queue
+	// before the files close.
+	defer func() {
+		rt.handler.FlushStore()
+		if rt.store != nil {
+			rt.store.Close()
+		}
+	}()
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := rt.api.Shutdown(ctx); err != nil {

@@ -138,6 +138,31 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 	return &h, nil
 }
 
+// DebugStore answers GET /debug/store: the persistent store's full
+// statistics snapshot.  The endpoint lives on the debug listener, so
+// construct the client against `-debug-addr` (the /healthz Store block
+// on the service port carries the abridged form).
+func (c *Client) DebugStore(ctx context.Context) (*serve.DebugStoreResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/store", nil)
+	if err != nil {
+		return nil, err
+	}
+	c.inject(ctx, req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var d serve.DebugStoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("client: decode store stats: %w", err)
+	}
+	return &d, nil
+}
+
 // Metrics returns the raw Prometheus text exposition from /metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)

@@ -42,6 +42,30 @@ type BenchSnapshot struct {
 	// present when the run asked for it, optional so references
 	// without it stay comparable.
 	Eco *EcoSnapshot `json:"eco,omitempty"`
+	// Store records the persistent-store benchmark (-store): present
+	// when the run asked for it, informational like Runtime (machine-
+	// dependent, so CompareBench ignores it).
+	Store *StoreSnapshot `json:"store,omitempty"`
+}
+
+// StoreSnapshot is the persistent-store benchmark block: a request
+// log replayed twice against the real HTTP service over the same
+// store directory.  The cold pass starts with an empty store, so its
+// first-hit time is the full compute path; the warm pass restarts the
+// service (empty LRUs) against the now-populated directory, so its
+// first-hit time is a disk read.  The hit ratio is store hits over
+// replayed requests in the warm pass — repeats within the pass land
+// in the rehydrated LRU, which is the intended production shape.
+type StoreSnapshot struct {
+	Requests       int     `json:"requests"`
+	Modules        int     `json:"modules"`
+	ColdFirstHitUs float64 `json:"cold_first_hit_us"`
+	WarmFirstHitUs float64 `json:"warm_first_hit_us"`
+	// WarmSpeedup is ColdFirstHitUs / WarmFirstHitUs.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	StoreHits   int64   `json:"store_hits"`
+	StoreMisses int64   `json:"store_misses"`
+	HitRatio    float64 `json:"hit_ratio"`
 }
 
 // EcoSnapshot is the incremental-re-estimation benchmark block: the

@@ -235,6 +235,23 @@ type ErrorResponse struct {
 type HealthResponse struct {
 	Status   string          `json:"status"`
 	Watchdog *WatchdogHealth `json:"watchdog,omitempty"`
+	// Store appears when the persistent store is mounted.
+	Store *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is the persistent store's view in /healthz.  Status is
+// "ok" or "degraded"; degraded means corrupt records were detected
+// and skipped (never served) — answers stay correct, the disk should
+// be looked at.
+type StoreHealth struct {
+	Status             string `json:"status"`
+	Segments           int    `json:"segments"`
+	Bytes              int64  `json:"bytes"`
+	Records            int64  `json:"records"`
+	Hits               int64  `json:"hits"`
+	Misses             int64  `json:"misses"`
+	Compactions        int64  `json:"compactions"`
+	LastCompactionUnix int64  `json:"last_compaction_unix,omitempty"`
 }
 
 // WatchdogHealth is the accuracy watchdog's view in /healthz.

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"maest/internal/obs"
+	"maest/internal/store"
 )
 
 // The observatory debug surface.  It is a separate handler (not part
@@ -29,6 +30,13 @@ type SlowestResponse struct {
 	Requests []obs.FlightRecord `json:"requests"` // slowest first
 }
 
+// DebugStoreResponse answers GET /debug/store: the persistent store's
+// full statistics snapshot (the /healthz block is the abridged form).
+type DebugStoreResponse struct {
+	Enabled bool         `json:"enabled"`
+	Stats   *store.Stats `json:"stats,omitempty"`
+}
+
 // DebugHandler returns the observatory endpoints:
 //
 //	GET /debug/flight?n=N   the last N (default all resident) request
@@ -36,14 +44,43 @@ type SlowestResponse struct {
 //	                        latency quantiles
 //	GET /debug/slowest?k=K  the top K (default 10) resident requests
 //	                        by duration, with span breakdowns
+//	GET /debug/store        the persistent store's statistics snapshot
 //	GET /metrics            Prometheus text exposition (convenience,
 //	                        so one debug listener serves everything)
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/flight", s.handleDebugFlight)
 	mux.HandleFunc("GET /debug/slowest", s.handleDebugSlowest)
+	mux.HandleFunc("GET /debug/store", s.handleDebugStore)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+func (s *Server) handleDebugStore(w http.ResponseWriter, r *http.Request) {
+	resp := DebugStoreResponse{}
+	if st, ok := s.StoreStats(); ok {
+		resp.Enabled = true
+		resp.Stats = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// storeHealth condenses a store snapshot into its /healthz block.
+func storeHealth(st store.Stats) *StoreHealth {
+	h := &StoreHealth{
+		Status:             "ok",
+		Segments:           st.Segments,
+		Bytes:              st.Bytes,
+		Records:            st.Records,
+		Hits:               st.Hits,
+		Misses:             st.Misses,
+		Compactions:        st.Compactions,
+		LastCompactionUnix: st.LastCompactionUnix,
+	}
+	if st.Degraded {
+		h.Status = "degraded"
+	}
+	return h
 }
 
 // queryInt parses a positive integer query parameter, falling back to

@@ -16,6 +16,7 @@ import (
 	"maest/internal/engine"
 	"maest/internal/netlist"
 	"maest/internal/obs"
+	"maest/internal/store"
 	"maest/internal/tech"
 )
 
@@ -79,6 +80,12 @@ type Options struct {
 	// Watchdog configures the accuracy watchdog; the zero value (or an
 	// Interval of 0) disables it.
 	Watchdog WatchdogOptions
+	// Store, when non-nil, is the persistent plan store mounted as a
+	// write-behind tier under the LRUs: an LRU miss probes the store
+	// before paying compile+execute (a hit hydrates the LRU), and
+	// computed results are persisted asynchronously.  The caller owns
+	// the store's lifecycle; call Server.FlushStore before closing it.
+	Store *store.Store
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -126,6 +133,7 @@ type Server struct {
 	access   *accessLogger // nil when access logging is disabled
 	proxy    *http.Client  // non-nil only in Backend (forwarding) mode
 	watchdog *Watchdog     // nil when the accuracy watchdog is disabled
+	stier    *storeTier    // nil when the persistent store is disabled
 }
 
 // New returns a Server ready to mount on an http.Server.
@@ -143,6 +151,9 @@ func New(opts Options) *Server {
 	}
 	if opts.AccessLog != nil {
 		s.access = newAccessLogger(opts.AccessLog)
+	}
+	if opts.Store != nil {
+		s.stier = newStoreTier(opts.Store)
 	}
 	if opts.Backend != "" {
 		s.proxy = &http.Client{Timeout: opts.Timeout}
@@ -200,7 +211,35 @@ func (s *Server) planWithKey(ctx context.Context, k Key, circ *netlist.Circuit, 
 		return nil, err
 	}
 	s.plans.Put(k, pl)
+	s.stier.putPlanMeta(k, pl)
 	return pl, nil
+}
+
+// StoreStats snapshots the persistent store (ok=false when disabled).
+func (s *Server) StoreStats() (store.Stats, bool) {
+	return s.stier.stats()
+}
+
+// FlushStore drains the write-behind queue so every result computed so
+// far is persisted.  Call during shutdown, after the HTTP listener has
+// drained and before closing the store.  Safe to call more than once,
+// and a no-op when no store is configured.
+func (s *Server) FlushStore() {
+	s.stier.flush()
+}
+
+// storeResult probes the persistent store for an LRU miss and, on a
+// hit, hydrates the LRU so the next repeat is a memory hit.
+func (s *Server) storeResult(key Key, info *reqInfo) (*core.Result, bool) {
+	if s.stier == nil {
+		return nil, false
+	}
+	res, ok := s.stier.getResult(key)
+	if ok {
+		s.cache.Put(key, res)
+	}
+	info.mark("store")
+	return res, ok
 }
 
 // Flight returns the server's flight recorder (nil when disabled).
@@ -334,6 +373,24 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *re
 		return
 	}
 	info.mark("cache")
+	if res, ok := s.storeResult(key, info); ok {
+		// A disk hit is a cache hit as far as the client is concerned:
+		// the answer is the persisted computation, byte-identical to a
+		// fresh one.  The plan is still compiled (memoized) so the
+		// answer's plan key stays chainable — a warm restart serves
+		// results this process never computed, and an ECO delta
+		// against them must find the parent plan, not a 404.
+		if _, err := s.planWithKey(ctx, planKey, circ, proc); err != nil {
+			s.fail(w, info, err)
+			return
+		}
+		info.mark("compile")
+		info.setCacheHit(true)
+		resp := encodeResult(res, procName, key, true)
+		resp.Plan = planKey.String()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 
 	pl, err := s.planWithKey(ctx, planKey, circ, proc)
 	if err != nil {
@@ -432,6 +489,13 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, info *reqIn
 		return
 	}
 	info.mark("cache")
+	if res, ok := s.storeResult(key, info); ok {
+		info.setCacheHit(true)
+		resp := encodeResult(res, procName, key, true)
+		resp.Plan = childKey.String()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	res, err := s.estimateWithDeadline(ctx, child, opts, key)
 	if err != nil {
 		s.fail(w, info, err)
@@ -458,6 +522,7 @@ func (s *Server) estimateWithDeadline(ctx context.Context, pl *engine.Plan, opts
 		res, err := pl.Estimate(ctx, engine.WithRows(opts.Rows), engine.WithTrackSharing(opts.TrackSharing))
 		if err == nil {
 			s.cache.Put(key, res)
+			s.stier.putResult(key, res)
 		}
 		done <- outcome{res, err}
 	}()
@@ -520,6 +585,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqIn
 			results[i] = res
 			cached[i] = true
 			hits++
+		} else if res, ok := s.stier.getResult(keys[i]); ok {
+			// Store hits hydrate the LRU and count as cached modules:
+			// the disk tier is part of the cache from the wire's view.
+			s.cache.Put(keys[i], res)
+			results[i] = res
+			cached[i] = true
+			hits++
 		} else {
 			pl, err := s.plan(ctx, c, proc)
 			if err != nil {
@@ -552,6 +624,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqIn
 			i := missIdx[j]
 			results[i] = res
 			s.cache.Put(keys[i], res)
+			s.stier.putResult(keys[i], res)
 		}
 	}
 	info.mark("estimate")
@@ -634,6 +707,16 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 		return
 	}
 	info.mark("cache")
+	if s.stier != nil {
+		if m, ok := s.stier.getCongest(key); ok {
+			s.congests.Put(key, m)
+			info.setCacheHit(true)
+			info.mark("store")
+			writeJSON(w, http.StatusOK, encodeMap(m, procName, key, true))
+			return
+		}
+		info.mark("store")
+	}
 
 	m, err := pl.Congestion(ctx,
 		engine.WithRows(rows), engine.WithGridded(req.Gridded), engine.WithCongestModel(model),
@@ -644,6 +727,7 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 	}
 	info.mark("analyze")
 	s.congests.Put(key, m)
+	s.stier.putCongest(key, m)
 	writeJSON(w, http.StatusOK, encodeMap(m, procName, key, false))
 }
 
@@ -660,6 +744,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "degraded"
 			status = http.StatusServiceUnavailable
 		}
+	}
+	if st, ok := s.StoreStats(); ok {
+		// A degraded store (corrupt records detected and skipped) does
+		// NOT fail health: answers stay correct — bad records degrade
+		// to recomputes — so the service keeps taking traffic while the
+		// store block tells operators the disk lied.
+		resp.Store = storeHealth(st)
 	}
 	writeJSON(w, status, resp)
 }

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"maest/internal/congest"
+	"maest/internal/core"
+	"maest/internal/engine"
+	"maest/internal/obs"
+	"maest/internal/store"
+)
+
+// The write-behind tier between the in-memory LRUs and the persistent
+// store.  Reads are synchronous (an LRU miss probes the store before
+// paying for compile+execute, and a store hit hydrates the LRU);
+// writes are asynchronous: the request path enqueues the computed
+// value and a writer goroutine does the JSON marshal and disk append
+// off the latency path.  The store is a cache of recomputable results,
+// so a write dropped under backpressure costs a future recompute, not
+// correctness.
+var (
+	mStoreWrites     = obs.DefCounter("maest_store_writebehind_writes_total", "results persisted by the write-behind tier")
+	mStoreWriteErrs  = obs.DefCounter("maest_store_writebehind_errors_total", "write-behind persists that failed")
+	mStoreWriteDrops = obs.DefCounter("maest_store_writebehind_dropped_total", "write-behind persists dropped because the queue was full")
+	gStoreQueue      = obs.DefGauge("maest_store_writebehind_queue", "write-behind queue depth")
+)
+
+// PlanMeta is the compiled-plan metadata persisted under a plan's
+// content address (store.NSPlanMeta).  It records what the service
+// compiled — which module, against which process, and how big — for
+// the maest-store inspection CLI and capacity planning.  It is
+// deliberately not a serialized Plan: recompiling needs the netlist
+// source, which every request carries anyway; what a restart cannot
+// recover for free is the history of what was compiled.
+type PlanMeta struct {
+	Module  string `json:"module"`
+	Process string `json:"process"`
+	Devices int    `json:"devices"`
+	Nets    int    `json:"nets"`
+	Ports   int    `json:"ports"`
+}
+
+// storeWrite is one queued persist.  The value is kept as its in-memory
+// shape; the writer goroutine marshals it so the request path never
+// pays for JSON encoding.
+type storeWrite struct {
+	ns  store.Namespace
+	key store.Key
+	val any
+}
+
+// storeTier wraps an open store with the write-behind queue.  A nil
+// *storeTier is a well-defined disabled tier: lookups miss, persists
+// are dropped — the same idiom as the nil LRU caches.
+type storeTier struct {
+	st    *store.Store
+	queue chan storeWrite
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. in-flight enqueues
+	closed bool
+}
+
+// newStoreTier starts the writer goroutine over an open store.
+func newStoreTier(st *store.Store) *storeTier {
+	t := &storeTier{st: st, queue: make(chan storeWrite, 4096)}
+	t.wg.Add(1)
+	go t.writer()
+	return t
+}
+
+func (t *storeTier) writer() {
+	defer t.wg.Done()
+	for w := range t.queue {
+		gStoreQueue.Set(float64(len(t.queue)))
+		b, err := json.Marshal(w.val)
+		if err == nil {
+			err = t.st.Put(w.ns, w.key, b)
+		}
+		if err != nil {
+			mStoreWriteErrs.Inc()
+			continue
+		}
+		mStoreWrites.Inc()
+	}
+}
+
+// enqueue hands one persist to the writer, dropping it (with a
+// counter) when the queue is full or the tier is flushing — the
+// request path never blocks on the disk.
+func (t *storeTier) enqueue(ns store.Namespace, key Key, val any) {
+	if t == nil {
+		return
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		mStoreWriteDrops.Inc()
+		return
+	}
+	select {
+	case t.queue <- storeWrite{ns: ns, key: store.Key(key), val: val}:
+	default:
+		mStoreWriteDrops.Inc()
+	}
+}
+
+// flush stops intake and blocks until every queued persist has reached
+// the store.  Call before closing the store.
+func (t *storeTier) flush() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.queue)
+	t.wg.Wait()
+}
+
+// getResult probes the store for a persisted estimate.  Store hits
+// decode back to the exact Result the original computation produced:
+// Go's float64 JSON round trip is exact (shortest-representation
+// encode, exact parse), so the re-encoded response is byte-identical
+// to a fresh computation's — the differential test enforces it.
+func (t *storeTier) getResult(key Key) (*core.Result, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok, err := t.st.Get(store.NSResult, store.Key(key))
+	if err != nil || !ok {
+		return nil, false
+	}
+	var res core.Result
+	if json.Unmarshal(b, &res) != nil {
+		// Undecodable payloads (a schema from a future version, say)
+		// degrade to a miss: the service recomputes and overwrites.
+		return nil, false
+	}
+	return &res, true
+}
+
+// getCongest is getResult for congestion maps.
+func (t *storeTier) getCongest(key Key) (*congest.Map, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok, err := t.st.Get(store.NSCongest, store.Key(key))
+	if err != nil || !ok {
+		return nil, false
+	}
+	var m congest.Map
+	if json.Unmarshal(b, &m) != nil {
+		return nil, false
+	}
+	return &m, true
+}
+
+// putResult persists one estimate, write-behind.
+func (t *storeTier) putResult(key Key, res *core.Result) {
+	t.enqueue(store.NSResult, key, res)
+}
+
+// putCongest persists one congestion map, write-behind.
+func (t *storeTier) putCongest(key Key, m *congest.Map) {
+	t.enqueue(store.NSCongest, key, m)
+}
+
+// putPlanMeta persists one compiled plan's metadata, write-behind.
+func (t *storeTier) putPlanMeta(key Key, pl *engine.Plan) {
+	if t == nil {
+		return
+	}
+	stats := pl.Stats()
+	t.enqueue(store.NSPlanMeta, key, &PlanMeta{
+		Module:  stats.CircuitName,
+		Process: pl.Process().Name,
+		Devices: stats.N,
+		Nets:    stats.H,
+		Ports:   stats.NumPorts,
+	})
+}
+
+// stats snapshots the underlying store (ok=false when disabled).
+func (t *storeTier) stats() (store.Stats, bool) {
+	if t == nil {
+		return store.Stats{}, false
+	}
+	return t.st.Stats(), true
+}

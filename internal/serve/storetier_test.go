@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"maest/internal/store"
+)
+
+// openTestStore opens a store in a temp dir and returns it without
+// cleanup registration — restart tests own the close ordering.
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreTierDisabled pins the nil-tier contract: every method is a
+// well-defined no-op, mirroring the nil LRU caches.
+func TestStoreTierDisabled(t *testing.T) {
+	var tier *storeTier
+	if _, ok := tier.getResult(Key{}); ok {
+		t.Error("nil tier answered a result lookup")
+	}
+	if _, ok := tier.getCongest(Key{}); ok {
+		t.Error("nil tier answered a congestion lookup")
+	}
+	if _, ok := tier.stats(); ok {
+		t.Error("nil tier has stats")
+	}
+	tier.putResult(Key{}, nil)
+	tier.putCongest(Key{}, nil)
+	tier.enqueue(store.NSResult, Key{}, nil)
+	tier.flush()
+	tier.flush()
+
+	s := New(Options{})
+	if _, ok := s.StoreStats(); ok {
+		t.Error("server without a store reports store stats")
+	}
+	s.FlushStore()
+	w := httptest.NewRecorder()
+	s.handleDebugStore(w, httptest.NewRequest("GET", "/debug/store", nil))
+	var d DebugStoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Enabled || d.Stats != nil {
+		t.Fatalf("debug/store enabled without a store: %+v", d)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(do(s, "GET", "/healthz", "").Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store != nil {
+		t.Fatalf("healthz store block without a store: %+v", h.Store)
+	}
+}
+
+// TestStoreTierUndecodablePayload: a persisted value the current
+// schema cannot decode degrades to a miss (the service recomputes and
+// overwrites), never to an error or a garbage answer.
+func TestStoreTierUndecodablePayload(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	key := Key(sha256.Sum256([]byte("undecodable")))
+	if err := st.Put(store.NSResult, store.Key(key), []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(store.NSCongest, store.Key(key), []byte("{")); err != nil {
+		t.Fatal(err)
+	}
+	tier := newStoreTier(st)
+	defer tier.flush()
+	if _, ok := tier.getResult(key); ok {
+		t.Error("undecodable result payload served")
+	}
+	if _, ok := tier.getCongest(key); ok {
+		t.Error("undecodable congestion payload served")
+	}
+}
+
+// TestStoreTierEnqueueAfterFlushDrops: estimate goroutines can outlive
+// a 504'd request and persist after shutdown began; those writes must
+// drop with a counter, not panic on a closed channel.
+func TestStoreTierEnqueueAfterFlushDrops(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	tier := newStoreTier(st)
+	tier.flush()
+	drops0 := mStoreWriteDrops.Value()
+	tier.enqueue(store.NSResult, Key(sha256.Sum256([]byte("late"))), map[string]int{"a": 1})
+	if got := mStoreWriteDrops.Value() - drops0; got != 1 {
+		t.Fatalf("drop counter moved by %v, want 1", got)
+	}
+	tier.flush() // idempotent
+}
+
+// TestServeStoreWarmRestart is the package-level warm-start contract:
+// a fresh Server over a directory a previous Server populated serves
+// estimate, delta, batch, and congestion answers from disk with the
+// exact bytes the original computation produced.
+func TestServeStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	demo := testdata(t, "demo.mnet")
+	est := marshal(t, EstimateRequest{Netlist: demo})
+	cong := marshal(t, CongestionRequest{Netlist: demo})
+
+	// Cold instance: compute everything, then flush and close.
+	st1 := openTestStore(t, dir)
+	s1 := New(Options{Store: st1})
+	cold := decodeEstimate(t, do(s1, "POST", "/v1/estimate", est))
+	if cold.CacheHit {
+		t.Fatal("cold estimate claims a cache hit")
+	}
+	coldDelta := decodeEstimate(t, do(s1, "POST", "/v1/estimate/delta",
+		marshal(t, DeltaRequest{Parent: cold.Plan, Edits: deltaEditScript})))
+	coldCongest := do(s1, "POST", "/v1/congestion", cong)
+	if coldCongest.Code != 200 {
+		t.Fatalf("cold congestion: %d %s", coldCongest.Code, coldCongest.Body.String())
+	}
+	s1.FlushStore()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm instance: fresh LRUs, same directory.
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	s2 := New(Options{Store: st2})
+	defer s2.FlushStore()
+
+	warm := decodeEstimate(t, do(s2, "POST", "/v1/estimate", est))
+	if !warm.CacheHit {
+		t.Fatal("warm estimate not served from the store")
+	}
+	warm.CacheHit, cold.CacheHit = false, false
+	if a, b := marshal(t, warm), marshal(t, cold); a != b {
+		t.Fatalf("warm answer differs from fresh computation:\n%s\n%s", a, b)
+	}
+
+	// The warm estimate compiled the plan, so the delta chain works
+	// across the restart — and the child's result is a store hit too.
+	warmDelta := decodeEstimate(t, do(s2, "POST", "/v1/estimate/delta",
+		marshal(t, DeltaRequest{Parent: warm.Plan, Edits: deltaEditScript})))
+	if !warmDelta.CacheHit {
+		t.Fatal("warm delta not served from the store")
+	}
+	warmDelta.CacheHit, coldDelta.CacheHit = false, false
+	if a, b := marshal(t, warmDelta), marshal(t, coldDelta); a != b {
+		t.Fatalf("warm delta differs from fresh computation:\n%s\n%s", a, b)
+	}
+
+	warmCongest := do(s2, "POST", "/v1/congestion", cong)
+	if warmCongest.Code != 200 {
+		t.Fatalf("warm congestion: %d %s", warmCongest.Code, warmCongest.Body.String())
+	}
+	var cc, wc CongestionResponse
+	if err := json.Unmarshal(coldCongest.Body.Bytes(), &cc); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warmCongest.Body.Bytes(), &wc); err != nil {
+		t.Fatal(err)
+	}
+	if !wc.CacheHit {
+		t.Fatal("warm congestion not served from the store")
+	}
+	wc.CacheHit, cc.CacheHit = false, false
+	if a, b := marshal(t, wc), marshal(t, cc); a != b {
+		t.Fatalf("warm congestion differs from fresh analysis:\n%s\n%s", a, b)
+	}
+
+	// The health body carries the store block, status ok.
+	var h HealthResponse
+	if err := json.Unmarshal(do(s2, "GET", "/healthz", "").Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store == nil || h.Store.Status != "ok" || h.Store.Hits == 0 {
+		t.Fatalf("healthz store block: %+v", h.Store)
+	}
+
+	// And the debug endpoint exposes the full snapshot.
+	w := httptest.NewRecorder()
+	s2.handleDebugStore(w, httptest.NewRequest("GET", "/debug/store", nil))
+	var d DebugStoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Enabled || d.Stats == nil || d.Stats.Hits == 0 {
+		t.Fatalf("debug/store: %+v", d)
+	}
+}
+
+// TestServeStoreBatchWarm: a warm batch answers every module from the
+// store (reported as cached on the wire) after a restart wiped the
+// LRUs.
+func TestServeStoreBatchWarm(t *testing.T) {
+	dir := t.TempDir()
+	demo := testdata(t, "demo.mnet")
+	batch := marshal(t, BatchRequest{Modules: []ModuleInput{
+		{Netlist: demo},
+		{Format: "bench", Name: "c17", Netlist: testdata(t, "c17.bench")},
+	}})
+
+	st1 := openTestStore(t, dir)
+	s1 := New(Options{Store: st1})
+	coldW := do(s1, "POST", "/v1/estimate/batch", batch)
+	if coldW.Code != 200 {
+		t.Fatalf("cold batch: %d %s", coldW.Code, coldW.Body.String())
+	}
+	var coldResp BatchResponse
+	if err := json.Unmarshal(coldW.Body.Bytes(), &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if coldResp.CacheHits != 0 {
+		t.Fatalf("cold batch reports %d cache hits", coldResp.CacheHits)
+	}
+	s1.FlushStore()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	s2 := New(Options{Store: st2})
+	defer s2.FlushStore()
+	warmW := do(s2, "POST", "/v1/estimate/batch", batch)
+	if warmW.Code != 200 {
+		t.Fatalf("warm batch: %d %s", warmW.Code, warmW.Body.String())
+	}
+	var warmResp BatchResponse
+	if err := json.Unmarshal(warmW.Body.Bytes(), &warmResp); err != nil {
+		t.Fatal(err)
+	}
+	if warmResp.CacheHits != 2 {
+		t.Fatalf("warm batch cache hits %d, want 2", warmResp.CacheHits)
+	}
+	if len(warmResp.Modules) != len(coldResp.Modules) {
+		t.Fatalf("warm batch has %d modules, want %d", len(warmResp.Modules), len(coldResp.Modules))
+	}
+	for i := range warmResp.Modules {
+		// The per-module hit flag differs by design; everything else
+		// must be byte-identical.
+		warmResp.Modules[i].CacheHit, coldResp.Modules[i].CacheHit = false, false
+		a, b := marshal(t, warmResp.Modules[i]), marshal(t, coldResp.Modules[i])
+		if a != b {
+			t.Fatalf("module %d: warm answer differs:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestStorePlanMetaPersisted: compiling a plan records its metadata
+// under the plan's content address, keyed for the inspection CLI.
+func TestStorePlanMetaPersisted(t *testing.T) {
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	s := New(Options{Store: st})
+	resp := decodeEstimate(t, do(s, "POST", "/v1/estimate",
+		marshal(t, EstimateRequest{Netlist: testdata(t, "demo.mnet")})))
+	s.FlushStore()
+
+	planKey, err := parseKey(resp.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := st.Get(store.NSPlanMeta, store.Key(planKey))
+	if err != nil || !ok {
+		t.Fatalf("plan metadata not persisted: ok=%v err=%v", ok, err)
+	}
+	var meta PlanMeta
+	if err := json.Unmarshal(b, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Module != "demo" || meta.Devices != resp.Stats.Devices || meta.Process == "" {
+		t.Fatalf("plan metadata %+v does not match the answer %+v", meta, resp.Stats)
+	}
+}

@@ -1,0 +1,54 @@
+package store
+
+import "encoding/binary"
+
+// bloom is a split-block-free classic Bloom filter sized at build
+// time for the segment's distinct-key count (~10 bits and 7 hash
+// probes per key, ≈1% false positives).  The keys here are already
+// SHA-256 content addresses — uniformly distributed by construction —
+// so the two 64-bit halves of the key itself serve as the
+// double-hashing pair; no extra hashing pass is needed.
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+// bloomHashes derives the double-hashing pair (h1 + i·h2) from a
+// content address and its namespace.  h2 is forced odd so successive
+// probes cycle through the whole bit space.
+func bloomHashes(ns Namespace, key Key) (uint64, uint64) {
+	h1 := binary.LittleEndian.Uint64(key[0:8]) ^ (uint64(ns) * 0x9e3779b97f4a7c15)
+	h2 := binary.LittleEndian.Uint64(key[8:16]) | 1
+	return h1, h2
+}
+
+// newBloom sizes a filter for n expected keys.
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*10 + 63) / 64
+	return &bloom{bits: make([]uint64, words), k: 7}
+}
+
+func (b *bloom) add(h1, h2 uint64) {
+	m := uint64(len(b.bits)) * 64
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether the key might be in the segment; false
+// is definitive and lets a miss skip the segment without touching
+// disk.
+func (b *bloom) mayContain(h1, h2 uint64) bool {
+	m := uint64(len(b.bits)) * 64
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Compaction rewrites one sealed segment at a time, keeping only the
+// records that still matter and dropping superseded or tombstoned
+// ones.  A record survives iff:
+//
+//   - it is its segment's LAST record for its (ns, key) — earlier
+//     in-segment writes are shadowed — and
+//   - no newer segment (sealed or the WAL) holds the key — otherwise
+//     the newer record wins globally — and
+//   - if it is a tombstone, some OLDER segment still holds the key;
+//     a tombstone shadowing nothing is dead weight.
+//
+// The kept records are written to a temp file and atomically renamed
+// to a NEW highest sequence number.  Moving survivors to the newest
+// log position is safe precisely because the keep rules make them
+// global winners: no other segment holds a newer record for their
+// keys, so their position in the log order is irrelevant.
+
+// Compact synchronously compacts every sealed segment holding any
+// garbage at all, returning how many segments were rewritten or
+// dropped.  The background compactor uses the same machinery with the
+// configured garbage threshold; Compact is the operator's big hammer
+// (the maest-store CLI calls it).
+func (s *Store) Compact() (int, error) {
+	total := 0
+	for {
+		n, err := s.compactOnce(0)
+		total += n
+		if err != nil || n == 0 {
+			return total, err
+		}
+	}
+}
+
+// compactOnce compacts the oldest sealed segment whose garbage ratio
+// is at least minGarbage (and is positive), returning 1 if a segment
+// was rewritten or dropped and 0 if none qualified.
+func (s *Store) compactOnce(minGarbage float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	ci := -1
+	for i, seg := range s.sealed {
+		if seg.garbage <= 0 {
+			continue
+		}
+		if float64(seg.garbage)/float64(seg.size) >= minGarbage {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, nil
+	}
+	if err := s.compactSegment(ci); err != nil {
+		return 0, err
+	}
+	s.nCompactions.Add(1)
+	mCompact.Inc()
+	s.lastCompaction = time.Now()
+	gLastCompat.Set(float64(s.lastCompaction.Unix()))
+	s.enforceIndexBudget()
+	s.publishGauges()
+	return 1, nil
+}
+
+// compactSegment rewrites s.sealed[ci] per the keep rules.  Caller
+// holds the write lock.
+func (s *Store) compactSegment(ci int) error {
+	cand := s.sealed[ci]
+
+	// Exact membership of every NEWER segment: a key present in any of
+	// them supersedes the candidate's record.  Cold segments are
+	// reindexed into throwaway maps (compaction needs exactness, not
+	// bloom maybes).
+	newer := make(map[idxKey]struct{})
+	for ik := range s.wal.index {
+		newer[ik] = struct{}{}
+	}
+	for _, seg := range s.sealed[ci+1:] {
+		idx, err := seg.reindex()
+		if err != nil {
+			return err
+		}
+		for ik := range idx {
+			newer[ik] = struct{}{}
+		}
+	}
+
+	buf, err := os.ReadFile(cand.path)
+	if err != nil {
+		return err
+	}
+	// Pass 1: the candidate's own last-record-per-key map.
+	last := make(map[idxKey]int64, cand.distinct)
+	if _, err := scanBytes(buf, func(r *record, off, size int64) {
+		last[idxKey{r.ns, r.key}] = off
+	}); err != nil {
+		return err
+	}
+
+	// olderHolds answers "does any segment older than the candidate
+	// still hold this key" — the tombstone retention question.  Exact:
+	// segment.lookup scans on a bloom maybe.
+	olderHolds := func(ik idxKey) (bool, error) {
+		for i := ci - 1; i >= 0; i-- {
+			if _, found, _, err := s.sealed[i].lookup(ik); err != nil {
+				return false, err
+			} else if found {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	// Pass 2: re-encode the survivors.  appendRecord is deterministic,
+	// so a surviving record's bytes are identical to its original
+	// encoding — byte-identity of served payloads is preserved across
+	// compaction.
+	out := []byte(segMagic)
+	kept := int64(0)
+	var keepErr error
+	if _, err := scanBytes(buf, func(r *record, off, size int64) {
+		if keepErr != nil {
+			return
+		}
+		ik := idxKey{r.ns, r.key}
+		if last[ik] != off {
+			return // shadowed within the segment
+		}
+		if _, ok := newer[ik]; ok {
+			return // shadowed by a newer segment
+		}
+		if r.tombstone {
+			held, err := olderHolds(ik)
+			if err != nil {
+				keepErr = err
+				return
+			}
+			if !held {
+				return // tombstone over nothing
+			}
+		}
+		out = appendRecord(out, r)
+		kept++
+	}); err != nil {
+		return err
+	}
+	if keepErr != nil {
+		return keepErr
+	}
+
+	if kept == 0 {
+		// Nothing survives: drop the segment outright.
+		s.sealed = append(s.sealed[:ci], s.sealed[ci+1:]...)
+		cand.close()
+		if err := os.Remove(cand.path); err != nil {
+			return err
+		}
+		return syncDir(s.opts.Dir)
+	}
+
+	seq := s.nextSeq
+	s.nextSeq++
+	tmpPath := filepath.Join(s.opts.Dir, segName(seq)+tmpExt)
+	if err := writeFileSync(tmpPath, out); err != nil {
+		return err
+	}
+	finalPath := filepath.Join(s.opts.Dir, segName(seq))
+	if err := os.Rename(tmpPath, finalPath); err != nil {
+		return err
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	replacement, corrupt, err := loadSegment(finalPath, seq)
+	if err != nil {
+		return err
+	}
+	if corrupt > 0 {
+		// We just wrote and verified this file; corruption here means
+		// the disk is failing under us.
+		s.degraded.Store(true)
+		s.nCorrupt.Add(corrupt)
+		mCorrupt.Add(corrupt)
+	}
+	s.sealed = append(s.sealed[:ci], s.sealed[ci+1:]...)
+	s.sealed = append(s.sealed, replacement) // highest seq = newest
+	cand.close()
+	if err := os.Remove(cand.path); err != nil {
+		return err
+	}
+	return syncDir(s.opts.Dir)
+}
+
+// writeFileSync writes data to path and fsyncs before closing, so the
+// subsequent rename publishes a fully durable file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SegmentInfo is one segment's line in a verification report.
+type SegmentInfo struct {
+	Name    string `json:"name"`
+	Seq     uint64 `json:"seq"`
+	WAL     bool   `json:"wal,omitempty"`
+	Bytes   int64  `json:"bytes"`
+	Records int64  `json:"records"`
+	Keys    int64  `json:"keys"`
+	Garbage int64  `json:"garbage_bytes"`
+	Cold    bool   `json:"cold,omitempty"`
+	// Corrupt counts unreadable regions found by the full re-scan;
+	// Torn reports a file that ends mid-record.
+	Corrupt int64 `json:"corrupt,omitempty"`
+	Torn    bool  `json:"torn,omitempty"`
+}
+
+// VerifyReport is the result of a full-store checksum verification.
+type VerifyReport struct {
+	Segments []SegmentInfo `json:"segments"`
+	Records  int64         `json:"records"`
+	Bytes    int64         `json:"bytes"`
+	Corrupt  int64         `json:"corrupt"`
+	Clean    bool          `json:"clean"`
+}
+
+// Verify re-reads and re-checksums every record in every segment
+// (including the WAL), reporting per-segment totals.  It takes the
+// read lock, so writes pause while it runs.
+func (s *Store) Verify() (*VerifyReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	rep := &VerifyReport{}
+	scanOne := func(seg *segment, wal bool) error {
+		info := SegmentInfo{
+			Name:    filepath.Base(seg.path),
+			Seq:     seg.seq,
+			WAL:     wal,
+			Bytes:   seg.size,
+			Garbage: seg.garbage,
+			Cold:    !wal && seg.index == nil,
+		}
+		keys := make(map[idxKey]struct{})
+		out, err := scanFile(seg.path, func(r *record, off, size int64) {
+			info.Records++
+			keys[idxKey{r.ns, r.key}] = struct{}{}
+		})
+		if err != nil {
+			// Header-level corruption: the whole file is unreadable.
+			info.Corrupt = 1
+		} else {
+			info.Corrupt = out.corrupt
+			info.Torn = out.torn
+			if wal && out.torn {
+				// The in-memory WAL can legitimately be ahead of a
+				// concurrent scan only if writes were running; under the
+				// read lock they are not, so a torn WAL is real.
+				info.Corrupt++
+			}
+		}
+		info.Keys = int64(len(keys))
+		rep.Segments = append(rep.Segments, info)
+		rep.Records += info.Records
+		rep.Bytes += info.Bytes
+		rep.Corrupt += info.Corrupt
+		return nil
+	}
+	for _, seg := range s.sealed {
+		if err := scanOne(seg, false); err != nil {
+			return nil, err
+		}
+	}
+	if err := scanOne(s.wal, true); err != nil {
+		return nil, err
+	}
+	rep.Clean = rep.Corrupt == 0
+	return rep, nil
+}
+
+// String renders the report the way the maest-store CLI prints it.
+func (r *VerifyReport) String() string {
+	s := ""
+	for _, seg := range r.Segments {
+		state := "ok"
+		switch {
+		case seg.Corrupt > 0:
+			state = fmt.Sprintf("CORRUPT(%d)", seg.Corrupt)
+		case seg.Torn:
+			state = "TORN"
+		case seg.Cold:
+			state = "ok (cold)"
+		}
+		s += fmt.Sprintf("%-14s %10d B %8d rec %8d keys %10d garbage  %s\n",
+			seg.Name, seg.Bytes, seg.Records, seg.Keys, seg.Garbage, state)
+	}
+	verdict := "clean"
+	if !r.Clean {
+		verdict = fmt.Sprintf("%d corrupt records", r.Corrupt)
+	}
+	s += fmt.Sprintf("total: %d records, %d bytes, %s\n", r.Records, r.Bytes, verdict)
+	return s
+}

@@ -1,0 +1,735 @@
+// Package store is the persistent plan store: an embedded,
+// stdlib-only, disk-backed database of estimate results, congestion
+// maps, and compiled-plan metadata, keyed by the SHA-256 content
+// addresses the engine and serving layer already mint.  It exists so
+// a restarted maest-serve warm-starts from everything it (or a prior
+// fleet member sharing the directory) ever computed, instead of
+// re-paying compile+execute for the repeat-heavy floorplanner
+// workload.
+//
+// Design: an append-only log of length-prefixed, CRC-32C-checksummed
+// records, split into segments.  Appends go to a WAL (`active.wal`);
+// when it reaches the segment size it is fsynced and atomically
+// renamed to a sealed, immutable `NNNNNNNN.seg` (write-temp-then-
+// rename).  Open rebuilds an in-memory hash index by scanning every
+// segment; beyond a configurable index budget the oldest segments
+// demote their index to a per-segment Bloom filter, so misses still
+// skip them at memory speed while the store itself scales past RAM.
+// Background compaction rewrites segments whose superseded/tombstoned
+// garbage crosses a threshold, and a byte budget evicts the oldest
+// sealed segments wholesale (the store is a cache of recomputable
+// results; losing the oldest is the documented policy, not a fault).
+//
+// Crash-safety contract: a record is either fully on disk and
+// checksummed, or it is detected (torn tail, CRC mismatch) on reopen
+// and truncated — a corrupt payload is never served.  Every read
+// re-verifies the record checksum, so bit rot after open is caught at
+// serve time too.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maest/internal/obs"
+)
+
+// The maest_store_* metrics.  Process-global in the internal/obs
+// style: every store in the process reports here (counters aggregate;
+// gauges reflect the most recent store to update, which in production
+// is the only one).
+var (
+	mHits       = obs.DefCounter("maest_store_hits_total", "store lookups answered from disk")
+	mMisses     = obs.DefCounter("maest_store_misses_total", "store lookups that found nothing")
+	mPuts       = obs.DefCounter("maest_store_puts_total", "records appended")
+	mDeletes    = obs.DefCounter("maest_store_deletes_total", "tombstones appended")
+	mSeals      = obs.DefCounter("maest_store_seals_total", "WAL segments sealed")
+	mCompact    = obs.DefCounter("maest_store_compactions_total", "segment compactions completed")
+	mEvicted    = obs.DefCounter("maest_store_evicted_segments_total", "sealed segments evicted by the byte budget")
+	mCorrupt    = obs.DefCounter("maest_store_corrupt_records_skipped_total", "corrupt records detected and skipped, never served")
+	mTruncated  = obs.DefCounter("maest_store_torn_tails_truncated_total", "torn WAL tails truncated on reopen")
+	mColdScans  = obs.DefCounter("maest_store_cold_scans_total", "lookups that scanned a demoted (cold) segment after a bloom maybe")
+	gBytes      = obs.DefGauge("maest_store_bytes", "total bytes across WAL and sealed segments")
+	gSegments   = obs.DefGauge("maest_store_segments", "sealed segment count")
+	gRecords    = obs.DefGauge("maest_store_records", "log records across all segments")
+	gGarbage    = obs.DefGauge("maest_store_garbage_bytes", "bytes of superseded/tombstoned records awaiting compaction")
+	gIndexKeys  = obs.DefGauge("maest_store_indexed_keys", "keys resident in the in-memory hash index")
+	gLastCompat = obs.DefGauge("maest_store_last_compaction_unix_seconds", "wall time of the last completed compaction")
+)
+
+// ErrClosed is returned by every operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options configures Open.  The zero value (plus a Dir) selects
+// production defaults: 1 GiB byte budget, 8 MiB segments, 2M indexed
+// keys, fsync on seal only, compaction at 50% garbage.
+type Options struct {
+	// Dir is the store directory, created if missing.
+	Dir string
+	// MaxBytes is the total size budget; when sealed+WAL bytes exceed
+	// it the oldest sealed segments are evicted whole.  0 selects
+	// 1 GiB; negative disables eviction.
+	MaxBytes int64
+	// SegmentBytes is the WAL size at which it seals.  0 selects 8 MiB.
+	SegmentBytes int64
+	// IndexKeys budgets the in-memory hash index; beyond it the oldest
+	// sealed segments demote to bloom-filter-only ("cold").  0 selects
+	// 2^21 (~2M keys); negative keeps every segment indexed.
+	IndexKeys int
+	// SyncEveryPut fsyncs the WAL after every append.  Off by default:
+	// the durability unit is the sealed segment, and the crash contract
+	// for the WAL tail is detect-and-truncate, not never-lose.
+	SyncEveryPut bool
+	// CompactMinGarbage is the garbage/size ratio at which a sealed
+	// segment becomes a compaction candidate.  0 selects 0.5.
+	CompactMinGarbage float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 1 << 30
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SegmentBytes < int64(len(segMagic))+recOverhead {
+		o.SegmentBytes = int64(len(segMagic)) + recOverhead
+	}
+	if o.IndexKeys == 0 {
+		o.IndexKeys = 1 << 21
+	}
+	if o.CompactMinGarbage == 0 {
+		o.CompactMinGarbage = 0.5
+	}
+	return o
+}
+
+// Store is one open store directory.  All methods are safe for
+// concurrent use.
+type Store struct {
+	opts Options
+
+	mu      sync.RWMutex
+	wal     *segment   // active append target; index always resident
+	sealed  []*segment // oldest first
+	nextSeq uint64
+	closed  bool
+
+	// degraded is latched when corrupt records were detected (at open
+	// or at read time): the store keeps serving everything that
+	// verifies, but operators should know the disk lied once.
+	// Atomic (like the counters below) because Get mutates it under
+	// the read lock.
+	degraded atomic.Bool
+
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	// Per-store counters, mirrored into the process-global metrics, so
+	// Stats() is meaningful with several stores in one process (tests,
+	// the bench harness).
+	nHits, nMisses, nPuts, nDeletes  atomic.Int64
+	nCompactions, nEvicted, nCorrupt atomic.Int64
+	nTruncated, nColdScans           atomic.Int64
+	lastCompaction                   time.Time // guarded by mu
+}
+
+// Open opens (creating if needed) the store under opts.Dir, rebuilds
+// the in-memory index from the segment files, truncates a torn WAL
+// tail, and starts the background compactor.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		opts:      opts,
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+
+	names, seqs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		seg, corrupt, err := loadSegment(filepath.Join(opts.Dir, name), seqs[i])
+		if err != nil {
+			s.closeAll()
+			return nil, fmt.Errorf("store: segment %s: %w", name, err)
+		}
+		if corrupt > 0 {
+			s.degraded.Store(true)
+			s.nCorrupt.Add(corrupt)
+			mCorrupt.Add(corrupt)
+		}
+		s.sealed = append(s.sealed, seg)
+		if seg.seq >= s.nextSeq {
+			s.nextSeq = seg.seq + 1
+		}
+	}
+	if err := s.openWAL(); err != nil {
+		s.closeAll()
+		return nil, err
+	}
+	s.accountCrossSegmentGarbage()
+	s.enforceIndexBudget()
+	s.evictOverBudget()
+	s.publishGauges()
+
+	s.wg.Add(1)
+	go s.compactor()
+	return s, nil
+}
+
+// openWAL opens or creates the active segment, truncating a torn
+// tail so the append point sits just past the last valid record.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.opts.Dir, walName)
+	buf, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return s.createWAL(path)
+	case err != nil:
+		return err
+	}
+
+	if len(buf) < len(segMagic) && string(buf) == segMagic[:len(buf)] {
+		// A crash between creating the WAL and syncing its header
+		// leaves a truncated magic.  That's a torn header, not
+		// corruption: no record was ever acknowledged.
+		s.nTruncated.Add(1)
+		mTruncated.Inc()
+		os.Remove(path)
+		return s.createWAL(path)
+	}
+
+	wal := &segment{path: path, index: make(map[idxKey]recLoc)}
+	out, err := scanBytes(buf, func(r *record, off, size int64) {
+		wal.records++
+		ik := idxKey{r.ns, r.key}
+		if old, ok := wal.index[ik]; ok {
+			wal.garbage += old.size
+		}
+		wal.index[ik] = recLoc{off: off, size: size, tombstone: r.tombstone}
+	})
+	if err != nil {
+		// The WAL header itself is gone (empty or foreign file): the
+		// whole file is unusable.  Start fresh rather than refuse to
+		// open — durable data lives in the sealed segments.
+		s.degraded.Store(true)
+		s.nCorrupt.Add(1)
+		mCorrupt.Inc()
+		os.Remove(path)
+		return s.createWAL(path)
+	}
+	if out.torn || out.corrupt > 0 {
+		// The crash contract: a torn or corrupt tail is cut off so it
+		// can never be served; everything before it survives.
+		s.nTruncated.Add(1)
+		mTruncated.Inc()
+		if out.corrupt > 0 {
+			s.nCorrupt.Add(out.corrupt)
+			mCorrupt.Add(out.corrupt)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(out.goodSize); err != nil {
+		f.Close()
+		return err
+	}
+	wal.f = f
+	wal.size = out.goodSize
+	wal.distinct = int64(len(wal.index))
+	wal.filter = newBloom(maxInt(len(wal.index), 64))
+	for ik := range wal.index {
+		wal.filter.add(bloomHashes(ik.ns, ik.key))
+	}
+	s.wal = wal
+	return nil
+}
+
+// createWAL writes a fresh active segment holding only the magic.
+func (s *Store) createWAL(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	s.wal = &segment{
+		path:   path,
+		f:      f,
+		size:   int64(len(segMagic)),
+		index:  make(map[idxKey]recLoc),
+		filter: newBloom(64),
+	}
+	return syncDir(s.opts.Dir)
+}
+
+// accountCrossSegmentGarbage charges every record shadowed by a newer
+// segment to its own segment's garbage counter, so compaction
+// candidates surface immediately after a reopen.
+func (s *Store) accountCrossSegmentGarbage() {
+	seen := make(map[idxKey]struct{}, len(s.wal.index))
+	for ik := range s.wal.index {
+		seen[ik] = struct{}{}
+	}
+	for i := len(s.sealed) - 1; i >= 0; i-- {
+		seg := s.sealed[i]
+		for ik, loc := range seg.index {
+			if _, shadowed := seen[ik]; shadowed {
+				seg.garbage += loc.size
+			} else {
+				seen[ik] = struct{}{}
+			}
+		}
+	}
+}
+
+// Get returns the newest stored value for (ns, key).  A tombstone, a
+// missing key, and a value that fails its checksum all answer
+// ok=false (the last also latches degraded and counts the corrupt
+// record); err is reserved for I/O failures.
+func (s *Store) Get(ns Namespace, key Key) (val []byte, ok bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	ik := idxKey{ns, key}
+	loc, seg, scanned, err := s.locate(ik)
+	if scanned {
+		s.nColdScans.Add(1)
+		mColdScans.Inc()
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if seg == nil || loc.tombstone {
+		s.nMisses.Add(1)
+		mMisses.Inc()
+		return nil, false, nil
+	}
+	r, err := readRecordAt(seg.f, loc.off, loc.size)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			// The disk lied after open.  Never serve it; answer a miss
+			// so the caller recomputes.
+			s.degraded.Store(true)
+			s.nCorrupt.Add(1)
+			mCorrupt.Inc()
+			s.nMisses.Add(1)
+			mMisses.Inc()
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if r.ns != ns || r.key != key || r.tombstone {
+		// An indexed location that decodes to a different record means
+		// the index and file disagree — treat as corruption.
+		s.degraded.Store(true)
+		s.nCorrupt.Add(1)
+		mCorrupt.Inc()
+		s.nMisses.Add(1)
+		mMisses.Inc()
+		return nil, false, nil
+	}
+	s.nHits.Add(1)
+	mHits.Inc()
+	out := make([]byte, len(r.payload))
+	copy(out, r.payload)
+	return out, true, nil
+}
+
+// Has reports whether (ns, key) resolves to a live value, without
+// reading the payload (the final checksum pass is skipped, so a Has
+// true can still become a Get miss on a rotten disk).
+func (s *Store) Has(ns Namespace, key Key) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	loc, seg, scanned, err := s.locate(idxKey{ns, key})
+	if scanned {
+		s.nColdScans.Add(1)
+		mColdScans.Inc()
+	}
+	if err != nil {
+		return false, err
+	}
+	return seg != nil && !loc.tombstone, nil
+}
+
+// locate resolves (ns, key) to the newest record holding it: the WAL
+// first, then sealed segments newest→oldest.  seg == nil means the
+// key is nowhere.  Caller holds at least the read lock.
+func (s *Store) locate(ik idxKey) (recLoc, *segment, bool, error) {
+	coldScanned := false
+	if loc, ok := s.wal.index[ik]; ok {
+		return loc, s.wal, false, nil
+	}
+	for i := len(s.sealed) - 1; i >= 0; i-- {
+		seg := s.sealed[i]
+		loc, found, scanned, err := seg.lookup(ik)
+		coldScanned = coldScanned || scanned
+		if err != nil {
+			return recLoc{}, nil, coldScanned, err
+		}
+		if found {
+			return loc, seg, coldScanned, nil
+		}
+	}
+	return recLoc{}, nil, coldScanned, nil
+}
+
+// Put stores val under (ns, key), superseding any earlier record.
+func (s *Store) Put(ns Namespace, key Key, val []byte) error {
+	if len(val) > MaxPayload {
+		return fmt.Errorf("store: payload %d bytes exceeds %d cap", len(val), MaxPayload)
+	}
+	return s.append(&record{ns: ns, key: key, payload: val})
+}
+
+// Delete tombstones (ns, key): subsequent Gets miss, and compaction
+// eventually drops both the tombstone and the records it shadows.
+func (s *Store) Delete(ns Namespace, key Key) error {
+	return s.append(&record{ns: ns, key: key, tombstone: true})
+}
+
+func (s *Store) append(r *record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	buf := appendRecord(make([]byte, 0, r.size()), r)
+	if _, err := s.wal.f.WriteAt(buf, s.wal.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if s.opts.SyncEveryPut {
+		if err := s.wal.f.Sync(); err != nil {
+			return err
+		}
+	}
+	ik := idxKey{r.ns, r.key}
+	loc := recLoc{off: s.wal.size, size: r.size(), tombstone: r.tombstone}
+	s.wal.size += r.size()
+	s.wal.records++
+	if old, ok := s.wal.index[ik]; ok {
+		s.wal.garbage += old.size
+	} else {
+		s.wal.distinct++
+		// The key is new to the WAL; whatever indexed sealed segment
+		// holds it now carries garbage.  Cold segments are skipped —
+		// scanning them per put would defeat the demotion — so their
+		// garbage is undercounted until compaction or reopen recounts.
+		for i := len(s.sealed) - 1; i >= 0; i-- {
+			if seg := s.sealed[i]; seg.index != nil {
+				if prev, ok := seg.index[ik]; ok {
+					seg.garbage += prev.size
+					break
+				}
+			}
+		}
+	}
+	s.wal.index[ik] = loc
+	s.wal.filter.add(bloomHashes(r.ns, r.key))
+	if r.tombstone {
+		s.nDeletes.Add(1)
+		mDeletes.Inc()
+	} else {
+		s.nPuts.Add(1)
+		mPuts.Inc()
+	}
+
+	if s.wal.size >= s.opts.SegmentBytes {
+		if err := s.seal(); err != nil {
+			return err
+		}
+	}
+	s.evictOverBudget()
+	s.publishGauges()
+	return nil
+}
+
+// seal turns the WAL into a sealed segment: fsync, atomic rename to
+// its NNNNNNNN.seg name, fresh WAL.  Caller holds the write lock.
+func (s *Store) seal() error {
+	if s.wal.records == 0 {
+		return nil
+	}
+	if err := s.wal.f.Sync(); err != nil {
+		return err
+	}
+	if err := s.wal.f.Close(); err != nil {
+		return err
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	sealedPath := filepath.Join(s.opts.Dir, segName(seq))
+	if err := os.Rename(s.wal.path, sealedPath); err != nil {
+		return err
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	f, err := os.Open(sealedPath)
+	if err != nil {
+		return err
+	}
+	sealed := s.wal
+	sealed.seq = seq
+	sealed.path = sealedPath
+	sealed.f = f
+	s.sealed = append(s.sealed, sealed)
+	mSeals.Inc()
+
+	if err := s.createWAL(filepath.Join(s.opts.Dir, walName)); err != nil {
+		return err
+	}
+	s.enforceIndexBudget()
+	s.evictOverBudget()
+	s.signalCompact()
+	return nil
+}
+
+// enforceIndexBudget demotes the oldest indexed sealed segments until
+// the resident index fits the key budget.  Caller holds the write
+// lock.
+func (s *Store) enforceIndexBudget() {
+	if s.opts.IndexKeys < 0 {
+		return
+	}
+	total := int64(len(s.wal.index))
+	for _, seg := range s.sealed {
+		if seg.index != nil {
+			total += int64(len(seg.index))
+		}
+	}
+	for _, seg := range s.sealed { // oldest first
+		if total <= int64(s.opts.IndexKeys) {
+			break
+		}
+		if seg.index != nil {
+			total -= int64(len(seg.index))
+			seg.demote()
+		}
+	}
+}
+
+// evictOverBudget drops the oldest sealed segments while the store
+// exceeds its byte budget.  Caller holds the write lock.
+func (s *Store) evictOverBudget() {
+	if s.opts.MaxBytes < 0 {
+		return
+	}
+	for len(s.sealed) > 0 && s.totalBytes() > s.opts.MaxBytes {
+		oldest := s.sealed[0]
+		s.sealed = s.sealed[1:]
+		oldest.close()
+		os.Remove(oldest.path)
+		s.nEvicted.Add(1)
+		mEvicted.Inc()
+	}
+}
+
+func (s *Store) totalBytes() int64 {
+	total := s.wal.size
+	for _, seg := range s.sealed {
+		total += seg.size
+	}
+	return total
+}
+
+func (s *Store) totalRecords() int64 {
+	total := s.wal.records
+	for _, seg := range s.sealed {
+		total += seg.records
+	}
+	return total
+}
+
+func (s *Store) totalGarbage() int64 {
+	total := s.wal.garbage
+	for _, seg := range s.sealed {
+		total += seg.garbage
+	}
+	return total
+}
+
+func (s *Store) indexedKeys() int64 {
+	total := int64(len(s.wal.index))
+	for _, seg := range s.sealed {
+		if seg.index != nil {
+			total += int64(len(seg.index))
+		}
+	}
+	return total
+}
+
+// publishGauges pushes the size gauges.  Caller holds a lock.
+func (s *Store) publishGauges() {
+	gBytes.Set(float64(s.totalBytes()))
+	gSegments.Set(float64(len(s.sealed)))
+	gRecords.Set(float64(s.totalRecords()))
+	gGarbage.Set(float64(s.totalGarbage()))
+	gIndexKeys.Set(float64(s.indexedKeys()))
+}
+
+// signalCompact nudges the background compactor without blocking.
+func (s *Store) signalCompact() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactor is the background compaction loop: each nudge compacts
+// candidate segments until none qualify.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			for {
+				n, err := s.compactOnce(s.opts.CompactMinGarbage)
+				if err != nil || n == 0 {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the store's state.
+type Stats struct {
+	Dir      string `json:"dir"`
+	Degraded bool   `json:"degraded"`
+	// Segments counts sealed segments; the WAL is extra.
+	Segments     int   `json:"segments"`
+	ColdSegments int   `json:"cold_segments"`
+	Bytes        int64 `json:"bytes"`
+	WALBytes     int64 `json:"wal_bytes"`
+	Records      int64 `json:"records"`
+	GarbageBytes int64 `json:"garbage_bytes"`
+	IndexedKeys  int64 `json:"indexed_keys"`
+
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Puts            int64 `json:"puts"`
+	Deletes         int64 `json:"deletes"`
+	ColdScans       int64 `json:"cold_scans"`
+	Compactions     int64 `json:"compactions"`
+	EvictedSegments int64 `json:"evicted_segments"`
+	CorruptRecords  int64 `json:"corrupt_records_skipped"`
+	TruncatedTails  int64 `json:"torn_tails_truncated"`
+	// LastCompactionUnix is 0 until a compaction completes.
+	LastCompactionUnix int64 `json:"last_compaction_unix,omitempty"`
+}
+
+// Stats returns the current snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cold := 0
+	for _, seg := range s.sealed {
+		if seg.index == nil {
+			cold++
+		}
+	}
+	st := Stats{
+		Dir:             s.opts.Dir,
+		Degraded:        s.degraded.Load(),
+		Segments:        len(s.sealed),
+		ColdSegments:    cold,
+		Bytes:           s.totalBytes(),
+		WALBytes:        s.wal.size,
+		Records:         s.totalRecords(),
+		GarbageBytes:    s.totalGarbage(),
+		IndexedKeys:     s.indexedKeys(),
+		Hits:            s.nHits.Load(),
+		Misses:          s.nMisses.Load(),
+		Puts:            s.nPuts.Load(),
+		Deletes:         s.nDeletes.Load(),
+		ColdScans:       s.nColdScans.Load(),
+		Compactions:     s.nCompactions.Load(),
+		EvictedSegments: s.nEvicted.Load(),
+		CorruptRecords:  s.nCorrupt.Load(),
+		TruncatedTails:  s.nTruncated.Load(),
+	}
+	if !s.lastCompaction.IsZero() {
+		st.LastCompactionUnix = s.lastCompaction.Unix()
+	}
+	return st
+}
+
+// Sync flushes the WAL to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.wal.f.Sync()
+}
+
+// Close flushes the WAL, stops the background compactor, and closes
+// every file.  The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.wal.f.Sync()
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.done)
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closeAll()
+	return err
+}
+
+// closeAll closes every open file handle.  Caller holds the write
+// lock (or owns the store exclusively during a failed Open).
+func (s *Store) closeAll() {
+	if s.wal != nil {
+		s.wal.close()
+	}
+	for _, seg := range s.sealed {
+		seg.close()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -17,13 +17,14 @@ go build ./...
 # tests, so only a build catches API drift there.
 go build ./examples/...
 # The engine and the serving layer share compiled plans across
-# goroutines, and the obs flight recorder is a lock-striped ring
-# hammered by every request; their suites run first and explicitly
-# under the race detector so a concurrency regression fails fast with
-# a focused report before the full-tree run below repeats them in
-# bulk.
-go vet ./internal/engine/... ./internal/serve ./internal/obs
-go test -race ./internal/engine/... ./internal/serve ./internal/obs
+# goroutines, the obs flight recorder is a lock-striped ring hammered
+# by every request, and the persistent store mixes request-path reads
+# with a background compactor and the serve write-behind goroutine;
+# their suites run first and explicitly under the race detector so a
+# concurrency regression fails fast with a focused report before the
+# full-tree run below repeats them in bulk.
+go vet ./internal/engine/... ./internal/serve ./internal/obs ./internal/store
+go test -race ./internal/engine/... ./internal/serve ./internal/obs ./internal/store
 go test -race ./...
 # Coverage ratchet: the packages carrying the incremental (ECO)
 # re-estimation machinery must not lose test coverage.  Floors live in
