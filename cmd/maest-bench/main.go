@@ -8,7 +8,7 @@
 //
 //	maest-bench [-label local] [-o BENCH_local.json]
 //	            [-golden testdata/golden] [-proc nmos25] [-seed 1]
-//	            [-requests 60] [-estimate-iters 3] [-store]
+//	            [-requests 60] [-estimate-iters 3] [-store] [-telemetry]
 //	            [-compare ref.json] [-tol 0.5] [-perf-tol 0]
 //
 // With -compare the fresh snapshot is diffed against a reference:
@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"maest/internal/client"
@@ -57,6 +58,7 @@ type options struct {
 	ecoEdits      int
 	ecoMinSpeedup float64
 	store         bool
+	telemetry     bool
 }
 
 func main() {
@@ -74,6 +76,7 @@ func main() {
 	flag.IntVar(&o.ecoEdits, "eco", 0, "ECO edits per module for the incremental-reestimation benchmark (0 disables it)")
 	flag.Float64Var(&o.ecoMinSpeedup, "eco-min-speedup", 0, "minimum delta-vs-recompile speedup the -eco benchmark must reach; below it exits 2 (0 disables the gate)")
 	flag.BoolVar(&o.store, "store", false, "benchmark the persistent store: cold vs warm time-to-first-hit and the hit ratio over a replayed request log")
+	flag.BoolVar(&o.telemetry, "telemetry", false, "benchmark request-telemetry overhead: sampling-on vs sampling-off ns/req, and pin the disabled path at 0 allocs")
 	flag.Parse()
 
 	regressions, err := run(&o, os.Stdout)
@@ -153,6 +156,21 @@ func run(o *options, w io.Writer) ([]string, error) {
 			snap.Store.HitRatio, snap.Store.Requests)
 		if snap.Store.StoreMisses > 0 {
 			return nil, fmt.Errorf("store: %d misses replaying a log the cold pass fully persisted", snap.Store.StoreMisses)
+		}
+	}
+
+	if o.telemetry {
+		snap.Telemetry, err = timeTelemetry(o.requests)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "maest-bench: telemetry bare %d ns/req, sampled %d ns/req (%+.1f%%); disabled path %.0f allocs/op; kept %d/%d traces, %d store bytes\n",
+			snap.Telemetry.BareNsPerReq, snap.Telemetry.SampledNsPerReq, snap.Telemetry.OverheadPct*100,
+			snap.Telemetry.DisabledPathAllocs, snap.Telemetry.TracesKept, snap.Telemetry.TracesSeen,
+			snap.Telemetry.StoreBytes)
+		if snap.Telemetry.DisabledPathAllocs != 0 {
+			return nil, fmt.Errorf("telemetry: sampling-disabled path allocates (%.0f allocs/op, want 0)",
+				snap.Telemetry.DisabledPathAllocs)
 		}
 	}
 
@@ -503,6 +521,106 @@ func timeStore(n int) (*report.StoreSnapshot, error) {
 	}
 	if warmFirst > 0 {
 		snap.WarmSpeedup = float64(coldFirst) / float64(warmFirst)
+	}
+	return snap, nil
+}
+
+// timeTelemetry measures what request telemetry costs: the same
+// request log replayed twice over loopback, once against a bare
+// service (no flight ring, no trace store — the zero-telemetry
+// configuration) and once with tail sampling at rate 1.0 persisting
+// every trace write-behind.  It also pins the contract the hot path
+// depends on: with sampling disabled, the per-request telemetry calls
+// (TailSampler.Keep on a nil sampler, Histogram.Observe) must not
+// allocate at all.
+func timeTelemetry(n int) (*report.TelemetrySnapshot, error) {
+	if n < 4 {
+		n = 4
+	}
+	var reqs []serve.EstimateRequest
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, serve.EstimateRequest{
+			Netlist: chainNetlist(fmt.Sprintf("bench-tel-%d", i), 8+6*i),
+		})
+	}
+	ctx := obs.WithTraceContext(context.Background(), obs.NewTraceContext())
+
+	replay := func(handler *serve.Server) (perReq time.Duration, err error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		srv := &http.Server{Handler: handler}
+		go srv.Serve(ln)
+		defer srv.Close()
+		c := client.New("http://" + ln.Addr().String())
+		// Warm once so neither pass pays first-request setup.
+		if _, err := c.Estimate(ctx, reqs[0]); err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := c.Estimate(ctx, reqs[i%len(reqs)]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0) / time.Duration(n), nil
+	}
+
+	bare, err := replay(serve.New(serve.Options{}))
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "maest-bench-trace-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	sampled := serve.New(serve.Options{
+		FlightSize: 64,
+		TraceStore: st,
+		Sample:     obs.SamplePolicy{Rate: 1.0, SlowMicros: 100_000, KeepErrors: true},
+	})
+	perReq, err := replay(sampled)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	sampled.FlushTraces()
+	sstats := sampled.Sampler().Stats()
+	stStats := st.Stats()
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+
+	// The disabled path: a nil sampler and an unregistered histogram,
+	// exactly what a request pays when telemetry is off.
+	var nilSampler *obs.TailSampler
+	h := obs.NewHistogram(obs.DefBuckets)
+	var tid [16]byte
+	allocs := testing.AllocsPerRun(1000, func() {
+		nilSampler.Keep(tid, 1234, false)
+		h.Observe(0.001)
+	})
+
+	snap := &report.TelemetrySnapshot{
+		Requests:           n,
+		BareNsPerReq:       bare.Nanoseconds(),
+		SampledNsPerReq:    perReq.Nanoseconds(),
+		DisabledPathAllocs: allocs,
+		TracesSeen:         sstats.Seen,
+		TracesKept:         sstats.Kept,
+		TracesDropped:      sstats.Dropped,
+		StoreBytes:         stStats.Bytes,
+		StoreRecords:       stStats.Records,
+	}
+	if bare > 0 {
+		snap.OverheadPct = float64(perReq-bare) / float64(bare)
 	}
 	return snap, nil
 }

@@ -13,6 +13,8 @@
 //	            [-trace out.jsonl] [-pprof out.cpu]
 //	            [-backend URL] [-runtime-metrics 15s]
 //	            [-store-dir DIR] [-store-max-bytes N]
+//	            [-trace-store DIR] [-trace-sample-rate 0.05]
+//	            [-trace-slow 100ms]
 //	            [-watchdog 0] [-watchdog-golden DIR] [-watchdog-ref FILE]
 //	            [-watchdog-tol 0.5] [-watchdog-seed N]
 //
@@ -42,7 +44,18 @@
 //	GET /debug/flight?n=N    recent request records + latency quantiles
 //	GET /debug/slowest?k=K   top-K requests by duration, span breakdown
 //	GET /debug/store         persistent-store statistics snapshot
+//	GET /debug/trace/{id}    one trace's stitched span tree (with
+//	                         -trace-store, across restarts)
+//	GET /debug/traces        the persisted-trace index scan
+//	GET /debug/plans         per-plan cost profiles
+//	GET /debug/pprof/*       the Go runtime profiler
 //	GET /metrics             the same exposition, for sidecar scrapers
+//
+// -trace-store mounts the persistent trace store: requests kept by the
+// tail sampler (every error, everything slower than -trace-slow, and a
+// -trace-sample-rate baseline) persist their full span trees, and the
+// trace behind yesterday's latency spike is still one GET
+// /debug/trace/{id} after a restart.
 //
 // SIGINT/SIGTERM drain in-flight estimates for up to -drain before
 // the listener closes hard.
@@ -88,6 +101,9 @@ type options struct {
 	runtimeMetrics time.Duration
 	storeDir       string
 	storeMaxBytes  int64
+	traceStoreDir  string
+	traceRate      float64
+	traceSlow      time.Duration
 	watchdog       time.Duration
 	watchdogGolden string
 	watchdogRef    string
@@ -115,6 +131,9 @@ func main() {
 	flag.DurationVar(&o.runtimeMetrics, "runtime-metrics", 15*time.Second, "Go runtime telemetry sampling interval for /metrics (0 disables)")
 	flag.StringVar(&o.storeDir, "store-dir", "", "mount the persistent plan store in this directory: results persist across restarts and warm-start the caches (empty disables)")
 	flag.Int64Var(&o.storeMaxBytes, "store-max-bytes", 1<<30, "persistent store size budget in bytes; the oldest segments are evicted beyond it (negative disables eviction)")
+	flag.StringVar(&o.traceStoreDir, "trace-store", "", "persist tail-sampled request traces in this directory; GET /debug/trace/{id} then answers across restarts (empty disables)")
+	flag.Float64Var(&o.traceRate, "trace-sample-rate", 0.05, "baseline fraction of traces kept by the tail sampler (errors and the slow tail are always kept)")
+	flag.DurationVar(&o.traceSlow, "trace-slow", 100*time.Millisecond, "requests at least this slow are always sampled (0 disables the slow-tail rule)")
 	flag.DurationVar(&o.watchdog, "watchdog", 0, "accuracy watchdog probe interval; replays the golden set through the live plan cache and degrades /healthz on drift (0 disables)")
 	flag.StringVar(&o.watchdogGolden, "watchdog-golden", "testdata/golden", "golden tables directory for the accuracy watchdog")
 	flag.StringVar(&o.watchdogRef, "watchdog-ref", "testdata/bench/BENCH_reference.json", "pinned bench snapshot the watchdog diffs against")
@@ -161,6 +180,11 @@ func run(o options) (err error) {
 		log.Printf("maest-serve: persistent store at %s (%d segments, %d records, %d bytes)",
 			o.storeDir, st.Segments, st.Records, st.Bytes)
 	}
+	if rt.traceStore != nil {
+		st := rt.traceStore.Stats()
+		log.Printf("maest-serve: trace store at %s (%d records, %d bytes; rate %g, slow %s)",
+			o.traceStoreDir, st.Records, st.Bytes, o.traceRate, o.traceSlow)
+	}
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -189,13 +213,14 @@ func openAccessLog(path string) (io.Writer, func() error, error) {
 // running holds the bound listeners of one maest-serve instance: the
 // API server and, when -debug-addr is set, the observatory sidecar.
 type running struct {
-	api       *http.Server
-	apiAddr   string
-	debug     *http.Server // nil when -debug-addr is empty
-	debugAddr string
-	handler   *serve.Server
-	sampler   *obs.RuntimeSampler // nil when -runtime-metrics is 0
-	store     *store.Store        // nil when -store-dir is empty
+	api        *http.Server
+	apiAddr    string
+	debug      *http.Server // nil when -debug-addr is empty
+	debugAddr  string
+	handler    *serve.Server
+	sampler    *obs.RuntimeSampler // nil when -runtime-metrics is 0
+	store      *store.Store        // nil when -store-dir is empty
+	traceStore *store.Store        // nil when -trace-store is empty
 }
 
 // startServer validates the options, binds the listeners, and serves
@@ -211,6 +236,17 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
+	var tst *store.Store
+	if o.traceStoreDir != "" {
+		var err error
+		tst, err = store.Open(store.Options{Dir: o.traceStoreDir, MaxBytes: o.storeMaxBytes})
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, fmt.Errorf("trace store: %w", err)
+		}
+	}
 	handler := serve.New(serve.Options{
 		Process:         o.proc,
 		CacheSize:       o.cacheSize,
@@ -224,6 +260,12 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		AccessLog:       accessLog,
 		Backend:         o.backend,
 		Store:           st,
+		TraceStore:      tst,
+		Sample: obs.SamplePolicy{
+			Rate:       o.traceRate,
+			SlowMicros: o.traceSlow.Microseconds(),
+			KeepErrors: true,
+		},
 		Watchdog: serve.WatchdogOptions{
 			Interval:  o.watchdog,
 			GoldenDir: o.watchdogGolden,
@@ -237,6 +279,9 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		if st != nil {
 			st.Close()
 		}
+		if tst != nil {
+			tst.Close()
+		}
 		return nil, err
 	}
 	rt := &running{
@@ -248,10 +293,11 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 			WriteTimeout: o.timeout + 5*time.Second,
 			BaseContext:  func(net.Listener) context.Context { return ctx },
 		},
-		apiAddr: ln.Addr().String(),
-		handler: handler,
-		sampler: obs.NewRuntimeSampler(o.runtimeMetrics),
-		store:   st,
+		apiAddr:    ln.Addr().String(),
+		handler:    handler,
+		sampler:    obs.NewRuntimeSampler(o.runtimeMetrics),
+		store:      st,
+		traceStore: tst,
 	}
 	rt.sampler.Start()
 	rt.handler.Watchdog().Start()
@@ -263,6 +309,9 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 			ln.Close()
 			if st != nil {
 				st.Close()
+			}
+			if tst != nil {
+				tst.Close()
 			}
 			return nil, fmt.Errorf("debug listener: %w", err)
 		}
@@ -292,13 +341,17 @@ func (rt *running) shutdown(drain time.Duration) error {
 	if rt.debug != nil {
 		rt.debug.Close()
 	}
-	// The store outlives the listeners: results computed by the last
-	// in-flight requests still flush through the write-behind queue
-	// before the files close.
+	// The stores outlive the listeners: results computed (and traces
+	// sampled) by the last in-flight requests still flush through the
+	// write-behind queues before the files close.
 	defer func() {
 		rt.handler.FlushStore()
 		if rt.store != nil {
 			rt.store.Close()
+		}
+		rt.handler.FlushTraces()
+		if rt.traceStore != nil {
+			rt.traceStore.Close()
 		}
 	}()
 	ctx, cancel := context.WithTimeout(context.Background(), drain)

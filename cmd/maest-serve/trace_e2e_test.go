@@ -1,0 +1,261 @@
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"testing"
+	"time"
+
+	"maest/internal/serve"
+)
+
+// startTraceServer boots an instance persisting every trace into dir,
+// with the observatory listener up, WITHOUT cleanup registration —
+// the restart test owns shutdown ordering.
+func startTraceServer(t *testing.T, dir string) *running {
+	t.Helper()
+	o := options{
+		addr:          "127.0.0.1:0",
+		debugAddr:     "127.0.0.1:0",
+		proc:          "nmos25",
+		cacheSize:     1024,
+		timeout:       30 * time.Second,
+		maxBytes:      8 << 20,
+		flight:        64,
+		traceStoreDir: dir,
+		traceRate:     1.0,
+		traceSlow:     time.Millisecond,
+		storeMaxBytes: 1 << 30,
+	}
+	rt, err := startServer(context.Background(), o, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestTraceStoreRestartEndToEnd is the acceptance flow: run traffic
+// with -trace-store, fetch one pre-restart trace's rendering, kill the
+// process, restart over the same directory, and require GET
+// /debug/trace/{id} to answer byte-identically.
+func TestTraceStoreRestartEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	src := suiteNetlists(t)["sc-exp1"]
+	if src == "" {
+		t.Fatal("sc-exp1 missing from the golden suites")
+	}
+
+	rt1 := startTraceServer(t, dir)
+	api, dbg := "http://"+rt1.apiAddr, "http://"+rt1.debugAddr
+
+	// Traffic mix: computed estimate, cache-hit repeat, congestion, and
+	// a malformed request (kept by the error rule).
+	if code, _, b := postJSON(t, api+"/v1/estimate", serve.EstimateRequest{Netlist: src}); code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", code, b)
+	}
+	if code, _, b := postJSON(t, api+"/v1/estimate", serve.EstimateRequest{Netlist: src}); code != http.StatusOK {
+		t.Fatalf("repeat estimate: %d %s", code, b)
+	}
+	if code, _, b := postJSON(t, api+"/v1/congestion", serve.CongestionRequest{Netlist: src, Rows: 3}); code != http.StatusOK {
+		t.Fatalf("congestion: %d %s", code, b)
+	}
+	if code, _, _ := postJSON(t, api+"/v1/estimate", serve.EstimateRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("malformed estimate returned %d, want 400", code)
+	}
+	rt1.handler.SyncTraces()
+
+	// The index scan sees all four hops; pick the computed estimate.
+	code, idxBody := getBody(t, dbg+"/debug/traces?endpoint=/v1/estimate")
+	if code != http.StatusOK {
+		t.Fatalf("debug/traces: %d %s", code, idxBody)
+	}
+	var idx serve.DebugTracesResponse
+	if err := json.Unmarshal(idxBody, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if !idx.Enabled || idx.Stats == nil || idx.Stats.Writes != 4 || idx.Stats.Dropped != 0 {
+		t.Fatalf("trace tier stats: %+v", idx.Stats)
+	}
+	if len(idx.Traces) != 3 {
+		t.Fatalf("estimate index scan found %d hops, want 3", len(idx.Traces))
+	}
+	var traceID string
+	for _, tr := range idx.Traces {
+		if tr.Status == http.StatusOK && tr.Micros > 0 {
+			traceID = tr.TraceID
+		}
+	}
+	if traceID == "" {
+		t.Fatalf("no OK estimate hop in %+v", idx.Traces)
+	}
+
+	code, before := getBody(t, dbg+"/debug/trace/"+traceID)
+	if code != http.StatusOK {
+		t.Fatalf("debug/trace pre-restart: %d %s", code, before)
+	}
+	var pre serve.DebugTraceResponse
+	if err := json.Unmarshal(before, &pre); err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Found || len(pre.Hops) == 0 || pre.Hops[0].Endpoint != "/v1/estimate" {
+		t.Fatalf("pre-restart trace: %+v", pre)
+	}
+
+	if err := rt1.shutdown(10 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Fresh process image over the same trace directory.
+	rt2 := startTraceServer(t, dir)
+	defer func() {
+		if err := rt2.shutdown(10 * time.Second); err != nil {
+			t.Errorf("second shutdown: %v", err)
+		}
+	}()
+	dbg2 := "http://" + rt2.debugAddr
+	code, after := getBody(t, dbg2+"/debug/trace/"+traceID)
+	if code != http.StatusOK {
+		t.Fatalf("debug/trace post-restart: %d %s", code, after)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("trace rendering changed across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestMetricsExemplarsResolveEndToEnd: the /metrics exposition's
+// exemplar comments carry trace ids that resolve through GET
+// /debug/trace/{id} on the same instance.
+func TestMetricsExemplarsResolveEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rt := startTraceServer(t, dir)
+	defer func() {
+		if err := rt.shutdown(10 * time.Second); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	api, dbg := "http://"+rt.apiAddr, "http://"+rt.debugAddr
+
+	src := suiteNetlists(t)["sc-exp1"]
+	if code, _, b := postJSON(t, api+"/v1/estimate", serve.EstimateRequest{Netlist: src}); code != http.StatusOK {
+		t.Fatalf("estimate: %d %s", code, b)
+	}
+	rt.handler.SyncTraces()
+
+	// This instance's one persisted trace.
+	_, idxBody := getBody(t, dbg+"/debug/traces")
+	var idx serve.DebugTracesResponse
+	if err := json.Unmarshal(idxBody, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Traces) != 1 {
+		t.Fatalf("index scan: %+v", idx.Traces)
+	}
+	ownTrace := idx.Traces[0].TraceID
+
+	resp, err := http.Get(dbg + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "text/plain; version=0.0.4" {
+		t.Fatalf("metrics Content-Type %q", got)
+	}
+	ids := regexp.MustCompile(`# EXEMPLAR \S+ trace_id=([0-9a-f]{32}) `).FindAllSubmatch(metrics, -1)
+	if len(ids) == 0 {
+		t.Fatal("exposition carries no exemplar comments")
+	}
+	found := false
+	for _, m := range ids {
+		if string(m[1]) == ownTrace {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no exemplar carries this instance's trace %s", ownTrace)
+	}
+	code, body := getBody(t, dbg+"/debug/trace/"+ownTrace)
+	if code != http.StatusOK {
+		t.Fatalf("debug/trace: %d %s", code, body)
+	}
+	var tr serve.DebugTraceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Found {
+		t.Fatalf("exemplar trace id %s does not resolve: %s", ownTrace, body)
+	}
+}
+
+// TestDebugPprofEndToEnd: the runtime profiler rides the -debug-addr
+// socket; a one-second CPU profile comes back as a well-formed gzip
+// stream with non-trivial content.
+func TestDebugPprofEndToEnd(t *testing.T) {
+	base := startTestRunning(t, options{debugAddr: "127.0.0.1:0"}, nil, nil)
+
+	// The index page lists the available profiles.
+	code, body := getBody(t, base.debug+"/debug/pprof/")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof index: %d (%d bytes)", code, len(body))
+	}
+
+	// Keep the process busy so the profile has samples to collect.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sink := 0.0
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				_ = sink
+				return
+			default:
+				sink += float64(i%7919) * 1.0000001
+			}
+		}
+	}()
+	defer func() { close(stop); <-done }()
+
+	resp, err := http.Get(base.debug + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("pprof profile: %d %s", resp.StatusCode, b)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("profile body is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("profile gunzip: %v", err)
+	}
+	if len(raw) < 64 {
+		t.Fatalf("decoded profile implausibly small: %d bytes", len(raw))
+	}
+}

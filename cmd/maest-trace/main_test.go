@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maest/internal/obs"
+	"maest/internal/serve"
+	"maest/internal/store"
+)
+
+func demoNetlist(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", "demo.mnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// populateTraces runs a traffic mix through a real serve.Server
+// persisting into dir, then closes the store so offline mode can take
+// single ownership.  Returns the configured server factory's traffic:
+// 3 estimate hops (one a cache hit, one a 400) and 1 congestion hop.
+func populateTraces(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Options{
+		FlightSize: 16,
+		TraceStore: st,
+		Sample:     obs.SamplePolicy{Rate: 1, SlowMicros: 100_000, KeepErrors: true},
+	})
+	driveTraffic(t, s)
+	s.FlushTraces()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func driveTraffic(t *testing.T, s *serve.Server) {
+	t.Helper()
+	est, err := json.Marshal(serve.EstimateRequest{Netlist: demoNetlist(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cong, err := json.Marshal(serve.CongestionRequest{Netlist: demoNetlist(t), Rows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(path string, body []byte, want int) {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != want {
+			t.Fatalf("%s: %d %s", path, w.Code, w.Body.String())
+		}
+	}
+	post("/v1/estimate", est, http.StatusOK)
+	post("/v1/estimate", est, http.StatusOK) // cache hit
+	post("/v1/congestion", cong, http.StatusOK)
+	post("/v1/estimate", []byte(`{"netlist":""}`), http.StatusBadRequest)
+	s.SyncTraces()
+}
+
+// runOut drives the CLI and returns its stdout.
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func listJSON(t *testing.T, args ...string) []serve.TraceSummary {
+	t.Helper()
+	var rows []serve.TraceSummary
+	if err := json.Unmarshal([]byte(runOut(t, args...)), &rows); err != nil {
+		t.Fatalf("list output: %v", err)
+	}
+	return rows
+}
+
+func TestRunUsageAndUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != errUsage {
+		t.Fatalf("no args: err = %v, want errUsage", err)
+	}
+	if err := run([]string{"frobnicate"}, &buf); err != errUsage {
+		t.Fatalf("unknown command: err = %v, want errUsage", err)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err == nil || !strings.Contains(err.Error(), "one of -dir or -addr") {
+		t.Fatalf("no source: %v", err)
+	}
+	if err := run([]string{"list", "-dir", "x", "-addr", "http://y"}, &buf); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("both sources: %v", err)
+	}
+	// A typo'd directory reports instead of minting an empty store.
+	missing := filepath.Join(t.TempDir(), "no-such-dir")
+	if err := run([]string{"list", "-dir", missing}, &buf); err == nil {
+		t.Fatal("nonexistent -dir did not error")
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Fatal("a failed open minted the store directory")
+	}
+}
+
+func TestOfflineListFilters(t *testing.T) {
+	dir := t.TempDir()
+	populateTraces(t, dir)
+
+	all := listJSON(t, "list", "-dir", dir, "-json")
+	if len(all) != 4 {
+		t.Fatalf("list saw %d hops, want 4", len(all))
+	}
+	// Newest first: the 400 was the final request.
+	if all[0].Status != http.StatusBadRequest {
+		t.Fatalf("newest hop is %+v, want the 400", all[0])
+	}
+	for _, r := range all {
+		if len(r.TraceID) != 32 {
+			t.Fatalf("trace id %q is not 32 hex chars", r.TraceID)
+		}
+	}
+
+	est := listJSON(t, "list", "-dir", dir, "-json", "-endpoint", "/v1/estimate")
+	if len(est) != 3 {
+		t.Fatalf("endpoint filter saw %d hops, want 3", len(est))
+	}
+	if rows := listJSON(t, "list", "-dir", dir, "-json", "-min-ms", "60000"); len(rows) != 0 {
+		t.Fatalf("min-ms filter leaked %d hops", len(rows))
+	}
+	if rows := listJSON(t, "list", "-dir", dir, "-json", "-limit", "2"); len(rows) != 2 {
+		t.Fatalf("limit 2 returned %d hops", len(rows))
+	}
+
+	// Human-readable table mode.
+	text := runOut(t, "list", "-dir", dir)
+	if !strings.Contains(text, "TRACE") || !strings.Contains(text, "/v1/estimate") {
+		t.Fatalf("table output:\n%s", text)
+	}
+}
+
+func TestOfflineShow(t *testing.T) {
+	dir := t.TempDir()
+	populateTraces(t, dir)
+	rows := listJSON(t, "list", "-dir", dir, "-json", "-endpoint", "/v1/congestion")
+	if len(rows) != 1 {
+		t.Fatalf("congestion hops: %+v", rows)
+	}
+	id := rows[0].TraceID
+
+	var hops []*obs.FlightRecord
+	if err := json.Unmarshal([]byte(runOut(t, "show", "-dir", dir, "-json", "-trace", id)), &hops); err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 1 || hops[0].Trace != id || hops[0].Endpoint != "/v1/congestion" {
+		t.Fatalf("show -json: %+v", hops)
+	}
+
+	text := runOut(t, "show", "-dir", dir, "-trace", id)
+	for _, want := range []string{"trace " + id, "hop " + hops[0].Span, "/v1/congestion"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("show output missing %q:\n%s", want, text)
+		}
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{"show", "-dir", dir, "-trace", strings.Repeat("f", 32)}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("unknown trace: %v", err)
+	}
+	if err := run([]string{"show", "-dir", dir}, &buf); err == nil || !strings.Contains(err.Error(), "-trace is required") {
+		t.Fatalf("missing -trace: %v", err)
+	}
+}
+
+func TestOfflineSlowestAndPlans(t *testing.T) {
+	dir := t.TempDir()
+	populateTraces(t, dir)
+
+	var rows []serve.TraceSummary
+	if err := json.Unmarshal([]byte(runOut(t, "slowest", "-dir", dir, "-json", "-k", "2")), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("slowest -k 2 returned %d rows", len(rows))
+	}
+	if rows[0].Micros < rows[1].Micros {
+		t.Fatalf("slowest not duration-ordered: %+v", rows)
+	}
+
+	var plans []planAgg
+	if err := json.Unmarshal([]byte(runOut(t, "plans", "-dir", dir, "-json")), &plans); err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("plans aggregated nothing")
+	}
+	top := plans[0]
+	if top.Requests < 2 || top.CacheHits < 1 {
+		t.Fatalf("top plan %+v, want the twice-requested estimate plan", top)
+	}
+	if top.MeanUs <= 0 || top.MaxUs < int64(top.MeanUs) {
+		t.Fatalf("plan latency aggregate inconsistent: %+v", top)
+	}
+
+	text := runOut(t, "plans", "-dir", dir)
+	if !strings.Contains(text, "PLAN") || !strings.Contains(text, "CACHE_HITS") {
+		t.Fatalf("plans table:\n%s", text)
+	}
+}
+
+func TestLiveModeAgainstDebugSocket(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := serve.New(serve.Options{
+		FlightSize: 16,
+		TraceStore: st,
+		Sample:     obs.SamplePolicy{Rate: 1, SlowMicros: 100_000, KeepErrors: true},
+	})
+	defer s.FlushTraces()
+	driveTraffic(t, s)
+	srv := httptest.NewServer(s.DebugHandler())
+	defer srv.Close()
+
+	rows := listJSON(t, "list", "-addr", srv.URL, "-json")
+	if len(rows) != 4 {
+		t.Fatalf("live list saw %d hops, want 4", len(rows))
+	}
+	id := rows[0].TraceID
+
+	var hops []*obs.FlightRecord
+	if err := json.Unmarshal([]byte(runOut(t, "show", "-addr", srv.URL, "-json", "-trace", id)), &hops); err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) == 0 || hops[0].Trace != id {
+		t.Fatalf("live show: %+v", hops)
+	}
+
+	if err := json.Unmarshal([]byte(runOut(t, "slowest", "-addr", srv.URL, "-json", "-k", "1")), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("live slowest: %+v", rows)
+	}
+
+	// Live plans render through the online profile view.
+	text := runOut(t, "plans", "-addr", srv.URL)
+	if !strings.Contains(text, "PLAN") || !strings.Contains(text, "P99_MS") {
+		t.Fatalf("live plans table:\n%s", text)
+	}
+}
+
+func TestLiveModeTelemetryDisabled(t *testing.T) {
+	// A fully bare server: no flight ring, so no trace tier and no
+	// plan profiles.
+	s := serve.New(serve.Options{})
+	srv := httptest.NewServer(s.DebugHandler())
+	defer srv.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"list", "-addr", srv.URL}, &buf); err == nil || !strings.Contains(err.Error(), "no trace store") {
+		t.Fatalf("live list without a trace store: %v", err)
+	}
+	if err := run([]string{"plans", "-addr", srv.URL}, &buf); err == nil || !strings.Contains(err.Error(), "telemetry disabled") {
+		t.Fatalf("live plans without telemetry: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -143,24 +144,94 @@ func (c *Client) Health(ctx context.Context) (*serve.HealthResponse, error) {
 // construct the client against `-debug-addr` (the /healthz Store block
 // on the service port carries the abridged form).
 func (c *Client) DebugStore(ctx context.Context) (*serve.DebugStoreResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/store", nil)
-	if err != nil {
+	var d serve.DebugStoreResponse
+	if err := c.get(ctx, "/debug/store", &d); err != nil {
 		return nil, err
+	}
+	return &d, nil
+}
+
+// DebugTrace answers GET /debug/trace/{trace_id}: one trace's full
+// stitched span tree, from the persistent trace store and the flight
+// ring.  Like DebugStore, the endpoint lives on the debug listener.
+func (c *Client) DebugTrace(ctx context.Context, traceID string) (*serve.DebugTraceResponse, error) {
+	var d serve.DebugTraceResponse
+	if err := c.get(ctx, "/debug/trace/"+url.PathEscape(traceID), &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// TraceQuery filters a DebugTraces index scan; the zero value asks for
+// the most recent traces.
+type TraceQuery struct {
+	// Endpoint restricts the scan to one endpoint ("" = all).
+	Endpoint string
+	// MinMillis drops hops faster than this many milliseconds.
+	MinMillis int
+	// SinceUnix drops hops older than this Unix-seconds stamp (0 = no
+	// lower bound).
+	SinceUnix int64
+	// Limit caps the answer (0 = the server default of 100).
+	Limit int
+}
+
+// DebugTraces answers GET /debug/traces: the persisted-trace index,
+// newest first.
+func (c *Client) DebugTraces(ctx context.Context, q TraceQuery) (*serve.DebugTracesResponse, error) {
+	v := url.Values{}
+	if q.Endpoint != "" {
+		v.Set("endpoint", q.Endpoint)
+	}
+	if q.MinMillis > 0 {
+		v.Set("min_ms", strconv.Itoa(q.MinMillis))
+	}
+	if q.SinceUnix > 0 {
+		v.Set("since", strconv.FormatInt(q.SinceUnix, 10))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/debug/traces"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var d serve.DebugTracesResponse
+	if err := c.get(ctx, path, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// DebugPlans answers GET /debug/plans: per-plan cost profiles ordered
+// by request count.
+func (c *Client) DebugPlans(ctx context.Context) (*serve.DebugPlansResponse, error) {
+	var d serve.DebugPlansResponse
+	if err := c.get(ctx, "/debug/plans", &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// get fetches one debug endpoint and decodes the 200 answer into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
 	}
 	c.inject(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
+		return decodeAPIError(resp)
 	}
-	var d serve.DebugStoreResponse
-	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		return nil, fmt.Errorf("client: decode store stats: %w", err)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s: %w", path, err)
 	}
-	return &d, nil
+	return nil
 }
 
 // Metrics returns the raw Prometheus text exposition from /metrics.

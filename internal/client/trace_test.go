@@ -1,0 +1,185 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"maest/internal/obs"
+	"maest/internal/serve"
+	"maest/internal/store"
+)
+
+// startTraceServe boots a serve instance persisting every trace, plus
+// both listeners: the API socket and the debug socket the trace
+// endpoints live on.
+func startTraceServe(t *testing.T) (*serve.Server, *Client, *Client) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Options{
+		FlightSize: 16,
+		TraceStore: st,
+		Sample:     obs.SamplePolicy{Rate: 1, SlowMicros: 100_000, KeepErrors: true},
+	})
+	api := httptest.NewServer(s)
+	dbg := httptest.NewServer(s.DebugHandler())
+	t.Cleanup(func() {
+		api.Close()
+		dbg.Close()
+		s.FlushTraces()
+		st.Close()
+	})
+	return s, New(api.URL), New(dbg.URL)
+}
+
+func TestDebugTracesIndexAndFilters(t *testing.T) {
+	s, c, dc := startTraceServe(t)
+	ctx := context.Background()
+	src := testdata(t, "demo.mnet")
+
+	if _, err := c.Estimate(ctx, serve.EstimateRequest{Netlist: src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Estimate(ctx, serve.EstimateRequest{Netlist: src}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Congestion(ctx, serve.CongestionRequest{Netlist: src, Rows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncTraces()
+
+	resp, err := dc.DebugTraces(ctx, TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || resp.Stats == nil || len(resp.Traces) != 3 {
+		t.Fatalf("index scan: %+v", resp)
+	}
+	// Newest first: congestion was the last request.
+	if resp.Traces[0].Endpoint != "/v1/congestion" {
+		t.Fatalf("scan order: %+v", resp.Traces)
+	}
+
+	byEndpoint, err := dc.DebugTraces(ctx, TraceQuery{Endpoint: "/v1/estimate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byEndpoint.Traces) != 2 {
+		t.Fatalf("endpoint filter: %+v", byEndpoint.Traces)
+	}
+	if slow, _ := dc.DebugTraces(ctx, TraceQuery{MinMillis: 60_000}); len(slow.Traces) != 0 {
+		t.Fatalf("min-ms filter leaked: %+v", slow.Traces)
+	}
+	if capped, _ := dc.DebugTraces(ctx, TraceQuery{Limit: 1}); len(capped.Traces) != 1 {
+		t.Fatalf("limit: %+v", capped.Traces)
+	}
+	future := time.Now().Add(time.Hour).Unix()
+	if since, _ := dc.DebugTraces(ctx, TraceQuery{SinceUnix: future}); len(since.Traces) != 0 {
+		t.Fatalf("since filter leaked: %+v", since.Traces)
+	}
+}
+
+func TestDebugTraceSpanTree(t *testing.T) {
+	s, c, dc := startTraceServe(t)
+	ctx := context.Background()
+	if _, err := c.Estimate(ctx, serve.EstimateRequest{Netlist: testdata(t, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncTraces()
+
+	idx, err := dc.DebugTraces(ctx, TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Traces) != 1 {
+		t.Fatalf("index: %+v", idx.Traces)
+	}
+	id := idx.Traces[0].TraceID
+
+	tr, err := dc.DebugTrace(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Found || tr.TraceID != id || len(tr.Hops) != 1 {
+		t.Fatalf("trace: %+v", tr)
+	}
+	hop := tr.Hops[0]
+	if hop.Trace != id || hop.Endpoint != "/v1/estimate" || hop.Status != 200 {
+		t.Fatalf("hop: %+v", hop)
+	}
+
+	missing, err := dc.DebugTrace(ctx, "ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing.Found || len(missing.Hops) != 0 {
+		t.Fatalf("unknown trace: %+v", missing)
+	}
+}
+
+func TestDebugPlans(t *testing.T) {
+	s, c, dc := startTraceServe(t)
+	ctx := context.Background()
+	est, err := c.Estimate(ctx, serve.EstimateRequest{Netlist: testdata(t, "demo.mnet")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Estimate(ctx, serve.EstimateRequest{Netlist: testdata(t, "demo.mnet")}); err != nil {
+		t.Fatal(err)
+	}
+	s.SyncTraces()
+
+	resp, err := dc.DebugPlans(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Enabled || len(resp.Plans) != 1 {
+		t.Fatalf("plans: %+v", resp)
+	}
+	p := resp.Plans[0]
+	if p.Plan != est.Plan {
+		t.Fatalf("profile plan %s, want the estimate's %s", p.Plan, est.Plan)
+	}
+	if p.Requests != 2 || p.CacheHits != 1 {
+		t.Fatalf("profile counters: %+v", p)
+	}
+}
+
+func TestDebugEndpointsDisabled(t *testing.T) {
+	s := serve.New(serve.Options{})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+	dc := New(dbg.URL)
+	ctx := context.Background()
+
+	idx, err := dc.DebugTraces(ctx, TraceQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Enabled || len(idx.Traces) != 0 {
+		t.Fatalf("traces without a store: %+v", idx)
+	}
+	plans, err := dc.DebugPlans(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans.Enabled || len(plans.Plans) != 0 {
+		t.Fatalf("plans without telemetry: %+v", plans)
+	}
+}
+
+func TestDebugGetSurfacesAPIError(t *testing.T) {
+	// The debug endpoints live on the debug listener only; asking the
+	// API socket is a 404 that must surface as a typed APIError.
+	_, c := startServe(t, serve.Options{FlightSize: 4})
+	_, err := c.DebugTraces(context.Background(), TraceQuery{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("err = %v, want a 404 APIError", err)
+	}
+}

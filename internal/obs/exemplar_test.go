@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+
+	h.ObserveExemplar(0.005, "trace-a") // le=0.01 bucket
+	h.ObserveExemplar(0.5, "trace-b")   // le=1 bucket
+	h.ObserveExemplar(5, "trace-c")     // +Inf bucket
+
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(ex), ex)
+	}
+	if ex[0].UpperBound != 0.01 || ex[0].Exemplar.TraceID != "trace-a" {
+		t.Fatalf("bucket 0: %+v", ex[0])
+	}
+	if ex[1].UpperBound != 1 || ex[1].Exemplar.TraceID != "trace-b" {
+		t.Fatalf("bucket 1: %+v", ex[1])
+	}
+	if !math.IsInf(ex[2].UpperBound, 1) || ex[2].Exemplar.TraceID != "trace-c" {
+		t.Fatalf("overflow bucket: %+v", ex[2])
+	}
+
+	// Most recent observation in a bucket wins.
+	h.ObserveExemplar(0.002, "trace-d")
+	ex = h.Exemplars()
+	if ex[0].Exemplar.TraceID != "trace-d" || ex[0].Exemplar.Value != 0.002 {
+		t.Fatalf("exemplar not replaced: %+v", ex[0])
+	}
+
+	// The counts agree with plain Observe semantics.
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+}
+
+func TestObserveExemplarEmptyTraceAndNonFinite(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveExemplar(0.5, "") // observes, no exemplar
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if ex := h.Exemplars(); len(ex) != 0 {
+		t.Fatalf("empty trace id stored an exemplar: %+v", ex)
+	}
+	h.ObserveExemplar(math.NaN(), "trace-x")
+	h.ObserveExemplar(math.Inf(1), "trace-y")
+	if h.Count() != 1 || len(h.Exemplars()) != 0 {
+		t.Fatalf("non-finite observation leaked: count=%d exemplars=%+v",
+			h.Count(), h.Exemplars())
+	}
+}
+
+func TestPlainObserveZeroAllocsWithExemplarsPresent(t *testing.T) {
+	// The contract the disabled-telemetry request path depends on:
+	// Observe never allocates, even on a histogram that carries
+	// exemplars from the enabled path.
+	h := NewHistogram(DefBuckets)
+	h.ObserveExemplar(0.02, "trace-a")
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.003) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRegistryResetClearsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_reset_exemplars_seconds", "t", DefBuckets)
+	h.ObserveExemplar(0.02, "trace-a")
+	if len(h.Exemplars()) == 0 {
+		t.Fatal("exemplar not stored")
+	}
+	r.Reset()
+	if ex := h.Exemplars(); len(ex) != 0 {
+		t.Fatalf("Reset left exemplars behind: %+v", ex)
+	}
+}
+
+func TestWritePrometheusEmitsExemplarComments(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_exemplar_latency_seconds", "request latency", []float64{0.01, 0.1})
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(0.005) // plain observation: bucket counted, no exemplar
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `# EXEMPLAR test_exemplar_latency_seconds_bucket{le="0.1"} trace_id=4bf92f3577b34da6a3ce929d0e0e4736 value=0.05`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	if strings.Contains(out, `# EXEMPLAR test_exemplar_latency_seconds_bucket{le="0.01"}`) {
+		t.Fatalf("plain Observe minted an exemplar:\n%s", out)
+	}
+}
+
+// TestExpositionConformance is the parser-roundtrip check over the
+// full process registry: every family carries # HELP and # TYPE
+// headers, every sample line parses under text-format (0.0.4) rules,
+// and histogram families are internally consistent.  It exercises the
+// real Default registry — every metric the estimator, store, serve
+// and obs layers have registered by init time — rather than a toy one.
+func TestExpositionConformance(t *testing.T) {
+	// Make sure at least one histogram carries an exemplar so the
+	// comment-line path is covered by the parse below.
+	Default.Histogram("test_conformance_seconds", "conformance probe", DefBuckets).
+		ObserveExemplar(0.02, "deadbeefdeadbeefdeadbeefdeadbeef")
+
+	var buf bytes.Buffer
+	if err := Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	type family struct {
+		helped, typed bool
+		typ           string
+		samples       int
+	}
+	families := make(map[string]*family)
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	// sampleFamily maps a series name back to its family: histogram
+	// series append _bucket/_sum/_count, info-style metrics carry a
+	// label set.
+	sampleFamily := func(series string) string {
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suf)
+			if trimmed != base {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					return trimmed
+				}
+			}
+		}
+		return base
+	}
+
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var order []string
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		switch {
+		case strings.HasPrefix(text, "# HELP "):
+			rest := strings.TrimPrefix(text, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without help text: %q", line, text)
+			}
+			get(name).helped = true
+			order = append(order, name)
+		case strings.HasPrefix(text, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", line, text)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", line, fields[1])
+			}
+			f := get(fields[0])
+			f.typed, f.typ = true, fields[1]
+		case strings.HasPrefix(text, "#"):
+			// Any other comment (# EXEMPLAR ...) is ignored by 0.0.4
+			// parsers; just require the marker shape.
+			if !strings.HasPrefix(text, "# ") {
+				t.Fatalf("line %d: bare comment %q", line, text)
+			}
+		case text == "":
+			t.Fatalf("line %d: blank line in exposition", line)
+		default:
+			// Sample line: series value [timestamp].
+			fields := strings.Fields(text)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: sample with %d fields: %q", line, len(fields), text)
+			}
+			if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+				t.Fatalf("line %d: unparseable value in %q: %v", line, text, err)
+			}
+			series := fields[0]
+			if i := strings.IndexByte(series, '{'); i >= 0 {
+				if !strings.HasSuffix(series, "}") {
+					t.Fatalf("line %d: unterminated label set: %q", line, text)
+				}
+				labels := series[i+1 : len(series)-1]
+				for _, pair := range splitLabels(labels) {
+					k, v, ok := strings.Cut(pair, "=")
+					if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+						t.Fatalf("line %d: malformed label %q in %q", line, pair, text)
+					}
+				}
+			}
+			fam := sampleFamily(series)
+			f, ok := families[fam]
+			if !ok {
+				t.Fatalf("line %d: sample %q before any header for family %q", line, text, fam)
+			}
+			f.samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(families) == 0 {
+		t.Fatal("exposition was empty")
+	}
+	for _, name := range order {
+		f := families[name]
+		if !f.helped || !f.typed {
+			t.Errorf("family %s: HELP=%v TYPE=%v, want both", name, f.helped, f.typed)
+		}
+		if f.samples == 0 {
+			t.Errorf("family %s: no sample lines", name)
+		}
+		if f.typ == "histogram" && f.samples < 4 {
+			// At minimum: one finite bucket, +Inf bucket, _sum, _count.
+			t.Errorf("family %s: histogram with only %d samples", name, f.samples)
+		}
+	}
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.  The
+// registry never emits commas inside label values today, but the
+// parser should not silently depend on that.
+func splitLabels(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// TestExpositionHistogramCumulative re-parses one histogram family and
+// checks the cumulative-bucket invariant the text format promises.
+func TestExpositionHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_cumulative_seconds", "t", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	var infCount, count int64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "test_cumulative_seconds_bucket"):
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative: %d after %d", v, prev)
+			}
+			prev, infCount = v, v
+		case strings.HasPrefix(line, "test_cumulative_seconds_count"):
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	if infCount != 5 || count != 5 {
+		t.Fatalf("+Inf bucket %d, count %d, want 5/5", infCount, count)
+	}
+}

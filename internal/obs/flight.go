@@ -60,8 +60,16 @@ type FlightRecord struct {
 	Micros     int64     `json:"us"`
 	// Digest is the content address of the request's input (the cache
 	// key), linking the record to cache entries and repeat requests.
-	Digest   string `json:"digest,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	// Plan is the compiled plan's content address the request resolved
+	// to, when the handler knows it — the key that groups persisted
+	// traces into per-plan cost profiles.
+	Plan     string `json:"plan,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
+	// StoreHit reports that the answer came from the persistent store
+	// tier (a disk hit counts as CacheHit on the wire; this
+	// distinguishes the two for cost profiles).
+	StoreHit bool `json:"store_hit,omitempty"`
 	// AllocBytes and GCAssistMicros are the process-wide allocation
 	// and GC-mark-assist deltas over the request window (see
 	// obs.RequestCosts) — the "was this request fighting the GC?"

@@ -57,6 +57,41 @@ type Histogram struct {
 	counts     []atomic.Int64 // len(uppers)+1; last is +Inf
 	sumBits    atomic.Uint64
 	count      atomic.Int64
+	// exemplars remembers, per bucket, the most recent trace id whose
+	// observation landed there (ObserveExemplar only; plain Observe
+	// never touches it, keeping the disabled-telemetry path zero-alloc).
+	exemplars []atomic.Pointer[Exemplar] // len(uppers)+1, parallel to counts
+}
+
+// Exemplar links one histogram bucket to a concrete trace: the most
+// recent observation that landed in the bucket, with the trace id to
+// look it up by.  A p99 spike on a dashboard becomes one GET
+// /debug/trace/{trace_id} instead of a log hunt.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
+// ExemplarBucket is one bucket's exemplar with its upper bound, the
+// shape the /debug JSON carries (+Inf rendered as the string "+Inf"
+// upstream; here it is math.Inf(1) for the last bucket).
+type ExemplarBucket struct {
+	UpperBound float64
+	Exemplar   Exemplar
+}
+
+// NewHistogram returns an unregistered histogram over the given bucket
+// upper bounds (sorted copy).  It exists for per-entity distributions
+// — one histogram per compiled plan, say — that must not pollute the
+// process registry's exposition.
+func NewHistogram(buckets []float64) *Histogram {
+	uppers := append([]float64(nil), buckets...)
+	sort.Float64s(uppers)
+	return &Histogram{
+		uppers:    uppers,
+		counts:    make([]atomic.Int64, len(uppers)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uppers)+1),
+	}
 }
 
 // Observe records one value.  Non-finite values are dropped: a NaN or
@@ -75,6 +110,43 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value like Observe and additionally
+// remembers traceID as the landing bucket's exemplar.  It allocates
+// (one Exemplar per call), so only the telemetry-enabled request path
+// uses it; the disabled path stays on the allocation-free Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" || h.exemplars == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// Exemplars returns the buckets that currently hold an exemplar,
+// upper-bound ascending (the +Inf bucket reports math.Inf(1)).
+func (h *Histogram) Exemplars() []ExemplarBucket {
+	if h.exemplars == nil {
+		return nil
+	}
+	var out []ExemplarBucket
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		ub := math.Inf(1)
+		if i < len(h.uppers) {
+			ub = h.uppers[i]
+		}
+		out = append(out, ExemplarBucket{UpperBound: ub, Exemplar: *e})
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -197,9 +269,8 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		uppers := append([]float64(nil), buckets...)
-		sort.Float64s(uppers)
-		h = &Histogram{name: name, help: help, uppers: uppers, counts: make([]atomic.Int64, len(uppers)+1)}
+		h = NewHistogram(buckets)
+		h.name, h.help = name, help
 		r.histograms[name] = h
 	}
 	return h
@@ -219,6 +290,9 @@ func (r *Registry) Reset() {
 	for _, h := range r.histograms {
 		for i := range h.counts {
 			h.counts[i].Store(0)
+		}
+		for i := range h.exemplars {
+			h.exemplars[i].Store(nil)
 		}
 		h.count.Store(0)
 		h.sumBits.Store(0)
@@ -273,9 +347,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(ub), cum); err != nil {
 				return err
 			}
+			if err := writeExemplar(w, h, i, formatFloat(ub)); err != nil {
+				return err
+			}
 		}
 		cum += h.counts[len(h.uppers)].Load()
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+			return err
+		}
+		if err := writeExemplar(w, h, len(h.uppers), "+Inf"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, h.Count()); err != nil {
@@ -283,6 +363,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeExemplar emits one bucket's exemplar as a comment line directly
+// under the bucket sample.  The text format (0.0.4) reserves only
+// `# HELP` and `# TYPE`; every other comment is ignored by conforming
+// parsers, so exemplars ride along without breaking a scrape — the
+// native exemplar syntax belongs to OpenMetrics, which this exposition
+// deliberately is not.
+func writeExemplar(w io.Writer, h *Histogram, bucket int, le string) error {
+	if h.exemplars == nil {
+		return nil
+	}
+	e := h.exemplars[bucket].Load()
+	if e == nil {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "# EXEMPLAR %s_bucket{le=%q} trace_id=%s value=%g\n",
+		h.name, le, e.TraceID, e.Value)
+	return err
 }
 
 // familyName strips a baked-in Prometheus label set from a metric
@@ -297,10 +396,14 @@ func familyName(name string) string {
 }
 
 func writeHeader(w io.Writer, name, help, typ string) error {
-	if help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
-			return err
-		}
+	if help == "" {
+		// The exposition format wants a HELP line per family; a metric
+		// registered without one still gets a (self-describing) header
+		// so conformance checks over the full registry hold.
+		help = name
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+		return err
 	}
 	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 	return err

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// traceWithPrefix builds a trace id whose first 8 bytes decode to v —
+// the quantity the deterministic baseline rule thresholds on.
+func traceWithPrefix(v uint64) [16]byte {
+	var t [16]byte
+	binary.BigEndian.PutUint64(t[:8], v)
+	return t
+}
+
+func TestTailSamplerDisabledPolicies(t *testing.T) {
+	if s := NewTailSampler(SamplePolicy{}); s != nil {
+		t.Fatalf("zero policy: got sampler %+v, want nil", s)
+	}
+	if s := NewTailSampler(SamplePolicy{Rate: -0.5}); s != nil {
+		t.Fatalf("negative rate: got sampler, want nil")
+	}
+	var nilSampler *TailSampler
+	if v := nilSampler.Keep(traceWithPrefix(0), 1e9, true); v != SampleDrop {
+		t.Fatalf("nil sampler kept a request: %v", v)
+	}
+	if got := nilSampler.Stats(); got != (SampleStats{}) {
+		t.Fatalf("nil sampler stats = %+v, want zero", got)
+	}
+	if got := nilSampler.Policy(); got != (SamplePolicy{}) {
+		t.Fatalf("nil sampler policy = %+v, want zero", got)
+	}
+}
+
+func TestTailSamplerNilZeroAllocs(t *testing.T) {
+	var s *TailSampler
+	tid := traceWithPrefix(^uint64(0))
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Keep(tid, 250_000, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil sampler Keep allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTailSamplerVerdictPriority(t *testing.T) {
+	s := NewTailSampler(SamplePolicy{Rate: 1, SlowMicros: 100_000, KeepErrors: true})
+	tid := traceWithPrefix(0) // below any positive threshold
+
+	// Error beats slow beats baseline even when all three rules match.
+	if v := s.Keep(tid, 200_000, true); v != SampleError {
+		t.Fatalf("failed slow request: verdict %v, want %v", v, SampleError)
+	}
+	if v := s.Keep(tid, 200_000, false); v != SampleSlow {
+		t.Fatalf("ok slow request: verdict %v, want %v", v, SampleSlow)
+	}
+	if v := s.Keep(tid, 10, false); v != SampleBaseline {
+		t.Fatalf("ok fast request at rate 1: verdict %v, want %v", v, SampleBaseline)
+	}
+
+	st := s.Stats()
+	want := SampleStats{Seen: 3, Kept: 3, Dropped: 0, Errors: 1, Slow: 1, Baseline: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestTailSamplerBaselineDeterministic(t *testing.T) {
+	// Rate 0.5 sets the threshold at 2^63: ids below keep, at or above
+	// drop — and the answer is the same on every call.
+	s := NewTailSampler(SamplePolicy{Rate: 0.5})
+	low := traceWithPrefix(1 << 62)
+	high := traceWithPrefix(1 << 63)
+	for i := 0; i < 3; i++ {
+		if v := s.Keep(low, 10, false); v != SampleBaseline {
+			t.Fatalf("low id round %d: verdict %v, want baseline", i, v)
+		}
+		if v := s.Keep(high, 10, false); v != SampleDrop {
+			t.Fatalf("high id round %d: verdict %v, want drop", i, v)
+		}
+	}
+	st := s.Stats()
+	if st.Seen != 6 || st.Kept != 3 || st.Dropped != 3 || st.Baseline != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTailSamplerRateOneKeepsMaxID(t *testing.T) {
+	// Rate 1 must keep even the all-ones trace id, which a plain
+	// `< threshold` comparison would drop.
+	s := NewTailSampler(SamplePolicy{Rate: 1})
+	if v := s.Keep(traceWithPrefix(^uint64(0)), 10, false); v != SampleBaseline {
+		t.Fatalf("rate 1 dropped the max trace id: %v", v)
+	}
+}
+
+func TestTailSamplerErrorsOnlyPolicy(t *testing.T) {
+	s := NewTailSampler(SamplePolicy{KeepErrors: true})
+	if s == nil {
+		t.Fatal("errors-only policy produced a nil sampler")
+	}
+	if v := s.Keep(traceWithPrefix(0), 10, false); v != SampleDrop {
+		t.Fatalf("ok request under errors-only policy: %v, want drop", v)
+	}
+	if v := s.Keep(traceWithPrefix(0), 10, true); v != SampleError {
+		t.Fatalf("failed request under errors-only policy: %v, want error", v)
+	}
+	// Slow rule disabled at SlowMicros 0: a 10-minute request drops.
+	if v := s.Keep(traceWithPrefix(0), 600_000_000, false); v != SampleDrop {
+		t.Fatalf("slow request with slow rule off: %v, want drop", v)
+	}
+}
+
+func TestSampleVerdictString(t *testing.T) {
+	cases := map[SampleVerdict]string{
+		SampleDrop:         "drop",
+		SampleError:        "error",
+		SampleSlow:         "slow",
+		SampleBaseline:     "baseline",
+		SampleVerdict(250): "drop",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("verdict %d: String() = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The trace codec: a compact, versioned binary encoding of one
+// completed flight record (request outcome + stage timings + bounded
+// span-tree summary).  It is the payload format of the persistent
+// trace store — JSON would triple the bytes for records that are
+// written on every sampled request and only read when an operator
+// comes asking.
+//
+// Layout (all integers varint-encoded, strings as uvarint length +
+// bytes):
+//
+//	version(1) seq id trace span parentSpan timeUnixNano method
+//	endpoint status micros digest plan flags(1: bit0 cacheHit,
+//	bit1 storeHit) allocBytes gcAssistMicros err
+//	nStages {name micros}* nSpans {name micros depth err}*
+//
+// The contract that matters downstream: EncodeTrace is deterministic
+// in the record value, and DecodeTrace(EncodeTrace(r)) normalizes the
+// time field to UTC wall time.  The serve layer renders every trace —
+// fresh from the flight ring or read back from disk after a restart —
+// through a decode, so the two sources produce byte-identical JSON.
+
+// TraceCodecVersion is the current encoding version; the version byte
+// leads every payload so a store written by a newer build fails loud
+// (ErrTraceCodec) instead of decoding garbage.
+const TraceCodecVersion = 1
+
+// ErrTraceCodec marks a payload that does not decode: unknown
+// version, truncated field, or implausible length.
+var ErrTraceCodec = errors.New("obs: malformed trace payload")
+
+// traceCodecMaxStr bounds one string field so a corrupt length cannot
+// demand a giant allocation mid-decode.
+const traceCodecMaxStr = 1 << 16
+
+// EncodeTrace appends the record's binary encoding to buf (pass nil
+// for a fresh slice) and returns the extended slice.
+func EncodeTrace(buf []byte, r *FlightRecord) []byte {
+	buf = append(buf, TraceCodecVersion)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = appendTraceString(buf, r.ID)
+	buf = appendTraceString(buf, r.Trace)
+	buf = appendTraceString(buf, r.Span)
+	buf = appendTraceString(buf, r.ParentSpan)
+	buf = binary.AppendVarint(buf, r.Time.UnixNano())
+	buf = appendTraceString(buf, r.Method)
+	buf = appendTraceString(buf, r.Endpoint)
+	buf = binary.AppendVarint(buf, int64(r.Status))
+	buf = binary.AppendVarint(buf, r.Micros)
+	buf = appendTraceString(buf, r.Digest)
+	buf = appendTraceString(buf, r.Plan)
+	var flags byte
+	if r.CacheHit {
+		flags |= 1
+	}
+	if r.StoreHit {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, r.AllocBytes)
+	buf = binary.AppendVarint(buf, r.GCAssistMicros)
+	buf = appendTraceString(buf, r.Err)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Stages)))
+	for _, st := range r.Stages {
+		buf = appendTraceString(buf, st.Name)
+		buf = binary.AppendVarint(buf, st.Micros)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Spans)))
+	for _, sp := range r.Spans {
+		buf = appendTraceString(buf, sp.Name)
+		buf = binary.AppendVarint(buf, sp.Micros)
+		buf = binary.AppendVarint(buf, int64(sp.Depth))
+		buf = appendTraceString(buf, sp.Err)
+	}
+	return buf
+}
+
+// DecodeTrace decodes one payload produced by EncodeTrace.  The
+// record's Time comes back as UTC wall time (the monotonic reading
+// does not survive serialization, by design — see the package comment
+// on normalization).
+func DecodeTrace(b []byte) (*FlightRecord, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrTraceCodec)
+	}
+	if b[0] != TraceCodecVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrTraceCodec, b[0], TraceCodecVersion)
+	}
+	d := traceDecoder{b: b[1:]}
+	var r FlightRecord
+	r.Seq = d.uvarint()
+	r.ID = d.str()
+	r.Trace = d.str()
+	r.Span = d.str()
+	r.ParentSpan = d.str()
+	r.Time = time.Unix(0, d.varint()).UTC()
+	r.Method = d.str()
+	r.Endpoint = d.str()
+	r.Status = int(d.varint())
+	r.Micros = d.varint()
+	r.Digest = d.str()
+	r.Plan = d.str()
+	flags := d.byte()
+	r.CacheHit = flags&1 != 0
+	r.StoreHit = flags&2 != 0
+	r.AllocBytes = d.varint()
+	r.GCAssistMicros = d.varint()
+	r.Err = d.str()
+	if n := d.count(); n > 0 {
+		r.Stages = make([]FlightStage, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			var st FlightStage
+			st.Name = d.str()
+			st.Micros = d.varint()
+			r.Stages = append(r.Stages, st)
+		}
+	}
+	if n := d.count(); n > 0 {
+		r.Spans = make([]FlightSpan, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			var sp FlightSpan
+			sp.Name = d.str()
+			sp.Micros = d.varint()
+			sp.Depth = int(d.varint())
+			sp.Err = d.str()
+			r.Spans = append(r.Spans, sp)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrTraceCodec, len(d.b))
+	}
+	return &r, nil
+}
+
+func appendTraceString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// traceDecoder consumes the payload front-to-back, latching the first
+// error so field reads stay unconditional.
+type traceDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *traceDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s", ErrTraceCodec, what)
+	}
+}
+
+func (d *traceDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *traceDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *traceDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *traceDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > traceCodecMaxStr || n > uint64(len(d.b)) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count reads a collection length, rejecting values that could not
+// possibly fit the remaining bytes (each element costs ≥ 2 bytes).
+func (d *traceDecoder) count() uint64 {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("count")
+		return 0
+	}
+	return n
+}

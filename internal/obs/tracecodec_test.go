@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func codecRecord() FlightRecord {
+	return FlightRecord{
+		Seq:            42,
+		ID:             "req-000042",
+		Trace:          "4bf92f3577b34da6a3ce929d0e0e4736",
+		Span:           "00f067aa0ba902b7",
+		ParentSpan:     "b7ad6b7169203331",
+		Time:           time.Date(2026, 8, 8, 12, 30, 45, 678901234, time.UTC),
+		Method:         "POST",
+		Endpoint:       "/v1/estimate",
+		Status:         200,
+		Micros:         1234,
+		Digest:         "sha256:abc",
+		Plan:           "sha256:def",
+		CacheHit:       true,
+		StoreHit:       true,
+		AllocBytes:     8192,
+		GCAssistMicros: 17,
+		Err:            "",
+		Stages: []FlightStage{
+			{Name: "parse", Micros: 100},
+			{Name: "estimate", Micros: 900},
+		},
+		Spans: []FlightSpan{
+			{Name: "estimate", Micros: 1000},
+			{Name: "distribute", Micros: 400, Depth: 1, Err: "truncated"},
+		},
+	}
+}
+
+func TestTraceCodecRoundTrip(t *testing.T) {
+	in := codecRecord()
+	buf := EncodeTrace(nil, &in)
+	out, err := DecodeTrace(buf)
+	if err != nil {
+		t.Fatalf("DecodeTrace: %v", err)
+	}
+	// Time normalizes to UTC wall clock; everything else is identical.
+	if !out.Time.Equal(in.Time) {
+		t.Fatalf("time: got %v, want %v", out.Time, in.Time)
+	}
+	in.Time = out.Time
+	if out.Seq != in.Seq || out.ID != in.ID || out.Trace != in.Trace ||
+		out.Span != in.Span || out.ParentSpan != in.ParentSpan ||
+		out.Method != in.Method || out.Endpoint != in.Endpoint ||
+		out.Status != in.Status || out.Micros != in.Micros ||
+		out.Digest != in.Digest || out.Plan != in.Plan ||
+		out.CacheHit != in.CacheHit || out.StoreHit != in.StoreHit ||
+		out.AllocBytes != in.AllocBytes || out.GCAssistMicros != in.GCAssistMicros ||
+		out.Err != in.Err {
+		t.Fatalf("scalar fields differ:\n got %+v\nwant %+v", out, &in)
+	}
+	if len(out.Stages) != len(in.Stages) {
+		t.Fatalf("stages: got %d, want %d", len(out.Stages), len(in.Stages))
+	}
+	for i := range in.Stages {
+		if out.Stages[i] != in.Stages[i] {
+			t.Fatalf("stage %d: got %+v, want %+v", i, out.Stages[i], in.Stages[i])
+		}
+	}
+	if len(out.Spans) != len(in.Spans) {
+		t.Fatalf("spans: got %d, want %d", len(out.Spans), len(in.Spans))
+	}
+	for i := range in.Spans {
+		if out.Spans[i] != in.Spans[i] {
+			t.Fatalf("span %d: got %+v, want %+v", i, out.Spans[i], in.Spans[i])
+		}
+	}
+}
+
+func TestTraceCodecDeterministic(t *testing.T) {
+	r := codecRecord()
+	a := EncodeTrace(nil, &r)
+	b := EncodeTrace(nil, &r)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same record differ")
+	}
+	// Appending to a prefixed buffer extends it without disturbing the
+	// prefix.
+	pre := append([]byte("prefix"), a...)
+	got := EncodeTrace([]byte("prefix"), &r)
+	if !bytes.Equal(got, pre) {
+		t.Fatal("EncodeTrace did not append to the supplied buffer")
+	}
+}
+
+func TestTraceCodecZeroRecord(t *testing.T) {
+	var r FlightRecord
+	out, err := DecodeTrace(EncodeTrace(nil, &r))
+	if err != nil {
+		t.Fatalf("zero record: %v", err)
+	}
+	if out.Seq != 0 || out.Endpoint != "" || len(out.Stages) != 0 || len(out.Spans) != 0 {
+		t.Fatalf("zero record decoded to %+v", out)
+	}
+	// The zero time.Time round-trips through its (out-of-range)
+	// UnixNano reading — what matters is that re-encoding is stable,
+	// which TestTraceCodecNormalizationIdempotent pins; here just check
+	// the decode is deterministic.
+	if got, want := out.Time, time.Unix(0, r.Time.UnixNano()).UTC(); !got.Equal(want) {
+		t.Fatalf("zero time: got %v, want %v", got, want)
+	}
+}
+
+func TestTraceCodecNormalizationIdempotent(t *testing.T) {
+	// Encode → decode → encode must be a fixed point: the serve layer
+	// relies on this to render ring records and disk records
+	// byte-identically.
+	r := codecRecord()
+	r.Time = time.Now() // monotonic reading present
+	first := EncodeTrace(nil, &r)
+	dec, err := DecodeTrace(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := EncodeTrace(nil, dec)
+	if !bytes.Equal(first, second) {
+		t.Fatal("re-encoding a decoded record changed the bytes")
+	}
+}
+
+func TestTraceCodecRejectsBadPayloads(t *testing.T) {
+	r := codecRecord()
+	good := EncodeTrace(nil, &r)
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"unknown version": append([]byte{TraceCodecVersion + 1}, good[1:]...),
+		"truncated":       good[:len(good)/2],
+		"trailing bytes":  append(append([]byte(nil), good...), 0xFF),
+		"one byte":        {TraceCodecVersion},
+	}
+	for name, b := range cases {
+		if _, err := DecodeTrace(b); !errors.Is(err, ErrTraceCodec) {
+			t.Errorf("%s: err = %v, want ErrTraceCodec", name, err)
+		}
+	}
+}
+
+func TestTraceCodecRejectsImplausibleLengths(t *testing.T) {
+	// A corrupt string length larger than the remaining payload (or the
+	// sanity cap) must fail, not allocate.
+	b := []byte{TraceCodecVersion}
+	b = append(b, 0x2a) // seq
+	// ID length claims 2^20 bytes with nothing behind it.
+	b = append(b, 0x80, 0x80, 0x40)
+	if _, err := DecodeTrace(b); !errors.Is(err, ErrTraceCodec) {
+		t.Fatalf("giant string length: err = %v, want ErrTraceCodec", err)
+	}
+}
+
+func TestTraceCodecTruncationSweep(t *testing.T) {
+	// Every proper prefix of a valid payload must decode to an error,
+	// never panic or succeed.
+	r := codecRecord()
+	good := EncodeTrace(nil, &r)
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeTrace(good[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", i, len(good))
+		}
+	}
+}

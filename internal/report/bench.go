@@ -46,6 +46,39 @@ type BenchSnapshot struct {
 	// when the run asked for it, informational like Runtime (machine-
 	// dependent, so CompareBench ignores it).
 	Store *StoreSnapshot `json:"store,omitempty"`
+	// Telemetry records the request-telemetry overhead benchmark
+	// (-telemetry): present when the run asked for it, informational
+	// like Runtime and Store (machine-dependent, so CompareBench
+	// ignores it and older references stay comparable under the same
+	// schema).
+	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+}
+
+// TelemetrySnapshot is the telemetry-overhead benchmark block: the
+// same request log replayed against the service bare (no flight
+// recorder, no sampler, no trace store) and fully instrumented
+// (flight ring + tail sampler at rate 1.0 + persistent trace store),
+// plus the allocation pin on the disabled path — the structural
+// guarantee that telemetry costs nothing when it is off.
+type TelemetrySnapshot struct {
+	Requests int `json:"requests"`
+	// BareNsPerReq and SampledNsPerReq are mean end-to-end request
+	// times over the replay, telemetry off vs fully on.
+	BareNsPerReq    int64 `json:"bare_ns_per_req"`
+	SampledNsPerReq int64 `json:"sampled_ns_per_req"`
+	// OverheadPct is (sampled-bare)/bare.  Noisy on a loaded machine;
+	// the honest number is the alloc pin below, which is exact.
+	OverheadPct float64 `json:"overhead_pct"`
+	// DisabledPathAllocs is allocs/op of the sampling-disabled fast
+	// path (nil sampler keep + histogram observe); the run fails if it
+	// is not exactly 0.
+	DisabledPathAllocs float64 `json:"disabled_path_allocs"`
+	// Trace-store counters after the sampled pass.
+	TracesSeen    int64 `json:"traces_seen"`
+	TracesKept    int64 `json:"traces_kept"`
+	TracesDropped int64 `json:"traces_dropped"`
+	StoreBytes    int64 `json:"store_bytes"`
+	StoreRecords  int64 `json:"store_records"`
 }
 
 // StoreSnapshot is the persistent-store benchmark block: a request

@@ -86,6 +86,16 @@ type Options struct {
 	// computed results are persisted asynchronously.  The caller owns
 	// the store's lifecycle; call Server.FlushStore before closing it.
 	Store *store.Store
+	// TraceStore, when non-nil, persists tail-sampled request traces
+	// (write-behind, NSTrace namespace) and enables the /debug/trace*
+	// and /debug/plans observatory endpoints.  It may be the same store
+	// as Store or a dedicated one; the caller owns its lifecycle — call
+	// Server.FlushTraces before closing it.
+	TraceStore *store.Store
+	// Sample is the tail-sampling policy deciding which traces reach
+	// TraceStore.  The zero value selects the default (keep errors,
+	// keep the ≥100 ms tail, 5% baseline).  Ignored without TraceStore.
+	Sample obs.SamplePolicy
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -134,6 +144,9 @@ type Server struct {
 	proxy    *http.Client  // non-nil only in Backend (forwarding) mode
 	watchdog *Watchdog     // nil when the accuracy watchdog is disabled
 	stier    *storeTier    // nil when the persistent store is disabled
+	ttier    *traceTier    // nil when the trace store is disabled
+	sampler  *obs.TailSampler
+	profiles *planProfiles // nil when request telemetry is fully off
 }
 
 // New returns a Server ready to mount on an http.Server.
@@ -154,6 +167,17 @@ func New(opts Options) *Server {
 	}
 	if opts.Store != nil {
 		s.stier = newStoreTier(opts.Store)
+	}
+	if opts.TraceStore != nil {
+		pol := opts.Sample
+		if pol == (obs.SamplePolicy{}) {
+			pol = obs.SamplePolicy{Rate: 0.05, SlowMicros: 100_000, KeepErrors: true}
+		}
+		s.sampler = obs.NewTailSampler(pol)
+		s.ttier = newTraceTier(opts.TraceStore)
+	}
+	if s.flight != nil || s.ttier != nil {
+		s.profiles = newPlanProfiles(planProfileCap)
 	}
 	if opts.Backend != "" {
 		s.proxy = &http.Client{Timeout: opts.Timeout}
@@ -220,12 +244,37 @@ func (s *Server) StoreStats() (store.Stats, bool) {
 	return s.stier.stats()
 }
 
+// TraceStats snapshots the trace tier's counters (ok=false when no
+// trace store is mounted).
+func (s *Server) TraceStats() (TraceTierStats, bool) {
+	return s.ttier.tierStats()
+}
+
+// Sampler returns the server's tail sampler (nil when no trace store
+// is mounted).
+func (s *Server) Sampler() *obs.TailSampler { return s.sampler }
+
 // FlushStore drains the write-behind queue so every result computed so
 // far is persisted.  Call during shutdown, after the HTTP listener has
 // drained and before closing the store.  Safe to call more than once,
 // and a no-op when no store is configured.
 func (s *Server) FlushStore() {
 	s.stier.flush()
+}
+
+// FlushTraces drains the trace tier's write-behind queue and stops
+// intake.  Call during shutdown, before closing the trace store.  Safe
+// to call more than once, and a no-op when no trace store is mounted.
+func (s *Server) FlushTraces() {
+	s.ttier.flush()
+}
+
+// SyncTraces blocks until every trace sampled so far has been
+// persisted, without stopping intake — the deterministic settling
+// point tests use before asserting on the trace store.  A no-op when
+// no trace store is mounted.
+func (s *Server) SyncTraces() {
+	s.ttier.sync()
 }
 
 // storeResult probes the persistent store for an LRU miss and, on a
@@ -237,6 +286,7 @@ func (s *Server) storeResult(key Key, info *reqInfo) (*core.Result, bool) {
 	res, ok := s.stier.getResult(key)
 	if ok {
 		s.cache.Put(key, res)
+		info.setStoreHit(true)
 	}
 	info.mark("store")
 	return res, ok
@@ -364,6 +414,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, info *re
 	key := CacheKey(circ, procName, opts)
 	planKey := Key(engine.PlanHash(circ, proc))
 	info.setDigest(key)
+	info.setPlan(planKey)
 	if res, ok := s.cache.Get(key); ok {
 		info.setCacheHit(true)
 		info.mark("cache")
@@ -480,6 +531,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, info *reqIn
 	opts := core.SCOptions{Rows: rows, TrackSharing: req.TrackSharing}
 	key := CacheKey(child.Circuit(), procName, opts)
 	info.setDigest(key)
+	info.setPlan(childKey)
 	if res, ok := s.cache.Get(key); ok {
 		info.setCacheHit(true)
 		info.mark("cache")
@@ -683,7 +735,9 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 	// any earlier /v1/estimate on the same body via the plan cache)
 	// and the resolved row count the cache key names: §5 automatic
 	// rows for standard cells, the ⌈√N⌉ grid for full custom.
-	pl, err := s.plan(ctx, circ, proc)
+	planKey := Key(engine.PlanHash(circ, proc))
+	info.setPlan(planKey)
+	pl, err := s.planWithKey(ctx, planKey, circ, proc)
 	if err != nil {
 		s.fail(w, info, err)
 		return
@@ -711,6 +765,7 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request, info *
 		if m, ok := s.stier.getCongest(key); ok {
 			s.congests.Put(key, m)
 			info.setCacheHit(true)
+			info.setStoreHit(true)
 			info.mark("store")
 			writeJSON(w, http.StatusOK, encodeMap(m, procName, key, true))
 			return

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +37,44 @@ type EndpointLatency struct {
 	P50Seconds float64 `json:"p50_seconds"`
 	P90Seconds float64 `json:"p90_seconds"`
 	P99Seconds float64 `json:"p99_seconds"`
+	// Exemplars lists, per histogram bucket that has one, the most
+	// recent trace id that landed there — a bucket on this page becomes
+	// one GET /debug/trace/{trace_id}.  Populated only while request
+	// telemetry is enabled (the zero-alloc disabled path never records
+	// exemplars).
+	Exemplars []EndpointExemplar `json:"exemplars,omitempty"`
+}
+
+// EndpointExemplar is one latency bucket's exemplar in the /debug
+// JSON: the bucket's upper bound (as the Prometheus `le` string, so
+// the overflow bucket reads "+Inf"), the trace id, and the observed
+// latency.
+type EndpointExemplar struct {
+	LE      string  `json:"le"`
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// endpointExemplars renders a histogram's exemplars in the JSON-safe
+// shape (the +Inf bound cannot ride through encoding/json as a float).
+func endpointExemplars(h *obs.Histogram) []EndpointExemplar {
+	buckets := h.Exemplars()
+	if len(buckets) == 0 {
+		return nil
+	}
+	out := make([]EndpointExemplar, 0, len(buckets))
+	for _, b := range buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+		}
+		out = append(out, EndpointExemplar{
+			LE:      le,
+			TraceID: b.Exemplar.TraceID,
+			Seconds: b.Exemplar.Value,
+		})
+	}
+	return out
 }
 
 // LatencySummary returns the process-wide per-endpoint latency
@@ -51,6 +91,7 @@ func LatencySummary() []EndpointLatency {
 			P50Seconds: h.Quantile(0.50),
 			P90Seconds: h.Quantile(0.90),
 			P99Seconds: h.Quantile(0.99),
+			Exemplars:  endpointExemplars(h),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
@@ -117,7 +158,9 @@ type reqInfo struct {
 	lastMark time.Time
 	stages   []obs.FlightStage
 	digest   string
+	plan     string
 	cacheHit bool
+	storeHit bool
 	errMsg   string
 	spans    *obs.Collect // non-nil only when the flight recorder is on
 
@@ -173,6 +216,24 @@ func (ri *reqInfo) setCacheHit(hit bool) {
 	ri.cacheHit = hit
 }
 
+// setPlan records the compiled plan the request resolved to — the key
+// per-plan cost profiles group by.
+func (ri *reqInfo) setPlan(k Key) {
+	if ri == nil {
+		return
+	}
+	ri.plan = k.String()
+}
+
+// setStoreHit records that the answer came from the persistent store
+// tier rather than the in-memory LRU.
+func (ri *reqInfo) setStoreHit(hit bool) {
+	if ri == nil {
+		return
+	}
+	ri.storeHit = hit
+}
+
 // fail records the outcome error (writeError renders the response).
 func (ri *reqInfo) fail(err error) {
 	if ri == nil || err == nil {
@@ -206,7 +267,7 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 	return func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
 		t0 := time.Now()
-		if s.flight == nil && s.access == nil {
+		if s.flight == nil && s.access == nil && s.ttier == nil {
 			h(w, r, nil)
 			lat := time.Since(t0).Seconds()
 			mServeSec.Observe(lat)
@@ -236,8 +297,9 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		sw.Header().Set("X-Request-Id", info.id)
 		sw.Header().Set("X-Trace-Id", info.trace.TraceIDString())
 
+		recording := s.flight != nil || s.ttier != nil
 		var startCosts obs.RequestCosts
-		if s.flight != nil {
+		if recording {
 			startCosts = obs.ReadRequestCosts()
 		}
 
@@ -246,7 +308,7 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 		// the flight recorder's bounded per-request collector.
 		ctx := obs.WithTraceContext(r.Context(), info.trace)
 		var root *obs.Span
-		if s.flight != nil {
+		if recording {
 			info.spans = obs.NewCollect(flightSpanCap)
 			ctx = obs.WithSink(ctx, obs.Multi(obs.SinkFrom(ctx), info.spans))
 		}
@@ -259,14 +321,18 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 
 		dur := time.Since(t0)
 		lat := dur.Seconds()
-		mServeSec.Observe(lat)
-		hist.Observe(lat)
+		traceID := info.trace.TraceIDString()
+		// Exemplars: the enabled path stamps the latency buckets with
+		// this request's trace id, so a bucket on a dashboard resolves
+		// to one GET /debug/trace/{trace_id}.
+		mServeSec.ObserveExemplar(lat, traceID)
+		hist.ObserveExemplar(lat, traceID)
 
-		if s.flight != nil {
+		if recording {
 			costs := obs.ReadRequestCosts().Since(startCosts)
 			rec := obs.FlightRecord{
 				ID:             info.id,
-				Trace:          info.trace.TraceIDString(),
+				Trace:          traceID,
 				Span:           info.trace.SpanIDString(),
 				ParentSpan:     info.parentSpan,
 				Time:           t0,
@@ -275,7 +341,9 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 				Status:         sw.status,
 				Micros:         dur.Microseconds(),
 				Digest:         info.digest,
+				Plan:           info.plan,
 				CacheHit:       info.cacheHit,
+				StoreHit:       info.storeHit,
 				AllocBytes:     int64(costs.AllocBytes),
 				GCAssistMicros: int64(costs.GCAssistSeconds * 1e6),
 				Err:            info.errMsg,
@@ -284,7 +352,18 @@ func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.R
 			if info.spans != nil {
 				rec.Spans = info.spans.Spans()
 			}
-			s.flight.Record(rec)
+			// The ring's assigned sequence number rides into the
+			// persisted copy so the live and post-restart renderings of
+			// one trace agree byte for byte.
+			rec.Seq = s.flight.Record(rec)
+			failed := sw.status >= 400 || info.errMsg != ""
+			if s.ttier != nil {
+				if v := s.sampler.Keep(info.trace.TraceID, dur.Microseconds(), failed); v != obs.SampleDrop {
+					s.ttier.enqueue(rec)
+				}
+			}
+			s.profiles.observe(info.plan, lat, failed, info.cacheHit, info.storeHit,
+				info.stages, s.watchdog.Health().MaxDriftPP)
 		}
 		if s.access != nil {
 			s.access.log(accessEntry{

@@ -63,6 +63,11 @@ const (
 	NSCongest Namespace = 2
 	// NSPlanMeta holds compiled-plan metadata (engine.PlanHash keyed).
 	NSPlanMeta Namespace = 3
+	// NSTrace holds sampled request traces (obs.EncodeTrace payloads),
+	// keyed by trace id (16 bytes) + span id (8 bytes) + zero padding —
+	// one record per hop, so a distributed trace's hops share a key
+	// prefix and stitch back together on read.
+	NSTrace Namespace = 4
 )
 
 // castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.

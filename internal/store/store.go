@@ -360,6 +360,78 @@ func (s *Store) Get(ns Namespace, key Key) (val []byte, ok bool, err error) {
 	return out, true, nil
 }
 
+// Scan visits the newest live record of every key in ns, in no
+// particular key order.  Supersede and tombstone semantics match Get:
+// a key written twice yields only its newest payload, a tombstoned key
+// is skipped.  Records that fail their checksum are skipped (latching
+// degraded) rather than aborting the scan — a scan is how a trace
+// index rebuilds after a restart, and one rotten record must not erase
+// the rest of the history.  fn returning an error stops the scan and
+// returns that error; the payload passed to fn is the caller's to
+// keep.
+//
+// The scan holds the store's read lock throughout: appends block until
+// it finishes, so it belongs at open/rebuild time and in offline
+// tools, not on a request path.
+func (s *Store) Scan(ns Namespace, fn func(key Key, payload []byte) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Pass 1: resolve each key's newest location, oldest segment first
+	// so later segments (and finally the WAL) supersede.
+	type winner struct {
+		seg *segment
+		loc recLoc
+	}
+	winners := make(map[Key]winner)
+	for _, seg := range s.sealed {
+		idx, err := seg.reindex()
+		if err != nil {
+			return err
+		}
+		for ik, loc := range idx {
+			if ik.ns == ns {
+				winners[ik.key] = winner{seg, loc}
+			}
+		}
+	}
+	for ik, loc := range s.wal.index {
+		if ik.ns == ns {
+			winners[ik.key] = winner{s.wal, loc}
+		}
+	}
+	// Pass 2: read and verify each winner.
+	for key, w := range winners {
+		if w.loc.tombstone {
+			continue
+		}
+		r, err := readRecordAt(w.seg.f, w.loc.off, w.loc.size)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				s.degraded.Store(true)
+				s.nCorrupt.Add(1)
+				mCorrupt.Inc()
+				continue
+			}
+			return err
+		}
+		if r.ns != ns || r.key != key || r.tombstone {
+			s.degraded.Store(true)
+			s.nCorrupt.Add(1)
+			mCorrupt.Inc()
+			continue
+		}
+		payload := make([]byte, len(r.payload))
+		copy(payload, r.payload)
+		if err := fn(key, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Has reports whether (ns, key) resolves to a live value, without
 // reading the payload (the final checksum pass is skipped, so a Has
 // true can still become a Get miss on a rotten disk).

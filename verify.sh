@@ -23,8 +23,8 @@ go build ./examples/...
 # their suites run first and explicitly under the race detector so a
 # concurrency regression fails fast with a focused report before the
 # full-tree run below repeats them in bulk.
-go vet ./internal/engine/... ./internal/serve ./internal/obs ./internal/store
-go test -race ./internal/engine/... ./internal/serve ./internal/obs ./internal/store
+go vet ./internal/engine/... ./internal/serve ./internal/obs ./internal/store ./cmd/maest-trace
+go test -race ./internal/engine/... ./internal/serve ./internal/obs ./internal/store ./cmd/maest-trace
 go test -race ./...
 # Coverage ratchet: the packages carrying the incremental (ECO)
 # re-estimation machinery must not lose test coverage.  Floors live in
@@ -61,8 +61,9 @@ go test -cover $(awk '!/^#/ && NF { print $1 }' testdata/coverage_floor.txt) |
     }'
 # Distributed-trace e2e: two full serve instances (router + shard) on
 # real sockets must stitch one W3C trace id from the client through
-# both flight recorders.
-go test -race -run TestTwoProcessTraceStitch ./cmd/maest-serve
+# both flight recorders; the trace-store restart e2e must render a
+# pre-restart trace byte-identically after a kill + reopen.
+go test -race -run 'TestTwoProcessTraceStitch|TestTraceStoreRestartEndToEnd' ./cmd/maest-serve
 # Bench smoke: every benchmark must still compile and survive one
 # iteration (catches bit-rot in the perf harness without timing it).
 go test -run=NONE -bench=. -benchtime=1x ./...
