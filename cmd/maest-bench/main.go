@@ -9,6 +9,7 @@
 //	maest-bench [-label local] [-o BENCH_local.json]
 //	            [-golden testdata/golden] [-proc nmos25] [-seed 1]
 //	            [-requests 60] [-estimate-iters 3] [-store] [-telemetry]
+//	            [-floorplan 6]
 //	            [-compare ref.json] [-tol 0.5] [-perf-tol 0]
 //
 // With -compare the fresh snapshot is diffed against a reference:
@@ -35,6 +36,7 @@ import (
 	"maest/internal/client"
 	"maest/internal/engine"
 	"maest/internal/engine/distmemo"
+	"maest/internal/floorplan"
 	"maest/internal/gen"
 	"maest/internal/netlist"
 	"maest/internal/obs"
@@ -59,6 +61,7 @@ type options struct {
 	ecoMinSpeedup float64
 	store         bool
 	telemetry     bool
+	floorplanMods int
 }
 
 func main() {
@@ -77,6 +80,7 @@ func main() {
 	flag.Float64Var(&o.ecoMinSpeedup, "eco-min-speedup", 0, "minimum delta-vs-recompile speedup the -eco benchmark must reach; below it exits 2 (0 disables the gate)")
 	flag.BoolVar(&o.store, "store", false, "benchmark the persistent store: cold vs warm time-to-first-hit and the hit ratio over a replayed request log")
 	flag.BoolVar(&o.telemetry, "telemetry", false, "benchmark request-telemetry overhead: sampling-on vs sampling-off ns/req, and pin the disabled path at 0 allocs")
+	flag.IntVar(&o.floorplanMods, "floorplan", 0, "benchmark the Plan-driven annealer over a generated chip with this many modules (0 disables it)")
 	flag.Parse()
 
 	regressions, err := run(&o, os.Stdout)
@@ -159,6 +163,21 @@ func run(o *options, w io.Writer) ([]string, error) {
 		}
 	}
 
+	if o.floorplanMods > 0 {
+		snap.Floorplan, err = timeFloorplan(p, o.floorplanMods, o.seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "maest-bench: floorplan %d modules, %d ns/move over %d moves; cost %.4g -> %.4g (%.1f%% gain), memo hit ratio %.2f\n",
+			snap.Floorplan.Modules, snap.Floorplan.NsPerMove, snap.Floorplan.Budget,
+			snap.Floorplan.GreedyCost, snap.Floorplan.AnnealCost,
+			snap.Floorplan.CostGainPct*100, snap.Floorplan.MemoHitRatio)
+		if snap.Floorplan.AnnealCost > snap.Floorplan.GreedyCost {
+			return nil, fmt.Errorf("floorplan: anneal cost %g regressed past greedy %g",
+				snap.Floorplan.AnnealCost, snap.Floorplan.GreedyCost)
+		}
+	}
+
 	if o.telemetry {
 		snap.Telemetry, err = timeTelemetry(o.requests)
 		if err != nil {
@@ -204,6 +223,72 @@ func run(o *options, w io.Writer) ([]string, error) {
 		fmt.Fprintf(w, "maest-bench: no regressions vs %s (tol %.2fpp)\n", o.compare, o.tolPP)
 	}
 	return regressions, nil
+}
+
+// timeFloorplan benchmarks the Plan-driven annealer: compile a
+// generated chip's modules once, run the greedy (budget 0) baseline
+// and an annealed pass with the congestion-scored cost, and report
+// move throughput, the cost recovered, and the routability memo's hit
+// ratio.
+func timeFloorplan(p *tech.Process, modules int, seed int64) (*report.FloorplanSnapshot, error) {
+	chip, err := gen.RandomChip(gen.ChipConfig{
+		Name: "bench-floorplan", Modules: modules, MinGates: 20, MaxGates: 80, Seed: seed,
+	}, p)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	mods := make([]floorplan.PlanModule, len(chip.Modules))
+	for i, c := range chip.Modules {
+		pl, err := engine.CompileCtx(ctx, c, p)
+		if err != nil {
+			return nil, err
+		}
+		mods[i] = floorplan.PlanModule{Name: c.Name, Plan: pl}
+	}
+	nets := make([]floorplan.Net, len(chip.GlobalNets))
+	for i, gn := range chip.GlobalNets {
+		pins := make([]floorplan.NetPin, len(gn.Pins))
+		for j, pin := range gn.Pins {
+			pins[j] = floorplan.NetPin{Module: pin.Module, Port: pin.Port}
+		}
+		nets[i] = floorplan.Net{Name: gn.Name, Pins: pins}
+	}
+	opts := []floorplan.Option{
+		floorplan.WithSeed(seed),
+		floorplan.WithCongestWeight(1),
+		floorplan.WithWireWeight(0.5),
+	}
+	greedy, err := floorplan.PlanModules(ctx, chip.Name, mods, nets,
+		append(opts, floorplan.WithBudget(-1))...)
+	if err != nil {
+		return nil, err
+	}
+	budget := floorplan.DefaultBudget
+	t0 := time.Now()
+	annealed, err := floorplan.PlanModules(ctx, chip.Name, mods, nets,
+		append(opts, floorplan.WithBudget(budget))...)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(t0)
+	fp := &report.FloorplanSnapshot{
+		Modules:      modules,
+		Budget:       annealed.Stats.Iterations,
+		Seed:         seed,
+		NsPerMove:    elapsed.Nanoseconds() / int64(max(annealed.Stats.Iterations, 1)),
+		GreedyCost:   greedy.Cost,
+		AnnealCost:   annealed.Cost,
+		RoutLookups:  annealed.Stats.RoutLookups,
+		RoutMemoHits: annealed.Stats.RoutMemoHits,
+	}
+	if greedy.Cost > 0 {
+		fp.CostGainPct = (greedy.Cost - annealed.Cost) / greedy.Cost
+	}
+	if annealed.Stats.RoutLookups > 0 {
+		fp.MemoHitRatio = float64(annealed.Stats.RoutMemoHits) / float64(annealed.Stats.RoutLookups)
+	}
+	return fp, nil
 }
 
 // checkEcoGate applies the -eco-min-speedup floor to a snapshot.

@@ -7,8 +7,16 @@
 //
 //	maest-floorplan estimates.db            # plan a database
 //	maest-floorplan -generate -modules 6    # generate, estimate, plan
+//	maest-floorplan -generate -anneal -congest-weight 1 -modules 6
+//	                                        # Plan-driven annealer
 //	maest-floorplan -experiment -modules 6  # iteration experiment
 //	maest-floorplan -trace out.jsonl -metrics -generate -modules 6
+//
+// With -anneal the planner runs the routability-aware path: modules
+// compile once into engine Plans held in the same content-addressed
+// plan cache maest-serve uses, shape candidates come from
+// Plan.Candidates, and the annealer's cost folds in the per-channel
+// overflow probabilities weighted by -congest-weight.
 //
 // The observability flags match maest: -trace streams JSONL spans
 // (per-module estimate spans under the chip span, then the floorplan
@@ -28,6 +36,7 @@ import (
 	"maest/internal/gen"
 	"maest/internal/netlist"
 	"maest/internal/obs"
+	"maest/internal/serve"
 	"maest/internal/tech"
 )
 
@@ -36,6 +45,11 @@ type options struct {
 	proc       string
 	generate   bool
 	experiment bool
+	anneal     bool
+	budget     int
+	congestW   float64
+	wireW      float64
+	candidates int
 	modules    int
 	seed       int64
 	svgOut     string
@@ -49,6 +63,11 @@ func main() {
 	flag.StringVar(&o.proc, "proc", "nmos25", "builtin process name")
 	flag.BoolVar(&o.generate, "generate", false, "generate a random chip instead of reading a database")
 	flag.BoolVar(&o.experiment, "experiment", false, "run the floorplan-iteration experiment (E10)")
+	flag.BoolVar(&o.anneal, "anneal", false, "run the Plan-driven annealer (requires -generate)")
+	flag.IntVar(&o.budget, "budget", floorplan.DefaultBudget, "anneal move budget (<= 0 = greedy)")
+	flag.Float64Var(&o.congestW, "congest-weight", 1, "routability weight in the anneal cost")
+	flag.Float64Var(&o.wireW, "wire-weight", 0.5, "wire-length weight in the anneal cost")
+	flag.IntVar(&o.candidates, "candidates", floorplan.DefaultCandidates, "shape candidates per module")
 	flag.IntVar(&o.modules, "modules", 6, "module count for generated chips")
 	flag.Int64Var(&o.seed, "seed", 1, "generation and layout seed")
 	flag.StringVar(&o.svgOut, "svg", "", "render the floor plan as SVG to this file")
@@ -80,6 +99,12 @@ func run(o options, args []string) (err error) {
 	if o.experiment {
 		return runExperiment(p, o.modules, o.seed)
 	}
+	if o.anneal {
+		if !o.generate {
+			return fmt.Errorf("-anneal plans generated chips; pass -generate")
+		}
+		return runAnneal(ctx, p, o)
+	}
 	var d *db.Database
 	if o.generate {
 		d, err = generateDB(ctx, p, o.modules, o.seed)
@@ -106,6 +131,76 @@ func run(o options, args []string) (err error) {
 		}
 		fmt.Printf("global routing: %.0f λ of wire, %.0f λ² wiring area, worst bin congestion %.2f\n",
 			gr.WireLength, gr.WiringArea, gr.MaxCongestion)
+	}
+	if o.svgOut != "" {
+		f, err := os.Create(o.svgOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := floorplan.WriteSVG(f, plan, 1); err != nil {
+			return err
+		}
+		fmt.Printf("rendered floor plan SVG to %s\n", o.svgOut)
+	}
+	return nil
+}
+
+// runAnneal floor-plans a generated chip on the Plan-driven path: one
+// engine.Compile per module, memoized in the shared plan cache, then
+// the simulated-annealing search over Plan.Candidates shapes with the
+// congestion-scored cost.
+func runAnneal(ctx context.Context, p *tech.Process, o options) error {
+	chip, err := gen.RandomChip(gen.ChipConfig{
+		Name: "random", Modules: o.modules, MinGates: 20, MaxGates: 80, Seed: o.seed,
+	}, p)
+	if err != nil {
+		return err
+	}
+	// The same content-addressed plan cache maest-serve keeps: repeat
+	// modules (and repeat runs inside one process) compile once.
+	plans := serve.NewPlanCache(1024)
+	mods := make([]floorplan.PlanModule, len(chip.Modules))
+	for i, c := range chip.Modules {
+		key := serve.Key(engine.PlanHash(c, p))
+		pl, ok := plans.Get(key)
+		if !ok {
+			pl, err = engine.CompileCtx(ctx, c, p)
+			if err != nil {
+				return err
+			}
+			plans.Put(key, pl)
+		}
+		mods[i] = floorplan.PlanModule{Name: c.Name, Plan: pl}
+	}
+	nets := make([]floorplan.Net, len(chip.GlobalNets))
+	for i, gn := range chip.GlobalNets {
+		pins := make([]floorplan.NetPin, len(gn.Pins))
+		for j, pin := range gn.Pins {
+			pins[j] = floorplan.NetPin{Module: pin.Module, Port: pin.Port}
+		}
+		nets[i] = floorplan.Net{Name: gn.Name, Pins: pins}
+	}
+	plan, err := floorplan.PlanModules(ctx, chip.Name, mods, nets,
+		floorplan.WithBudget(o.budget),
+		floorplan.WithSeed(o.seed),
+		floorplan.WithCongestWeight(o.congestW),
+		floorplan.WithWireWeight(o.wireW),
+		floorplan.WithCandidates(o.candidates))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chip %s: %.0f × %.0f λ = %.0f λ²  (utilization %.1f%%, wire length %.0f λ)\n",
+		plan.Chip, plan.Width, plan.Height, plan.Area(), plan.Utilization()*100, plan.WireLength)
+	fmt.Printf("anneal: %d moves, cost %.4g (routability %.4g), plan cache %d entries\n",
+		plan.Stats.Iterations, plan.Cost, plan.Routability, plans.Len())
+	for _, b := range plan.Blocks {
+		fmt.Printf("  %-16s at (%6.0f,%6.0f)  %6.0f × %-6.0f shape #%d rows %d\n",
+			b.Name, b.X, b.Y, b.W, b.H, b.ShapeIndex, b.Rows)
+	}
+	for _, mc := range plan.Congestion {
+		fmt.Printf("  congest %-16s rows %-3d ΣP(overflow) %.4g over %d channels\n",
+			mc.Module, mc.Rows, mc.POverflowSum, len(mc.Channels))
 	}
 	if o.svgOut != "" {
 		f, err := os.Create(o.svgOut)

@@ -9,6 +9,7 @@
 //	maest-serve [-addr :8080] [-proc nmos25] [-cache N]
 //	            [-concurrency N] [-timeout 30s] [-max-bytes N]
 //	            [-workers N] [-retry-after 1] [-drain 10s]
+//	            [-job-workers 2] [-job-queue 32]
 //	            [-flight N] [-access-log FILE] [-debug-addr ADDR]
 //	            [-trace out.jsonl] [-pprof out.cpu]
 //	            [-backend URL] [-runtime-metrics 15s]
@@ -35,6 +36,9 @@
 //	POST /v1/estimate        {"netlist": "...", "format": "mnet|bench|verilog", ...}
 //	POST /v1/estimate/batch  {"modules": [{"netlist": "..."}, ...]}
 //	POST /v1/congestion      {"netlist": "...", "model": "occupancy|crossing", ...}
+//	POST /v1/floorplan       submit an async floorplan job (202 + job id)
+//	GET  /v1/jobs/{id}       poll a job (accepted|annealing|done|failed|cancelled)
+//	DELETE /v1/jobs/{id}     cancel a job (idempotent)
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus text exposition
 //
@@ -58,7 +62,8 @@
 // /debug/trace/{id} after a restart.
 //
 // SIGINT/SIGTERM drain in-flight estimates for up to -drain before
-// the listener closes hard.
+// the listener closes hard; in-flight floorplan jobs are cancelled,
+// persisted as cancelled (with -store-dir), and leak no goroutine.
 package main
 
 import (
@@ -90,6 +95,8 @@ type options struct {
 	maxBytes    int64
 	workers     int
 	retryAfter  int
+	jobWorkers  int
+	jobQueue    int
 	drain       time.Duration
 	flight      int
 	accessLog   string
@@ -121,6 +128,8 @@ func main() {
 	flag.Int64Var(&o.maxBytes, "max-bytes", 8<<20, "request body size limit in bytes")
 	flag.IntVar(&o.workers, "workers", 0, "batch estimation worker pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&o.retryAfter, "retry-after", 1, "Retry-After hint in seconds on 429 responses when load is shed")
+	flag.IntVar(&o.jobWorkers, "job-workers", 2, "floorplan job worker pool size")
+	flag.IntVar(&o.jobQueue, "job-queue", 32, "floorplan job queue capacity; a full queue answers 429")
 	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget for in-flight estimates")
 	flag.IntVar(&o.flight, "flight", 256, "flight-recorder capacity in request records (0 disables)")
 	flag.StringVar(&o.accessLog, "access-log", "", "write a JSON access log line per request to this file ('-' = stdout, empty disables)")
@@ -255,6 +264,8 @@ func startServer(ctx context.Context, o options, accessLog io.Writer, hook func(
 		MaxRequestBytes: o.maxBytes,
 		Workers:         o.workers,
 		RetryAfter:      o.retryAfter,
+		JobWorkers:      o.jobWorkers,
+		JobQueue:        o.jobQueue,
 		EstimateHook:    hook,
 		FlightSize:      o.flight,
 		AccessLog:       accessLog,

@@ -428,8 +428,8 @@ func TestDebugListenerEndToEnd(t *testing.T) {
 	}
 	// The latency section has a fixed shape: every registered endpoint
 	// histogram, zero-count ones included (/v1/estimate/delta here).
-	if len(flight.Latency) != 4 {
-		t.Fatalf("latency section has %d endpoints, want 4", len(flight.Latency))
+	if len(flight.Latency) != 6 {
+		t.Fatalf("latency section has %d endpoints, want 6", len(flight.Latency))
 	}
 
 	// /debug/slowest ranks by duration and carries span breakdowns.

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"maest/internal/serve"
+)
+
+// The floorplan job API: submit is asynchronous (the server answers
+// 202 with a job id before the anneal starts), so the client wraps the
+// submit/poll/cancel lifecycle — including WaitJob, the poll loop a
+// CLI or CI harness wants.
+
+// DefaultPollInterval is WaitJob's default delay between polls.
+const DefaultPollInterval = 50 * time.Millisecond
+
+// FloorplanSubmit answers POST /v1/floorplan.  Both 202 (a new job
+// accepted) and 200 (a duplicate of a known job, or a finished record
+// rehydrated from the store) are successes; everything else — 429 when
+// the queue is full, with the Retry-After hint in the *APIError — is
+// an error.
+func (c *Client) FloorplanSubmit(ctx context.Context, req serve.FloorplanRequest) (*serve.JobResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/floorplan", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	c.inject(ctx, hreq)
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeAPIError(resp)
+	}
+	var job serve.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("client: decode /v1/floorplan: %w", err)
+	}
+	return &job, nil
+}
+
+// Job answers GET /v1/jobs/{id}: the job's current lifecycle snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobResponse, error) {
+	var job serve.JobResponse
+	if err := c.get(ctx, "/v1/jobs/"+id, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// CancelJob answers DELETE /v1/jobs/{id}.  Cancelling a terminal job
+// is a no-op that returns its snapshot, so the call is idempotent.
+func (c *Client) CancelJob(ctx context.Context, id string) (*serve.JobResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.inject(ctx, req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var job serve.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("client: decode cancel: %w", err)
+	}
+	return &job, nil
+}
+
+// JobTerminal reports whether state is one of the three terminal job
+// states (done, failed, cancelled).
+func JobTerminal(state string) bool {
+	switch state {
+	case serve.JobDone, serve.JobFailed, serve.JobCancelled:
+		return true
+	}
+	return false
+}
+
+// ErrJobFailed marks a WaitJob that ended in the failed or cancelled
+// state; the returned snapshot carries the detail.
+var ErrJobFailed = errors.New("client: floorplan job did not finish")
+
+// WaitJob polls GET /v1/jobs/{id} every interval (0 = the default)
+// until the job is terminal or ctx expires.  A job ending failed or
+// cancelled returns its final snapshot alongside an error wrapping
+// ErrJobFailed, so callers can both branch on the outcome and show
+// the server's message.  An optional progress callback observes every
+// non-terminal snapshot.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration, progress func(*serve.JobResponse)) (*serve.JobResponse, error) {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if JobTerminal(job.State) {
+			if job.State != serve.JobDone {
+				return job, fmt.Errorf("%w: job %s is %s: %s", ErrJobFailed, id, job.State, job.Error)
+			}
+			return job, nil
+		}
+		if progress != nil {
+			progress(job)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

@@ -1,9 +1,13 @@
 // Package floorplan is the chip floor planner the estimator feeds
-// (paper §1, refs. Mason [2] and Ulysses [3]): it takes the estimate
-// database — module shape candidates plus global interconnections —
-// and produces a slicing floor plan, choosing one shape per module.
-// It also hosts the §7 experiment measuring how estimate quality
-// changes the number of floor-planning iterations.
+// (paper §1, refs. Mason [2] and Ulysses [3]): it takes module shape
+// candidates plus global interconnections and produces a slicing
+// floor plan, choosing one shape per module.  The planner runs off
+// compiled engine.Plans (PlanModules: §4 shape candidates via
+// Plan.Candidates, channel overflow risk via Plan.Congestion); the
+// legacy internal/db entry points (PlanChip, PlanChipOpt) survive as
+// thin shims over the same search core.  It also hosts the §7
+// experiment measuring how estimate quality changes the number of
+// floor-planning iterations.
 package floorplan
 
 import (
@@ -38,6 +42,9 @@ type Placed struct {
 	// ShapeIndex is the index of the chosen candidate in the module's
 	// shape list.
 	ShapeIndex int
+	// Rows is the standard-cell row count behind the chosen shape
+	// (0 when the shape carries none, e.g. a naive square).
+	Rows int
 }
 
 // Plan is a finished slicing floor plan.
@@ -49,8 +56,55 @@ type Plan struct {
 	// WireLength is the half-perimeter length of the global nets over
 	// block centres.
 	WireLength float64
+	// Routability is the pin-weighted Σ P(overflow) over the channels
+	// of every Plan-backed module at its chosen row count — the
+	// congestion term of the annealer's objective.  Zero when
+	// congestion scoring was off or no module carried a plan.
+	Routability float64
+	// Cost is the objective value the planner minimized:
+	// (area + wireWeight·wirelength·√area) · (1 + congestWeight·routability).
+	Cost float64
+	// Congestion details the winning plan's per-channel overflow risk
+	// for every Plan-backed module (PlanModules path only).
+	Congestion []ModuleCongest
+	// Stats reports the search effort that produced the plan.
+	Stats SearchStats
 
 	byName map[string]*Placed
+}
+
+// ModuleCongest is one module's channel overflow risk in the winning
+// plan, at the row count the planner chose for it.
+type ModuleCongest struct {
+	Module string
+	Rows   int
+	// POverflowSum is Σ P(overflow) over the module's channels.
+	POverflowSum float64
+	Channels     []ChannelRisk
+}
+
+// ChannelRisk is one routing channel's overflow probability.
+type ChannelRisk struct {
+	Index     int
+	POverflow float64
+}
+
+// SearchStats reports how hard the planner worked.
+type SearchStats struct {
+	// Iterations is the number of anneal moves tried (0 for the
+	// deterministic greedy path).
+	Iterations int
+	// Evals is the number of full cost evaluations (tree rebuild +
+	// realization + scoring).
+	Evals int
+	// RoutLookups and RoutMemoHits count the per-(module, rows)
+	// routability queries and how many were answered by the search's
+	// memo instead of the engine.
+	RoutLookups  int
+	RoutMemoHits int
+	// InitialCost and FinalCost bracket the anneal trajectory.
+	InitialCost float64
+	FinalCost   float64
 }
 
 // Area returns the chip bounding-box area.
@@ -71,6 +125,37 @@ func (p *Plan) Utilization() float64 {
 // BlockByName returns the placed slot of a module, or nil.
 func (p *Plan) BlockByName(name string) *Placed { return p.byName[name] }
 
+// Net is one global interconnection between modules, the planner's
+// own net shape (decoupled from internal/db so Plan-driven callers
+// never build a database).
+type Net struct {
+	Name string
+	Pins []NetPin
+}
+
+// NetPin is one connection of a global net.
+type NetPin struct {
+	Module string
+	Port   string
+}
+
+// mod is the search core's view of one module: its candidate shapes
+// plus, on the Plan-driven path, the compiled plan that answers
+// congestion questions and the module's global-net pin count (its
+// weight in the routability term).
+type mod struct {
+	name   string
+	shapes []shapeCand
+	plan   planner // nil on the legacy db path
+	pins   int
+}
+
+// shapeCand is one candidate shape of a module.
+type shapeCand struct {
+	w, h float64
+	rows int
+}
+
 // shape candidates carried through the slicing combination, with
 // back-pointers for reconstruction.
 type combo struct {
@@ -84,21 +169,27 @@ type combo struct {
 
 type node struct {
 	// leaf
-	module *db.Module
+	leaf *mod
 	// internal
 	left, right *node
 	combos      []combo
 }
 
-// PlanChip floor-plans the database: modules are clustered by global
-// connectivity into a balanced slicing tree, each node combines child
-// shape lists under both cut directions, and the minimum-area root
-// shape is realized.
+// PlanChip floor-plans an estimate database: modules are clustered by
+// global connectivity into a balanced slicing tree, each node
+// combines child shape lists under both cut directions, and the
+// minimum-area root shape is realized.
+//
+// PlanChip predates the engine.Plan pipeline and is retained as a
+// thin shim over the same search core PlanModules drives; new code
+// should compile modules with engine.Compile and call PlanModules,
+// which adds candidate generation, congestion-aware cost and
+// annealing on top of this deterministic greedy pass.
 func PlanChip(d *db.Database) (*Plan, error) {
 	return PlanChipOpt(d, PlanOptions{})
 }
 
-// PlanOptions tunes the planner's objective.
+// PlanOptions tunes the legacy planner's objective.
 type PlanOptions struct {
 	// WireWeight trades chip area against global wire length: every
 	// Pareto-optimal root shape is realized and scored as
@@ -107,7 +198,9 @@ type PlanOptions struct {
 	WireWeight float64
 }
 
-// PlanChipOpt floor-plans with an explicit objective.
+// PlanChipOpt floor-plans a database with an explicit objective.
+// Like PlanChip it is a compatibility shim over the Plan-driven
+// search core; see PlanModules for the full objective.
 func PlanChipOpt(d *db.Database, opts PlanOptions) (*Plan, error) {
 	return PlanChipOptCtx(context.Background(), d, opts)
 }
@@ -137,74 +230,55 @@ func PlanChipOptCtx(ctx context.Context, d *db.Database, opts PlanOptions) (plan
 		}
 		sp.EndErr(err)
 	}(time.Now())
-	return planChipOpt(d, opts)
+	return planChipOpt(ctx, d, opts)
 }
 
-func planChipOpt(d *db.Database, opts PlanOptions) (*Plan, error) {
+func planChipOpt(ctx context.Context, d *db.Database, opts PlanOptions) (*Plan, error) {
 	if err := db.Validate(d); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrPlan, err)
 	}
 	if len(d.Modules) == 0 {
 		return nil, fmt.Errorf("%w: no modules", ErrPlan)
 	}
-	order := clusterOrder(d)
-	leaves := make([]*node, len(order))
-	for i, m := range order {
-		n := &node{module: m}
+	ms, nets := fromDB(d)
+	return run(ctx, d.Chip, ms, nets, config{wireWeight: opts.WireWeight})
+}
+
+// fromDB converts a legacy estimate database into the search core's
+// module and net shapes, preserving shape order (so ShapeIndex keeps
+// indexing the database's candidate list).
+func fromDB(d *db.Database) ([]*mod, []Net) {
+	ms := make([]*mod, len(d.Modules))
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		shapes := make([]shapeCand, len(m.Shapes))
 		for si, s := range m.Shapes {
-			n.combos = append(n.combos, combo{w: s.W, h: s.H, shapeIdx: si})
+			shapes[si] = shapeCand{w: s.W, h: s.H, rows: s.Rows}
 		}
-		n.combos = pareto(n.combos)
-		leaves[i] = n
+		ms[i] = &mod{name: m.Name, shapes: shapes}
 	}
-	root := buildTree(leaves)
-	combineAll(root)
-	if len(root.combos) == 0 {
-		return nil, fmt.Errorf("%w: no feasible shape combination", ErrPlan)
-	}
-	mkPlan := func(idx int) *Plan {
-		plan := &Plan{Chip: d.Chip, byName: map[string]*Placed{}}
-		plan.Width = root.combos[idx].w
-		plan.Height = root.combos[idx].h
-		realize(root, idx, 0, 0, plan)
-		plan.WireLength = wireLength(d, plan)
-		return plan
-	}
-	if opts.WireWeight <= 0 {
-		best := 0
-		for i, c := range root.combos {
-			if c.w*c.h < root.combos[best].w*root.combos[best].h {
-				best = i
-			}
+	nets := make([]Net, len(d.Nets))
+	for i, n := range d.Nets {
+		pins := make([]NetPin, len(n.Pins))
+		for j, p := range n.Pins {
+			pins[j] = NetPin{Module: p.Module, Port: p.Port}
 		}
-		return mkPlan(best), nil
+		nets[i] = Net{Name: n.Name, Pins: pins}
 	}
-	// Wirelength-aware: realize every Pareto root shape and score
-	// area + weight·wirelength·√area (the √area factor keeps the two
-	// terms commensurable across chip sizes).
-	var best *Plan
-	bestScore := math.Inf(1)
-	for i := range root.combos {
-		p := mkPlan(i)
-		score := p.Area() + opts.WireWeight*p.WireLength*math.Sqrt(p.Area())
-		if score < bestScore {
-			best, bestScore = p, score
-		}
-	}
-	return best, nil
+	return ms, nets
 }
 
 // clusterOrder orders modules so strongly connected ones end up
 // adjacent in the slicing tree: a greedy chain that always appends
 // the unplaced module with the strongest connectivity to the chain's
 // tail.
-func clusterOrder(d *db.Database) []*db.Module {
-	n := len(d.Modules)
+func clusterOrder(ms []*mod, nets []Net) []*mod {
+	n := len(ms)
 	conn := make(map[string]map[string]int, n)
-	for i := range d.Modules {
-		conn[d.Modules[i].Name] = map[string]int{}
+	for _, m := range ms {
+		conn[m.name] = map[string]int{}
 	}
-	for _, net := range d.Nets {
+	for _, net := range nets {
 		for i := 0; i < len(net.Pins); i++ {
 			for j := i + 1; j < len(net.Pins); j++ {
 				a, b := net.Pins[i].Module, net.Pins[j].Module
@@ -217,33 +291,32 @@ func clusterOrder(d *db.Database) []*db.Module {
 		}
 	}
 	// Start from the largest module (stable under ties by name).
-	idx := make([]*db.Module, 0, n)
-	for i := range d.Modules {
-		idx = append(idx, &d.Modules[i])
-	}
+	idx := make([]*mod, len(ms))
+	copy(idx, ms)
 	sort.Slice(idx, func(i, j int) bool {
-		ai, aj := idx[i].Shapes[0].Area(), idx[j].Shapes[0].Area()
+		ai := idx[i].shapes[0].w * idx[i].shapes[0].h
+		aj := idx[j].shapes[0].w * idx[j].shapes[0].h
 		if ai != aj {
 			return ai > aj
 		}
-		return idx[i].Name < idx[j].Name
+		return idx[i].name < idx[j].name
 	})
-	used := map[string]bool{idx[0].Name: true}
-	order := []*db.Module{idx[0]}
+	used := map[string]bool{idx[0].name: true}
+	order := []*mod{idx[0]}
 	for len(order) < n {
-		tail := order[len(order)-1].Name
-		var best *db.Module
+		tail := order[len(order)-1].name
+		var best *mod
 		bestScore := -1
 		for _, m := range idx {
-			if used[m.Name] {
+			if used[m.name] {
 				continue
 			}
-			score := conn[tail][m.Name]
-			if score > bestScore || (score == bestScore && best != nil && m.Name < best.Name) {
+			score := conn[tail][m.name]
+			if score > bestScore || (score == bestScore && best != nil && m.name < best.name) {
 				best, bestScore = m, score
 			}
 		}
-		used[best.Name] = true
+		used[best.name] = true
 		order = append(order, best)
 	}
 	return order
@@ -271,7 +344,7 @@ func buildTree(nodes []*node) *node {
 const maxCombos = 24
 
 func combineAll(n *node) {
-	if n.module != nil {
+	if n.leaf != nil {
 		return
 	}
 	combineAll(n.left)
@@ -326,8 +399,11 @@ func pareto(cs []combo) []combo {
 // realize walks the tree assigning positions for the chosen combo.
 func realize(n *node, comboIdx int, x, y float64, plan *Plan) {
 	c := n.combos[comboIdx]
-	if n.module != nil {
-		p := Placed{Name: n.module.Name, X: x, Y: y, W: c.w, H: c.h, ShapeIndex: c.shapeIdx}
+	if n.leaf != nil {
+		p := Placed{
+			Name: n.leaf.name, X: x, Y: y, W: c.w, H: c.h,
+			ShapeIndex: c.shapeIdx, Rows: n.leaf.shapes[c.shapeIdx].rows,
+		}
 		plan.Blocks = append(plan.Blocks, p)
 		plan.byName[p.Name] = &plan.Blocks[len(plan.Blocks)-1]
 		return
@@ -341,9 +417,9 @@ func realize(n *node, comboIdx int, x, y float64, plan *Plan) {
 	}
 }
 
-func wireLength(d *db.Database, plan *Plan) float64 {
+func wireLength(nets []Net, plan *Plan) float64 {
 	total := 0.0
-	for _, net := range d.Nets {
+	for _, net := range nets {
 		minX, maxX := math.Inf(1), math.Inf(-1)
 		minY, maxY := math.Inf(1), math.Inf(-1)
 		seen := false

@@ -145,14 +145,14 @@ func TestParetoCap(t *testing.T) {
 }
 
 func TestClusterOrderPutsConnectedAdjacent(t *testing.T) {
-	d := sampleDB()
-	order := clusterOrder(d)
+	ms, nets := fromDB(sampleDB())
+	order := clusterOrder(ms, nets)
 	if len(order) != 3 {
 		t.Fatalf("order = %d modules", len(order))
 	}
 	pos := map[string]int{}
 	for i, m := range order {
-		pos[m.Name] = i
+		pos[m.name] = i
 	}
 	// b connects to both a and c; it must not be separated from both.
 	if abs(pos["a"]-pos["b"]) > 1 && abs(pos["b"]-pos["c"]) > 1 {

@@ -1,0 +1,50 @@
+package floorplan
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// The determinism contract: a Plan is a pure function of its inputs —
+// modules (shapes or compiled plans), nets, options and seed.  The
+// search core uses no maps in iteration order, no wall clock and no
+// global random state, and every float is carried as float64
+// end-to-end, so the same inputs reproduce the same Plan bit for bit
+// on a given architecture.  WritePlanText renders that guarantee
+// checkable: the canonical text form of two equal plans is
+// byte-identical, which is what the golden test and the job API's
+// restart test compare.
+
+// WritePlanText writes the canonical text rendering of a plan: one
+// header line, then one line per block in placement order, then the
+// per-module congestion detail when present.  Floats are rendered in
+// Go's shortest round-trip form, so the text is byte-stable exactly
+// when the plan is.
+func WritePlanText(w io.Writer, p *Plan) error {
+	bw := bufio.NewWriter(w)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	bw.WriteString("floorplan v1 chip " + p.Chip + "\n")
+	bw.WriteString("size " + f(p.Width) + " " + f(p.Height) + "\n")
+	bw.WriteString("wirelength " + f(p.WireLength) + "\n")
+	bw.WriteString("routability " + f(p.Routability) + "\n")
+	bw.WriteString("cost " + f(p.Cost) + "\n")
+	for _, b := range p.Blocks {
+		bw.WriteString("block " + b.Name +
+			" " + f(b.X) + " " + f(b.Y) +
+			" " + f(b.W) + " " + f(b.H) +
+			" shape " + strconv.Itoa(b.ShapeIndex) +
+			" rows " + strconv.Itoa(b.Rows) + "\n")
+	}
+	for _, mc := range p.Congestion {
+		bw.WriteString("congest " + mc.Module +
+			" rows " + strconv.Itoa(mc.Rows) +
+			" sum " + f(mc.POverflowSum) + "\n")
+		for _, ch := range mc.Channels {
+			bw.WriteString("channel " + mc.Module +
+				" " + strconv.Itoa(ch.Index) +
+				" " + f(ch.POverflow) + "\n")
+		}
+	}
+	return bw.Flush()
+}

@@ -52,6 +52,33 @@ type BenchSnapshot struct {
 	// ignores it and older references stay comparable under the same
 	// schema).
 	Telemetry *TelemetrySnapshot `json:"telemetry,omitempty"`
+	// Floorplan records the Plan-driven annealer benchmark
+	// (-floorplan): present when the run asked for it, informational
+	// like Runtime, Store and Telemetry (machine-dependent, so
+	// CompareBench ignores it and older references stay comparable
+	// under the same schema).
+	Floorplan *FloorplanSnapshot `json:"floorplan,omitempty"`
+}
+
+// FloorplanSnapshot is the annealer benchmark block: a generated chip
+// floor-planned twice — greedy (budget 0) and annealed — with the
+// congestion-scored cost, measuring the search's throughput and how
+// much cost the anneal recovered over the greedy baseline.
+type FloorplanSnapshot struct {
+	Modules int   `json:"modules"`
+	Budget  int   `json:"budget"`
+	Seed    int64 `json:"seed"`
+	// NsPerMove is the annealed run's wall time over its move budget.
+	NsPerMove  int64   `json:"ns_per_move"`
+	GreedyCost float64 `json:"greedy_cost"`
+	AnnealCost float64 `json:"anneal_cost"`
+	// CostGainPct is (greedy-anneal)/greedy — how much of the cost the
+	// anneal recovered; never negative (the search keeps the best).
+	CostGainPct float64 `json:"cost_gain_pct"`
+	// Routability memo effectiveness over the annealed run.
+	RoutLookups  int     `json:"rout_lookups"`
+	RoutMemoHits int     `json:"rout_memo_hits"`
+	MemoHitRatio float64 `json:"memo_hit_ratio"`
 }
 
 // TelemetrySnapshot is the telemetry-overhead benchmark block: the

@@ -218,6 +218,125 @@ type CongestionResponse struct {
 	Hotspots       []HotspotBody  `json:"hotspots,omitempty"`
 }
 
+// FloorplanRequest is the POST /v1/floorplan payload: a chip's worth
+// of modules plus the global nets connecting them and the annealer
+// knobs.  The answer is a job id; the plan itself is fetched from
+// GET /v1/jobs/{id} once the anneal completes.
+type FloorplanRequest struct {
+	// Chip names the chip (defaults to "chip").
+	Chip string `json:"chip,omitempty"`
+	// Process is a built-in process name; empty selects the server's
+	// default.
+	Process string `json:"process,omitempty"`
+	// Modules are the chip's circuits, each floorplanned as one block.
+	Modules []ModuleInput `json:"modules"`
+	// Nets are the global interconnections; they drive both the
+	// wire-length term and the clustering order.
+	Nets []GlobalNetBody `json:"nets,omitempty"`
+	// CongestWeight scales the routability term: cost is multiplied
+	// by (1 + w·Σ pin-weighted P(overflow)).  Zero scores area/wire
+	// only.
+	CongestWeight float64 `json:"congest_weight,omitempty"`
+	// WireWeight scales the wire-length term (see PlanOptions).
+	WireWeight float64 `json:"wire_weight,omitempty"`
+	// Seed fixes the annealer's random source (0 selects the
+	// planner's default); plans are byte-stable in (request, seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Budget is the annealing move budget (0 selects the planner's
+	// default; negative disables annealing).
+	Budget int `json:"budget,omitempty"`
+	// Candidates is the shape-candidate count per module (0 selects
+	// the planner's default).
+	Candidates int `json:"candidates,omitempty"`
+	// TrackSharing toggles the §7 routing-track-sharing extension for
+	// candidate generation; omitted selects the planner's default
+	// (on).
+	TrackSharing *bool `json:"track_sharing,omitempty"`
+}
+
+// GlobalNetBody is one global net of a floorplan request.
+type GlobalNetBody struct {
+	Name string          `json:"name"`
+	Pins []GlobalPinBody `json:"pins"`
+}
+
+// GlobalPinBody is one connection of a global net.
+type GlobalPinBody struct {
+	Module string `json:"module"`
+	Port   string `json:"port,omitempty"`
+}
+
+// Job states, in lifecycle order.  A job is terminal in done, failed
+// or cancelled; accepted and annealing are in flight.
+const (
+	JobAccepted  = "accepted"
+	JobAnnealing = "annealing"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobResponse is the body of every job-API answer: the submit ack,
+// the poll snapshot and the persisted record share this one shape, so
+// a GET after a restart is byte-identical to the last GET before it.
+type JobResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Iterations and BestCost report annealing progress; they keep
+	// their final values on terminal states.
+	Iterations int64   `json:"iterations,omitempty"`
+	BestCost   float64 `json:"best_cost,omitempty"`
+	// Error is set on failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is set on done jobs.
+	Result *FloorplanResult `json:"result,omitempty"`
+}
+
+// FloorplanResult is a finished plan on the wire.
+type FloorplanResult struct {
+	Chip          string              `json:"chip"`
+	Process       string              `json:"process"`
+	Width         float64             `json:"width_lambda"`
+	Height        float64             `json:"height_lambda"`
+	Area          float64             `json:"area_lambda2"`
+	Utilization   float64             `json:"utilization"`
+	WireLength    float64             `json:"wire_length_lambda"`
+	Routability   float64             `json:"routability"`
+	Cost          float64             `json:"cost"`
+	Seed          int64               `json:"seed"`
+	Budget        int                 `json:"budget"`
+	CongestWeight float64             `json:"congest_weight"`
+	Iterations    int                 `json:"iterations"`
+	Blocks        []PlacedBody        `json:"blocks"`
+	Congestion    []ModuleCongestBody `json:"congestion,omitempty"`
+}
+
+// PlacedBody is one module's slot in a finished plan.
+type PlacedBody struct {
+	Name       string  `json:"name"`
+	X          float64 `json:"x_lambda"`
+	Y          float64 `json:"y_lambda"`
+	W          float64 `json:"width_lambda"`
+	H          float64 `json:"height_lambda"`
+	ShapeIndex int     `json:"shape_index"`
+	Rows       int     `json:"rows,omitempty"`
+}
+
+// ModuleCongestBody is one module's channel overflow risk in the
+// winning plan.
+type ModuleCongestBody struct {
+	Module       string            `json:"module"`
+	Rows         int               `json:"rows"`
+	POverflowSum float64           `json:"p_overflow_sum"`
+	Channels     []ChannelRiskBody `json:"channels"`
+}
+
+// ChannelRiskBody is one channel's overflow probability.
+type ChannelRiskBody struct {
+	Index     int     `json:"index"`
+	POverflow float64 `json:"p_overflow"`
+}
+
 // ErrorResponse is every non-2xx body.  RequestID and TraceID are
 // present whenever request telemetry is enabled, so a client seeing a
 // 429/400/500 can quote the exact identifiers an operator needs to
@@ -275,6 +394,10 @@ var errBadGateway = errors.New("serve: backend unreachable")
 // the plan cache (404): the plan aged out, or the client is talking to
 // a different shard.  The defined fallback is a full /v1/estimate.
 var errUnknownParent = errors.New("serve: unknown parent plan")
+
+// errUnknownJob marks a job id found neither in memory nor in the
+// persistent store (404).
+var errUnknownJob = errors.New("serve: unknown job")
 
 func reqErr(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", errBadRequest, fmt.Sprintf(format, args...))

@@ -80,8 +80,8 @@ func TestDebugFlightAfterMixedTraffic(t *testing.T) {
 	}
 
 	// Per-endpoint latency quantiles ride along.
-	if len(resp.Latency) != 4 {
-		t.Fatalf("latency section has %d endpoints, want 3", len(resp.Latency))
+	if len(resp.Latency) != 6 {
+		t.Fatalf("latency section has %d endpoints, want 6", len(resp.Latency))
 	}
 	for _, ep := range resp.Latency {
 		if ep.Endpoint == "/v1/estimate" && ep.Count < 2 {
@@ -131,7 +131,7 @@ func TestDebugDisabledFlight(t *testing.T) {
 	if resp.Enabled || resp.Capacity != 0 || len(resp.Requests) != 0 {
 		t.Fatalf("disabled flight: %+v", resp)
 	}
-	if len(resp.Latency) != 4 {
+	if len(resp.Latency) != 6 {
 		t.Fatalf("latency section should still render: %+v", resp.Latency)
 	}
 	body := doDebug(t, s, "/debug/slowest")

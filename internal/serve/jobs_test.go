@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fpRequest builds a floorplan submission over n chained-inverter
+// modules with a global net stitching each neighbour pair.
+func fpRequest(n int) FloorplanRequest {
+	req := FloorplanRequest{Chip: "jobs-chip"}
+	for i := 0; i < n; i++ {
+		req.Modules = append(req.Modules, batchModule(fmt.Sprintf("fp%d", i), 3+2*i))
+	}
+	for i := 0; i+1 < n; i++ {
+		req.Nets = append(req.Nets, GlobalNetBody{
+			Name: fmt.Sprintf("net%d", i),
+			Pins: []GlobalPinBody{
+				{Module: fmt.Sprintf("fp%d", i), Port: "out"},
+				{Module: fmt.Sprintf("fp%d", i+1), Port: "in"},
+			},
+		})
+	}
+	return req
+}
+
+func decodeJob(t *testing.T, w *httptest.ResponseRecorder) JobResponse {
+	t.Helper()
+	var resp JobResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad job JSON: %v\n%s", err, w.Body.String())
+	}
+	return resp
+}
+
+func isTerminal(state string) bool {
+	return state == JobDone || state == JobFailed || state == JobCancelled
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job reaches want.
+func pollJob(t *testing.T, s *Server, id, want string) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w := do(s, "GET", "/v1/jobs/"+id, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("poll status %d: %s", w.Code, w.Body.String())
+		}
+		resp := decodeJob(t, w)
+		if resp.State == want {
+			return resp
+		}
+		if isTerminal(resp.State) {
+			t.Fatalf("job reached terminal state %q waiting for %q (error %q)",
+				resp.State, want, resp.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for state %q, still %q", want, resp.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycleToDone(t *testing.T) {
+	s := New(Options{})
+	t.Cleanup(s.FlushStore)
+	req := fpRequest(3)
+	req.Budget = 80
+	req.CongestWeight = 1
+	w := do(s, "POST", "/v1/floorplan", marshal(t, req))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", w.Code, w.Body.String())
+	}
+	sub := decodeJob(t, w)
+	if len(sub.ID) != 64 || (sub.State != JobAccepted && sub.State != JobAnnealing) {
+		t.Fatalf("submit answered %+v", sub)
+	}
+	fin := pollJob(t, s, sub.ID, JobDone)
+	res := fin.Result
+	if res == nil {
+		t.Fatalf("done job has no result: %+v", fin)
+	}
+	if len(res.Blocks) != 3 {
+		t.Fatalf("%d blocks, want one per module", len(res.Blocks))
+	}
+	for _, b := range res.Blocks {
+		if b.ShapeIndex < 0 || b.Rows < 1 || b.W <= 0 || b.H <= 0 {
+			t.Fatalf("bad block %+v", b)
+		}
+	}
+	if len(res.Congestion) != 3 {
+		t.Fatalf("congestion detail for %d modules, want 3", len(res.Congestion))
+	}
+	for _, mc := range res.Congestion {
+		if len(mc.Channels) == 0 {
+			t.Fatalf("module %s has no per-channel overflow detail", mc.Module)
+		}
+	}
+	if res.Iterations != 80 || res.Cost <= 0 || res.Seed == 0 {
+		t.Fatalf("result knobs not echoed: %+v", res)
+	}
+
+	// A duplicate submit of the same content answers the existing
+	// job with 200, not a second job.
+	w = do(s, "POST", "/v1/floorplan", marshal(t, req))
+	if w.Code != http.StatusOK {
+		t.Fatalf("duplicate submit status %d: %s", w.Code, w.Body.String())
+	}
+	if dup := decodeJob(t, w); dup.ID != sub.ID || dup.State != JobDone {
+		t.Fatalf("duplicate submit answered %+v", dup)
+	}
+}
+
+func TestJobUnknownAndMalformedID(t *testing.T) {
+	s := New(Options{})
+	t.Cleanup(s.FlushStore)
+	ghost := strings.Repeat("ab", 32) // well-formed 64-hex id, never submitted
+	for _, method := range []string{"GET", "DELETE"} {
+		if w := do(s, method, "/v1/jobs/"+ghost, ""); w.Code != http.StatusNotFound {
+			t.Errorf("%s unknown id: status %d, want 404", method, w.Code)
+		}
+		if w := do(s, method, "/v1/jobs/not-a-key", ""); w.Code != http.StatusBadRequest {
+			t.Errorf("%s malformed id: status %d, want 400", method, w.Code)
+		}
+	}
+}
+
+func TestJobDoubleCancelIdempotent(t *testing.T) {
+	s := New(Options{})
+	t.Cleanup(s.FlushStore)
+	req := fpRequest(3)
+	req.Budget = 50_000_000 // will not finish on its own
+	w := do(s, "POST", "/v1/floorplan", marshal(t, req))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", w.Code, w.Body.String())
+	}
+	id := decodeJob(t, w).ID
+	pollJob(t, s, id, JobAnnealing)
+
+	first := do(s, "DELETE", "/v1/jobs/"+id, "")
+	if first.Code != http.StatusOK {
+		t.Fatalf("cancel status %d: %s", first.Code, first.Body.String())
+	}
+	if resp := decodeJob(t, first); resp.State != JobCancelled {
+		t.Fatalf("cancel answered state %q, want cancelled", resp.State)
+	}
+	second := do(s, "DELETE", "/v1/jobs/"+id, "")
+	if second.Code != http.StatusOK {
+		t.Fatalf("second cancel status %d: %s", second.Code, second.Body.String())
+	}
+	if resp := decodeJob(t, second); resp.State != JobCancelled {
+		t.Fatalf("second cancel answered state %q, want cancelled", resp.State)
+	}
+	if resp := decodeJob(t, do(s, "GET", "/v1/jobs/"+id, "")); resp.State != JobCancelled {
+		t.Fatalf("poll after cancel: state %q", resp.State)
+	}
+}
+
+// TestJobRestartRehydrates pins the persistence contract: a finished
+// job answered by a fresh process against the same store directory is
+// byte-identical to the answer the original process gave.
+func TestJobRestartRehydrates(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	s1 := New(Options{Store: st})
+	req := fpRequest(3)
+	req.Budget = 60
+	req.CongestWeight = 0.5
+	body := marshal(t, req)
+	w := do(s1, "POST", "/v1/floorplan", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", w.Code, w.Body.String())
+	}
+	id := decodeJob(t, w).ID
+	pollJob(t, s1, id, JobDone)
+	before := do(s1, "GET", "/v1/jobs/"+id, "").Body.Bytes()
+	s1.FlushStore()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	s2 := New(Options{Store: st2})
+	t.Cleanup(s2.FlushStore)
+	w = do(s2, "GET", "/v1/jobs/"+id, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("poll after restart: status %d: %s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), before) {
+		t.Fatalf("restart changed the poll answer:\nbefore: %s\nafter:  %s", before, w.Body.Bytes())
+	}
+	// A resubmit of the same request also answers from the store,
+	// without re-annealing.
+	w = do(s2, "POST", "/v1/floorplan", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("resubmit after restart: status %d: %s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), before) {
+		t.Fatalf("resubmit after restart diverged:\nbefore: %s\nafter:  %s", before, w.Body.Bytes())
+	}
+	// Cancelling a rehydrated (terminal) record is a no-op.
+	if w := do(s2, "DELETE", "/v1/jobs/"+id, ""); w.Code != http.StatusOK {
+		t.Fatalf("cancel rehydrated: status %d", w.Code)
+	}
+}
+
+func TestJobQueueFull429(t *testing.T) {
+	s := New(Options{JobWorkers: 1, JobQueue: 1})
+	t.Cleanup(s.FlushStore)
+	submit := func(seed int64) *httptest.ResponseRecorder {
+		req := fpRequest(3)
+		req.Budget = 50_000_000
+		req.Seed = seed
+		return do(s, "POST", "/v1/floorplan", marshal(t, req))
+	}
+	wA := submit(101)
+	if wA.Code != http.StatusAccepted {
+		t.Fatalf("job A status %d: %s", wA.Code, wA.Body.String())
+	}
+	idA := decodeJob(t, wA).ID
+	pollJob(t, s, idA, JobAnnealing) // the lone worker is now occupied
+
+	wB := submit(102) // fills the one queue slot
+	if wB.Code != http.StatusAccepted {
+		t.Fatalf("job B status %d: %s", wB.Code, wB.Body.String())
+	}
+	idB := decodeJob(t, wB).ID
+
+	wC := submit(103)
+	if wC.Code != http.StatusTooManyRequests {
+		t.Fatalf("job C status %d, want 429: %s", wC.Code, wC.Body.String())
+	}
+	if wC.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Cancelling the queued job takes the accepted→cancelled fast
+	// path; the worker later skips it.
+	if resp := decodeJob(t, do(s, "DELETE", "/v1/jobs/"+idB, "")); resp.State != JobCancelled {
+		t.Fatalf("queued cancel answered %q", resp.State)
+	}
+	if resp := decodeJob(t, do(s, "DELETE", "/v1/jobs/"+idA, "")); resp.State != JobCancelled {
+		t.Fatalf("running cancel answered %q", resp.State)
+	}
+}
+
+// TestJobManagerHammer drives concurrent submits, polls and cancels
+// through the handler stack; run under -race it is the job manager's
+// interleaving check.
+func TestJobManagerHammer(t *testing.T) {
+	s := New(Options{JobWorkers: 4, JobQueue: 64})
+	t.Cleanup(s.FlushStore)
+	bodies := make([]string, 4)
+	for i := range bodies {
+		req := fpRequest(3)
+		req.Budget = 400
+		req.Seed = int64(i + 1)
+		bodies[i] = marshal(t, req)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 12; i++ {
+				w := do(s, "POST", "/v1/floorplan", bodies[rng.Intn(len(bodies))])
+				if w.Code != http.StatusAccepted && w.Code != http.StatusOK &&
+					w.Code != http.StatusTooManyRequests {
+					t.Errorf("submit status %d: %s", w.Code, w.Body.String())
+					return
+				}
+				if w.Code == http.StatusTooManyRequests {
+					continue
+				}
+				var resp JobResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Errorf("bad submit JSON: %v", err)
+					return
+				}
+				switch rng.Intn(3) {
+				case 0:
+					do(s, "GET", "/v1/jobs/"+resp.ID, "")
+				case 1:
+					do(s, "DELETE", "/v1/jobs/"+resp.ID, "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFloorplanRequestValidation(t *testing.T) {
+	s := New(Options{})
+	t.Cleanup(s.FlushStore)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "{broken", http.StatusBadRequest},
+		{"no modules", marshal(t, FloorplanRequest{Chip: "x"}), http.StatusBadRequest},
+		{"bad process", marshal(t, func() FloorplanRequest {
+			r := fpRequest(2)
+			r.Process = "unobtainium"
+			return r
+		}()), http.StatusBadRequest},
+		{"bad module netlist", marshal(t, FloorplanRequest{
+			Modules: []ModuleInput{{Netlist: "module broken\nthis is not mnet\n"}},
+		}), http.StatusBadRequest},
+		{"duplicate module", marshal(t, FloorplanRequest{
+			Modules: []ModuleInput{batchModule("dup", 3), batchModule("dup", 5)},
+		}), http.StatusBadRequest},
+		{"net names ghost module", marshal(t, FloorplanRequest{
+			Modules: []ModuleInput{batchModule("only", 3)},
+			Nets: []GlobalNetBody{{Name: "n", Pins: []GlobalPinBody{
+				{Module: "ghost", Port: "p"},
+			}}},
+		}), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if w := do(s, "POST", "/v1/floorplan", tc.body); w.Code != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, w.Code, tc.want, w.Body.String())
+		}
+	}
+	// The failures above must not have registered any job.
+	s.jobs.mu.Lock()
+	n := len(s.jobs.jobs)
+	s.jobs.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d jobs registered by rejected submits", n)
+	}
+}
+
+// TestJobSubmitAfterDrain pins the shutdown contract at the handler
+// level: once FlushStore has drained the pool, submits shed with 429
+// and a queued job left behind was cancelled and persisted.
+func TestJobSubmitAfterDrain(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	defer st.Close()
+	s := New(Options{Store: st, JobWorkers: 1, JobQueue: 4})
+	// Occupy the worker, then park one job in the queue.
+	blocker := fpRequest(3)
+	blocker.Budget = 50_000_000
+	w := do(s, "POST", "/v1/floorplan", marshal(t, blocker))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("blocker status %d", w.Code)
+	}
+	pollJob(t, s, decodeJob(t, w).ID, JobAnnealing)
+	queued := fpRequest(3)
+	queued.Budget = 50_000_000
+	queued.Seed = 7
+	w = do(s, "POST", "/v1/floorplan", marshal(t, queued))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("queued status %d", w.Code)
+	}
+	queuedID := decodeJob(t, w).ID
+
+	s.FlushStore()
+
+	// The queued job transitioned to cancelled and was persisted
+	// before the store tier flushed.
+	if resp := decodeJob(t, do(s, "GET", "/v1/jobs/"+queuedID, "")); resp.State != JobCancelled {
+		t.Fatalf("queued job state %q after drain", resp.State)
+	}
+	if rec, ok := s.stier.getJob(mustKey(t, queuedID)); !ok || rec.State != JobCancelled {
+		t.Fatalf("queued job not persisted as cancelled: ok=%v rec=%+v", ok, rec)
+	}
+	// Submits after drain shed with 429.
+	fresh := fpRequest(2)
+	if w := do(s, "POST", "/v1/floorplan", marshal(t, fresh)); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("submit after drain: status %d, want 429", w.Code)
+	}
+}
+
+func mustKey(t *testing.T, id string) Key {
+	t.Helper()
+	k, err := parseKey(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestJobEndpointsProxyToBackend pins router mode: the front hop
+// forwards the job API verbatim — method, path and job id — so a
+// submit through the front and a poll through the front both land on
+// the backend's job.
+func TestJobEndpointsProxyToBackend(t *testing.T) {
+	backend := New(Options{})
+	t.Cleanup(backend.FlushStore)
+	backendTS := httptest.NewServer(backend)
+	defer backendTS.Close()
+	front := New(Options{Backend: backendTS.URL})
+
+	req := fpRequest(3)
+	req.Budget = 80
+	w := do(front, "POST", "/v1/floorplan", marshal(t, req))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("front submit status %d: %s", w.Code, w.Body.String())
+	}
+	id := decodeJob(t, w).ID
+	fin := pollJob(t, front, id, JobDone)
+	if fin.Result == nil || len(fin.Result.Blocks) != 3 {
+		t.Fatalf("front poll answered %+v", fin)
+	}
+	// Cancel through the front is idempotent on the terminal job.
+	if resp := decodeJob(t, do(front, "DELETE", "/v1/jobs/"+id, "")); resp.State != JobDone {
+		t.Fatalf("front cancel answered %q", resp.State)
+	}
+	// Unknown ids 404 through the hop as well.
+	if w := do(front, "GET", "/v1/jobs/"+strings.Repeat("cd", 32), ""); w.Code != http.StatusNotFound {
+		t.Fatalf("front unknown id: status %d", w.Code)
+	}
+}

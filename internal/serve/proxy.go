@@ -24,59 +24,73 @@ var (
 	mProxySec      = obs.DefHistogram("maest_serve_proxy_seconds", "backend round-trip latency", obs.DefBuckets)
 )
 
-// proxyTo returns an instrumented handler forwarding one endpoint to
-// the configured backend.
+// proxyTo returns an instrumented handler forwarding one POST
+// endpoint to the configured backend.
 func (s *Server) proxyTo(endpoint string) func(http.ResponseWriter, *http.Request, *reqInfo) {
-	target := s.opts.Backend + endpoint
 	return func(w http.ResponseWriter, r *http.Request, info *reqInfo) {
-		mProxyRequests.Inc()
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes))
-		if err != nil {
-			s.fail(w, info, fmt.Errorf("%w: read body: %w", errBadRequest, err))
-			return
-		}
-		info.mark("read")
+		s.forward(w, r, info, http.MethodPost, s.opts.Backend+endpoint)
+	}
+}
 
-		ctx := r.Context()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
-		if err != nil {
-			s.fail(w, info, fmt.Errorf("%w: %v", errBadGateway, err))
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		// Continue the trace: the hop's own context (installed in ctx by
-		// instrument) becomes the outgoing traceparent, making this
-		// hop's span id the backend's parent.  When telemetry is
-		// disabled here, fall back to relaying the caller's header so
-		// the ends of the chain still stitch.
-		if tc, ok := obs.TraceContextFrom(ctx); ok {
-			req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
-		} else if hdr := r.Header.Get(obs.TraceparentHeader); hdr != "" {
-			req.Header.Set(obs.TraceparentHeader, hdr)
-		}
+// proxyPath returns an instrumented handler forwarding the request's
+// own method and path to the backend — what the job endpoints need,
+// where GET and DELETE address a job id minted by the backend.
+func (s *Server) proxyPath() func(http.ResponseWriter, *http.Request, *reqInfo) {
+	return func(w http.ResponseWriter, r *http.Request, info *reqInfo) {
+		s.forward(w, r, info, r.Method, s.opts.Backend+r.URL.Path)
+	}
+}
 
-		_, span := obs.Start(ctx, "proxy")
-		span.SetString("backend", s.opts.Backend)
-		t0 := time.Now()
-		resp, err := s.proxy.Do(req)
-		mProxySec.Observe(time.Since(t0).Seconds())
-		span.EndErr(err)
-		if err != nil {
-			mProxyErrors.Inc()
-			s.fail(w, info, fmt.Errorf("%w: %v", errBadGateway, err))
-			return
-		}
-		defer resp.Body.Close()
-		info.mark("backend")
+// forward relays one request to the backend, re-injecting the W3C
+// traceparent so the trace survives the extra hop.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, info *reqInfo, method, target string) {
+	mProxyRequests.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes))
+	if err != nil {
+		s.fail(w, info, fmt.Errorf("%w: read body: %w", errBadRequest, err))
+		return
+	}
+	info.mark("read")
 
-		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			w.Header().Set("Retry-After", ra)
-		}
-		w.WriteHeader(resp.StatusCode)
-		io.Copy(w, resp.Body)
-		if resp.StatusCode >= 400 {
-			info.fail(fmt.Errorf("serve: backend answered %d", resp.StatusCode))
-		}
+	ctx := r.Context()
+	req, err := http.NewRequestWithContext(ctx, method, target, bytes.NewReader(body))
+	if err != nil {
+		s.fail(w, info, fmt.Errorf("%w: %v", errBadGateway, err))
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Continue the trace: the hop's own context (installed in ctx by
+	// instrument) becomes the outgoing traceparent, making this
+	// hop's span id the backend's parent.  When telemetry is
+	// disabled here, fall back to relaying the caller's header so
+	// the ends of the chain still stitch.
+	if tc, ok := obs.TraceContextFrom(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	} else if hdr := r.Header.Get(obs.TraceparentHeader); hdr != "" {
+		req.Header.Set(obs.TraceparentHeader, hdr)
+	}
+
+	_, span := obs.Start(ctx, "proxy")
+	span.SetString("backend", s.opts.Backend)
+	t0 := time.Now()
+	resp, err := s.proxy.Do(req)
+	mProxySec.Observe(time.Since(t0).Seconds())
+	span.EndErr(err)
+	if err != nil {
+		mProxyErrors.Inc()
+		s.fail(w, info, fmt.Errorf("%w: %v", errBadGateway, err))
+		return
+	}
+	defer resp.Body.Close()
+	info.mark("backend")
+
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	if resp.StatusCode >= 400 {
+		info.fail(fmt.Errorf("serve: backend answered %d", resp.StatusCode))
 	}
 }

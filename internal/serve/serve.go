@@ -57,6 +57,12 @@ type Options struct {
 	// responses when load is shed; 0 selects 1 s.  Operators running
 	// aggressive floorplanner loops raise it to spread retry storms.
 	RetryAfter int
+	// JobWorkers bounds the floorplan jobs annealing at once; 0
+	// selects 2.  Workers start lazily on the first submitted job.
+	JobWorkers int
+	// JobQueue is the pending floorplan job queue depth; submits
+	// beyond it are shed with 429 and Retry-After.  0 selects 32.
+	JobQueue int
 	// EstimateHook, when non-nil, runs while a request holds its
 	// concurrency slot, before estimation begins.  It exists so
 	// end-to-end tests can hold a slot open deterministically; leave
@@ -118,17 +124,26 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter == 0 {
 		o.RetryAfter = 1
 	}
+	if o.JobWorkers == 0 {
+		o.JobWorkers = 2
+	}
+	if o.JobQueue == 0 {
+		o.JobQueue = 32
+	}
 	return o
 }
 
 // Server is the estimation service.  It implements http.Handler:
 //
-//	POST /v1/estimate        one circuit
-//	POST /v1/estimate/batch  a chip's worth of circuits
-//	POST /v1/estimate/delta  ECO edits against a cached plan
-//	POST /v1/congestion      one circuit's congestion map
-//	GET  /healthz            liveness
-//	GET  /metrics            Prometheus text exposition
+//	POST   /v1/estimate        one circuit
+//	POST   /v1/estimate/batch  a chip's worth of circuits
+//	POST   /v1/estimate/delta  ECO edits against a cached plan
+//	POST   /v1/congestion      one circuit's congestion map
+//	POST   /v1/floorplan       submit an async floorplan job
+//	GET    /v1/jobs/{id}       poll a floorplan job
+//	DELETE /v1/jobs/{id}       cancel a floorplan job
+//	GET    /healthz            liveness
+//	GET    /metrics            Prometheus text exposition
 //
 // The health and metrics endpoints bypass the concurrency limiter so
 // they stay responsive under overload.
@@ -147,6 +162,7 @@ type Server struct {
 	ttier    *traceTier    // nil when the trace store is disabled
 	sampler  *obs.TailSampler
 	profiles *planProfiles // nil when request telemetry is fully off
+	jobs     *jobManager   // nil in Backend (forwarding) mode
 }
 
 // New returns a Server ready to mount on an http.Server.
@@ -185,11 +201,21 @@ func New(opts Options) *Server {
 		s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.proxyTo("/v1/estimate/batch")))
 		s.mux.HandleFunc("POST /v1/estimate/delta", s.instrument("/v1/estimate/delta", s.proxyTo("/v1/estimate/delta")))
 		s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.proxyTo("/v1/congestion")))
+		// Job endpoints forward verbatim: the job lives on the backend
+		// shard, id and all, so GET and DELETE must preserve method
+		// and path rather than re-POST.
+		s.mux.HandleFunc("POST /v1/floorplan", s.instrument("/v1/floorplan", s.proxyPath()))
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.proxyPath()))
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.proxyPath()))
 	} else {
+		s.jobs = newJobManager(s, opts.JobWorkers, opts.JobQueue)
 		s.mux.HandleFunc("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 		s.mux.HandleFunc("POST /v1/estimate/batch", s.instrument("/v1/estimate/batch", s.handleBatch))
 		s.mux.HandleFunc("POST /v1/estimate/delta", s.instrument("/v1/estimate/delta", s.handleDelta))
 		s.mux.HandleFunc("POST /v1/congestion", s.instrument("/v1/congestion", s.handleCongestion))
+		s.mux.HandleFunc("POST /v1/floorplan", s.instrument("/v1/floorplan", s.handleFloorplan))
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobGet))
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobCancel))
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -254,11 +280,15 @@ func (s *Server) TraceStats() (TraceTierStats, bool) {
 // is mounted).
 func (s *Server) Sampler() *obs.TailSampler { return s.sampler }
 
-// FlushStore drains the write-behind queue so every result computed so
-// far is persisted.  Call during shutdown, after the HTTP listener has
-// drained and before closing the store.  Safe to call more than once,
-// and a no-op when no store is configured.
+// FlushStore drains the floorplan job pool and the write-behind queue
+// so every result computed so far is persisted.  Call during shutdown,
+// after the HTTP listener has drained and before closing the store.
+// In-flight floorplan jobs are cancelled, marked cancelled in the
+// store, and their worker goroutines joined — no job goroutine
+// survives this call.  Safe to call more than once, and a no-op when
+// no store is configured (the job pool still drains).
 func (s *Server) FlushStore() {
+	s.jobs.drain()
 	s.stier.flush()
 }
 
@@ -340,10 +370,12 @@ func writeError(w http.ResponseWriter, info *reqInfo, err error) {
 		// The request was well-formed but the circuit cannot be
 		// estimated (unknown device, mixed methodologies, …).
 		status = http.StatusUnprocessableEntity
-	case errors.Is(err, errUnknownParent):
+	case errors.Is(err, errUnknownParent), errors.Is(err, errUnknownJob):
 		// The named parent plan aged out of the plan cache (or belongs
-		// to another shard); the client's defined fallback is a full
-		// /v1/estimate, whose answer mints a fresh plan key.
+		// to another shard), or the polled job id is known neither in
+		// memory nor on disk.  The client's defined fallback for a
+		// missing parent is a full /v1/estimate, whose answer mints a
+		// fresh plan key; for a missing job it is a resubmit.
 		status = http.StatusNotFound
 	case errors.Is(err, errBadGateway):
 		status = http.StatusBadGateway

@@ -161,6 +161,30 @@ func (t *storeTier) getCongest(key Key) (*congest.Map, bool) {
 	return &m, true
 }
 
+// getJob probes the store for a persisted floorplan job record.  Like
+// getResult, a hit decodes back to the exact record the original
+// process persisted — float64 JSON round trips are exact — so the
+// re-encoded poll answer is byte-identical across a restart.
+func (t *storeTier) getJob(key Key) (*JobResponse, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok, err := t.st.Get(store.NSFloorplan, store.Key(key))
+	if err != nil || !ok {
+		return nil, false
+	}
+	var rec JobResponse
+	if json.Unmarshal(b, &rec) != nil {
+		return nil, false
+	}
+	return &rec, true
+}
+
+// putJob persists one terminal job record, write-behind.
+func (t *storeTier) putJob(key Key, rec *JobResponse) {
+	t.enqueue(store.NSFloorplan, key, rec)
+}
+
 // putResult persists one estimate, write-behind.
 func (t *storeTier) putResult(key Key, res *core.Result) {
 	t.enqueue(store.NSResult, key, res)

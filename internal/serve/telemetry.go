@@ -26,6 +26,8 @@ var endpointSeconds = map[string]*obs.Histogram{
 	"/v1/estimate/batch": obs.DefHistogram("maest_serve_batch_seconds", "POST /v1/estimate/batch latency", obs.DefBuckets),
 	"/v1/estimate/delta": obs.DefHistogram("maest_serve_delta_seconds", "POST /v1/estimate/delta latency", obs.DefBuckets),
 	"/v1/congestion":     obs.DefHistogram("maest_serve_congestion_seconds", "POST /v1/congestion latency", obs.DefBuckets),
+	"/v1/floorplan":      obs.DefHistogram("maest_serve_floorplan_seconds", "POST /v1/floorplan submit latency", obs.DefBuckets),
+	"/v1/jobs":           obs.DefHistogram("maest_serve_jobs_seconds", "GET/DELETE /v1/jobs/{id} latency", obs.DefBuckets),
 }
 
 // EndpointLatency is one endpoint's latency distribution summary,

@@ -82,8 +82,8 @@ func TestPerEndpointLatencyHistograms(t *testing.T) {
 		t.Fatalf("congestion histogram count delta = %d, want 1", got)
 	}
 	sum := LatencySummary()
-	if len(sum) != 4 {
-		t.Fatalf("latency summary has %d endpoints, want 4", len(sum))
+	if len(sum) != 6 {
+		t.Fatalf("latency summary has %d endpoints, want 6", len(sum))
 	}
 	for i, ep := range sum {
 		if i > 0 && sum[i-1].Endpoint >= ep.Endpoint {

@@ -68,6 +68,11 @@ const (
 	// one record per hop, so a distributed trace's hops share a key
 	// prefix and stitch back together on read.
 	NSTrace Namespace = 4
+	// NSFloorplan holds finished floorplan job records (serve job-id
+	// keyed: the SHA-256 of the canonical request content), so a
+	// completed plan survives a server restart and GET /v1/jobs/{id}
+	// can rehydrate it from disk.
+	NSFloorplan Namespace = 5
 )
 
 // castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.

@@ -356,6 +356,61 @@ func GlobalRoute(d *EstimateDB, plan *FloorPlan, p *Process, grid int) (*GlobalR
 	return floorplan.GlobalRoute(d, plan, p, grid)
 }
 
+// Plan-driven floor planning: the simulated-annealing search over
+// engine Plans, with shape candidates from Plan.Candidates and a
+// routability term from the per-channel overflow probabilities.
+type (
+	// PlanModule names one compiled plan entering the annealer.
+	PlanModule = floorplan.PlanModule
+	// FloorplanNet is a chip-level net between annealer modules.
+	FloorplanNet = floorplan.Net
+	// FloorplanNetPin is one endpoint of a FloorplanNet.
+	FloorplanNetPin = floorplan.NetPin
+	// FloorplanOption tunes the annealer (seed, budget, weights).
+	FloorplanOption = floorplan.Option
+	// FloorplanProgress is one annealer progress report.
+	FloorplanProgress = floorplan.Progress
+	// ModuleCongest is one module's congestion detail in a plan.
+	ModuleCongest = floorplan.ModuleCongest
+	// ChannelRisk is one routing channel's overflow probability.
+	ChannelRisk = floorplan.ChannelRisk
+	// FloorplanStats summarizes one annealer search.
+	FloorplanStats = floorplan.SearchStats
+)
+
+// PlanModules floor-plans compiled engine Plans with the annealer;
+// nets weight the wire-length and routability cost terms.
+func PlanModules(ctx context.Context, chip string, mods []PlanModule, nets []FloorplanNet, opts ...FloorplanOption) (*FloorPlan, error) {
+	return floorplan.PlanModules(ctx, chip, mods, nets, opts...)
+}
+
+// WritePlanText renders a plan in the canonical text form — the
+// deterministic, byte-stable rendering golden tests diff.
+func WritePlanText(w io.Writer, plan *FloorPlan) error { return floorplan.WritePlanText(w, plan) }
+
+// WithCongestWeight weights the routability term of the anneal cost.
+func WithCongestWeight(w float64) FloorplanOption { return floorplan.WithCongestWeight(w) }
+
+// WithWireWeight weights the wire-length term of the anneal cost.
+func WithWireWeight(w float64) FloorplanOption { return floorplan.WithWireWeight(w) }
+
+// WithFloorplanSeed fixes the annealer's random source.
+func WithFloorplanSeed(seed int64) FloorplanOption { return floorplan.WithSeed(seed) }
+
+// WithBudget sets the annealer's move budget (< 0 = greedy).
+func WithBudget(moves int) FloorplanOption { return floorplan.WithBudget(moves) }
+
+// WithFloorplanCandidates sets the shape-candidate count requested
+// from each Plan (the engine-level WithCandidates analogue).
+func WithFloorplanCandidates(count int) FloorplanOption { return floorplan.WithCandidates(count) }
+
+// WithFloorplanTrackSharing toggles the Eq. 10/11 refinement for the
+// annealer's candidate shapes.
+func WithFloorplanTrackSharing(on bool) FloorplanOption { return floorplan.WithTrackSharing(on) }
+
+// WithProgress registers a per-move progress callback.
+func WithProgress(fn func(FloorplanProgress)) FloorplanOption { return floorplan.WithProgress(fn) }
+
 // EstimateChip estimates all modules of a chip concurrently (workers
 // ≤ 0 selects GOMAXPROCS), preserving module order.
 //

@@ -19,12 +19,13 @@ go build ./examples/...
 # The engine and the serving layer share compiled plans across
 # goroutines, the obs flight recorder is a lock-striped ring hammered
 # by every request, and the persistent store mixes request-path reads
-# with a background compactor and the serve write-behind goroutine;
-# their suites run first and explicitly under the race detector so a
-# concurrency regression fails fast with a focused report before the
-# full-tree run below repeats them in bulk.
-go vet ./internal/engine/... ./internal/serve ./internal/obs ./internal/store ./cmd/maest-trace
-go test -race ./internal/engine/... ./internal/serve ./internal/obs ./internal/store ./cmd/maest-trace
+# with a background compactor and the serve write-behind goroutine,
+# and the floorplan annealer runs as async jobs on a worker pool fed
+# by the serve handlers; their suites run first and explicitly under
+# the race detector so a concurrency regression fails fast with a
+# focused report before the full-tree run below repeats them in bulk.
+go vet ./internal/engine/... ./internal/serve ./internal/floorplan ./internal/obs ./internal/store ./cmd/maest-trace
+go test -race ./internal/engine/... ./internal/serve ./internal/floorplan ./internal/obs ./internal/store ./cmd/maest-trace
 go test -race ./...
 # Coverage ratchet: the packages carrying the incremental (ECO)
 # re-estimation machinery must not lose test coverage.  Floors live in
@@ -78,6 +79,6 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 tmp=$(mktemp /tmp/BENCH_ci.XXXXXX.json)
 trap 'rm -f "$tmp"' EXIT
 go run ./cmd/maest-bench -label ci -o "$tmp" -requests 24 -estimate-iters 1 \
-    -eco 40 -eco-min-speedup 5 \
+    -eco 40 -eco-min-speedup 5 -floorplan 4 \
     -compare testdata/bench/BENCH_reference.json -tol 0
 echo "verify.sh: all checks passed"
